@@ -1,0 +1,37 @@
+#include "bench_common.h"
+
+#include <chrono>
+#include <memory>
+
+namespace bgpolicy::bench {
+
+const core::Pipeline& pipeline() {
+  static const std::unique_ptr<core::Pipeline> instance = [] {
+    std::cout << "[bench] simulating the internet2002 scenario "
+                 "(topology + policies + propagation + inference)...\n";
+    const auto start = std::chrono::steady_clock::now();
+    auto pipe = std::make_unique<core::Pipeline>(
+        core::run_pipeline(core::Scenario::internet2002()));
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    std::cout << "[bench] " << pipe->topo.graph.as_count() << " ASs, "
+              << pipe->originations.size() << " prefixes, "
+              << pipe->sim.collector.route_count()
+              << " collector routes; inference accuracy vs truth "
+              << util::fmt(
+                     100.0 * pipe->inferred.accuracy_against(pipe->topo.graph),
+                     2)
+              << "%; built in " << elapsed.count() << " ms\n\n";
+    return pipe;
+  }();
+  return *instance;
+}
+
+void banner(const std::string& experiment, const std::string& paper_claim) {
+  std::cout << "================================================================\n"
+            << experiment << "\n"
+            << "Paper: " << paper_claim << "\n"
+            << "================================================================\n";
+}
+
+}  // namespace bgpolicy::bench

@@ -1,0 +1,62 @@
+// Fig. 6: persistence of SA prefixes at AS1 — (a) daily snapshots over a
+// month of policy churn, (b) hourly snapshots within one day (lower churn).
+#include "bench_common.h"
+#include "core/persistence.h"
+
+namespace {
+
+void print_series(const bgpolicy::core::PersistenceStudy& study,
+                  const char* unit) {
+  bgpolicy::util::TextTable table(
+      {std::string(unit), "all prefixes", "customer prefixes", "SA prefixes"});
+  for (const auto& snap : study.series) {
+    table.add_row({std::to_string(snap.step + 1),
+                   std::to_string(snap.total_prefixes),
+                   std::to_string(snap.customer_prefixes),
+                   std::to_string(snap.sa_prefixes)});
+  }
+  std::cout << table.render() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace bgpolicy;
+  const auto& pipe = bench::pipeline();
+  bench::banner("Fig. 6 — persistence of SA prefixes at AS1",
+                "SA prefixes are consistently present: a stable band far "
+                "below the total, over 31 days and over one day");
+
+  const util::AsNumber watch{1};
+
+  // (a) 31 daily steps with the default churn rate.
+  {
+    sim::ChurnParams churn_params;
+    churn_params.seed = 31;
+    churn_params.flip_fraction = 0.006;
+    sim::ChurnSimulator churn(pipe.topo.graph, pipe.gen.policies,
+                              pipe.originations, pipe.gen.truth, {watch},
+                              churn_params);
+    const auto study = core::run_persistence_study(
+        churn, watch, pipe.inferred_graph, pipe.inferred_oracle(), 31);
+    std::cout << "Fig. 6(a): daily snapshots, March-2002 equivalent\n";
+    print_series(study, "day");
+  }
+
+  // (b) 12 intra-day steps with much lower churn.
+  {
+    sim::ChurnParams churn_params;
+    churn_params.seed = 15;
+    churn_params.flip_fraction = 0.002;
+    sim::ChurnSimulator churn(pipe.topo.graph, pipe.gen.policies,
+                              pipe.originations, pipe.gen.truth, {watch},
+                              churn_params);
+    const auto study = core::run_persistence_study(
+        churn, watch, pipe.inferred_graph, pipe.inferred_oracle(), 12);
+    std::cout << "Fig. 6(b): intra-day snapshots, March 15 equivalent\n";
+    print_series(study, "interval");
+  }
+  std::cout << "Shape check: SA count stays a stable minority band in both "
+               "series (paper: ~9k SA vs ~120k total, flat)\n";
+  return 0;
+}

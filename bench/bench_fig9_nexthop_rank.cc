@@ -1,0 +1,37 @@
+// Fig. 9: number of prefixes announced by each next-hop AS, by rank —
+// the gap structure (providers >> peers >> customers) that powers the
+// Appendix's community-semantics inference.
+#include "bench_common.h"
+
+int main() {
+  using namespace bgpolicy;
+  const auto& pipe = bench::pipeline();
+  bench::banner("Fig. 9 — prefixes per next-hop AS (rank order)",
+                "AS1/AS3549: peers announce the most (no providers); AS8736 "
+                "equivalents: one provider announces ~full table; customers "
+                "announce 1-2 prefixes");
+
+  // The paper plots AS1, AS3549 (Tier-1s) and AS8736 (a small multihomed
+  // AS).  Our vantage stand-ins: the two Tier-1 looking glasses plus the
+  // smallest looking-glass vantage.
+  const std::vector<util::AsNumber> subjects{
+      util::AsNumber(1), util::AsNumber(3549), util::AsNumber(12859)};
+  for (const auto as : subjects) {
+    if (!pipe.sim.looking_glass.contains(as)) continue;
+    const auto result = pipe.community_verification(as);
+    std::cout << util::render_rank_series(result.rank_series) << "\n";
+    // The gap statistic the Appendix reasons about.
+    if (result.rank_series.values.size() >= 2) {
+      const double top =
+          static_cast<double>(result.rank_series.values.front());
+      const double bottom =
+          static_cast<double>(result.rank_series.values.back());
+      std::cout << "  top/bottom announcement ratio: "
+                << util::fmt(top / std::max(1.0, bottom), 1)
+                << " (paper: orders of magnitude)\n\n";
+    }
+  }
+  std::cout << "Shape check: each vantage shows a heavy-tailed rank curve "
+               "with a large top/bottom gap.\n";
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Microbenchmarks (google-benchmark) for the core algorithms, including
+// the ablations called out in DESIGN.md §5:
+//   * per-prefix route propagation cost vs topology size,
+//   * SA inference from best routes vs a full Adj-RIB-In scan,
+//   * Gao inference with and without the clique/peer refinements,
+//   * prefix-trie covering scans vs brute force,
+//   * decision process, RPSL parsing, table serialization.
+#include <benchmark/benchmark.h>
+
+#include "asrel/gao_inference.h"
+#include "bgp/decision.h"
+#include "bgp/prefix_trie.h"
+#include "core/export_inference.h"
+#include "core/pipeline.h"
+#include "io/binary_table.h"
+#include "rpsl/generator.h"
+#include "rpsl/parser.h"
+#include "sim/policy_gen.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace bgpolicy;
+
+struct World {
+  topo::Topology topo;
+  topo::PrefixPlan plan;
+  sim::GeneratedPolicies gen;
+  std::vector<sim::Origination> originations;
+};
+
+const World& world(std::size_t stubs) {
+  static std::map<std::size_t, std::unique_ptr<World>> cache;
+  auto& entry = cache[stubs];
+  if (!entry) {
+    entry = std::make_unique<World>();
+    topo::GeneratorParams params;
+    params.seed = 99;
+    params.tier1_count = 8;
+    params.tier2_count = 24;
+    params.tier3_count = 80;
+    params.stub_count = stubs;
+    entry->topo = topo::generate_topology(params);
+    topo::PrefixAllocParams alloc;
+    alloc.max_stub_prefixes = 8;
+    entry->plan = topo::allocate_prefixes(entry->topo, alloc);
+    entry->gen = sim::generate_policies(entry->topo, entry->plan, {});
+    entry->originations = sim::all_originations(entry->plan, entry->gen);
+  }
+  return *entry;
+}
+
+const core::Pipeline& small_pipeline() {
+  static const core::Pipeline pipe =
+      core::run_pipeline(core::Scenario::small(42));
+  return pipe;
+}
+
+void BM_PropagateOnePrefix(benchmark::State& state) {
+  const World& w = world(static_cast<std::size_t>(state.range(0)));
+  const sim::PropagationEngine engine(w.topo.graph, w.gen.policies);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& origination = w.originations[i++ % w.originations.size()];
+    benchmark::DoNotOptimize(engine.propagate(origination));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.topo.graph.as_count()));
+}
+BENCHMARK(BM_PropagateOnePrefix)->Arg(200)->Arg(600)->Arg(1200);
+
+void BM_SaInference_BestRoutes(benchmark::State& state) {
+  const auto& pipe = small_pipeline();
+  const util::AsNumber provider{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::infer_sa_prefixes(pipe.table_for(provider), provider,
+                                pipe.inferred_graph, pipe.inferred_oracle()));
+  }
+}
+BENCHMARK(BM_SaInference_BestRoutes);
+
+void BM_SaInference_FullRib(benchmark::State& state) {
+  const auto& pipe = small_pipeline();
+  const util::AsNumber provider{1};
+  const auto& lg = pipe.sim.looking_glass.at(provider);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::sa_from_full_rib(
+        lg, provider, pipe.inferred_graph, pipe.inferred_oracle()));
+  }
+}
+BENCHMARK(BM_SaInference_FullRib);
+
+void BM_GaoInference(benchmark::State& state) {
+  const auto& pipe = small_pipeline();
+  asrel::GaoInference gao;
+  pipe.sim.collector.for_each(
+      [&](const bgp::Prefix&, std::span<const bgp::Route> routes) {
+        for (const auto& route : routes) gao.add_path(route.path);
+      });
+  asrel::GaoParams params;
+  params.detect_peers = state.range(0) != 0;
+  params.detect_clique = state.range(0) != 0;
+  double accuracy = 0;
+  for (auto _ : state) {
+    const auto rels = gao.infer(params);
+    accuracy = rels.accuracy_against(pipe.topo.graph);
+    benchmark::DoNotOptimize(rels);
+  }
+  state.counters["accuracy_pct"] = 100.0 * accuracy;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(gao.path_count()));
+}
+BENCHMARK(BM_GaoInference)->Arg(0)->Arg(1)->ArgNames({"refinements"});
+
+void BM_TrieCoveringScan(benchmark::State& state) {
+  util::Rng rng(5);
+  bgp::PrefixTrie<int> trie;
+  std::vector<bgp::Prefix> queries;
+  for (int i = 0; i < 4096; ++i) {
+    const auto network = static_cast<std::uint32_t>(rng.uniform(0, 0xFFFFFFFF));
+    const auto length = static_cast<std::uint8_t>(rng.uniform(8, 24));
+    trie.insert(bgp::Prefix(network, length), i);
+    queries.emplace_back(network, 24);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    trie.for_each_covering(queries[i++ % queries.size()],
+                           [&](const bgp::Prefix&, const int&) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_TrieCoveringScan);
+
+void BM_DecisionSelectBest(benchmark::State& state) {
+  std::vector<bgp::Route> candidates;
+  util::Rng rng(6);
+  for (int i = 0; i < 8; ++i) {
+    bgp::Route route;
+    route.prefix = bgp::Prefix::parse("10.0.0.0/24");
+    std::vector<util::AsNumber> hops;
+    for (std::uint64_t h = 0; h < 2 + rng.uniform(0, 3); ++h) {
+      hops.emplace_back(static_cast<std::uint32_t>(rng.uniform(1, 65000)));
+    }
+    route.path = bgp::AsPath(std::move(hops));
+    route.learned_from = route.path.hops().front();
+    route.local_pref = static_cast<std::uint32_t>(rng.uniform(60, 130));
+    route.router_id = route.learned_from.value();
+    candidates.push_back(std::move(route));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::select_best(candidates));
+  }
+}
+BENCHMARK(BM_DecisionSelectBest);
+
+void BM_RpslParse(benchmark::State& state) {
+  const World& w = world(200);
+  rpsl::IrrGenParams params;
+  params.coverage = 1.0;
+  const std::string db = rpsl::generate_irr(w.topo, w.gen.policies, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rpsl::parse_aut_nums(db));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(db.size()));
+}
+BENCHMARK(BM_RpslParse);
+
+void BM_TableSerializeRoundTrip(benchmark::State& state) {
+  const auto& pipe = small_pipeline();
+  const auto& table = pipe.sim.collector;
+  for (auto _ : state) {
+    const auto bytes = io::serialize_table(table);
+    benchmark::DoNotOptimize(io::deserialize_table(bytes));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(table.route_count()));
+}
+BENCHMARK(BM_TableSerializeRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

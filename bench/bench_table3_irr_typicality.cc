@@ -1,0 +1,59 @@
+// Table 3: typical local preference inferred from IRR aut-num objects.
+//
+// The paper keeps ASes whose objects were updated during 2002 and whose
+// neighbor sets are large enough to classify, then reports the percentage
+// of typical preference per AS (62 ASes, 80%..100%).
+#include <algorithm>
+
+#include "bench_common.h"
+#include "core/import_inference.h"
+
+int main() {
+  using namespace bgpolicy;
+  const auto& pipe = bench::pipeline();
+  bench::banner("Table 3 — typical local preference from the IRR",
+                "62 usable aut-num objects; typicality 80%..100%, most at "
+                "or near 100%");
+
+  std::vector<core::IrrTypicality> rows;
+  std::size_t discarded_stale = 0;
+  std::size_t discarded_small = 0;
+  for (const auto& aut_num : pipe.irr_objects) {
+    if (aut_num.changed_date / 10000 < 2002) {
+      ++discarded_stale;
+      continue;
+    }
+    // The paper used ">50 neighbors"; our synthetic ASes are smaller, so
+    // scale the floor down while keeping the filter's spirit.
+    if (aut_num.imports.size() < 8) {
+      ++discarded_small;
+      continue;
+    }
+    const auto result =
+        core::analyze_irr_typicality(aut_num, pipe.inferred_oracle());
+    if (result.comparable_pairs < 5) continue;
+    rows.push_back(result);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const core::IrrTypicality& a, const core::IrrTypicality& b) {
+              return a.as < b.as;
+            });
+
+  util::TextTable table({"AS", "neighbors w/ pref", "comparable pairs",
+                         "% typical"});
+  std::size_t above80 = 0;
+  for (const auto& row : rows) {
+    table.add_row({util::to_string(row.as),
+                   std::to_string(row.neighbors_with_pref),
+                   std::to_string(row.comparable_pairs),
+                   util::fmt(row.percent_typical, 1)});
+    if (row.percent_typical >= 80.0) ++above80;
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "Usable objects: " << rows.size() << " (discarded "
+            << discarded_stale << " stale, " << discarded_small
+            << " too small)\n";
+  std::cout << "Shape check: " << above80 << "/" << rows.size()
+            << " ASs at >=80% typical (paper: 62/62 at >=80%)\n";
+  return 0;
+}

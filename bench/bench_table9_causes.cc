@@ -1,0 +1,61 @@
+// Table 9 + Section 5.1.5 Case 3: causes of SA prefixes — prefix splitting
+// and aggregation are negligible; deliberate selective announcing
+// dominates, mostly by withholding from the provider entirely.
+#include <map>
+
+#include "bench_common.h"
+#include "core/causes.h"
+#include "core/export_inference.h"
+
+int main() {
+  using namespace bgpolicy;
+  const auto& pipe = bench::pipeline();
+  bench::banner("Table 9 — causes of SA prefixes",
+                "splitting (127/9120) and aggregating (218/9120) are "
+                "negligible; Case 3: ~21% announce to the direct provider "
+                "(capped), ~79% withhold entirely");
+
+  struct PaperRow {
+    std::size_t sa, splitting, aggregating;
+  };
+  const std::map<std::uint32_t, PaperRow> paper{{1, {9120, 127, 218}},
+                                                {3549, {3431, 63, 104}},
+                                                {7018, {4374, 71, 179}}};
+
+  util::TextTable table({"provider", "# SA", "# splitting", "# aggregating",
+                         "paper (SA/split/aggr)"});
+  util::TextTable case3({"provider", "% identified", "% announce to direct",
+                         "% withheld from direct"});
+  bool minor_everywhere = true;
+  for (const auto as_value : core::Scenario::focus_tier1()) {
+    const util::AsNumber as{as_value};
+    const auto analysis =
+        core::infer_sa_prefixes(pipe.table_for(as), as, pipe.inferred_graph,
+                                pipe.inferred_oracle());
+    const auto causes =
+        core::analyze_causes(analysis, pipe.table_for(as), pipe.paths,
+                             pipe.inferred_graph, pipe.inferred_oracle());
+    const auto& p = paper.at(as_value);
+    table.add_row({util::to_string(as), std::to_string(causes.sa_total),
+                   std::to_string(causes.splitting),
+                   std::to_string(causes.aggregating),
+                   std::to_string(p.sa) + "/" + std::to_string(p.splitting) +
+                       "/" + std::to_string(p.aggregating)});
+    case3.add_row({util::to_string(as),
+                   util::fmt(causes.percent_identified, 1),
+                   util::fmt(causes.percent_announce, 1),
+                   util::fmt(causes.percent_withheld, 1)});
+    if (causes.sa_total > 0 &&
+        causes.splitting + causes.aggregating > causes.sa_total / 2) {
+      minor_everywhere = false;
+    }
+  }
+  std::cout << table.render("Case 1/2 counts (paper Table 9)") << "\n";
+  std::cout << case3.render("Case 3: origin behavior toward direct providers "
+                            "(paper, AS1: 90% identified; 21% / 79%)")
+            << "\n";
+  std::cout << "Shape check: splitting+aggregating stay a minority cause at "
+               "every Tier-1: "
+            << (minor_everywhere ? "yes" : "NO") << "\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// IRR audit: compare what ASes *register* in the routing registry against
+// what they *do* — the staleness/incompleteness problem the paper raises in
+// Section 3 ("the routing information stored in IRR is either incomplete or
+// out-of-date").
+//
+// The audit cross-checks each registered import policy against the
+// looking-glass observations: a neighbor whose registered RPSL pref class
+// ordering contradicts the observed local-preference ordering is flagged.
+//
+//   $ irr_audit [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/import_inference.h"
+#include "core/nexthop_consistency.h"
+#include "core/pipeline.h"
+#include "rpsl/generator.h"
+#include "util/text_table.h"
+
+using namespace bgpolicy;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  core::Scenario scenario = core::Scenario::small(seed);
+  // Exaggerate registry rot so the audit has something to find.
+  scenario.irr_params.stale_prob = 0.35;
+  scenario.irr_params.wrong_pref_prob = 0.10;
+
+  std::cout << "Auditing the IRR against observed routing (seed " << seed
+            << ")...\n";
+  const core::Pipeline pipe = core::run_pipeline(scenario);
+
+  std::size_t registered = 0;
+  std::size_t stale = 0;
+  for (const auto& aut_num : pipe.irr_objects) {
+    ++registered;
+    if (aut_num.changed_date / 10000 < 2002) ++stale;
+  }
+  std::cout << "Registry: " << registered << " aut-num objects covering "
+            << util::fmt(util::percent(registered, pipe.topo.graph.as_count()), 1)
+            << "% of ASs; " << stale
+            << " stale (not touched during 2002 — the paper discards these)\n\n";
+
+  // For each looking-glass vantage with a fresh aut-num: check every
+  // registered import against the observed modal local preference.
+  util::TextTable table({"AS", "registered imports", "checkable",
+                         "contradicted", "verdict"});
+  for (const auto vantage : pipe.vantage.looking_glass) {
+    const rpsl::AutNum* aut_num = pipe.irr_for(vantage);
+    if (aut_num == nullptr) {
+      table.add_row({util::to_string(vantage), "-", "-", "-",
+                     "NOT REGISTERED"});
+      continue;
+    }
+    if (aut_num->changed_date / 10000 < 2002) {
+      table.add_row({util::to_string(vantage),
+                     std::to_string(aut_num->imports.size()), "-", "-",
+                     "STALE"});
+      continue;
+    }
+
+    // Observed: modal local-pref per neighbor from the looking glass.
+    const auto observed = core::analyze_nexthop_consistency(
+        pipe.sim.looking_glass.at(vantage));
+
+    std::size_t checkable = 0;
+    std::size_t contradicted = 0;
+    for (const auto& lhs : aut_num->imports) {
+      if (!lhs.pref) continue;
+      const auto lhs_observed = observed.modal_pref.find(lhs.from);
+      if (lhs_observed == observed.modal_pref.end()) continue;
+      for (const auto& rhs : aut_num->imports) {
+        if (!rhs.pref || rhs.from.value() <= lhs.from.value()) continue;
+        const auto rhs_observed = observed.modal_pref.find(rhs.from);
+        if (rhs_observed == observed.modal_pref.end()) continue;
+        if (*lhs.pref == *rhs.pref ||
+            lhs_observed->second == rhs_observed->second) {
+          continue;  // ties carry no ordering information
+        }
+        ++checkable;
+        // RPSL pref is inverted: smaller pref must mean larger LOCAL_PREF.
+        const bool registered_prefers_lhs = *lhs.pref < *rhs.pref;
+        const bool observed_prefers_lhs =
+            lhs_observed->second > rhs_observed->second;
+        if (registered_prefers_lhs != observed_prefers_lhs) ++contradicted;
+      }
+    }
+    const double rate = util::percent(contradicted, checkable);
+    table.add_row({util::to_string(vantage),
+                   std::to_string(aut_num->imports.size()),
+                   std::to_string(checkable), std::to_string(contradicted),
+                   checkable == 0 ? "no signal"
+                   : rate > 20.0  ? "OUT OF DATE"
+                   : rate > 0.0   ? "minor drift"
+                                  : "consistent"});
+  }
+  std::cout << table.render("IRR-vs-observed audit at the looking glasses")
+            << "\n";
+  std::cout << "Takeaway: the registry is a useful but unreliable source — "
+               "exactly why the paper infers policies from routing tables "
+               "instead of trusting the IRR.\n";
+  return 0;
+}

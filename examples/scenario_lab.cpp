@@ -1,0 +1,160 @@
+// Scenario lab: a command-line driver over the full pipeline for
+// sensitivity studies — sweep a policy knob and watch the paper's headline
+// statistics move.
+//
+//   $ scenario_lab [--seed N] [--stubs N] [--selective P] [--multihome P]
+//                  [--sweep selective|multihome|prepend] [--steps N]
+//
+// With --sweep, the chosen knob is swept across `--steps` values and one
+// row is printed per setting; without it a single run is reported.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/export_inference.h"
+#include "core/homing.h"
+#include "core/import_inference.h"
+#include "core/pipeline.h"
+#include "core/prepending.h"
+#include "util/text_table.h"
+
+using namespace bgpolicy;
+
+namespace {
+
+struct Options {
+  std::uint64_t seed = 11;
+  std::size_t stubs = 400;
+  double selective = 0.55;
+  double multihome = 0.55;
+  double prepend = 0.15;
+  std::string sweep;
+  std::size_t steps = 5;
+};
+
+Options parse_args(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      opts.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--stubs") {
+      opts.stubs = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--selective") {
+      opts.selective = std::strtod(next(), nullptr);
+    } else if (arg == "--multihome") {
+      opts.multihome = std::strtod(next(), nullptr);
+    } else if (arg == "--prepend") {
+      opts.prepend = std::strtod(next(), nullptr);
+    } else if (arg == "--sweep") {
+      opts.sweep = next();
+    } else if (arg == "--steps") {
+      opts.steps = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: scenario_lab [--seed N] [--stubs N] "
+                   "[--selective P] [--multihome P] [--prepend P]\n"
+                   "                    [--sweep selective|multihome|prepend] "
+                   "[--steps N]\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown flag " << arg << " (try --help)\n";
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+struct RunStats {
+  double sa_pct_as1 = 0;
+  double multihomed_pct = 0;
+  double typical_pct = 0;
+  double prepended_pct = 0;
+  double accuracy = 0;
+};
+
+RunStats run_once(const Options& opts) {
+  core::Scenario scenario = core::Scenario::small(opts.seed);
+  scenario.topo_params.stub_count = opts.stubs;
+  scenario.topo_params.stub_multihome_prob = opts.multihome;
+  scenario.policy_params.origin_selective_as_prob = opts.selective;
+  scenario.policy_params.prepend_as_prob = opts.prepend;
+  const core::Pipeline pipe = core::run_pipeline(scenario);
+
+  RunStats stats;
+  stats.accuracy = 100.0 * pipe.inferred.accuracy_against(pipe.topo.graph);
+
+  const util::AsNumber as1{1};
+  const auto sa = core::infer_sa_prefixes(pipe.table_for(as1), as1,
+                                          pipe.inferred_graph,
+                                          pipe.inferred_oracle());
+  stats.sa_pct_as1 = sa.percent_sa;
+  stats.multihomed_pct =
+      core::analyze_homing(sa, pipe.inferred_graph).percent_multihomed;
+  stats.typical_pct =
+      core::analyze_import_typicality(pipe.sim.looking_glass.at(as1),
+                                      pipe.inferred_oracle())
+          .percent_typical;
+  stats.prepended_pct =
+      core::analyze_prepending(pipe.sim.collector).percent_prepended;
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options base = parse_args(argc, argv);
+
+  util::TextTable table({"knob setting", "% SA @AS1", "% multihomed origins",
+                         "% typical import @AS1", "% prepended routes",
+                         "inference accuracy %"});
+  const auto add_row = [&](const std::string& label, const RunStats& stats) {
+    table.add_row({label, util::fmt(stats.sa_pct_as1, 1),
+                   util::fmt(stats.multihomed_pct, 1),
+                   util::fmt(stats.typical_pct, 1),
+                   util::fmt(stats.prepended_pct, 2),
+                   util::fmt(stats.accuracy, 2)});
+  };
+
+  if (base.sweep.empty()) {
+    std::cout << "Single run (seed " << base.seed << ", " << base.stubs
+              << " stubs)...\n";
+    add_row("baseline", run_once(base));
+  } else {
+    std::cout << "Sweeping --" << base.sweep << " over " << base.steps
+              << " settings (seed " << base.seed << ")...\n";
+    for (std::size_t i = 0; i < base.steps; ++i) {
+      const double value =
+          base.steps == 1
+              ? 0.0
+              : static_cast<double>(i) / static_cast<double>(base.steps - 1);
+      Options opts = base;
+      if (base.sweep == "selective") {
+        opts.selective = value;
+      } else if (base.sweep == "multihome") {
+        opts.multihome = 0.2 + 0.75 * value;  // degenerate worlds below 0.2
+      } else if (base.sweep == "prepend") {
+        opts.prepend = value;
+      } else {
+        std::cerr << "unknown sweep knob " << base.sweep << "\n";
+        return 2;
+      }
+      add_row(base.sweep + " = " + util::fmt(base.sweep == "multihome"
+                                                 ? 0.2 + 0.75 * value
+                                                 : value,
+                                             2),
+              run_once(opts));
+    }
+  }
+  std::cout << table.render("scenario_lab results") << "\n";
+  std::cout << "Reading: SA prevalence tracks the selective-announcement "
+               "rate (the paper's causal story); import typicality and "
+               "inference accuracy stay high throughout.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Community-based verification of inferred AS relationships — the paper's
+// Appendix, driving Table 4 and Fig. 9.
+//
+// Many ASes tag imported routes with communities encoding the announcing
+// neighbor's relationship class (Table 11).  Given a looking-glass table of
+// such an AS, we (step 1) collect the dominant vantage-tagged community per
+// next-hop AS, (step 2) recover the value semantics — directly when
+// published, otherwise via the prefix-count gap heuristic (providers
+// announce nearly full tables, customers a handful of prefixes; Fig. 9) —
+// and (step 3) map each neighbor to a relationship, then measure agreement
+// with the relationships inferred from AS paths.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "asrel/relationships.h"
+#include "bgp/community.h"
+#include "bgp/table.h"
+#include "util/stats.h"
+
+namespace bgpolicy::asrel {
+
+struct CommunityVerifyParams {
+  /// Hint that the vantage AS has providers (non-Tier-1); the paper uses
+  /// this exact external knowledge ("Because AS1 and AS3549 do not have
+  /// providers...").
+  bool has_providers = false;
+  /// A neighbor announcing at least this share of the table's prefixes is
+  /// labelled provider when has_providers is set.
+  double provider_min_share = 0.5;
+  /// Neighbors announcing at most max(customer_max_prefixes,
+  /// customer_max_share * table size) prefixes are the customer group.
+  /// The absolute floor matches the paper's "1 or 2 prefixes"; the relative
+  /// part keeps the test meaningful at small table sizes.
+  std::size_t customer_max_prefixes = 2;
+  double customer_max_share = 0.02;
+  /// Two community values within this distance are "the same" (belong to
+  /// one class range, as in the 12859:1000-12859:2000 example).
+  std::uint16_t same_range_window = 500;
+};
+
+struct NeighborObservation {
+  AsNumber neighbor;
+  std::size_t prefix_count = 0;
+  std::optional<bgp::Community> dominant_tag;
+  std::optional<RelKind> community_rel;  ///< decoded from the tag
+  std::optional<RelKind> inferred_rel;   ///< from the AS-path inference
+};
+
+struct CommunityVerification {
+  AsNumber vantage;
+  /// Sorted by prefix count, non-increasing (Fig. 9 order).
+  std::vector<NeighborObservation> neighbors;
+  std::size_t neighbor_count = 0;
+  std::size_t comparable = 0;  ///< both community and inferred class known
+  std::size_t agree = 0;
+  double percent_verified = 0.0;
+  util::RankSeries rank_series;
+};
+
+/// `published_semantics`, when available, maps a community *value* (the low
+/// half; the high half is the vantage AS) to the relationship class the
+/// vantage advertises for it, e.g. from an IRR registration.
+[[nodiscard]] CommunityVerification verify_with_communities(
+    const bgp::BgpTable& lg_table,
+    const std::optional<std::unordered_map<std::uint16_t, RelKind>>&
+        published_semantics,
+    const InferredRelationships& inferred,
+    const CommunityVerifyParams& params = {});
+
+}  // namespace bgpolicy::asrel

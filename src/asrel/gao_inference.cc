@@ -1,0 +1,230 @@
+#include "asrel/gao_inference.h"
+
+#include <algorithm>
+
+namespace bgpolicy::asrel {
+
+void GaoInference::add_path(std::span<const AsNumber> path) {
+  if (path.size() < 2) return;
+  // Collapse prepending and reject loops.
+  std::vector<AsNumber> cleaned;
+  cleaned.reserve(path.size());
+  for (const AsNumber as : path) {
+    if (!cleaned.empty() && cleaned.back() == as) continue;  // prepending
+    if (std::find(cleaned.begin(), cleaned.end(), as) != cleaned.end()) {
+      return;  // loop: discard the whole path
+    }
+    cleaned.push_back(as);
+  }
+  if (cleaned.size() < 2) return;
+  for (std::size_t i = 0; i + 1 < cleaned.size(); ++i) {
+    adjacency_[cleaned[i]].insert(cleaned[i + 1]);
+    adjacency_[cleaned[i + 1]].insert(cleaned[i]);
+  }
+  paths_.push_back(std::move(cleaned));
+  ++path_count_;
+}
+
+std::size_t GaoInference::degree(AsNumber as) const {
+  const auto it = adjacency_.find(as);
+  return it == adjacency_.end() ? 0 : it->second.size();
+}
+
+std::vector<AsNumber> GaoInference::top_clique(const GaoParams& params) const {
+  // Core extraction after Subramanian et al.: the default-free core is a
+  // dense mutual-peering clique among the top-degree ASes.  A single
+  // degree-ordered greedy pass can be contaminated by a high-degree
+  // customer of the top AS, so we grow one greedy clique per seed from the
+  // candidate pool and keep the largest (true Tier-1s are mutually
+  // adjacent, so the genuine clique outgrows contaminated ones).
+  std::vector<AsNumber> ordered;
+  ordered.reserve(adjacency_.size());
+  std::size_t max_degree = 0;
+  for (const auto& [as, neighbors] : adjacency_) {
+    ordered.push_back(as);
+    max_degree = std::max(max_degree, neighbors.size());
+  }
+  std::sort(ordered.begin(), ordered.end(), [&](AsNumber a, AsNumber b) {
+    const std::size_t da = degree(a);
+    const std::size_t db = degree(b);
+    return da != db ? da > db : a < b;
+  });
+
+  const auto min_degree = std::max<std::size_t>(
+      2, static_cast<std::size_t>(params.clique_degree_fraction *
+                                  static_cast<double>(max_degree)));
+  std::vector<AsNumber> candidates;
+  for (const AsNumber as : ordered) {
+    if (degree(as) < min_degree) break;
+    candidates.push_back(as);
+    if (candidates.size() >= 40) break;  // candidate pool cap
+  }
+
+  std::vector<AsNumber> best;
+  for (std::size_t seed = 0; seed < candidates.size(); ++seed) {
+    std::vector<AsNumber> clique{candidates[seed]};
+    for (const AsNumber candidate : candidates) {
+      if (candidate == candidates[seed]) continue;
+      const auto& neighbors = adjacency_.at(candidate);
+      const bool adjacent_to_all = std::all_of(
+          clique.begin(), clique.end(),
+          [&](AsNumber member) { return neighbors.contains(member); });
+      if (adjacent_to_all) clique.push_back(candidate);
+    }
+    if (clique.size() > best.size()) best = std::move(clique);
+  }
+  return best;
+}
+
+InferredRelationships GaoInference::infer(const GaoParams& params) const {
+  std::unordered_map<PairKey, EdgeVotes, AsPairHash> votes;
+
+  const auto vote = [&](AsNumber provider, AsNumber customer) {
+    const PairKey key = InferredRelationships::key(provider, customer);
+    EdgeVotes& v = votes[key];
+    if (provider == key.first) {
+      ++v.lo_provider;
+    } else {
+      ++v.hi_provider;
+    }
+  };
+
+  for (const auto& path : paths_) {
+    // Phase 1: the highest-degree AS is taken as the path's top.
+    std::size_t top = 0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      if (degree(path[i]) > degree(path[top])) top = i;
+    }
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      // Reading the table path left (observer) to right (origin): edges
+      // left of the top climb toward it (the right AS is the provider),
+      // edges right of it descend (the left AS is the provider).
+      if (i + 1 <= top) {
+        vote(path[i + 1], path[i]);
+      } else {
+        vote(path[i], path[i + 1]);
+      }
+    }
+    // Path crests nominate peer candidates: the edge between the top and
+    // its larger-degree path neighbor.  Boundary tops are included (a
+    // vantage's own peer routes put the crest at position 0); the
+    // valley-free disqualification pass below weeds out the false
+    // nominations this admits.
+    if (params.detect_peers) {
+      std::size_t mate;
+      if (top == 0) {
+        mate = 1;
+      } else if (top + 1 == path.size()) {
+        mate = top - 1;
+      } else {
+        mate =
+            degree(path[top - 1]) >= degree(path[top + 1]) ? top - 1 : top + 1;
+      }
+      ++votes[InferredRelationships::key(path[top], path[mate])].top_pair;
+    }
+  }
+
+  // Phase 2: the default-free core.
+  std::unordered_set<AsNumber> clique;
+  if (params.detect_clique) {
+    for (const AsNumber as : top_clique(params)) clique.insert(as);
+  }
+
+  // Phase 3a: preliminary vote-based classification (no peers yet); the
+  // clique overrides votes where it applies.
+  InferredRelationships prelim;
+  const auto classify_votes = [&](const PairKey& key,
+                                  const EdgeVotes& v) -> EdgeType {
+    if (v.lo_provider > 0 && v.hi_provider > 0) {
+      const double lesser =
+          static_cast<double>(std::min(v.lo_provider, v.hi_provider));
+      const double greater =
+          static_cast<double>(std::max(v.lo_provider, v.hi_provider));
+      if (lesser / greater > params.sibling_balance) return EdgeType::kSibling;
+      return v.lo_provider > v.hi_provider ? EdgeType::kLoProviderOfHi
+                                           : EdgeType::kHiProviderOfLo;
+    }
+    return v.lo_provider > 0 ? EdgeType::kLoProviderOfHi
+                             : EdgeType::kHiProviderOfLo;
+  };
+  const auto clique_type = [&](const PairKey& key) -> std::optional<EdgeType> {
+    const bool lo_core = clique.contains(key.first);
+    const bool hi_core = clique.contains(key.second);
+    if (lo_core && hi_core) return EdgeType::kPeer;
+    // Era assumption (paper Section 2): the default-free core does not peer
+    // downward, so a core/non-core adjacency is provider-to-customer.
+    if (lo_core) return EdgeType::kLoProviderOfHi;
+    if (hi_core) return EdgeType::kHiProviderOfLo;
+    return std::nullopt;
+  };
+  for (const auto& [key, v] : votes) {
+    const auto forced = clique_type(key);
+    prelim.set(key.first, key.second, forced ? *forced : classify_votes(key, v));
+  }
+
+  if (!params.detect_peers) return prelim;
+
+  // Phases 3b/4, iterated: peer disqualification by valley-freeness
+  // against the current classification, then re-classification.  If any
+  // path shows an AS that is not a customer of u immediately before the
+  // edge (u,v), then u was providing transit across it, so (u,v) cannot be
+  // a peer link.  Two rounds let corrections (e.g. a clique edge flipping
+  // to peer) propagate into the disqualification evidence.
+  const auto pack = [](const PairKey& key) {
+    return (static_cast<std::uint64_t>(key.first.value()) << 32) |
+           key.second.value();
+  };
+  InferredRelationships current = std::move(prelim);
+  for (int round = 0; round < 2; ++round) {
+    std::unordered_set<std::uint64_t> disqualified;
+    for (const auto& path : paths_) {
+      for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+        const AsNumber u = path[i];
+        const AsNumber v = path[i + 1];
+        const auto outer_rel = current.relationship(u, path[i - 1]);
+        if (outer_rel != RelKind::kCustomer) {
+          disqualified.insert(pack(InferredRelationships::key(u, v)));
+        }
+      }
+    }
+    // Visible peer links connect transit ASes: a peer route propagates only
+    // to customers, so an AS with no customers can never show anyone its
+    // peer edges.  A candidate whose endpoint has no inferred customers is
+    // a vantage's own customer link seen from the inside, not a peering.
+    std::unordered_set<AsNumber> has_customers;
+    current.for_each([&](AsNumber lo, AsNumber hi, EdgeType type) {
+      if (type == EdgeType::kLoProviderOfHi) has_customers.insert(lo);
+      if (type == EdgeType::kHiProviderOfLo) has_customers.insert(hi);
+    });
+
+    InferredRelationships next;
+    for (const auto& [key, v] : votes) {
+      const auto forced = clique_type(key);
+      if (forced) {
+        next.set(key.first, key.second, *forced);
+        continue;
+      }
+      EdgeType type = classify_votes(key, v);
+      const double total_votes =
+          static_cast<double>(v.lo_provider + v.hi_provider);
+      if (v.top_pair > 0 && !disqualified.contains(pack(key)) &&
+          static_cast<double>(v.top_pair) >=
+              params.peer_candidate_min_share * total_votes &&
+          has_customers.contains(key.first) &&
+          has_customers.contains(key.second)) {
+        const double deg_lo =
+            static_cast<double>(std::max<std::size_t>(1, degree(key.first)));
+        const double deg_hi =
+            static_cast<double>(std::max<std::size_t>(1, degree(key.second)));
+        const double ratio =
+            std::max(deg_lo, deg_hi) / std::min(deg_lo, deg_hi);
+        if (ratio < params.peer_degree_ratio) type = EdgeType::kPeer;
+      }
+      next.set(key.first, key.second, type);
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+}  // namespace bgpolicy::asrel

@@ -1,0 +1,87 @@
+// AS-relationship inference from AS paths, after Gao (IEEE/ACM ToN 2001,
+// the paper's reference [12]), with the top-clique refinement of
+// Subramanian et al. (INFOCOM 2002, reference [8]).  The paper's Section 3
+// builds on exactly these two algorithms.
+//
+// Sketch:
+//  1. Every observed table path is valley-free: it climbs
+//     customer-to-provider edges, crosses at most one peer-peer edge at the
+//     top, then descends.  The highest-degree AS on a path is taken as its
+//     top; edges left of the top vote "right AS provides transit", edges
+//     right of it vote the reverse.
+//  2. The default-free core is recovered as a greedy clique over the
+//     adjacency graph, seeded at the highest-degree AS.  Clique-internal
+//     edges are peer-to-peer; clique-to-outside edges are
+//     provider-to-customer (Tier-1s of the era did not peer downward).
+//  3. Remaining edges are classified by vote majority (balanced mutual
+//     votes => sibling).  Interior path crests nominate peer candidates; a
+//     candidate (u,v) survives unless some path shows an AS that is *not a
+//     customer of u* immediately before u — valley-freeness then proves u
+//     was providing transit across the edge, so it cannot be a peer link.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "asrel/relationships.h"
+#include "bgp/aspath.h"
+
+namespace bgpolicy::asrel {
+
+struct GaoParams {
+  /// Max degree ratio between peer candidates (Gao's R; 60 in her paper).
+  double peer_degree_ratio = 60.0;
+  /// Vote-balance threshold above which mutual transit means sibling.
+  double sibling_balance = 0.5;
+  /// Run the peer-detection refinement (ablated in benches).
+  bool detect_peers = true;
+  /// Run the top-clique phase (ablated in benches).
+  bool detect_clique = true;
+  /// A clique candidate must have at least this fraction of the maximum
+  /// observed degree.
+  double clique_degree_fraction = 0.2;
+  /// A peer candidate's crest nominations must account for at least this
+  /// share of the edge's total transit votes.  Peer edges are crossed only
+  /// at crests (share near 1); provider-customer edges accumulate transit
+  /// votes far beyond their incidental crest nominations.
+  double peer_candidate_min_share = 0.33;
+};
+
+class GaoInference {
+ public:
+  /// Feeds one AS path (leftmost = nearest the table owner).  Duplicate
+  /// consecutive hops (prepending) are collapsed; paths with loops are
+  /// ignored, mirroring the paper's data cleaning.
+  void add_path(std::span<const AsNumber> path);
+  void add_path(const bgp::AsPath& path) { add_path(path.hops()); }
+
+  [[nodiscard]] std::size_t path_count() const { return path_count_; }
+
+  /// Degree (distinct observed neighbors) of an AS.
+  [[nodiscard]] std::size_t degree(AsNumber as) const;
+
+  /// Runs the classification over everything fed so far.
+  [[nodiscard]] InferredRelationships infer(const GaoParams& params = {}) const;
+
+  /// The inferred default-free core (exposed for diagnostics/tests).
+  [[nodiscard]] std::vector<AsNumber> top_clique(
+      const GaoParams& params = {}) const;
+
+ private:
+  using PairKey = std::pair<AsNumber, AsNumber>;
+
+  struct EdgeVotes {
+    std::uint32_t lo_provider = 0;  ///< votes that lo provides transit to hi
+    std::uint32_t hi_provider = 0;
+    std::uint32_t top_pair = 0;  ///< times the edge was an interior top pair
+  };
+
+  std::vector<std::vector<AsNumber>> paths_;
+  std::unordered_map<AsNumber, std::unordered_set<AsNumber>> adjacency_;
+  std::size_t path_count_ = 0;
+};
+
+}  // namespace bgpolicy::asrel

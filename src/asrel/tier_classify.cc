@@ -1,0 +1,99 @@
+#include "asrel/tier_classify.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace bgpolicy::asrel {
+
+TierAssignment classify_tiers(const InferredRelationships& rels,
+                              const TierParams& params) {
+  // Build adjacency views from the inferred edges.
+  std::unordered_map<AsNumber, std::vector<AsNumber>> customers;
+  std::unordered_map<AsNumber, std::size_t> provider_count;
+  std::unordered_map<AsNumber, std::size_t> degree;
+  std::unordered_map<AsNumber, std::unordered_set<AsNumber>> peers;
+
+  rels.for_each([&](AsNumber lo, AsNumber hi, EdgeType type) {
+    ++degree[lo];
+    ++degree[hi];
+    switch (type) {
+      case EdgeType::kLoProviderOfHi:
+        customers[lo].push_back(hi);
+        ++provider_count[hi];
+        break;
+      case EdgeType::kHiProviderOfLo:
+        customers[hi].push_back(lo);
+        ++provider_count[lo];
+        break;
+      case EdgeType::kPeer:
+      case EdgeType::kSibling:
+        peers[lo].insert(hi);
+        peers[hi].insert(lo);
+        break;
+    }
+  });
+
+  // Tier-1: greedy clique over provider-free, high-degree ASes.
+  std::vector<AsNumber> candidates;
+  for (const auto& [as, d] : degree) {
+    if (d < params.tier1_min_degree) continue;
+    if (provider_count.contains(as)) continue;
+    candidates.push_back(as);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](AsNumber a, AsNumber b) {
+              const std::size_t da = degree.at(a);
+              const std::size_t db = degree.at(b);
+              return da != db ? da > db : a < b;
+            });
+
+  TierAssignment out;
+  for (const AsNumber candidate : candidates) {
+    std::size_t connected = 0;
+    const auto peer_it = peers.find(candidate);
+    if (peer_it != peers.end()) {
+      for (const AsNumber member : out.tier1) {
+        if (peer_it->second.contains(member)) ++connected;
+      }
+    }
+    const auto required = static_cast<std::size_t>(
+        params.clique_fraction * static_cast<double>(out.tier1.size()));
+    if (out.tier1.empty() || connected >= std::max<std::size_t>(1, required)) {
+      out.tier1.push_back(candidate);
+      out.level[candidate] = 1;
+    }
+  }
+
+  // Customer-cone sizes via DFS over inferred p2c edges.
+  const auto cone_size = [&](AsNumber root) {
+    std::unordered_set<AsNumber> seen{root};
+    std::vector<AsNumber> stack{root};
+    std::size_t size = 0;
+    while (!stack.empty()) {
+      const AsNumber current = stack.back();
+      stack.pop_back();
+      const auto it = customers.find(current);
+      if (it == customers.end()) continue;
+      for (const AsNumber c : it->second) {
+        if (seen.insert(c).second) {
+          ++size;
+          stack.push_back(c);
+        }
+      }
+    }
+    return size;
+  };
+
+  for (const auto& [as, d] : degree) {
+    if (out.level.contains(as)) continue;
+    const auto it = customers.find(as);
+    if (it == customers.end() || it->second.empty()) {
+      out.level[as] = 4;
+      continue;
+    }
+    out.level[as] = cone_size(as) >= params.tier2_min_cone ? 2 : 3;
+  }
+  return out;
+}
+
+}  // namespace bgpolicy::asrel

@@ -1,0 +1,41 @@
+// AS tier classification in the spirit of Subramanian et al. (INFOCOM
+// 2002), the paper's reference [8] ("we classified each AS to its tier
+// using the method described in [8]").
+//
+// Works from inferred relationships only: Tier-1 is a greedy
+// densely-peered clique of provider-free high-degree ASes; other transit
+// ASes are split by customer-cone size; the rest are stubs.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "asrel/relationships.h"
+
+namespace bgpolicy::asrel {
+
+struct TierParams {
+  std::size_t tier1_min_degree = 15;
+  /// A Tier-1 candidate must peer with at least this fraction of the
+  /// already-accepted clique (tables are incomplete; demanding a perfect
+  /// clique would be brittle).
+  double clique_fraction = 0.5;
+  std::size_t tier2_min_cone = 12;
+};
+
+struct TierAssignment {
+  /// 1 = Tier-1 core, 2 = large transit, 3 = small transit, 4 = stub.
+  std::unordered_map<AsNumber, int> level;
+  std::vector<AsNumber> tier1;
+
+  [[nodiscard]] int level_of(AsNumber as) const {
+    const auto it = level.find(as);
+    return it == level.end() ? 4 : it->second;
+  }
+};
+
+[[nodiscard]] TierAssignment classify_tiers(const InferredRelationships& rels,
+                                            const TierParams& params = {});
+
+}  // namespace bgpolicy::asrel

@@ -1,0 +1,80 @@
+// BGP AS_PATH attribute.
+//
+// Stored leftmost-first: element 0 is the neighbor that announced the route
+// ("next hop AS" in the paper's terminology), the last element is the origin
+// AS.  The paper's inference algorithms operate almost entirely on AS paths.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace bgpolicy::bgp {
+
+using util::AsNumber;
+
+class AsPath {
+ public:
+  AsPath() = default;
+  explicit AsPath(std::vector<AsNumber> hops) : hops_(std::move(hops)) {}
+  AsPath(std::initializer_list<AsNumber> hops) : hops_(hops) {}
+
+  /// Parses a space-separated path, e.g. "7018 701 3356"; leftmost first.
+  [[nodiscard]] static AsPath parse(std::string_view text);
+
+  [[nodiscard]] bool empty() const { return hops_.empty(); }
+  [[nodiscard]] std::size_t length() const { return hops_.size(); }
+  [[nodiscard]] std::span<const AsNumber> hops() const { return hops_; }
+  [[nodiscard]] AsNumber at(std::size_t i) const { return hops_.at(i); }
+
+  /// The neighbor AS the route was learned from; empty path has none.
+  [[nodiscard]] std::optional<AsNumber> next_hop_as() const;
+
+  /// The AS that originated the prefix (rightmost); empty path has none.
+  [[nodiscard]] std::optional<AsNumber> origin_as() const;
+
+  /// True when `as` already appears in the path (BGP loop detection;
+  /// receiving routers discard such announcements, paper Section 2.2.1).
+  [[nodiscard]] bool contains(AsNumber as) const;
+
+  /// Returns a new path with `as` prepended (possibly `times` > 1 for AS
+  /// path prepending, a traffic-engineering knob from Section 2.2.2).
+  [[nodiscard]] AsPath prepend(AsNumber as, std::size_t times = 1) const;
+
+  /// True if `as_a` appears immediately before `as_b` somewhere in the path
+  /// (used by the Case-3 "is the provider adjacent to the customer in any
+  /// observed path" test).
+  [[nodiscard]] bool has_adjacent(AsNumber as_a, AsNumber as_b) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const AsPath&, const AsPath&) = default;
+
+ private:
+  std::vector<AsNumber> hops_;
+};
+
+std::ostream& operator<<(std::ostream& os, const AsPath& path);
+
+}  // namespace bgpolicy::bgp
+
+template <>
+struct std::hash<bgpolicy::bgp::AsPath> {
+  std::size_t operator()(const bgpolicy::bgp::AsPath& path) const noexcept {
+    std::size_t h = 0xcbf29ce484222325ULL;
+    for (const auto as : path.hops()) {
+      h ^= std::hash<bgpolicy::util::AsNumber>{}(as);
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};

@@ -1,0 +1,55 @@
+#include "bgp/community.h"
+
+#include <charconv>
+#include <ostream>
+#include <stdexcept>
+
+namespace bgpolicy::bgp {
+
+namespace {
+
+std::optional<std::uint16_t> parse_u16(std::string_view text,
+                                       std::size_t& pos) {
+  if (pos >= text.size()) return std::nullopt;
+  std::uint32_t value = 0;
+  const char* begin = text.data() + pos;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin || value > 0xFFFF) return std::nullopt;
+  pos += static_cast<std::size_t>(ptr - begin);
+  return static_cast<std::uint16_t>(value);
+}
+
+}  // namespace
+
+std::optional<Community> Community::try_parse(std::string_view text) noexcept {
+  std::size_t pos = 0;
+  const auto asn = parse_u16(text, pos);
+  if (!asn || pos >= text.size() || text[pos] != ':') return std::nullopt;
+  ++pos;
+  const auto value = parse_u16(text, pos);
+  if (!value || pos != text.size()) return std::nullopt;
+  return Community(*asn, *value);
+}
+
+Community Community::parse(std::string_view text) {
+  const auto parsed = try_parse(text);
+  if (!parsed) {
+    throw std::invalid_argument("Community::parse: malformed community \"" +
+                                std::string(text) + "\"");
+  }
+  return *parsed;
+}
+
+std::string Community::to_string() const {
+  if (*this == kNoExport) return "no-export";
+  if (*this == kNoAdvertise) return "no-advertise";
+  if (*this == kNoExportSubconfed) return "no-export-subconfed";
+  return std::to_string(asn()) + ":" + std::to_string(value());
+}
+
+std::ostream& operator<<(std::ostream& os, Community community) {
+  return os << community.to_string();
+}
+
+}  // namespace bgpolicy::bgp

@@ -1,0 +1,107 @@
+#include "bgp/prefix.h"
+
+#include <charconv>
+#include <ostream>
+#include <stdexcept>
+
+namespace bgpolicy::bgp {
+
+namespace {
+
+// Parses a decimal integer in [0, max]; advances `pos` past it.  Returns
+// nullopt on malformed input.
+std::optional<std::uint32_t> parse_dec(std::string_view text, std::size_t& pos,
+                                       std::uint32_t max) {
+  if (pos >= text.size()) return std::nullopt;
+  std::uint32_t value = 0;
+  const char* begin = text.data() + pos;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin || value > max) return std::nullopt;
+  pos += static_cast<std::size_t>(ptr - begin);
+  return value;
+}
+
+}  // namespace
+
+Prefix::Prefix(std::uint32_t network, std::uint8_t length) : length_(length) {
+  if (length > 32) throw std::invalid_argument("Prefix: length > 32");
+  network_ = network & mask();
+}
+
+std::optional<Prefix> Prefix::try_parse(std::string_view text) noexcept {
+  std::size_t pos = 0;
+  std::uint32_t address = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet != 0) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+    const auto value = parse_dec(text, pos, 255);
+    if (!value) return std::nullopt;
+    address = (address << 8) | *value;
+  }
+  if (pos >= text.size() || text[pos] != '/') return std::nullopt;
+  ++pos;
+  const auto length = parse_dec(text, pos, 32);
+  if (!length || pos != text.size()) return std::nullopt;
+  return Prefix(address, static_cast<std::uint8_t>(*length));
+}
+
+Prefix Prefix::parse(std::string_view text) {
+  const auto parsed = try_parse(text);
+  if (!parsed) {
+    throw std::invalid_argument("Prefix::parse: malformed prefix \"" +
+                                std::string(text) + "\"");
+  }
+  return *parsed;
+}
+
+std::optional<Prefix> Prefix::parent() const {
+  if (length_ == 0) return std::nullopt;
+  return Prefix(network_, static_cast<std::uint8_t>(length_ - 1));
+}
+
+std::optional<std::pair<Prefix, Prefix>> Prefix::split() const {
+  if (length_ == 32) return std::nullopt;
+  const auto child_len = static_cast<std::uint8_t>(length_ + 1);
+  const std::uint32_t high_bit = 1U << (32 - child_len);
+  return std::make_pair(Prefix(network_, child_len),
+                        Prefix(network_ | high_bit, child_len));
+}
+
+Prefix Prefix::subnet(std::uint8_t sub_length, std::uint32_t index) const {
+  if (sub_length < length_ || sub_length > 32) {
+    throw std::invalid_argument("Prefix::subnet: bad sub_length");
+  }
+  const std::uint64_t count = subnet_count(sub_length);
+  if (index >= count) throw std::invalid_argument("Prefix::subnet: bad index");
+  const std::uint32_t offset =
+      sub_length == 32 ? index : index << (32 - sub_length);
+  return Prefix(network_ | offset, sub_length);
+}
+
+std::uint64_t Prefix::subnet_count(std::uint8_t sub_length) const {
+  if (sub_length < length_ || sub_length > 32) return 0;
+  return std::uint64_t{1} << (sub_length - length_);
+}
+
+std::string Prefix::to_string() const {
+  return format_ipv4(network_) + "/" + std::to_string(length_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Prefix& prefix) {
+  return os << prefix.to_string();
+}
+
+std::string format_ipv4(std::uint32_t address) {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) out += '.';
+    out += std::to_string((address >> shift) & 0xFF);
+  }
+  return out;
+}
+
+}  // namespace bgpolicy::bgp

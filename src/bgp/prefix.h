@@ -1,0 +1,103 @@
+// IPv4 prefixes (CIDR blocks).
+//
+// The paper's export-policy analysis leans on prefix containment: "prefix
+// splitting" announces a more-specific out of a larger block, and "prefix
+// aggregating" hides a customer block inside a provider block (Section
+// 5.1.5, Cases 1-2).  Prefix is a value type: 32-bit network address plus
+// length, always kept canonical (host bits zero).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bgpolicy::bgp {
+
+class Prefix {
+ public:
+  /// The default prefix is 0.0.0.0/0.
+  constexpr Prefix() = default;
+
+  /// Builds a prefix from a network address and length; host bits below the
+  /// mask are cleared.  Throws std::invalid_argument for length > 32.
+  Prefix(std::uint32_t network, std::uint8_t length);
+
+  /// Parses "a.b.c.d/len".  Throws std::invalid_argument on malformed text.
+  [[nodiscard]] static Prefix parse(std::string_view text);
+
+  /// Parses, returning std::nullopt instead of throwing.
+  [[nodiscard]] static std::optional<Prefix> try_parse(
+      std::string_view text) noexcept;
+
+  [[nodiscard]] constexpr std::uint32_t network() const { return network_; }
+  [[nodiscard]] constexpr std::uint8_t length() const { return length_; }
+
+  /// The netmask as a 32-bit word (length 0 -> 0).
+  [[nodiscard]] constexpr std::uint32_t mask() const {
+    return length_ == 0 ? 0U : ~std::uint32_t{0} << (32 - length_);
+  }
+
+  /// True if `address` falls inside this block.
+  [[nodiscard]] constexpr bool contains(std::uint32_t address) const {
+    return (address & mask()) == network_;
+  }
+
+  /// True if `other` is equal to or more specific than this block
+  /// ("this covers other").
+  [[nodiscard]] constexpr bool covers(const Prefix& other) const {
+    return other.length_ >= length_ && contains(other.network_);
+  }
+
+  /// True if `other` strictly covers this prefix (other is a proper
+  /// less-specific).  "12.10.1.0/24 is covered by 12.0.0.0/19".
+  [[nodiscard]] constexpr bool is_more_specific_of(const Prefix& other) const {
+    return other.length_ < length_ && other.contains(network_);
+  }
+
+  /// The immediate parent block (length-1), or nullopt for /0.
+  [[nodiscard]] std::optional<Prefix> parent() const;
+
+  /// The two halves of this block, or nullopt for /32.
+  [[nodiscard]] std::optional<std::pair<Prefix, Prefix>> split() const;
+
+  /// The i-th /`sub_length` sub-block.  Requires sub_length >= length and the
+  /// index to fit; throws otherwise.
+  [[nodiscard]] Prefix subnet(std::uint8_t sub_length, std::uint32_t index) const;
+
+  /// Number of /`sub_length` sub-blocks inside this prefix.
+  [[nodiscard]] std::uint64_t subnet_count(std::uint8_t sub_length) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Lexicographic on (network, length): gives the "parent sorts before its
+  /// more-specifics" order the covering scan in core/causes relies on.
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  std::uint32_t network_ = 0;
+  std::uint8_t length_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Prefix& prefix);
+
+/// Formats a bare IPv4 address.
+[[nodiscard]] std::string format_ipv4(std::uint32_t address);
+
+}  // namespace bgpolicy::bgp
+
+template <>
+struct std::hash<bgpolicy::bgp::Prefix> {
+  std::size_t operator()(const bgpolicy::bgp::Prefix& p) const noexcept {
+    const std::uint64_t packed =
+        (static_cast<std::uint64_t>(p.network()) << 8) | p.length();
+    // splitmix64-style finalizer.
+    std::uint64_t z = packed + 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};

@@ -1,0 +1,74 @@
+#include "bgp/table.h"
+
+#include <algorithm>
+
+namespace bgpolicy::bgp {
+
+void BgpTable::add(Route route) {
+  auto& routes = entries_[route.prefix];
+  const auto it = std::find_if(routes.begin(), routes.end(),
+                               [&](const Route& existing) {
+                                 return existing.learned_from ==
+                                        route.learned_from;
+                               });
+  if (it != routes.end()) {
+    *it = std::move(route);
+  } else {
+    routes.push_back(std::move(route));
+    ++route_count_;
+  }
+}
+
+void BgpTable::withdraw(const Prefix& prefix, util::AsNumber neighbor) {
+  const auto entry = entries_.find(prefix);
+  if (entry == entries_.end()) return;
+  auto& routes = entry->second;
+  const auto it = std::find_if(routes.begin(), routes.end(),
+                               [&](const Route& existing) {
+                                 return existing.learned_from == neighbor;
+                               });
+  if (it == routes.end()) return;
+  routes.erase(it);
+  --route_count_;
+  if (routes.empty()) entries_.erase(entry);
+}
+
+std::span<const Route> BgpTable::routes(const Prefix& prefix) const {
+  const auto it = entries_.find(prefix);
+  if (it == entries_.end()) return {};
+  return it->second;
+}
+
+const Route* BgpTable::best(const Prefix& prefix) const {
+  const auto it = entries_.find(prefix);
+  if (it == entries_.end()) return nullptr;
+  const auto index = select_best(it->second);
+  return index ? &it->second[*index] : nullptr;
+}
+
+bool BgpTable::contains(const Prefix& prefix) const {
+  return entries_.contains(prefix);
+}
+
+std::vector<Prefix> BgpTable::prefixes() const {
+  std::vector<Prefix> out;
+  out.reserve(entries_.size());
+  for (const auto& [prefix, routes] : entries_) out.push_back(prefix);
+  return out;
+}
+
+void BgpTable::for_each(
+    const std::function<void(const Prefix&, std::span<const Route>)>& fn)
+    const {
+  for (const auto& [prefix, routes] : entries_) fn(prefix, routes);
+}
+
+void BgpTable::for_each_best(
+    const std::function<void(const Route&)>& fn) const {
+  for (const auto& [prefix, routes] : entries_) {
+    const auto index = select_best(routes);
+    if (index) fn(routes[*index]);
+  }
+}
+
+}  // namespace bgpolicy::bgp

@@ -1,0 +1,67 @@
+// A BGP routing table as seen from one vantage point — the unit of input
+// for every inference algorithm in the paper ("routing table from the
+// viewpoint of AS u", Fig. 4).
+//
+// Two flavors share this type:
+//  * collector tables (Oregon RouteViews style): one route per collector
+//    peer per prefix, AS-path only attributes trustworthy;
+//  * looking-glass tables: the Adj-RIB-In of a single AS, local-pref and
+//    communities visible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/decision.h"
+#include "bgp/prefix.h"
+#include "bgp/route.h"
+#include "util/ids.h"
+
+namespace bgpolicy::bgp {
+
+class BgpTable {
+ public:
+  BgpTable() = default;
+  explicit BgpTable(util::AsNumber owner) : owner_(owner) {}
+
+  [[nodiscard]] util::AsNumber owner() const { return owner_; }
+
+  /// Adds a route.  If a route from the same neighbor already exists for the
+  /// prefix it is replaced (BGP implicit withdraw semantics).
+  void add(Route route);
+
+  /// Removes the route for `prefix` learned from `neighbor`, if any.
+  void withdraw(const Prefix& prefix, util::AsNumber neighbor);
+
+  /// All routes for a prefix (possibly empty).
+  [[nodiscard]] std::span<const Route> routes(const Prefix& prefix) const;
+
+  /// Best route per the decision process; nullptr when the prefix is absent.
+  [[nodiscard]] const Route* best(const Prefix& prefix) const;
+
+  [[nodiscard]] bool contains(const Prefix& prefix) const;
+  [[nodiscard]] std::size_t prefix_count() const { return entries_.size(); }
+  [[nodiscard]] std::size_t route_count() const { return route_count_; }
+
+  /// All prefixes, in unspecified order.
+  [[nodiscard]] std::vector<Prefix> prefixes() const;
+
+  /// Calls fn(prefix, all-routes) for every entry.
+  void for_each(const std::function<void(const Prefix&,
+                                         std::span<const Route>)>& fn) const;
+
+  /// Calls fn(best-route) for every prefix that has at least one route.
+  void for_each_best(const std::function<void(const Route&)>& fn) const;
+
+ private:
+  util::AsNumber owner_;
+  std::unordered_map<Prefix, std::vector<Route>> entries_;
+  std::size_t route_count_ = 0;
+};
+
+}  // namespace bgpolicy::bgp

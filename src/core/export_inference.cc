@@ -1,0 +1,144 @@
+#include "core/export_inference.h"
+
+#include <unordered_set>
+
+#include "util/stats.h"
+
+namespace bgpolicy::core {
+
+namespace {
+
+// Shared Phase 2/3 loop: `classify(route)` returns true when the route is a
+// customer route (non-SA evidence).
+SaAnalysis analyze(const bgp::BgpTable& table, AsNumber provider,
+                   const topo::AsGraph& annotated,
+                   const RelationshipOracle& rels, bool use_full_rib) {
+  SaAnalysis out;
+  out.provider = provider;
+
+  // Memoized Phase 2: origin -> in customer cone of `provider`?
+  std::unordered_map<AsNumber, bool> cone_cache;
+  const auto in_cone = [&](AsNumber origin) {
+    const auto it = cone_cache.find(origin);
+    if (it != cone_cache.end()) return it->second;
+    const bool result =
+        annotated.contains(origin) && annotated.in_customer_cone(provider, origin);
+    cone_cache.emplace(origin, result);
+    return result;
+  };
+
+  table.for_each([&](const bgp::Prefix& prefix,
+                     std::span<const bgp::Route> routes) {
+    if (routes.empty()) return;
+    const bgp::Route* best = table.best(prefix);
+    if (best == nullptr) return;
+    const AsNumber origin = best->origin_as();
+    if (origin == provider) return;
+    if (!in_cone(origin)) return;  // Phase 2: not a customer's prefix
+    ++out.customer_prefixes;
+
+    // Phase 3: next-hop relationship of the best route (or, for the
+    // full-RIB ablation, of every route).
+    bool has_customer_route = false;
+    if (use_full_rib) {
+      for (const bgp::Route& route : routes) {
+        const auto rel = rels(provider, route.learned_from);
+        if (rel == RelKind::kCustomer) {
+          has_customer_route = true;
+          break;
+        }
+      }
+    } else {
+      const auto rel = rels(provider, best->learned_from);
+      has_customer_route = (rel == RelKind::kCustomer);
+    }
+    if (!has_customer_route) {
+      SaPrefix sa;
+      sa.prefix = prefix;
+      sa.origin = origin;
+      sa.next_hop = best->learned_from;
+      sa.next_hop_rel =
+          rels(provider, best->learned_from).value_or(RelKind::kPeer);
+      out.sa_prefixes.push_back(sa);
+      ++out.sa_count;
+    }
+  });
+
+  out.percent_sa = util::percent(out.sa_count, out.customer_prefixes);
+  return out;
+}
+
+}  // namespace
+
+SaAnalysis infer_sa_prefixes(const bgp::BgpTable& table, AsNumber provider,
+                             const topo::AsGraph& annotated,
+                             const RelationshipOracle& rels) {
+  return analyze(table, provider, annotated, rels, /*use_full_rib=*/false);
+}
+
+SaAnalysis sa_from_full_rib(const bgp::BgpTable& full_rib, AsNumber provider,
+                            const topo::AsGraph& annotated,
+                            const RelationshipOracle& rels) {
+  return analyze(full_rib, provider, annotated, rels, /*use_full_rib=*/true);
+}
+
+std::vector<CustomerSa> sa_per_customer(
+    const std::vector<const bgp::BgpTable*>& provider_tables,
+    const std::vector<AsNumber>& providers,
+    const std::vector<AsNumber>& customers, const topo::AsGraph& annotated,
+    const RelationshipOracle& rels) {
+  // SA sets per provider, then intersect per customer prefix.
+  std::vector<std::unordered_set<bgp::Prefix>> sa_sets;
+  std::vector<std::unordered_set<bgp::Prefix>> seen_sets;
+  sa_sets.reserve(providers.size());
+  for (std::size_t i = 0; i < providers.size(); ++i) {
+    const SaAnalysis analysis =
+        infer_sa_prefixes(*provider_tables[i], providers[i], annotated, rels);
+    std::unordered_set<bgp::Prefix> sa;
+    for (const auto& p : analysis.sa_prefixes) sa.insert(p.prefix);
+    sa_sets.push_back(std::move(sa));
+    std::unordered_set<bgp::Prefix> seen;
+    provider_tables[i]->for_each(
+        [&](const bgp::Prefix& prefix, std::span<const bgp::Route>) {
+          seen.insert(prefix);
+        });
+    seen_sets.push_back(std::move(seen));
+  }
+
+  std::vector<CustomerSa> out;
+  for (const AsNumber customer : customers) {
+    CustomerSa row;
+    row.customer = customer;
+    // Every prefix this customer originates, as seen by any provider table.
+    std::unordered_set<bgp::Prefix> prefixes;
+    for (std::size_t i = 0; i < providers.size(); ++i) {
+      provider_tables[i]->for_each([&](const bgp::Prefix& prefix,
+                                       std::span<const bgp::Route> routes) {
+        const bgp::Route* best = provider_tables[i]->best(prefix);
+        if (best != nullptr && best->origin_as() == customer) {
+          prefixes.insert(prefix);
+        }
+        (void)routes;
+      });
+    }
+    row.prefix_count = prefixes.size();
+    for (const auto& prefix : prefixes) {
+      bool sa_everywhere = true;
+      for (std::size_t i = 0; i < providers.size(); ++i) {
+        // A prefix is SA w.r.t. provider i when it is in the SA set, or
+        // absent from the table entirely (never reached the provider at
+        // all); a visible customer route clears it.
+        if (seen_sets[i].contains(prefix) && !sa_sets[i].contains(prefix)) {
+          sa_everywhere = false;
+          break;
+        }
+      }
+      if (sa_everywhere) ++row.sa_count;
+    }
+    row.percent_sa = util::percent(row.sa_count, row.prefix_count);
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace bgpolicy::core

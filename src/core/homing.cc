@@ -1,0 +1,32 @@
+#include "core/homing.h"
+
+#include <unordered_set>
+
+#include "util/stats.h"
+
+namespace bgpolicy::core {
+
+HomingDistribution analyze_homing(const SaAnalysis& analysis,
+                                  const topo::AsGraph& annotated) {
+  HomingDistribution out;
+  out.provider = analysis.provider;
+
+  std::unordered_set<AsNumber> origins;
+  for (const SaPrefix& sa : analysis.sa_prefixes) origins.insert(sa.origin);
+
+  for (const AsNumber origin : origins) {
+    const std::size_t providers =
+        annotated.contains(origin) ? annotated.providers(origin).size() : 0;
+    if (providers >= 2) {
+      ++out.multihomed_ases;
+    } else {
+      ++out.singlehomed_ases;
+    }
+  }
+  const std::size_t total = out.multihomed_ases + out.singlehomed_ases;
+  out.percent_multihomed = util::percent(out.multihomed_ases, total);
+  out.percent_singlehomed = util::percent(out.singlehomed_ases, total);
+  return out;
+}
+
+}  // namespace bgpolicy::core

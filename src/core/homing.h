@@ -1,0 +1,25 @@
+// Multihomed vs single-homed distribution of SA-prefix origins
+// (paper Section 5.1.5, Table 8 and Fig. 8).
+#pragma once
+
+#include <vector>
+
+#include "core/export_inference.h"
+#include "topology/as_graph.h"
+
+namespace bgpolicy::core {
+
+struct HomingDistribution {
+  AsNumber provider;
+  std::size_t multihomed_ases = 0;
+  std::size_t singlehomed_ases = 0;
+  double percent_multihomed = 0.0;
+  double percent_singlehomed = 0.0;
+};
+
+/// Groups the SA prefixes by origin AS and classifies each origin by its
+/// provider count in the annotated graph (>= 2 providers = multihomed).
+[[nodiscard]] HomingDistribution analyze_homing(const SaAnalysis& analysis,
+                                                const topo::AsGraph& annotated);
+
+}  // namespace bgpolicy::core

@@ -1,0 +1,32 @@
+// Consistency of local preference with next-hop AS (paper Section 4.2,
+// Fig. 2).
+//
+// For each next-hop AS in a table, find its modal local-preference value;
+// a route is "next-hop keyed" when its preference equals the mode for its
+// neighbor.  The reported percentage is the share of routes that are
+// next-hop keyed — near 100% for ASes that configure per-neighbor, lower
+// for ASes with per-prefix traffic engineering.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/table.h"
+#include "util/ids.h"
+
+namespace bgpolicy::core {
+
+struct NextHopConsistency {
+  util::AsNumber vantage;
+  std::size_t total_routes = 0;
+  std::size_t consistent_routes = 0;
+  double percent_consistent = 0.0;
+  /// Modal local preference per next-hop AS.
+  std::unordered_map<util::AsNumber, std::uint32_t> modal_pref;
+};
+
+[[nodiscard]] NextHopConsistency analyze_nexthop_consistency(
+    const bgp::BgpTable& table);
+
+}  // namespace bgpolicy::core

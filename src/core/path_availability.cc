@@ -1,0 +1,74 @@
+#include "core/path_availability.h"
+
+#include <unordered_map>
+
+namespace bgpolicy::core {
+
+PathAvailability analyze_path_availability(const bgp::BgpTable& full_rib,
+                                           AsNumber vantage,
+                                           const topo::AsGraph& annotated) {
+  PathAvailability out;
+  out.vantage = vantage;
+
+  // Cone-membership cache per (neighbor, origin).
+  std::unordered_map<std::uint64_t, bool> cone_cache;
+  const auto in_cone = [&](AsNumber root, AsNumber origin) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(root.value()) << 32) | origin.value();
+    const auto it = cone_cache.find(key);
+    if (it != cone_cache.end()) return it->second;
+    const bool result = annotated.contains(root) &&
+                        annotated.in_customer_cone(root, origin);
+    cone_cache.emplace(key, result);
+    return result;
+  };
+
+  std::size_t total_available = 0;
+  std::size_t total_potential = 0;
+
+  full_rib.for_each([&](const bgp::Prefix& prefix,
+                        std::span<const bgp::Route> routes) {
+    const bgp::Route* best = full_rib.best(prefix);
+    if (best == nullptr) return;
+    const AsNumber origin = best->origin_as();
+    if (origin == vantage) return;
+    // Scope: customer prefixes, as in the SA analysis (Phase 2).
+    if (!in_cone(vantage, origin)) return;
+    ++out.customer_prefixes;
+
+    const std::size_t available = routes.size();
+    total_available += available;
+    out.available_histogram.add(static_cast<std::int64_t>(available));
+    if (available == 1) ++out.single_path_prefixes;
+
+    std::size_t potential = 0;
+    for (const auto& n : annotated.neighbors(vantage)) {
+      switch (n.kind) {
+        case RelKind::kCustomer:
+          if (n.as == origin || in_cone(n.as, origin)) ++potential;
+          break;
+        case RelKind::kPeer:
+          if (n.as == origin || in_cone(n.as, origin)) ++potential;
+          break;
+        case RelKind::kProvider:
+          // A provider can always supply *some* route to the prefix.
+          ++potential;
+          break;
+      }
+    }
+    total_potential += potential;
+  });
+
+  if (out.customer_prefixes > 0) {
+    out.mean_available = static_cast<double>(total_available) /
+                         static_cast<double>(out.customer_prefixes);
+    out.mean_potential = static_cast<double>(total_potential) /
+                         static_cast<double>(out.customer_prefixes);
+  }
+  if (out.mean_potential > 0) {
+    out.availability_ratio = out.mean_available / out.mean_potential;
+  }
+  return out;
+}
+
+}  // namespace bgpolicy::core

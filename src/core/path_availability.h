@@ -1,0 +1,44 @@
+// Connectivity vs reachability (the paper's impact claim, Sections 1 and
+// 5.1: "the selective announcement routing policies imply that there are
+// much less available paths in the Internet than shown in the AS
+// connectivity graph").
+//
+// For every customer prefix in a vantage AS's full Adj-RIB-In we compare:
+//   available — the neighbors actually offering a route (RIB-in entries);
+//   potential — the neighbors that *could* offer one under export rules
+//               alone: customers whose cone contains the origin, peers
+//               whose cone contains the origin, and all providers.
+// The shortfall (ratio < 1) quantifies how many graph paths policy has
+// withdrawn from service.
+#pragma once
+
+#include <cstdint>
+
+#include "bgp/table.h"
+#include "core/relationship_oracle.h"
+#include "topology/as_graph.h"
+#include "util/stats.h"
+
+namespace bgpolicy::core {
+
+struct PathAvailability {
+  AsNumber vantage;
+  std::size_t customer_prefixes = 0;
+  double mean_available = 0.0;
+  double mean_potential = 0.0;
+  /// mean_available / mean_potential; < 1 means policy removed paths.
+  double availability_ratio = 0.0;
+  /// Customer prefixes with exactly one available route — no failover
+  /// margin at this vantage at all.
+  std::size_t single_path_prefixes = 0;
+  /// available-routes-per-prefix histogram.
+  util::Histogram available_histogram;
+};
+
+/// `full_rib` must be a looking-glass (full Adj-RIB-In) table; `annotated`
+/// carries the (typically inferred) relationships.
+[[nodiscard]] PathAvailability analyze_path_availability(
+    const bgp::BgpTable& full_rib, AsNumber vantage,
+    const topo::AsGraph& annotated);
+
+}  // namespace bgpolicy::core

@@ -1,0 +1,73 @@
+#include "core/path_index.h"
+
+namespace bgpolicy::core {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t hash_path(std::span<const util::AsNumber> path) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto as : path) h = mix(h, as.value());
+  return h;
+}
+
+std::uint64_t pack_pair(util::AsNumber a, util::AsNumber b) {
+  return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
+}
+
+}  // namespace
+
+void PathIndex::add_path(const bgp::Prefix& prefix,
+                         std::span<const util::AsNumber> path) {
+  if (path.empty()) return;
+  const std::uint64_t key =
+      mix(mix(hash_path(path), prefix.network()), prefix.length());
+  if (!seen_.insert(key).second) return;
+
+  const std::size_t id = paths_.size();
+  paths_.emplace_back(path.begin(), path.end());
+  by_origin_[path.back()].push_back(id);
+  by_prefix_[prefix].push_back(id);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    adjacency_.insert(pack_pair(path[i], path[i + 1]));
+  }
+}
+
+void PathIndex::add_table(const bgp::BgpTable& table) {
+  table.for_each([&](const bgp::Prefix& prefix,
+                     std::span<const bgp::Route> routes) {
+    for (const bgp::Route& route : routes) {
+      add_path(prefix, route.path.hops());
+    }
+  });
+}
+
+std::vector<std::span<const util::AsNumber>> PathIndex::paths_from_origin(
+    util::AsNumber origin) const {
+  std::vector<std::span<const util::AsNumber>> out;
+  const auto it = by_origin_.find(origin);
+  if (it == by_origin_.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::size_t id : it->second) out.emplace_back(paths_[id]);
+  return out;
+}
+
+std::vector<std::span<const util::AsNumber>> PathIndex::paths_for_prefix(
+    const bgp::Prefix& prefix) const {
+  std::vector<std::span<const util::AsNumber>> out;
+  const auto it = by_prefix_.find(prefix);
+  if (it == by_prefix_.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::size_t id : it->second) out.emplace_back(paths_[id]);
+  return out;
+}
+
+bool PathIndex::has_adjacency(util::AsNumber left, util::AsNumber right) const {
+  return adjacency_.contains(pack_pair(left, right));
+}
+
+}  // namespace bgpolicy::core

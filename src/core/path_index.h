@@ -1,0 +1,53 @@
+// An index over all AS paths observed in one or more BGP tables.
+//
+// Backs the paper's "by searching all paths in BGP routing tables"
+// operations: the active-customer-path check of the SA verification
+// (Section 5.1.3, Step 2) and the direct-provider adjacency scan of the
+// Case-3 cause analysis (Section 5.1.5).
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/table.h"
+#include "util/ids.h"
+
+namespace bgpolicy::core {
+
+class PathIndex {
+ public:
+  /// Ingests every route's AS path from `table` (deduplicated).
+  void add_table(const bgp::BgpTable& table);
+
+  /// Ingests one (prefix, path) observation directly — used for vantage
+  /// tables whose own AS must be prepended to match the collector's view.
+  void add_path(const bgp::Prefix& prefix,
+                std::span<const util::AsNumber> path);
+
+  [[nodiscard]] std::size_t path_count() const { return paths_.size(); }
+
+  /// All distinct paths whose origin (rightmost hop) is `origin`.
+  [[nodiscard]] std::vector<std::span<const util::AsNumber>>
+  paths_from_origin(util::AsNumber origin) const;
+
+  /// All distinct paths observed for a specific prefix.
+  [[nodiscard]] std::vector<std::span<const util::AsNumber>> paths_for_prefix(
+      const bgp::Prefix& prefix) const;
+
+  /// True when some observed path contains `left` immediately followed by
+  /// `right` (reading observer -> origin).
+  [[nodiscard]] bool has_adjacency(util::AsNumber left,
+                                   util::AsNumber right) const;
+
+ private:
+  std::vector<std::vector<util::AsNumber>> paths_;
+  std::unordered_map<util::AsNumber, std::vector<std::size_t>> by_origin_;
+  std::unordered_map<bgp::Prefix, std::vector<std::size_t>> by_prefix_;
+  std::unordered_set<std::uint64_t> adjacency_;
+  /// (prefix, path-hash) dedup guard.
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+}  // namespace bgpolicy::core

@@ -1,0 +1,42 @@
+// Export policies toward peers (paper Section 5.2, Table 10).
+//
+// For a provider u and each of its peers P: do P's own prefixes arrive at
+// u directly from P (best-route path exactly [P]), or only via third
+// parties / not at all?  The paper counts a peer as "announcing its
+// prefixes" when all of its own prefixes arrive directly, and notes that
+// most of the exceptions still announce the majority.
+#pragma once
+
+#include <vector>
+
+#include "bgp/table.h"
+#include "core/relationship_oracle.h"
+#include "topology/as_graph.h"
+
+namespace bgpolicy::core {
+
+struct PeerExportRow {
+  AsNumber peer;
+  std::size_t own_prefixes = 0;   ///< prefixes originated by the peer, seen at u
+  std::size_t direct = 0;         ///< arriving with path == [peer]
+  bool announces_all = false;
+  bool announces_most = false;  ///< >= 80% direct
+};
+
+struct PeerExportAnalysis {
+  AsNumber provider;
+  std::size_t peer_count = 0;
+  std::size_t announcing_all = 0;
+  std::size_t announcing_most = 0;  ///< includes the announcing_all peers
+  double percent_announcing = 0.0;  ///< the Table 10 number (all-direct)
+  std::vector<PeerExportRow> rows;
+};
+
+/// `peers` is the provider's peer list (from the annotated graph or
+/// inferred relationships); `table` is the provider's table (full RIB or
+/// best-only — best routes are what get classified).
+[[nodiscard]] PeerExportAnalysis analyze_peer_export(
+    const bgp::BgpTable& table, AsNumber provider,
+    const std::vector<AsNumber>& peers);
+
+}  // namespace bgpolicy::core

@@ -1,0 +1,83 @@
+#include "core/persistence.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/stats.h"
+
+namespace bgpolicy::core {
+
+PersistenceStudy run_persistence_study(sim::ChurnSimulator& churn,
+                                       AsNumber provider,
+                                       const topo::AsGraph& annotated,
+                                       const RelationshipOracle& rels,
+                                       std::size_t steps) {
+  PersistenceStudy out;
+  out.provider = provider;
+
+  struct PrefixHistory {
+    std::size_t present = 0;
+    std::size_t sa = 0;
+  };
+  std::unordered_map<bgp::Prefix, PrefixHistory> history;
+
+  // Memoized customer-cone membership.
+  std::unordered_map<AsNumber, bool> cone_cache;
+  const auto in_cone = [&](AsNumber origin) {
+    const auto it = cone_cache.find(origin);
+    if (it != cone_cache.end()) return it->second;
+    const bool result = annotated.contains(origin) &&
+                        annotated.in_customer_cone(provider, origin);
+    cone_cache.emplace(origin, result);
+    return result;
+  };
+
+  const auto snapshot = [&](std::size_t step) {
+    Snapshot snap;
+    snap.step = step;
+    for (const auto& [prefix, route] : churn.watched(provider)) {
+      ++snap.total_prefixes;
+      const AsNumber origin = route.origin_as();
+      if (origin == provider || !in_cone(origin)) continue;
+      ++snap.customer_prefixes;
+      PrefixHistory& h = history[prefix];
+      ++h.present;
+      if (rels(provider, route.learned_from) != RelKind::kCustomer) {
+        ++snap.sa_prefixes;
+        ++h.sa;
+      }
+    }
+    out.series.push_back(snap);
+  };
+
+  churn.run_initial();
+  snapshot(0);
+  for (std::size_t step = 1; step < steps; ++step) {
+    churn.step();
+    snapshot(step);
+  }
+
+  // Fig. 7: uptime histogram over ever-SA prefixes.
+  std::map<std::size_t, UptimeBucket> buckets;
+  for (const auto& [prefix, h] : history) {
+    if (h.sa == 0) continue;
+    ++out.ever_sa;
+    UptimeBucket& bucket = buckets[h.present];
+    bucket.uptime = h.present;
+    if (h.sa == h.present) {
+      ++bucket.remaining_sa;
+    } else {
+      ++bucket.shifted;
+      ++out.shifted_total;
+    }
+  }
+  out.uptime_histogram.reserve(buckets.size());
+  for (const auto& [uptime, bucket] : buckets) {
+    out.uptime_histogram.push_back(bucket);
+  }
+  out.percent_shifted = util::percent(out.shifted_total, out.ever_sa);
+  return out;
+}
+
+}  // namespace bgpolicy::core

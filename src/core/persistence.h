@@ -1,0 +1,47 @@
+// Persistence of SA prefixes over time (paper Section 5.1.4, Figs. 6-7).
+//
+// Drives the churn simulator for a number of steps (days or hours), tracks
+// the SA status of every customer prefix at a watched provider per step,
+// and produces (a) the Fig. 6 time series of total vs SA prefixes and
+// (b) the Fig. 7 uptime histograms splitting ever-SA prefixes into
+// "remained SA whenever present" vs "shifted from SA to non-SA".
+#pragma once
+
+#include <vector>
+
+#include "core/relationship_oracle.h"
+#include "sim/churn.h"
+#include "topology/as_graph.h"
+
+namespace bgpolicy::core {
+
+struct Snapshot {
+  std::size_t step = 0;
+  std::size_t total_prefixes = 0;     ///< all prefixes in the watched table
+  std::size_t customer_prefixes = 0;  ///< originated inside the customer cone
+  std::size_t sa_prefixes = 0;
+};
+
+struct UptimeBucket {
+  std::size_t uptime = 0;        ///< steps the prefix was present
+  std::size_t remaining_sa = 0;  ///< SA in every step it was present
+  std::size_t shifted = 0;       ///< SA in some steps, not in others
+};
+
+struct PersistenceStudy {
+  AsNumber provider;
+  std::vector<Snapshot> series;
+  std::vector<UptimeBucket> uptime_histogram;  ///< sorted by uptime
+  std::size_t ever_sa = 0;
+  std::size_t shifted_total = 0;
+  double percent_shifted = 0.0;  ///< the paper's "about one sixth"
+};
+
+/// Runs `steps` churn steps after the simulator's initial propagation
+/// (run_initial is called here; pass a freshly constructed simulator).
+[[nodiscard]] PersistenceStudy run_persistence_study(
+    sim::ChurnSimulator& churn, AsNumber provider,
+    const topo::AsGraph& annotated, const RelationshipOracle& rels,
+    std::size_t steps);
+
+}  // namespace bgpolicy::core

@@ -1,0 +1,83 @@
+// End-to-end experiment pipeline.
+//
+// Mirrors the paper's workflow: synthesize the Internet (substituting for
+// the Nov-2002 snapshots, DESIGN.md §2), collect vantage tables, infer AS
+// relationships from the observed paths [12], classify tiers [8], generate
+// and parse the IRR, and expose everything the per-table analyses consume.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "asrel/community_verify.h"
+#include "asrel/gao_inference.h"
+#include "asrel/relationships.h"
+#include "asrel/tier_classify.h"
+#include "core/path_index.h"
+#include "core/relationship_oracle.h"
+#include "core/scenario.h"
+#include "rpsl/parser.h"
+#include "sim/simulation.h"
+
+namespace bgpolicy::core {
+
+struct Pipeline {
+  Scenario scenario;
+
+  // Ground truth (what the paper could not see).
+  topo::Topology topo;
+  topo::PrefixPlan plan;
+  sim::GeneratedPolicies gen;
+  std::vector<sim::Origination> originations;
+
+  // Observations (what the paper had).
+  sim::VantageSpec vantage;
+  sim::SimResult sim;
+  std::string irr_text;
+  std::vector<rpsl::AutNum> irr_objects;
+
+  // Inference products.
+  asrel::InferredRelationships inferred;
+  topo::AsGraph inferred_graph;
+  asrel::TierAssignment tiers;
+  PathIndex paths;
+
+  /// A vantage table for `as`: the looking-glass table when recorded, else
+  /// the best-only table.  Throws std::out_of_range when neither exists.
+  [[nodiscard]] const bgp::BgpTable& table_for(AsNumber as) const;
+
+  [[nodiscard]] bool has_table(AsNumber as) const;
+
+  /// Oracle over inferred relationships (what the paper used).
+  [[nodiscard]] RelationshipOracle inferred_oracle() const {
+    return oracle_from(inferred);
+  }
+  /// Oracle over ground truth (for scoring).
+  [[nodiscard]] RelationshipOracle truth_oracle() const {
+    return oracle_from(topo.graph);
+  }
+
+  /// Runs the Appendix community verification for one vantage, using its
+  /// published IRR semantics when available and the prefix-count gap
+  /// heuristic otherwise.
+  [[nodiscard]] asrel::CommunityVerification community_verification(
+      AsNumber vantage_as) const;
+
+  /// Neighbors of `vantage_as` whose relationship the community method
+  /// confirms (community class agrees with the path-inferred class) —
+  /// Step 1 input of the Table 7 verification.
+  [[nodiscard]] std::unordered_set<AsNumber> community_verified_neighbors(
+      AsNumber vantage_as) const;
+
+  /// The AutNum registered for `as`, if the IRR has one.
+  [[nodiscard]] const rpsl::AutNum* irr_for(AsNumber as) const;
+};
+
+/// Runs the full pipeline.  Deterministic in the scenario seeds.
+[[nodiscard]] Pipeline run_pipeline(const Scenario& scenario);
+
+}  // namespace bgpolicy::core

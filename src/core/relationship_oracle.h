@@ -1,0 +1,40 @@
+// Relationship lookup abstraction for the inference modules.
+//
+// Every algorithm in core consumes relationships through this functor, so
+// each can run either against *inferred* relationships (as the paper did)
+// or against the simulator's ground truth (for scoring) without code
+// changes.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "asrel/relationships.h"
+#include "topology/as_graph.h"
+#include "util/ids.h"
+
+namespace bgpolicy::core {
+
+using topo::RelKind;
+using util::AsNumber;
+
+/// oracle(as, other) answers "what is `other` to `as`?" — customer, peer,
+/// provider, or nullopt when unknown/not adjacent.
+using RelationshipOracle =
+    std::function<std::optional<RelKind>(AsNumber, AsNumber)>;
+
+[[nodiscard]] inline RelationshipOracle oracle_from(
+    const topo::AsGraph& graph) {
+  return [&graph](AsNumber as, AsNumber other) {
+    return graph.relationship(as, other);
+  };
+}
+
+[[nodiscard]] inline RelationshipOracle oracle_from(
+    const asrel::InferredRelationships& inferred) {
+  return [&inferred](AsNumber as, AsNumber other) {
+    return inferred.relationship(as, other);
+  };
+}
+
+}  // namespace bgpolicy::core

@@ -1,0 +1,74 @@
+#include "core/sa_verification.h"
+
+#include "util/stats.h"
+
+namespace bgpolicy::core {
+
+namespace {
+
+// True when some observed path of `origin`'s runs provider -> ... -> origin
+// strictly downhill, with the provider's first hop community-verified.
+bool has_active_customer_path(
+    AsNumber provider, AsNumber origin, const PathIndex& paths,
+    const std::unordered_set<AsNumber>& verified_neighbors,
+    const RelationshipOracle& rels) {
+  for (const auto path : paths.paths_from_origin(origin)) {
+    // Locate the provider on the path.
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (path[i] != provider) continue;
+      // Direct adjacency provider -> origin?
+      if (i + 1 == path.size() - 1 && path[i + 1] == origin) {
+        if (verified_neighbors.contains(origin)) return true;
+        continue;
+      }
+      // First edge must be community-verified, and every subsequent edge
+      // must descend provider-to-customer (export-rule constraint from
+      // Section 2.2: an AS cannot announce a peer/provider path upward).
+      if (!verified_neighbors.contains(path[i + 1])) continue;
+      bool downhill = true;
+      for (std::size_t j = i; j + 1 < path.size(); ++j) {
+        if (rels(path[j], path[j + 1]) != RelKind::kCustomer) {
+          downhill = false;
+          break;
+        }
+      }
+      if (downhill) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+SaVerification verify_sa_prefixes(
+    const SaAnalysis& analysis, const PathIndex& paths,
+    const std::unordered_set<AsNumber>& community_verified_neighbors,
+    const RelationshipOracle& rels) {
+  SaVerification out;
+  out.provider = analysis.provider;
+  out.sa_total = analysis.sa_prefixes.size();
+
+  for (const SaPrefix& sa : analysis.sa_prefixes) {
+    // Step 1: next-hop relationship confirmed by communities.
+    if (!community_verified_neighbors.contains(sa.next_hop)) {
+      ++out.step1_failures;
+      continue;
+    }
+    // Step 2: direct customers are settled by Step 1; indirect ones need an
+    // active, verified customer path.
+    const bool direct =
+        rels(analysis.provider, sa.origin) == RelKind::kCustomer &&
+        community_verified_neighbors.contains(sa.origin);
+    if (!direct &&
+        !has_active_customer_path(analysis.provider, sa.origin, paths,
+                                  community_verified_neighbors, rels)) {
+      ++out.step2_failures;
+      continue;
+    }
+    ++out.verified;
+  }
+  out.percent_verified = util::percent(out.verified, out.sa_total);
+  return out;
+}
+
+}  // namespace bgpolicy::core

@@ -1,0 +1,80 @@
+#include "core/scenario.h"
+
+#include "util/rng.h"
+
+namespace bgpolicy::core {
+
+namespace {
+
+// The paper's vantage sets (Tables 1, 4, 5).
+const std::vector<std::uint32_t> kLookingGlass = {
+    1, 3549, 7018,                      // Tier-1 looking glasses
+    5511, 7474, 6762,                   // Tier-2
+    577, 6539, 6667, 2578, 513, 559,    // Tier-3 / regional
+    12359, 12859, 8262};
+
+const std::vector<std::uint32_t> kBestOnly = {
+    701, 1239, 2914, 6453, 209, 6461, 3561, 6538};
+
+const std::vector<std::uint32_t> kVerification = {
+    1, 577, 3549, 5511, 6539, 6667, 7018, 12359, 12859};
+
+}  // namespace
+
+Scenario Scenario::internet2002(std::uint64_t seed) {
+  Scenario s;
+  s.name = "internet2002";
+  s.topo_params.seed = seed;
+  s.topo_params.tier1_count = 10;
+  s.topo_params.tier2_count = 40;
+  s.topo_params.tier3_count = 160;
+  s.topo_params.stub_count = 1400;
+
+  s.alloc_params.seed = seed ^ 0xA11C;
+  s.policy_params.seed = seed ^ 0x90C1;
+  s.irr_params.seed = seed ^ 0x1212;
+
+  s.looking_glass = kLookingGlass;
+  s.best_only = kBestOnly;
+  s.verification_ases = kVerification;
+  for (const std::uint32_t as : kVerification) {
+    s.policy_params.force_tagging.emplace_back(as);
+  }
+  return s;
+}
+
+Scenario Scenario::small(std::uint64_t seed) {
+  Scenario s;
+  s.name = "small";
+  s.topo_params.seed = seed;
+  s.topo_params.tier1_count = 5;
+  s.topo_params.tier2_count = 12;
+  s.topo_params.tier3_count = 40;
+  s.topo_params.stub_count = 180;
+
+  s.alloc_params.seed = seed ^ 0xA11C;
+  s.alloc_params.max_stub_prefixes = 8;
+  s.policy_params.seed = seed ^ 0x90C1;
+  s.irr_params.seed = seed ^ 0x1212;
+
+  s.looking_glass = {1, 3549, 7018, 5511, 577, 6667, 12859};
+  s.best_only = {701, 1239};
+  s.verification_ases = {1, 3549, 7018, 5511, 12859};
+  for (const std::uint32_t as : s.verification_ases) {
+    s.policy_params.force_tagging.emplace_back(as);
+  }
+  s.collector_tier2_peers = 8;
+  s.collector_tier3_peers = 4;
+  return s;
+}
+
+std::string region_of(util::AsNumber as) {
+  std::uint64_t state = as.value() * 0x7E57ULL + 13;
+  const std::uint64_t roll = util::splitmix64(state) % 80;
+  if (roll < 42) return "NA";
+  if (roll < 75) return "Eu";
+  if (roll < 78) return "Au";
+  return "As";
+}
+
+}  // namespace bgpolicy::core

@@ -1,0 +1,53 @@
+// Canonical experiment scenarios.
+//
+// `internet2002()` is the workload every bench runs: a synthetic Internet
+// sized to keep a full propagation under ~10s while preserving the paper's
+// structure (Tier-1 clique of 10 named after the real Tier-1s, the paper's
+// vantage and vantage-peer sets, heavy-tailed prefix counts).  `small()` is
+// the fast variant the test suite uses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpsl/generator.h"
+#include "sim/policy_gen.h"
+#include "sim/propagation.h"
+#include "topology/prefix_alloc.h"
+#include "topology/topology_gen.h"
+
+namespace bgpolicy::core {
+
+struct Scenario {
+  std::string name;
+  topo::GeneratorParams topo_params;
+  topo::PrefixAllocParams alloc_params;
+  sim::PolicyGenParams policy_params;
+  rpsl::IrrGenParams irr_params;
+  sim::PropagationOptions propagation;
+
+  /// Looking-glass vantages (full Adj-RIB-In recorded) — the paper's 15.
+  std::vector<std::uint32_t> looking_glass;
+  /// Additional best-route-only vantages (the rest of Table 5's 16 ASes).
+  std::vector<std::uint32_t> best_only;
+  /// The 9 ASes whose relationships get community-verified (Table 4).
+  std::vector<std::uint32_t> verification_ases;
+  /// Collector peering breadth beyond the Tier-1s.
+  std::size_t collector_tier2_peers = 25;
+  std::size_t collector_tier3_peers = 10;
+
+  /// The three Tier-1s the export-policy sections focus on.
+  [[nodiscard]] static std::vector<std::uint32_t> focus_tier1() {
+    return {1, 3549, 7018};
+  }
+
+  [[nodiscard]] static Scenario internet2002(std::uint64_t seed = 2002);
+  [[nodiscard]] static Scenario small(std::uint64_t seed = 42);
+};
+
+/// Deterministic region label for Table 1 flavor (NA/Eu/Au/As with roughly
+/// the paper's 42/33/3/2 split).
+[[nodiscard]] std::string region_of(util::AsNumber as);
+
+}  // namespace bgpolicy::core

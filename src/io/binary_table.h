@@ -1,0 +1,27 @@
+// Compact binary serialization of BGP tables (MRT-inspired, simplified).
+//
+// Layout (all little-endian):
+//   magic "BGPT" | u16 version | u32 owner | u64 route_count
+//   per route:
+//     u32 network | u8 length | u32 learned_from | u32 local_pref
+//     u32 med | u8 origin | u16 path_len | u32 hop... | u16 community_count
+//     u32 community_raw...
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgp/table.h"
+
+namespace bgpolicy::io {
+
+[[nodiscard]] std::vector<std::uint8_t> serialize_table(
+    const bgp::BgpTable& table);
+
+/// Throws std::invalid_argument on truncated or corrupt input.
+[[nodiscard]] bgp::BgpTable deserialize_table(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace bgpolicy::io

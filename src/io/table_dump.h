@@ -1,0 +1,22 @@
+// Text serialization of BGP tables ("show ip bgp"-flavored, but line
+// structured so it round-trips).  Lets examples persist vantage tables and
+// re-run analyses offline, the way the paper worked from downloaded dumps.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "bgp/table.h"
+
+namespace bgpolicy::io {
+
+/// Writes `table` as text: a header line, then one "route ..." line per
+/// route, sorted by (prefix, neighbor) for stable diffs.
+void dump_table(const bgp::BgpTable& table, std::ostream& out);
+[[nodiscard]] std::string dump_table(const bgp::BgpTable& table);
+
+/// Parses a dump back.  Throws std::invalid_argument on malformed input.
+[[nodiscard]] bgp::BgpTable parse_table(std::string_view text);
+
+}  // namespace bgpolicy::io

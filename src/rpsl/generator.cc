@@ -1,0 +1,66 @@
+#include "rpsl/generator.h"
+
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace bgpolicy::rpsl {
+
+std::string generate_irr(const topo::Topology& topo,
+                         const sim::PolicySet& policies,
+                         const IrrGenParams& params) {
+  util::Rng rng(params.seed);
+  std::ostringstream out;
+  out << "# synthetic IRR database (bgpolicy reproduction)\n\n";
+
+  for (const auto as : topo.graph.ases()) {
+    if (!rng.chance(params.coverage)) continue;
+    const auto& policy = policies.at(as);
+    const bool stale = rng.chance(params.stale_prob);
+
+    out << "aut-num: AS" << as.value() << "\n";
+    out << "as-name: " << topo::to_string(topo.tier_of(as)) << "-"
+        << as.value() << "\n";
+
+    for (const auto& neighbor : topo.graph.neighbors(as)) {
+      out << "import: from AS" << neighbor.as.value();
+      if (!rng.chance(params.missing_pref_prob)) {
+        std::uint32_t lp = policy.import.base_for(neighbor.kind);
+        if (const auto it = policy.import.neighbor_override.find(neighbor.as);
+            it != policy.import.neighbor_override.end()) {
+          lp = it->second;
+        }
+        if (rng.chance(params.wrong_pref_prob)) {
+          lp = static_cast<std::uint32_t>(50 + rng.index(120));
+        }
+        out << " action pref = " << pref_from_local_pref(lp) << ";";
+      }
+      out << " accept ANY\n";
+    }
+    for (const auto& neighbor : topo.graph.neighbors(as)) {
+      out << "export: to AS" << neighbor.as.value() << " announce AS"
+          << as.value() << "\n";
+    }
+
+    if (policy.community.enabled && policy.community.published) {
+      const auto& profile = policy.community;
+      const auto width =
+          static_cast<std::uint16_t>(profile.values_per_class * 10);
+      const auto emit_range = [&](const char* kind, std::uint16_t base) {
+        out << "remarks: rel-community " << kind << " " << base << " "
+            << (base + width - 1) << "\n";
+      };
+      emit_range("peer", profile.peer_base);
+      emit_range("provider", profile.provider_base);
+      emit_range("customer", profile.customer_base);
+    }
+
+    out << "mnt-by: MAINT-AS" << as.value() << "\n";
+    out << "changed: noc@as" << as.value() << ".example.net "
+        << (stale ? params.stale_date : params.fresh_date) << "\n";
+    out << "source: SYNTH\n\n";
+  }
+  return out.str();
+}
+
+}  // namespace bgpolicy::rpsl

@@ -1,0 +1,45 @@
+// IRR database generation from simulated policies.
+//
+// Substitute for the RADB mirror snapshot the paper downloaded (Nov. 25,
+// 2002).  Real IRR data is incomplete and partially stale — the paper
+// filters out ASes not updated during 2002 — so the generator models
+// coverage gaps, stale objects, and outright wrong entries explicitly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/policy.h"
+#include "topology/topology_gen.h"
+
+namespace bgpolicy::rpsl {
+
+struct IrrGenParams {
+  std::uint64_t seed = 20021125;
+  /// Probability an AS has an aut-num object at all.
+  double coverage = 0.65;
+  /// Probability a present object was last touched before 2002 (the paper's
+  /// freshness filter discards these).
+  double stale_prob = 0.25;
+  /// Per import line: probability the registered pref contradicts the AS's
+  /// real configuration (out-of-date registry entry).
+  double wrong_pref_prob = 0.03;
+  /// Probability an import line is registered without any pref action.
+  double missing_pref_prob = 0.10;
+  std::uint32_t fresh_date = 20021015;
+  std::uint32_t stale_date = 20010612;
+};
+
+/// Renders a whois-style flat-file IRR database for the given topology and
+/// ground-truth policies.  RPSL pref is emitted as (1000 - LOCAL_PREF), so
+/// smaller pref = more preferred, matching RPSL semantics.
+[[nodiscard]] std::string generate_irr(const topo::Topology& topo,
+                                       const sim::PolicySet& policies,
+                                       const IrrGenParams& params = {});
+
+/// The pref value the generator writes for a given LOCAL_PREF.
+[[nodiscard]] constexpr std::uint32_t pref_from_local_pref(std::uint32_t lp) {
+  return lp >= 1000 ? 0 : 1000 - lp;
+}
+
+}  // namespace bgpolicy::rpsl

@@ -1,0 +1,206 @@
+#include "rpsl/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace bgpolicy::rpsl {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool consume_keyword(std::string_view& s, std::string_view keyword) {
+  s = trim(s);
+  if (s.size() < keyword.size()) return false;
+  for (std::size_t i = 0; i < keyword.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(s[i])) !=
+        std::tolower(static_cast<unsigned char>(keyword[i]))) {
+      return false;
+    }
+  }
+  s.remove_prefix(keyword.size());
+  return true;
+}
+
+std::optional<std::uint32_t> consume_number(std::string_view& s) {
+  s = trim(s);
+  std::uint32_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr == s.data()) return std::nullopt;
+  s.remove_prefix(static_cast<std::size_t>(ptr - s.data()));
+  return value;
+}
+
+std::optional<AsNumber> consume_as(std::string_view& s) {
+  if (!consume_keyword(s, "AS")) return std::nullopt;
+  const auto number = consume_number(s);
+  if (!number) return std::nullopt;
+  return AsNumber(*number);
+}
+
+}  // namespace
+
+std::vector<Object> parse_database(std::string_view text) {
+  std::vector<Object> objects;
+  Object current;
+
+  const auto flush = [&] {
+    if (!current.attributes.empty()) {
+      objects.push_back(std::move(current));
+      current = Object{};
+    }
+  };
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) {
+      flush();
+      if (pos > text.size()) break;
+      continue;
+    }
+    if (trimmed.front() == '#' || trimmed.front() == '%') continue;
+
+    // Continuation line: starts with whitespace or '+'.
+    if ((std::isspace(static_cast<unsigned char>(line.front())) != 0 ||
+         line.front() == '+') &&
+        !current.attributes.empty()) {
+      std::string_view continuation = trimmed;
+      if (!continuation.empty() && continuation.front() == '+') {
+        continuation.remove_prefix(1);
+        continuation = trim(continuation);
+      }
+      current.attributes.back().value += ' ';
+      current.attributes.back().value += continuation;
+      continue;
+    }
+
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;  // malformed; skip
+    std::string name(trim(line.substr(0, colon)));
+    std::transform(name.begin(), name.end(), name.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    current.attributes.push_back(
+        {std::move(name), std::string(trim(line.substr(colon + 1)))});
+    if (pos > text.size()) break;
+  }
+  flush();
+  return objects;
+}
+
+std::optional<ImportLine> parse_import_line(std::string_view value) {
+  std::string_view s = value;
+  if (!consume_keyword(s, "from")) return std::nullopt;
+  const auto from = consume_as(s);
+  if (!from) return std::nullopt;
+
+  ImportLine line;
+  line.from = *from;
+
+  if (consume_keyword(s, "action")) {
+    if (!consume_keyword(s, "pref")) return std::nullopt;
+    if (!consume_keyword(s, "=")) return std::nullopt;
+    const auto pref = consume_number(s);
+    if (!pref) return std::nullopt;
+    line.pref = *pref;
+    if (!consume_keyword(s, ";")) return std::nullopt;
+  }
+  if (consume_keyword(s, "accept")) {
+    line.accept = std::string(trim(s));
+  }
+  return line;
+}
+
+std::optional<CommunityRemark> parse_community_remark(std::string_view value) {
+  std::string_view s = value;
+  if (!consume_keyword(s, "rel-community")) return std::nullopt;
+  CommunityRemark remark;
+  if (consume_keyword(s, "customer")) {
+    remark.kind = RelKind::kCustomer;
+  } else if (consume_keyword(s, "peer")) {
+    remark.kind = RelKind::kPeer;
+  } else if (consume_keyword(s, "provider")) {
+    remark.kind = RelKind::kProvider;
+  } else {
+    return std::nullopt;
+  }
+  const auto lo = consume_number(s);
+  const auto hi = consume_number(s);
+  if (!lo || !hi || *lo > 0xFFFF || *hi > 0xFFFF || *lo > *hi) {
+    return std::nullopt;
+  }
+  remark.value_lo = static_cast<std::uint16_t>(*lo);
+  remark.value_hi = static_cast<std::uint16_t>(*hi);
+  return remark;
+}
+
+std::optional<AutNum> parse_aut_num(const Object& object) {
+  if (object.class_name() != "aut-num") return std::nullopt;
+  const auto as_text = object.first("aut-num");
+  if (!as_text) return std::nullopt;
+  std::string_view s = *as_text;
+  const auto as = consume_as(s);
+  if (!as) return std::nullopt;
+
+  AutNum out;
+  out.as = *as;
+  out.as_name = object.first("as-name").value_or("");
+  for (const auto& value : object.all("import")) {
+    if (auto line = parse_import_line(value)) out.imports.push_back(*line);
+  }
+  for (const auto& value : object.all("export")) {
+    std::string_view e = value;
+    if (!consume_keyword(e, "to")) continue;
+    const auto to = consume_as(e);
+    if (!to) continue;
+    ExportLine export_line;
+    export_line.to = *to;
+    if (consume_keyword(e, "announce")) {
+      export_line.announce = std::string(trim(e));
+    }
+    out.exports.push_back(std::move(export_line));
+  }
+  for (const auto& value : object.all("remarks")) {
+    if (auto remark = parse_community_remark(value)) {
+      out.community_remarks.push_back(*remark);
+    }
+  }
+  for (const auto& value : object.all("changed")) {
+    // "user@example.net 20021118" — take the trailing date.
+    const std::size_t space = value.find_last_of(' ');
+    std::string_view date =
+        space == std::string::npos ? std::string_view(value)
+                                   : std::string_view(value).substr(space + 1);
+    std::uint32_t parsed = 0;
+    const auto [ptr, ec] =
+        std::from_chars(date.data(), date.data() + date.size(), parsed);
+    if (ec == std::errc{} && ptr == date.data() + date.size()) {
+      out.changed_date = std::max(out.changed_date, parsed);
+    }
+  }
+  return out;
+}
+
+std::vector<AutNum> parse_aut_nums(std::string_view text) {
+  std::vector<AutNum> out;
+  for (const Object& object : parse_database(text)) {
+    if (auto aut_num = parse_aut_num(object)) out.push_back(std::move(*aut_num));
+  }
+  return out;
+}
+
+}  // namespace bgpolicy::rpsl

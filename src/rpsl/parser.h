@@ -1,0 +1,37 @@
+// RPSL database parsing.
+//
+// Handles the whois-style flat-file layout the RADB mirror used: objects
+// separated by blank lines, "name: value" attributes, '+'-or-whitespace
+// continuation lines, '#' comments.  Malformed attribute lines inside an
+// otherwise valid object are skipped (real IRR dumps are messy; the paper
+// explicitly treats the IRR as partially unusable).
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "rpsl/rpsl.h"
+
+namespace bgpolicy::rpsl {
+
+/// Splits a database dump into raw objects.
+[[nodiscard]] std::vector<Object> parse_database(std::string_view text);
+
+/// Interprets an object as aut-num; nullopt when it is a different class or
+/// has no parsable AS number.
+[[nodiscard]] std::optional<AutNum> parse_aut_num(const Object& object);
+
+/// Parses every aut-num in a database dump.
+[[nodiscard]] std::vector<AutNum> parse_aut_nums(std::string_view text);
+
+/// Parses one import policy value, e.g. "from AS2 action pref = 10; accept
+/// ANY" (the action part is optional).  Exposed for tests.
+[[nodiscard]] std::optional<ImportLine> parse_import_line(
+    std::string_view value);
+
+/// Parses "rel-community <customer|peer|provider> <lo> <hi>".
+[[nodiscard]] std::optional<CommunityRemark> parse_community_remark(
+    std::string_view value);
+
+}  // namespace bgpolicy::rpsl

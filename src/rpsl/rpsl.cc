@@ -1,0 +1,20 @@
+#include "rpsl/rpsl.h"
+
+namespace bgpolicy::rpsl {
+
+std::optional<std::string> Object::first(const std::string& name) const {
+  for (const auto& attr : attributes) {
+    if (attr.name == name) return attr.value;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Object::all(const std::string& name) const {
+  std::vector<std::string> out;
+  for (const auto& attr : attributes) {
+    if (attr.name == name) out.push_back(attr.value);
+  }
+  return out;
+}
+
+}  // namespace bgpolicy::rpsl

@@ -1,0 +1,72 @@
+// RPSL (Routing Policy Specification Language) object model — the subset
+// the paper's IRR analysis needs (Section 4.1, Table 3): aut-num objects
+// with import lines carrying `pref` actions, plus relationship-community
+// remarks of the kind ASes publish (Appendix, Table 11).
+//
+// Note RPSL `pref` is inverted relative to BGP LOCAL_PREF: smaller pref is
+// more preferred (paper footnote 2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topology/as_graph.h"
+#include "util/ids.h"
+
+namespace bgpolicy::rpsl {
+
+using topo::RelKind;
+using util::AsNumber;
+
+/// One "attribute: value" line of an RPSL object (continuation lines are
+/// folded by the parser).
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+/// A generic RPSL object: its class is the name of the first attribute.
+struct Object {
+  std::vector<Attribute> attributes;
+
+  [[nodiscard]] std::string class_name() const {
+    return attributes.empty() ? std::string{} : attributes.front().name;
+  }
+  [[nodiscard]] std::optional<std::string> first(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> all(const std::string& name) const;
+};
+
+/// "import: from AS2 action pref = 10; accept ANY"
+struct ImportLine {
+  AsNumber from;
+  std::optional<std::uint32_t> pref;
+  std::string accept = "ANY";
+};
+
+/// "export: to AS2 announce AS1"
+struct ExportLine {
+  AsNumber to;
+  std::string announce;
+};
+
+/// "remarks: rel-community <class> <lo> <hi>" — a published community range
+/// meaning "routes received from <class> carry values in [lo, hi]".
+struct CommunityRemark {
+  RelKind kind;
+  std::uint16_t value_lo = 0;
+  std::uint16_t value_hi = 0;
+};
+
+struct AutNum {
+  AsNumber as;
+  std::string as_name;
+  std::vector<ImportLine> imports;
+  std::vector<ExportLine> exports;
+  std::vector<CommunityRemark> community_remarks;
+  /// YYYYMMDD from the last "changed" attribute; 0 when absent.
+  std::uint32_t changed_date = 0;
+};
+
+}  // namespace bgpolicy::rpsl

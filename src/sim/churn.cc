@@ -1,0 +1,92 @@
+#include "sim/churn.h"
+
+#include "util/ensure.h"
+
+namespace bgpolicy::sim {
+
+ChurnSimulator::ChurnSimulator(const topo::AsGraph& graph, PolicySet policies,
+                               std::vector<Origination> originations,
+                               GroundTruth truth, std::vector<AsNumber> watch,
+                               ChurnParams params)
+    : graph_(&graph),
+      policies_(std::move(policies)),
+      originations_(std::move(originations)),
+      truth_(std::move(truth)),
+      watch_(std::move(watch)),
+      rng_(params.seed),
+      params_(params) {
+  for (const auto& origination : originations_) {
+    by_prefix_.emplace(origination.prefix, origination);
+  }
+  for (std::size_t i = 0; i < truth_.origin_units.size(); ++i) {
+    if (!truth_.origin_units[i].via_community) toggleable_.push_back(i);
+  }
+  for (const AsNumber as : watch_) watched_[as];
+}
+
+void ChurnSimulator::repropagate(const bgp::Prefix& prefix) {
+  const auto it = by_prefix_.find(prefix);
+  util::ensure(it != by_prefix_.end(), "churn: unknown prefix");
+  const PropagationEngine engine(*graph_, policies_);
+  const PrefixRouting state = engine.propagate(it->second);
+  for (const AsNumber as : watch_) {
+    auto& table = watched_.at(as);
+    const bgp::Route* best = state.best_at(as);
+    if (best == nullptr) {
+      table.erase(prefix);
+    } else {
+      table.insert_or_assign(prefix, *best);
+    }
+  }
+}
+
+void ChurnSimulator::run_initial() {
+  util::ensure_state(!initialized_, "churn: run_initial called twice");
+  initialized_ = true;
+  const PropagationEngine engine(*graph_, policies_);
+  for (const auto& origination : originations_) {
+    const PrefixRouting state = engine.propagate(origination);
+    for (const AsNumber as : watch_) {
+      const bgp::Route* best = state.best_at(as);
+      if (best != nullptr) watched_.at(as).emplace(origination.prefix, *best);
+    }
+  }
+}
+
+std::vector<bgp::Prefix> ChurnSimulator::step() {
+  util::ensure_state(initialized_, "churn: step before run_initial");
+  std::unordered_set<bgp::Prefix> changed;
+  if (!toggleable_.empty()) {
+    const auto flips = std::max<std::size_t>(
+        1, static_cast<std::size_t>(params_.flip_fraction *
+                                    static_cast<double>(toggleable_.size())));
+    for (std::size_t f = 0; f < flips; ++f) {
+      SelectiveUnit& unit =
+          truth_.origin_units[toggleable_[rng_.index(toggleable_.size())]];
+      AsPolicy& policy = policies_.at_mut(unit.origin);
+      if (unit.withheld) {
+        policy.export_.remove_prefix_rules(unit.provider, unit.prefix);
+        unit.withheld = false;
+      } else {
+        ExportRule rule;
+        rule.prefix = unit.prefix;
+        rule.action = ExportAction::kDeny;
+        policy.export_.add_rule_for(unit.provider, rule);
+        unit.withheld = true;
+      }
+      changed.insert(unit.prefix);
+    }
+  }
+  std::vector<bgp::Prefix> out(changed.begin(), changed.end());
+  for (const auto& prefix : out) repropagate(prefix);
+  return out;
+}
+
+const std::unordered_map<bgp::Prefix, bgp::Route>& ChurnSimulator::watched(
+    AsNumber as) const {
+  const auto it = watched_.find(as);
+  util::ensure(it != watched_.end(), "churn: AS not watched");
+  return it->second;
+}
+
+}  // namespace bgpolicy::sim

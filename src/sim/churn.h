@@ -1,0 +1,72 @@
+// Time-stepped policy churn for the persistence study (Figs. 6-7).
+//
+// Each step toggles a sample of the recorded selective-announcement units
+// (a withheld prefix becomes announced, or vice versa), re-propagates only
+// the affected prefixes, and keeps per-step best-route state for a small
+// set of watched provider ASes — exactly what the paper's daily RouteViews
+// snapshots of March 2002 provided for AS1.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/prefix.h"
+#include "bgp/route.h"
+#include "sim/policy_gen.h"
+#include "sim/propagation.h"
+#include "util/rng.h"
+
+namespace bgpolicy::sim {
+
+struct ChurnParams {
+  std::uint64_t seed = 777;
+  /// Fraction of toggleable units flipped per step.
+  double flip_fraction = 0.015;
+};
+
+class ChurnSimulator {
+ public:
+  /// Takes ownership of mutable policies and the ground-truth units; the
+  /// graph must outlive the simulator.
+  ChurnSimulator(const topo::AsGraph& graph, PolicySet policies,
+                 std::vector<Origination> originations, GroundTruth truth,
+                 std::vector<AsNumber> watch, ChurnParams params);
+
+  /// Initial full propagation; must be called once before step().
+  void run_initial();
+
+  /// Applies one step of policy churn and re-propagates affected prefixes.
+  /// Returns the prefixes whose routing was recomputed.
+  std::vector<bgp::Prefix> step();
+
+  /// Best routes currently held by a watched AS, keyed by prefix.
+  [[nodiscard]] const std::unordered_map<bgp::Prefix, bgp::Route>& watched(
+      AsNumber as) const;
+
+  [[nodiscard]] const GroundTruth& truth() const { return truth_; }
+  [[nodiscard]] std::size_t origination_count() const {
+    return originations_.size();
+  }
+
+ private:
+  void repropagate(const bgp::Prefix& prefix);
+
+  const topo::AsGraph* graph_;
+  PolicySet policies_;
+  std::vector<Origination> originations_;
+  std::unordered_map<bgp::Prefix, Origination> by_prefix_;
+  GroundTruth truth_;
+  /// Indices into truth_.origin_units that are plain-deny units (the
+  /// toggleable population; community-flavored units stay fixed).
+  std::vector<std::size_t> toggleable_;
+  std::vector<AsNumber> watch_;
+  std::unordered_map<AsNumber, std::unordered_map<bgp::Prefix, bgp::Route>>
+      watched_;
+  util::Rng rng_;
+  ChurnParams params_;
+  bool initialized_ = false;
+};
+
+}  // namespace bgpolicy::sim

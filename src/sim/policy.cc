@@ -1,0 +1,97 @@
+#include "sim/policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/ensure.h"
+
+namespace bgpolicy::sim {
+
+const ExportRule* ExportPolicy::match(AsNumber neighbor,
+                                      const bgp::Prefix& prefix,
+                                      AsNumber origin) const {
+  for (const auto& rule : any_neighbor) {
+    if (rule.matches(prefix, origin)) return &rule;
+  }
+  const auto it = per_neighbor.find(neighbor);
+  if (it == per_neighbor.end()) return nullptr;
+  for (const auto& rule : it->second) {
+    if (rule.matches(prefix, origin)) return &rule;
+  }
+  return nullptr;
+}
+
+std::size_t ExportPolicy::remove_prefix_rules(AsNumber neighbor,
+                                              const bgp::Prefix& prefix) {
+  const auto it = per_neighbor.find(neighbor);
+  if (it == per_neighbor.end()) return 0;
+  auto& rules = it->second;
+  const auto new_end =
+      std::remove_if(rules.begin(), rules.end(), [&](const ExportRule& rule) {
+        return rule.prefix && *rule.prefix == prefix;
+      });
+  const auto removed = static_cast<std::size_t>(rules.end() - new_end);
+  rules.erase(new_end, rules.end());
+  if (rules.empty()) per_neighbor.erase(it);
+  return removed;
+}
+
+namespace {
+
+// Stable neighbor -> slot hash (splitmix64 finalizer).
+std::uint16_t slot_of(AsNumber neighbor, std::uint16_t slots) {
+  std::uint64_t z = neighbor.value() + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return static_cast<std::uint16_t>((z ^ (z >> 31)) %
+                                    (slots == 0 ? 1 : slots));
+}
+
+}  // namespace
+
+bgp::Community CommunityProfile::tag(AsNumber self, AsNumber neighbor,
+                                     RelKind kind) const {
+  const std::uint16_t base = base_for(kind);
+  const std::uint16_t slot =
+      slot_of(neighbor, values_per_class) ;
+  return bgp::Community(static_cast<std::uint16_t>(self.value()),
+                        static_cast<std::uint16_t>(base + slot * 10));
+}
+
+std::optional<RelKind> CommunityProfile::classify(bgp::Community community,
+                                                  AsNumber self) const {
+  if (community.asn() != self.value()) return std::nullopt;
+  const std::uint16_t v = community.value();
+  const std::uint16_t width =
+      static_cast<std::uint16_t>(values_per_class * 10);
+  const auto in_range = [&](std::uint16_t base) {
+    return v >= base && v < base + width;
+  };
+  if (in_range(peer_base)) return RelKind::kPeer;
+  if (in_range(provider_base)) return RelKind::kProvider;
+  if (in_range(customer_base)) return RelKind::kCustomer;
+  return std::nullopt;
+}
+
+std::uint16_t AsPolicy::no_export_slot_for(AsNumber target) {
+  for (std::size_t i = 0; i < no_export_targets.size(); ++i) {
+    if (no_export_targets[i] == target) {
+      return static_cast<std::uint16_t>(kNoExportToBase + i);
+    }
+  }
+  util::ensure_state(no_export_targets.size() < kNoExportToSlots,
+                     "AsPolicy: no-export-to slot space exhausted");
+  no_export_targets.push_back(target);
+  return static_cast<std::uint16_t>(kNoExportToBase +
+                                    no_export_targets.size() - 1);
+}
+
+const AsPolicy& PolicySet::at(AsNumber as) const {
+  const auto it = by_as.find(as);
+  if (it == by_as.end()) {
+    throw std::out_of_range("PolicySet: no policy for " + util::to_string(as));
+  }
+  return it->second;
+}
+
+}  // namespace bgpolicy::sim

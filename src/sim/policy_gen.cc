@@ -1,0 +1,282 @@
+#include "sim/policy_gen.h"
+
+#include <algorithm>
+
+#include "util/ensure.h"
+#include "util/rng.h"
+
+namespace bgpolicy::sim {
+
+namespace {
+
+using topo::Tier;
+using util::Rng;
+
+// Separated preference bands keep class-level ordering typical; atypical
+// assignments are injected per-neighbor on top.
+ImportPolicy make_typical_import(Rng& rng) {
+  ImportPolicy import;
+  import.provider_pref = static_cast<std::uint32_t>(60 + rng.index(20));
+  import.peer_pref = static_cast<std::uint32_t>(85 + rng.index(15));
+  import.customer_pref = static_cast<std::uint32_t>(105 + rng.index(25));
+  return import;
+}
+
+// A preference value that violates the typical ordering for this class.
+std::uint32_t atypical_value(Rng& rng, const ImportPolicy& import,
+                             topo::RelKind kind) {
+  switch (kind) {
+    case topo::RelKind::kPeer:
+    case topo::RelKind::kProvider:
+      // Rank the peer/provider at (or above) customer level.
+      return import.customer_pref + static_cast<std::uint32_t>(rng.index(6));
+    case topo::RelKind::kCustomer:
+      // Rank the customer below the provider band.
+      return import.provider_pref -
+             std::min<std::uint32_t>(import.provider_pref,
+                                     static_cast<std::uint32_t>(rng.index(10)));
+  }
+  return import.peer_pref;  // unreachable
+}
+
+}  // namespace
+
+GeneratedPolicies generate_policies(const topo::Topology& topo,
+                                    const topo::PrefixPlan& plan,
+                                    const PolicyGenParams& params) {
+  Rng rng(params.seed);
+  Rng rng_import = rng.fork();
+  Rng rng_export = rng.fork();
+  Rng rng_tag = rng.fork();
+  Rng rng_te = rng.fork();
+
+  GeneratedPolicies out;
+  const topo::AsGraph& g = topo.graph;
+
+  // ---- Base import policies + tagging profiles --------------------------
+  for (const AsNumber as : g.ases()) {
+    AsPolicy policy;
+    policy.import = make_typical_import(rng_import);
+
+    for (const auto& n : g.neighbors(as)) {
+      // Atypical assignments target small neighbors (backup links, special
+      // arrangements); nobody ranks a Tier-1 peer at customer level.
+      const Tier neighbor_tier = topo.tier_of(n.as);
+      const bool small_neighbor =
+          neighbor_tier == Tier::kStub || neighbor_tier == Tier::kTier3;
+      if (small_neighbor && rng_import.chance(params.atypical_neighbor_prob)) {
+        policy.import.neighbor_override[n.as] =
+            atypical_value(rng_import, policy.import, n.kind);
+      }
+    }
+
+    const bool forced =
+        std::find(params.force_tagging.begin(), params.force_tagging.end(),
+                  as) != params.force_tagging.end();
+    if (forced || (topo.is_transit(as) && rng_tag.chance(params.tagging_as_prob))) {
+      policy.community.enabled = true;
+      policy.community.published = rng_tag.chance(params.publish_prob);
+      policy.community.values_per_class =
+          static_cast<std::uint16_t>(1 + rng_tag.index(3));
+    }
+    out.policies.by_as.emplace(as, std::move(policy));
+  }
+
+  // ---- Per-prefix preference overrides (Fig. 2 deviations) --------------
+  for (const AsNumber as : g.ases()) {
+    if (!topo.is_transit(as)) continue;
+    if (!rng_te.chance(params.te_as_prob)) continue;
+    const double rate = rng_te.uniform01() * params.te_prefix_max_rate;
+    AsPolicy& policy = out.policies.at_mut(as);
+    for (const auto& op : plan.prefixes) {
+      if (op.origin == as) continue;
+      if (!rng_te.chance(rate)) continue;
+      policy.import.prefix_override[op.prefix] =
+          static_cast<std::uint32_t>(60 + rng_te.index(70));
+    }
+  }
+
+  // ---- Origin-side selective announcement (Case 3) -----------------------
+  for (const AsNumber stub : topo.stubs) {
+    const auto providers = g.providers(stub);
+    if (providers.size() < 2) continue;
+    if (!rng_export.chance(params.origin_selective_as_prob)) {
+      // The softer knob instead: prepend on one backup link.
+      if (rng_export.chance(params.prepend_as_prob)) {
+        const AsNumber backup = providers[rng_export.index(providers.size())];
+        ExportRule rule;
+        rule.origin = stub;  // all of this stub's own prefixes
+        rule.action = ExportAction::kPrepend;
+        rule.prepend_times = static_cast<std::uint8_t>(
+            1 + rng_export.index(params.max_prepend));
+        out.policies.at_mut(stub).export_.add_rule_for(backup, rule);
+        out.truth.prepend_units.push_back({stub, backup, rule.prepend_times});
+      }
+      continue;
+    }
+
+    const auto origin_it = plan.by_origin.find(stub);
+    if (origin_it == plan.by_origin.end()) continue;
+    AsPolicy& policy = out.policies.at_mut(stub);
+
+    for (const std::size_t prefix_index : origin_it->second) {
+      const bgp::Prefix prefix = plan.prefixes[prefix_index].prefix;
+      if (!rng_export.chance(params.withhold_prefix_prob)) {
+        // Announced everywhere today; recorded so churn can flip it later.
+        for (const AsNumber p : providers) {
+          out.truth.origin_units.push_back({stub, prefix, p, false, false});
+        }
+        continue;
+      }
+      // Withhold from a non-empty proper subset of providers; most of the
+      // time the prefix is pinned to exactly one provider.
+      const std::size_t withhold_count =
+          rng_export.chance(params.single_announce_prob)
+              ? providers.size() - 1
+              : 1 + rng_export.index(providers.size() - 1);
+      std::vector<AsNumber> shuffled = providers;
+      rng_export.shuffle(shuffled);
+      const bool via_community =
+          rng_export.chance(params.community_flavor_prob);
+      for (std::size_t i = 0; i < shuffled.size(); ++i) {
+        const AsNumber provider = shuffled[i];
+        const bool withheld = i < withhold_count;
+        if (!withheld) {
+          out.truth.origin_units.push_back({stub, prefix, provider, false, false});
+          continue;
+        }
+        if (via_community) {
+          // Announce to the provider, capped: the provider keeps a customer
+          // route but must not propagate it further up.
+          ExportRule rule;
+          rule.prefix = prefix;
+          if (rng_export.chance(params.community_target_prob)) {
+            const auto grand = g.providers(provider);
+            if (!grand.empty()) {
+              rule.action = ExportAction::kTagNoExportTo;
+              rule.target = grand[rng_export.index(grand.size())];
+              out.policies.at_mut(provider).no_export_slot_for(rule.target);
+            } else {
+              rule.action = ExportAction::kTagNoExportUpstream;
+            }
+          } else {
+            rule.action = ExportAction::kTagNoExportUpstream;
+          }
+          policy.export_.add_rule_for(provider, rule);
+          out.truth.origin_units.push_back({stub, prefix, provider, true, true});
+        } else {
+          ExportRule rule;
+          rule.prefix = prefix;
+          rule.action = ExportAction::kDeny;
+          policy.export_.add_rule_for(provider, rule);
+          out.truth.origin_units.push_back({stub, prefix, provider, true, false});
+        }
+      }
+    }
+  }
+
+  // ---- Intermediate selective re-export ----------------------------------
+  for (const AsNumber as : g.ases()) {
+    const Tier tier = topo.tier_of(as);
+    if (tier != Tier::kTier2 && tier != Tier::kTier3) continue;
+    const auto providers = g.providers(as);
+    if (providers.size() < 2) continue;
+    if (!rng_export.chance(params.intermediate_selective_prob)) continue;
+
+    const AsNumber primary = providers[rng_export.index(providers.size())];
+    AsPolicy& policy = out.policies.at_mut(as);
+    for (const AsNumber customer : g.customers(as)) {
+      if (!rng_export.chance(params.intermediate_victim_prob)) continue;
+      for (const AsNumber provider : providers) {
+        if (provider == primary) continue;
+        ExportRule rule;
+        rule.origin = customer;
+        rule.action = ExportAction::kDeny;
+        policy.export_.add_rule_for(provider, rule);
+        out.truth.intermediate_units.push_back({as, customer, provider});
+      }
+    }
+  }
+
+  // ---- Prefix splitting (Case 1) -----------------------------------------
+  for (const AsNumber stub : topo.stubs) {
+    const auto providers = g.providers(stub);
+    if (providers.size() < 2) continue;
+    if (!rng_export.chance(params.splitting_as_prob)) continue;
+    const auto origin_it = plan.by_origin.find(stub);
+    if (origin_it == plan.by_origin.end()) continue;
+    // Find a splittable (shorter than /24) prefix.
+    for (const std::size_t prefix_index : origin_it->second) {
+      const bgp::Prefix base = plan.prefixes[prefix_index].prefix;
+      if (base.length() >= 24) continue;
+      const bgp::Prefix specific = base.subnet(24, 0);
+      out.split_extras.push_back({specific, stub, std::nullopt});
+      out.truth.split_specifics.push_back(specific);
+      // Announce the specific through exactly one provider; the covering
+      // prefix keeps flowing everywhere.
+      const AsNumber chosen = providers[rng_export.index(providers.size())];
+      AsPolicy& policy = out.policies.at_mut(stub);
+      for (const AsNumber provider : providers) {
+        if (provider == chosen) continue;
+        ExportRule rule;
+        rule.prefix = specific;
+        rule.action = ExportAction::kDeny;
+        policy.export_.add_rule_for(provider, rule);
+      }
+      break;  // one split per AS is plenty (Table 9 counts are small)
+    }
+  }
+
+  // ---- Provider aggregation (Case 2) --------------------------------------
+  for (const auto& op : plan.prefixes) {
+    if (!op.allocated_from) continue;
+    if (!rng_export.chance(params.aggregation_prob)) continue;
+    // The allocating provider absorbs the customer prefix into its own
+    // block: it accepts the announcement but never re-exports it.
+    ExportRule rule;
+    rule.prefix = op.prefix;
+    rule.action = ExportAction::kDeny;
+    out.policies.at_mut(*op.allocated_from).export_.add_rule_any(rule);
+    out.truth.aggregated_by.emplace(op.prefix, *op.allocated_from);
+  }
+
+  // ---- Peer export withholding (Table 10) ---------------------------------
+  for (const AsNumber t1 : topo.tier1) {
+    for (const AsNumber peer : g.peers(t1)) {
+      if (!rng_export.chance(params.peer_withhold_prob)) continue;
+      const auto origin_it = plan.by_origin.find(peer);
+      if (origin_it == plan.by_origin.end()) continue;
+      const double fraction = rng_export.chance(params.peer_withhold_total_prob)
+                                  ? 1.0
+                                  : 0.15 + rng_export.uniform01() * 0.35;
+      AsPolicy& policy = out.policies.at_mut(peer);
+      std::size_t withheld = 0;
+      for (const std::size_t prefix_index : origin_it->second) {
+        if (!rng_export.chance(fraction)) continue;
+        ExportRule rule;
+        rule.prefix = plan.prefixes[prefix_index].prefix;
+        rule.action = ExportAction::kDeny;
+        policy.export_.add_rule_for(t1, rule);
+        ++withheld;
+      }
+      if (withheld > 0) {
+        out.truth.peer_withholders.push_back({{peer, t1}, fraction});
+      }
+    }
+  }
+
+  return out;
+}
+
+std::vector<Origination> all_originations(const topo::PrefixPlan& plan,
+                                          const GeneratedPolicies& generated) {
+  std::vector<Origination> out;
+  out.reserve(plan.prefixes.size() + generated.split_extras.size());
+  for (const auto& op : plan.prefixes) out.push_back({op.prefix, op.origin});
+  for (const auto& op : generated.split_extras) {
+    out.push_back({op.prefix, op.origin});
+  }
+  return out;
+}
+
+}  // namespace bgpolicy::sim

@@ -1,0 +1,117 @@
+// Policy-driven BGP route propagation.
+//
+// An event-driven path-vector computation run independently per prefix:
+// each AS pulls the routes its neighbors would export to it (relationship
+// rules + export rules + community instructions), applies its import policy
+// (local preference + relationship tagging), and selects a best route with
+// the 7-step decision process.  Announcement events propagate until a
+// fixpoint.  With Gao-Rexford-conforming preferences this always converges;
+// the deliberately injected atypical preferences are rare and acyclic in a
+// hierarchy, but a per-AS processing cap guards against dispute wheels and
+// reports non-convergence instead of hanging.
+//
+// Memory deliberately stays per-prefix: no global Adj-RIB-In is retained.
+// Vantage recorders (vantage.h) re-derive any Adj-RIB-In they need from the
+// converged per-prefix state via `route_as_received`, which is also how the
+// engine itself computes candidate routes — one code path, no drift.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/route.h"
+#include "sim/policy.h"
+#include "topology/as_graph.h"
+
+namespace bgpolicy::sim {
+
+/// One (prefix, origin AS) announcement into the system.
+struct Origination {
+  bgp::Prefix prefix;
+  AsNumber origin;
+  friend bool operator==(const Origination&, const Origination&) = default;
+};
+
+struct PropagationOptions {
+  /// Max times a single AS may recompute for one prefix before the engine
+  /// declares non-convergence (dispute-wheel guard).
+  std::size_t max_process_per_as = 100;
+};
+
+/// A set of failed inter-AS sessions (undirected).  Failure injection: no
+/// route crosses a failed edge, and conditional advertisements watching a
+/// failed session become active (paper Section 5.1.5, reference [18]).
+class FailedEdges {
+ public:
+  void fail(AsNumber a, AsNumber b);
+  void restore(AsNumber a, AsNumber b);
+  [[nodiscard]] bool is_failed(AsNumber a, AsNumber b) const;
+  [[nodiscard]] bool empty() const { return edges_.empty(); }
+  [[nodiscard]] std::size_t size() const { return edges_.size(); }
+
+ private:
+  static std::uint64_t key(AsNumber a, AsNumber b);
+  std::unordered_set<std::uint64_t> edges_;
+};
+
+/// Converged routing state for one prefix.
+struct PrefixRouting {
+  Origination origination;
+  /// Best route per AS; ASes with no route to the prefix are absent.
+  /// Stored paths do NOT include the owning AS itself (Adj-RIB-In form);
+  /// local_pref reflects the owning AS's import policy.
+  std::unordered_map<AsNumber, bgp::Route> best;
+  bool converged = true;
+  std::size_t process_events = 0;
+
+  [[nodiscard]] const bgp::Route* best_at(AsNumber as) const {
+    const auto it = best.find(as);
+    return it == best.end() ? nullptr : &it->second;
+  }
+};
+
+class PropagationEngine {
+ public:
+  /// Both references must outlive the engine.
+  PropagationEngine(const topo::AsGraph& graph, const PolicySet& policies);
+
+  /// Injects session failures; `failures` must outlive the engine.
+  /// Pass nullptr (default state) for a healthy network.
+  void set_failures(const FailedEdges* failures) { failures_ = failures; }
+
+  /// Computes the routing fixpoint for one origination.
+  [[nodiscard]] PrefixRouting propagate(
+      const Origination& origination,
+      const PropagationOptions& options = {}) const;
+
+  /// The route `receiver` would hold in its Adj-RIB-In from `sender`, given
+  /// `sender`'s converged best route (nullptr = no route).  Applies
+  /// sender's relationship export rule + export policy + community
+  /// instructions, then receiver's loop check and import policy.  Returns
+  /// nullopt when nothing is announced over that edge.
+  [[nodiscard]] std::optional<bgp::Route> route_as_received(
+      AsNumber sender, const bgp::Route* sender_best,
+      const Origination& origination, AsNumber receiver) const;
+
+  [[nodiscard]] const topo::AsGraph& graph() const { return *graph_; }
+  [[nodiscard]] const PolicySet& policies() const { return *policies_; }
+
+ private:
+  /// The self-originated route the origin AS installs.
+  [[nodiscard]] bgp::Route self_route(const Origination& origination) const;
+
+  /// Export-side half of route_as_received: what `sender` puts on the wire
+  /// toward `receiver` (no import transform yet).
+  [[nodiscard]] std::optional<bgp::Route> exported_route(
+      AsNumber sender, const bgp::Route& sender_best,
+      const Origination& origination, AsNumber receiver) const;
+
+  const topo::AsGraph* graph_;
+  const PolicySet* policies_;
+  const FailedEdges* failures_ = nullptr;
+};
+
+}  // namespace bgpolicy::sim

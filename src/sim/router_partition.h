@@ -1,0 +1,40 @@
+// Multi-router vantage views (Fig. 2b substitute).
+//
+// The paper checks local-preference consistency *within* one AS using
+// AT&T's table combined from 30 backbone routers.  We model that by
+// partitioning a looking-glass AS's neighbors across N border routers and
+// giving some routers small per-prefix configuration deviations from the
+// AS-wide policy.  All randomness is hash-based on (seed, router, prefix),
+// so views are independent of table iteration order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/table.h"
+#include "util/ids.h"
+
+namespace bgpolicy::sim {
+
+struct RouterPartitionParams {
+  std::uint64_t seed = 30042002;
+  std::size_t router_count = 30;
+  /// Fraction of routers whose configuration deviates from the AS default.
+  double deviant_router_prob = 0.3;
+  /// A deviant router overrides the preference of up to this fraction of
+  /// its prefixes.
+  double max_deviation_rate = 0.25;
+};
+
+struct RouterView {
+  util::RouterId router;
+  bgp::BgpTable table;
+};
+
+/// Splits `lg_table` (a full Adj-RIB-In) into per-router views.  Every
+/// neighbor is owned by exactly one router; deviant routers rewrite the
+/// local preference of a hash-selected subset of their prefixes.
+[[nodiscard]] std::vector<RouterView> partition_routers(
+    const bgp::BgpTable& lg_table, const RouterPartitionParams& params);
+
+}  // namespace bgpolicy::sim

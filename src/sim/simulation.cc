@@ -1,0 +1,59 @@
+#include "sim/simulation.h"
+
+namespace bgpolicy::sim {
+
+void record_prefix(const PropagationEngine& engine, const PrefixRouting& state,
+                   const VantageSpec& spec, SimResult& result) {
+  const auto& origination = state.origination;
+
+  for (const AsNumber peer : spec.collector_peers) {
+    const bgp::Route* best = state.best_at(peer);
+    if (best == nullptr) continue;
+    bgp::Route record = *best;
+    record.path = best->path.prepend(peer);
+    record.learned_from = peer;
+    record.local_pref = 100;  // LOCAL_PREF is not transmitted over eBGP
+    record.router_id = peer.value();
+    result.collector.add(std::move(record));
+  }
+
+  for (const AsNumber lg : spec.looking_glass) {
+    auto& table = result.looking_glass[lg];
+    for (const auto& n : engine.graph().neighbors(lg)) {
+      auto received =
+          engine.route_as_received(n.as, state.best_at(n.as), origination, lg);
+      if (received) table.add(std::move(*received));
+    }
+  }
+
+  for (const AsNumber as : spec.best_only) {
+    const bgp::Route* best = state.best_at(as);
+    if (best != nullptr) result.best_only[as].add(*best);
+  }
+}
+
+SimResult run_simulation(const topo::AsGraph& graph, const PolicySet& policies,
+                         std::span<const Origination> originations,
+                         const VantageSpec& spec,
+                         const PropagationOptions& options) {
+  PropagationEngine engine(graph, policies);
+  SimResult result;
+  result.collector = bgp::BgpTable(spec.collector_as);
+  for (const AsNumber lg : spec.looking_glass) {
+    result.looking_glass.emplace(lg, bgp::BgpTable(lg));
+  }
+  for (const AsNumber as : spec.best_only) {
+    result.best_only.emplace(as, bgp::BgpTable(as));
+  }
+
+  for (const Origination& origination : originations) {
+    const PrefixRouting state = engine.propagate(origination, options);
+    if (!state.converged) ++result.unconverged_prefixes;
+    result.process_events += state.process_events;
+    record_prefix(engine, state, spec, result);
+    ++result.origination_count;
+  }
+  return result;
+}
+
+}  // namespace bgpolicy::sim

@@ -1,0 +1,57 @@
+// Full-Internet simulation runs: propagate every origination and record the
+// routing tables the paper's data sources would have exposed.
+//
+//  * A RouteViews-style collector table: each collector peer contributes its
+//    best route per prefix; AS paths visible, local preference not
+//    (reset to the default 100).
+//  * Looking-glass tables: the full Adj-RIB-In of selected ASes with true
+//    local preference and communities (the paper's 15 LG vantages).
+//  * Best-only tables: just the converged best route per prefix at selected
+//    ASes (enough for the SA-prefix algorithm, per the paper's observation
+//    in Section 5.1.1 that best routes suffice).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/table.h"
+#include "sim/policy.h"
+#include "sim/propagation.h"
+#include "topology/as_graph.h"
+
+namespace bgpolicy::sim {
+
+struct VantageSpec {
+  /// Pseudo-AS number for the collector (the paper's Oregon view, AS6664).
+  AsNumber collector_as{6664};
+  std::vector<AsNumber> collector_peers;
+  std::vector<AsNumber> looking_glass;
+  std::vector<AsNumber> best_only;
+};
+
+struct SimResult {
+  bgp::BgpTable collector;
+  std::unordered_map<AsNumber, bgp::BgpTable> looking_glass;
+  std::unordered_map<AsNumber, bgp::BgpTable> best_only;
+  std::size_t origination_count = 0;
+  std::size_t unconverged_prefixes = 0;
+  std::size_t process_events = 0;
+};
+
+/// Runs the propagation engine over every origination and records the
+/// requested vantage tables.  Deterministic; prefix-parallel in structure
+/// but single-threaded (benches measure the engine, not thread scheduling).
+[[nodiscard]] SimResult run_simulation(const topo::AsGraph& graph,
+                                       const PolicySet& policies,
+                                       std::span<const Origination> originations,
+                                       const VantageSpec& spec,
+                                       const PropagationOptions& options = {});
+
+/// Records one converged prefix into the vantage tables (exposed for the
+/// churn engine, which re-records single prefixes after policy flips).
+void record_prefix(const PropagationEngine& engine, const PrefixRouting& state,
+                   const VantageSpec& spec, SimResult& result);
+
+}  // namespace bgpolicy::sim

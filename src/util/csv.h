@@ -1,0 +1,26 @@
+// Minimal CSV writer; benches optionally mirror their tables to CSV so the
+// series can be re-plotted outside the terminal.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bgpolicy::util {
+
+/// RFC-4180-ish CSV writer over any ostream.  Quotes cells that contain
+/// commas, quotes, or newlines.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Escapes one CSV cell (exposed for testing).
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+}  // namespace bgpolicy::util

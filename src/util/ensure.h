@@ -1,0 +1,25 @@
+// Precondition/invariant checking helpers.
+//
+// `ensure` is for conditions that depend on inputs (throws, recoverable);
+// use plain assert for internal logic errors.  Keeping this a function (not
+// a macro) follows ES.31, at the cost of always-evaluated messages — call
+// sites keep messages to cheap literals.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bgpolicy::util {
+
+/// Throws std::invalid_argument when `condition` is false.
+inline void ensure(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+/// Throws std::runtime_error when `condition` is false; for violated
+/// environmental/runtime expectations rather than caller mistakes.
+inline void ensure_state(bool condition, const char* message) {
+  if (!condition) throw std::runtime_error(message);
+}
+
+}  // namespace bgpolicy::util

@@ -1,0 +1,21 @@
+#include "util/ids.h"
+
+#include <ostream>
+
+namespace bgpolicy::util {
+
+std::string to_string(AsNumber as) { return "AS" + std::to_string(as.value()); }
+
+std::string to_string(RouterId router) {
+  return "r" + std::to_string(router.value());
+}
+
+std::ostream& operator<<(std::ostream& os, AsNumber as) {
+  return os << to_string(as);
+}
+
+std::ostream& operator<<(std::ostream& os, RouterId router) {
+  return os << to_string(router);
+}
+
+}  // namespace bgpolicy::util

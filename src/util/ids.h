@@ -1,0 +1,66 @@
+// Strong identifier types shared across the library.
+//
+// An AS number and a router index are both "just integers", but mixing them
+// up is a real bug class in routing code, so each gets a distinct wrapper
+// type (C++ Core Guidelines I.4: make interfaces precisely and strongly
+// typed).  The wrappers are trivially copyable, totally ordered, hashable,
+// and cost nothing at runtime.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace bgpolicy::util {
+
+/// A BGP Autonomous System number (16-bit era numbers suffice for this
+/// reproduction; the representation is 32-bit so 4-byte ASNs also work).
+class AsNumber {
+ public:
+  constexpr AsNumber() = default;
+  constexpr explicit AsNumber(std::uint32_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  friend constexpr auto operator<=>(AsNumber, AsNumber) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A border router index within a vantage AS (used by the per-router
+/// local-preference consistency study, Fig. 2b).
+class RouterId {
+ public:
+  constexpr RouterId() = default;
+  constexpr explicit RouterId(std::uint32_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  friend constexpr auto operator<=>(RouterId, RouterId) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+[[nodiscard]] std::string to_string(AsNumber as);
+[[nodiscard]] std::string to_string(RouterId router);
+
+std::ostream& operator<<(std::ostream& os, AsNumber as);
+std::ostream& operator<<(std::ostream& os, RouterId router);
+
+}  // namespace bgpolicy::util
+
+template <>
+struct std::hash<bgpolicy::util::AsNumber> {
+  std::size_t operator()(bgpolicy::util::AsNumber as) const noexcept {
+    return std::hash<std::uint32_t>{}(as.value());
+  }
+};
+
+template <>
+struct std::hash<bgpolicy::util::RouterId> {
+  std::size_t operator()(bgpolicy::util::RouterId router) const noexcept {
+    return std::hash<std::uint32_t>{}(router.value());
+  }
+};

@@ -1,0 +1,32 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace bgpolicy::util {
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("Rng::sample_indices: k > n");
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 3 >= n) {
+    // Dense case: shuffle a full index vector and truncate.
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    shuffle(all);
+    all.resize(k);
+    return all;
+  }
+  // Sparse case: rejection sampling.
+  std::unordered_set<std::size_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    const std::size_t candidate = index(n);
+    if (seen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace bgpolicy::util

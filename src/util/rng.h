@@ -1,0 +1,152 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the reproduction (topology generation,
+// policy assignment, churn) draws from this generator so that a single seed
+// reproduces an entire experiment bit-for-bit.  The engine is xoshiro256++
+// (public domain, Blackman & Vigna) seeded via splitmix64; both are small
+// enough to own outright, which keeps results stable across standard-library
+// implementations (std::mt19937 streams are stable, but distribution
+// implementations are not).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace bgpolicy::util {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ engine with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also feed <random>
+/// distributions if ever needed, but the built-in helpers below are the
+/// supported (and reproducible) interface.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  /// Forks an independent, deterministic child stream.  Use one child per
+  /// subsystem so that adding draws in one subsystem does not perturb
+  /// another ("stream splitting").
+  [[nodiscard]] Rng fork() {
+    // Mix two outputs so forked streams do not overlap trivially.
+    std::uint64_t s = next() ^ 0xA5A5A5A55A5A5A5AULL;
+    s ^= next() << 1;
+    return Rng(s);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.  Precondition: lo <= hi.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform: lo > hi");
+    const std::uint64_t span = hi - lo;
+    if (span == max()) return next();
+    // Rejection sampling (Lemire-style bounded draw without bias).
+    const std::uint64_t bound = span + 1;
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return lo + r % bound;
+    }
+  }
+
+  /// Uniform size_t index in [0, n).  Precondition: n > 0.
+  [[nodiscard]] std::size_t index(std::size_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::index: empty range");
+    return static_cast<std::size_t>(uniform(0, n - 1));
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  /// Discrete Pareto-ish heavy-tailed draw in [1, cap]: used for AS degree
+  /// and prefix-count distributions, which are power-law-like in the
+  /// Internet (Faloutsos et al., cited by the paper as [4]).
+  [[nodiscard]] std::uint64_t pareto(double alpha, std::uint64_t cap) {
+    if (alpha <= 0.0) throw std::invalid_argument("Rng::pareto: alpha <= 0");
+    if (cap == 0) throw std::invalid_argument("Rng::pareto: cap == 0");
+    // Inverse-CDF of a continuous Pareto with x_min = 1, truncated at cap.
+    double u = uniform01();
+    double x = 1.0 / std::pow(1.0 - u, 1.0 / alpha);
+    if (x > static_cast<double>(cap)) x = static_cast<double>(cap);
+    return static_cast<std::uint64_t>(x);
+  }
+
+  /// Picks a uniformly random element of a non-empty span.
+  template <typename T>
+  [[nodiscard]] const T& pick(std::span<const T> items) {
+    return items[index(items.size())];
+  }
+
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& items) {
+    return items[index(items.size())];
+  }
+
+  /// Fisher–Yates shuffle (std::shuffle's element order is unspecified
+  /// across implementations; this one is pinned).
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) in selection order.
+  [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n,
+                                                        std::size_t k);
+
+ private:
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace bgpolicy::util

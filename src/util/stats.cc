@@ -1,0 +1,88 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace bgpolicy::util {
+
+namespace {
+
+double percentile(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.mean = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+           static_cast<double>(sorted.size());
+  s.median = percentile(sorted, 0.5);
+  s.p90 = percentile(sorted, 0.9);
+  return s;
+}
+
+double percent(std::size_t part, std::size_t whole) {
+  if (whole == 0) return 0.0;
+  return 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+void Histogram::add(std::int64_t key, std::uint64_t weight) {
+  bins_[key] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::at(std::int64_t key) const {
+  const auto it = bins_.find(key);
+  return it == bins_.end() ? 0 : it->second;
+}
+
+RankSeries RankSeries::from(std::string label, std::vector<std::uint64_t> raw) {
+  std::sort(raw.begin(), raw.end(), std::greater<>());
+  return RankSeries{std::move(label), std::move(raw)};
+}
+
+std::string render_rank_series(const RankSeries& series, std::size_t max_rows) {
+  std::ostringstream out;
+  out << series.label << " (" << series.values.size() << " next-hop ASs)\n";
+  if (series.values.empty() || max_rows == 0) return out.str();
+  // Sample ranks roughly logarithmically, as Fig. 9 uses log-log axes.
+  std::vector<std::size_t> ranks;
+  std::size_t r = 1;
+  while (r <= series.values.size() && ranks.size() < max_rows) {
+    ranks.push_back(r);
+    const auto next = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(r) * 1.9));
+    r = std::max(next, r + 1);
+  }
+  if (ranks.back() != series.values.size()) ranks.push_back(series.values.size());
+  const double log_max = std::log10(
+      static_cast<double>(std::max<std::uint64_t>(series.values.front(), 1)) +
+      1.0);
+  for (const std::size_t rank : ranks) {
+    const std::uint64_t v = series.values[rank - 1];
+    const double frac =
+        log_max <= 0.0
+            ? 0.0
+            : std::log10(static_cast<double>(v) + 1.0) / log_max;
+    const auto bar = static_cast<std::size_t>(frac * 40.0);
+    out << "  rank " << rank << "\t" << v << "\t"
+        << std::string(bar, '#') << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace bgpolicy::util

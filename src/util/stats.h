@@ -1,0 +1,60 @@
+// Small statistics helpers used when rendering the paper's tables/figures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bgpolicy::util {
+
+/// Summary statistics over a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Percentage helper: 100 * part / whole, 0 when whole == 0.
+[[nodiscard]] double percent(std::size_t part, std::size_t whole);
+
+/// Integer-keyed histogram (e.g. "uptime in days" -> "number of prefixes",
+/// Fig. 7 of the paper).  Keys are kept sorted for rendering.
+class Histogram {
+ public:
+  void add(std::int64_t key, std::uint64_t weight = 1);
+  [[nodiscard]] std::uint64_t at(std::int64_t key) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] const std::map<std::int64_t, std::uint64_t>& bins() const {
+    return bins_;
+  }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// A labelled rank series: values sorted in non-increasing order, as in the
+/// paper's Fig. 9 ("number of prefixes announced by next-hop ASes").
+struct RankSeries {
+  std::string label;
+  std::vector<std::uint64_t> values;  // sorted non-increasing
+
+  /// Builds a rank series by sorting a copy of `raw` in non-increasing order.
+  [[nodiscard]] static RankSeries from(std::string label,
+                                       std::vector<std::uint64_t> raw);
+};
+
+/// Renders a log-log-style textual sparkline of a rank series; fits the
+/// terminal output the benches print for figures.
+[[nodiscard]] std::string render_rank_series(const RankSeries& series,
+                                             std::size_t max_rows = 12);
+
+}  // namespace bgpolicy::util

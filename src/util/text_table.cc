@@ -1,0 +1,67 @@
+#include "util/text_table.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace bgpolicy::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("TextTable: header must be non-empty");
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render(const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  if (!title.empty()) out << title << "\n";
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "| " << row[c] << std::string(widths[c] - row[c].size(), ' ')
+          << ' ';
+    }
+    out << "|\n";
+  };
+  const auto emit_rule = [&] {
+    for (const std::size_t w : widths) out << '+' << std::string(w + 2, '-');
+    out << "+\n";
+  };
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return out.str();
+}
+
+std::string fmt(double value, int digits) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(digits);
+  out << value;
+  return out.str();
+}
+
+std::string fmt_count_pct(std::size_t count, double pct) {
+  std::ostringstream out;
+  out << count << " (" << fmt(pct, 0) << "%)";
+  return out.str();
+}
+
+}  // namespace bgpolicy::util

@@ -1,0 +1,34 @@
+// ASCII table rendering for reproducing the paper's tables on stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bgpolicy::util {
+
+/// Column-aligned text table.  Cells are strings; numeric formatting is the
+/// caller's business (each paper table has its own precision conventions).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a title line, a header, a separator, and the rows.
+  [[nodiscard]] std::string render(const std::string& title = {}) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` digits after the decimal point.
+[[nodiscard]] std::string fmt(double value, int digits = 1);
+
+/// Formats "count (pct%)" cells as used in the paper's Tables 6 and 8.
+[[nodiscard]] std::string fmt_count_pct(std::size_t count, double pct);
+
+}  // namespace bgpolicy::util

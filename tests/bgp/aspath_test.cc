@@ -1,0 +1,77 @@
+#include "bgp/aspath.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpolicy::bgp {
+namespace {
+
+using util::AsNumber;
+
+TEST(AsPath, ParseAndFormat) {
+  const AsPath path = AsPath::parse("7018 701 3356");
+  EXPECT_EQ(path.length(), 3u);
+  EXPECT_EQ(path.to_string(), "7018 701 3356");
+  EXPECT_EQ(path.at(0), AsNumber(7018));
+  EXPECT_EQ(path.at(2), AsNumber(3356));
+}
+
+TEST(AsPath, ParseToleratesExtraSpaces) {
+  EXPECT_EQ(AsPath::parse("  1   2  3 ").to_string(), "1 2 3");
+}
+
+TEST(AsPath, ParseRejectsGarbage) {
+  EXPECT_THROW(AsPath::parse("1 two 3"), std::invalid_argument);
+}
+
+TEST(AsPath, EmptyPathHasNoEndpoints) {
+  const AsPath path;
+  EXPECT_TRUE(path.empty());
+  EXPECT_FALSE(path.next_hop_as());
+  EXPECT_FALSE(path.origin_as());
+}
+
+TEST(AsPath, EndpointsAreFrontAndBack) {
+  const AsPath path = AsPath::parse("7018 701 3356");
+  EXPECT_EQ(path.next_hop_as(), AsNumber(7018));
+  EXPECT_EQ(path.origin_as(), AsNumber(3356));
+}
+
+TEST(AsPath, ContainsDetectsLoops) {
+  const AsPath path = AsPath::parse("1 2 3");
+  EXPECT_TRUE(path.contains(AsNumber(2)));
+  EXPECT_FALSE(path.contains(AsNumber(4)));
+}
+
+TEST(AsPath, PrependAddsToFront) {
+  const AsPath path = AsPath::parse("2 3");
+  EXPECT_EQ(path.prepend(AsNumber(1)).to_string(), "1 2 3");
+  // Prepending the same AS several times is AS-path prepending, a
+  // traffic-engineering knob from Section 2.2.2 of the paper.
+  EXPECT_EQ(path.prepend(AsNumber(1), 3).to_string(), "1 1 1 2 3");
+}
+
+TEST(AsPath, PrependDoesNotMutateOriginal) {
+  const AsPath path = AsPath::parse("2 3");
+  (void)path.prepend(AsNumber(1));
+  EXPECT_EQ(path.to_string(), "2 3");
+}
+
+TEST(AsPath, HasAdjacentFindsOrderedPairs) {
+  const AsPath path = AsPath::parse("1 2 3");
+  EXPECT_TRUE(path.has_adjacent(AsNumber(1), AsNumber(2)));
+  EXPECT_TRUE(path.has_adjacent(AsNumber(2), AsNumber(3)));
+  EXPECT_FALSE(path.has_adjacent(AsNumber(2), AsNumber(1)));
+  EXPECT_FALSE(path.has_adjacent(AsNumber(1), AsNumber(3)));
+}
+
+TEST(AsPath, EqualityAndHash) {
+  const AsPath a = AsPath::parse("1 2 3");
+  const AsPath b = AsPath::parse("1 2 3");
+  const AsPath c = AsPath::parse("1 2");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(std::hash<AsPath>{}(a), std::hash<AsPath>{}(b));
+}
+
+}  // namespace
+}  // namespace bgpolicy::bgp

@@ -1,0 +1,48 @@
+#include "bgp/community.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpolicy::bgp {
+namespace {
+
+TEST(Community, PartsRoundTrip) {
+  const Community c(12859, 1000);
+  EXPECT_EQ(c.asn(), 12859);
+  EXPECT_EQ(c.value(), 1000);
+  EXPECT_EQ(c.raw(), (12859u << 16) | 1000u);
+}
+
+TEST(Community, ParseTable11Example) {
+  // "12859:1000  Route received from AMS-IX peer" (paper Table 11).
+  const Community c = Community::parse("12859:1000");
+  EXPECT_EQ(c.asn(), 12859);
+  EXPECT_EQ(c.value(), 1000);
+  EXPECT_EQ(c.to_string(), "12859:1000");
+}
+
+TEST(Community, ParseRejectsMalformed) {
+  EXPECT_FALSE(Community::try_parse(""));
+  EXPECT_FALSE(Community::try_parse("12859"));
+  EXPECT_FALSE(Community::try_parse("12859:"));
+  EXPECT_FALSE(Community::try_parse(":1000"));
+  EXPECT_FALSE(Community::try_parse("70000:1"));
+  EXPECT_FALSE(Community::try_parse("1:2:3"));
+  EXPECT_THROW((void)Community::parse("bad"), std::invalid_argument);
+}
+
+TEST(Community, WellKnownValues) {
+  EXPECT_EQ(kNoExport.raw(), 0xFFFFFF01u);
+  EXPECT_EQ(kNoAdvertise.raw(), 0xFFFFFF02u);
+  EXPECT_TRUE(is_well_known(kNoExport));
+  EXPECT_TRUE(is_well_known(kNoAdvertise));
+  EXPECT_FALSE(is_well_known(Community(12859, 1000)));
+  EXPECT_EQ(kNoExport.to_string(), "no-export");
+}
+
+TEST(Community, OrderingIsByRawValue) {
+  EXPECT_LT(Community(1, 2), Community(1, 3));
+  EXPECT_LT(Community(1, 65535), Community(2, 0));
+}
+
+}  // namespace
+}  // namespace bgpolicy::bgp

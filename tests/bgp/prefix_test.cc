@@ -1,0 +1,144 @@
+#include "bgp/prefix.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace bgpolicy::bgp {
+namespace {
+
+TEST(Prefix, DefaultIsZeroSlashZero) {
+  const Prefix p;
+  EXPECT_EQ(p.network(), 0u);
+  EXPECT_EQ(p.length(), 0u);
+  EXPECT_EQ(p.to_string(), "0.0.0.0/0");
+}
+
+TEST(Prefix, ParsesCanonicalText) {
+  const Prefix p = Prefix::parse("12.10.1.0/24");
+  EXPECT_EQ(p.length(), 24u);
+  EXPECT_EQ(p.to_string(), "12.10.1.0/24");
+}
+
+TEST(Prefix, ConstructorClearsHostBits) {
+  const Prefix p(0x0C0A01FF, 24);  // 12.10.1.255/24
+  EXPECT_EQ(p.to_string(), "12.10.1.0/24");
+}
+
+TEST(Prefix, ParseClearsHostBits) {
+  EXPECT_EQ(Prefix::parse("10.1.1.1/24").to_string(), "10.1.1.0/24");
+}
+
+TEST(Prefix, RejectsMalformedText) {
+  EXPECT_FALSE(Prefix::try_parse(""));
+  EXPECT_FALSE(Prefix::try_parse("10.0.0.0"));
+  EXPECT_FALSE(Prefix::try_parse("10.0.0/8"));
+  EXPECT_FALSE(Prefix::try_parse("10.0.0.0/33"));
+  EXPECT_FALSE(Prefix::try_parse("256.0.0.0/8"));
+  EXPECT_FALSE(Prefix::try_parse("10.0.0.0/8 "));
+  EXPECT_FALSE(Prefix::try_parse("a.b.c.d/8"));
+  EXPECT_THROW((void)Prefix::parse("nonsense"), std::invalid_argument);
+}
+
+TEST(Prefix, RejectsLengthOver32) {
+  EXPECT_THROW(Prefix(0, 33), std::invalid_argument);
+}
+
+TEST(Prefix, MaskMatchesLength) {
+  EXPECT_EQ(Prefix(0, 0).mask(), 0u);
+  EXPECT_EQ(Prefix::parse("10.0.0.0/8").mask(), 0xFF000000u);
+  EXPECT_EQ(Prefix::parse("10.0.0.0/32").mask(), 0xFFFFFFFFu);
+}
+
+TEST(Prefix, ContainsAddress) {
+  const Prefix p = Prefix::parse("12.0.0.0/19");
+  EXPECT_TRUE(p.contains(0x0C000001));
+  EXPECT_TRUE(p.contains(0x0C001FFF));
+  EXPECT_FALSE(p.contains(0x0C002000));
+}
+
+TEST(Prefix, CoversIsReflexiveAndOrdered) {
+  const Prefix wide = Prefix::parse("12.0.0.0/19");
+  const Prefix narrow = Prefix::parse("12.0.1.0/24");
+  EXPECT_TRUE(wide.covers(wide));
+  EXPECT_TRUE(wide.covers(narrow));
+  EXPECT_FALSE(narrow.covers(wide));
+}
+
+TEST(Prefix, MoreSpecificIsStrict) {
+  const Prefix wide = Prefix::parse("12.0.0.0/19");
+  const Prefix narrow = Prefix::parse("12.0.1.0/24");
+  // The paper's splitting example: 12.10.1.0/24 out of 12.0.0.0/19.
+  EXPECT_TRUE(narrow.is_more_specific_of(wide));
+  EXPECT_FALSE(wide.is_more_specific_of(narrow));
+  EXPECT_FALSE(wide.is_more_specific_of(wide));
+}
+
+TEST(Prefix, ParentHalvesTheLength) {
+  const Prefix p = Prefix::parse("10.0.1.0/24");
+  const auto parent = p.parent();
+  ASSERT_TRUE(parent);
+  EXPECT_EQ(parent->to_string(), "10.0.0.0/23");
+  EXPECT_FALSE(Prefix().parent());
+}
+
+TEST(Prefix, SplitProducesTwoHalves) {
+  const auto halves = Prefix::parse("10.0.0.0/23").split();
+  ASSERT_TRUE(halves);
+  EXPECT_EQ(halves->first.to_string(), "10.0.0.0/24");
+  EXPECT_EQ(halves->second.to_string(), "10.0.1.0/24");
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/32").split());
+}
+
+TEST(Prefix, SubnetIndexing) {
+  const Prefix block = Prefix::parse("12.0.0.0/16");
+  EXPECT_EQ(block.subnet_count(24), 256u);
+  EXPECT_EQ(block.subnet(24, 0).to_string(), "12.0.0.0/24");
+  EXPECT_EQ(block.subnet(24, 255).to_string(), "12.0.255.0/24");
+  EXPECT_THROW((void)block.subnet(24, 256), std::invalid_argument);
+  EXPECT_THROW((void)block.subnet(8, 0), std::invalid_argument);
+}
+
+TEST(Prefix, OrderingSortsParentsBeforeChildren) {
+  const Prefix parent = Prefix::parse("10.0.0.0/16");
+  const Prefix child = Prefix::parse("10.0.0.0/24");
+  const Prefix later = Prefix::parse("10.0.1.0/24");
+  std::set<Prefix> sorted{later, child, parent};
+  auto it = sorted.begin();
+  EXPECT_EQ(*it++, parent);
+  EXPECT_EQ(*it++, child);
+  EXPECT_EQ(*it++, later);
+}
+
+TEST(Prefix, HashDistinguishesLengths) {
+  std::unordered_set<Prefix> set;
+  set.insert(Prefix::parse("10.0.0.0/8"));
+  set.insert(Prefix::parse("10.0.0.0/16"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Prefix, FormatIpv4) {
+  EXPECT_EQ(format_ipv4(0xC0A80101), "192.168.1.1");
+  EXPECT_EQ(format_ipv4(0), "0.0.0.0");
+  EXPECT_EQ(format_ipv4(0xFFFFFFFF), "255.255.255.255");
+}
+
+// Round-trip property over a deterministic sweep of prefixes.
+class PrefixRoundTrip : public ::testing::TestWithParam<std::uint8_t> {};
+
+TEST_P(PrefixRoundTrip, ParseFormatsBack) {
+  const std::uint8_t length = GetParam();
+  const std::uint32_t base = 0x0A000000;
+  for (std::uint32_t salt = 0; salt < 32; ++salt) {
+    const Prefix p(base + (salt << 16) + (salt << 5), length);
+    EXPECT_EQ(Prefix::parse(p.to_string()), p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLengths, PrefixRoundTrip,
+                         ::testing::Values(0, 1, 7, 8, 15, 16, 19, 22, 23, 24,
+                                           30, 31, 32));
+
+}  // namespace
+}  // namespace bgpolicy::bgp

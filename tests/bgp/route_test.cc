@@ -1,0 +1,69 @@
+#include "bgp/route.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+#include "util/ensure.h"
+
+namespace bgpolicy::bgp {
+namespace {
+
+using testing::make_route;
+using util::AsNumber;
+
+TEST(Route, SelfOriginatedHasNoPath) {
+  Route route;
+  route.prefix = Prefix::parse("10.0.0.0/24");
+  route.learned_from = AsNumber(7018);
+  EXPECT_TRUE(route.self_originated());
+  EXPECT_FALSE(route.next_hop_as());
+  EXPECT_EQ(route.origin_as(), AsNumber(7018));
+}
+
+TEST(Route, LearnedRouteEndpoints) {
+  const Route route = make_route(Prefix::parse("10.0.0.0/24"),
+                                 {AsNumber(701), AsNumber(3356)});
+  EXPECT_FALSE(route.self_originated());
+  EXPECT_EQ(route.next_hop_as(), AsNumber(701));
+  EXPECT_EQ(route.origin_as(), AsNumber(3356));
+}
+
+TEST(Route, CommunitiesStaySortedAndUnique) {
+  Route route;
+  route.add_community(Community(1, 300));
+  route.add_community(Community(1, 100));
+  route.add_community(Community(1, 200));
+  route.add_community(Community(1, 100));  // duplicate
+  ASSERT_EQ(route.communities.size(), 3u);
+  EXPECT_EQ(route.communities[0], Community(1, 100));
+  EXPECT_EQ(route.communities[2], Community(1, 300));
+  EXPECT_TRUE(route.has_community(Community(1, 200)));
+  EXPECT_FALSE(route.has_community(Community(1, 400)));
+}
+
+TEST(Route, ToStringMentionsKeyAttributes) {
+  Route route = make_route(Prefix::parse("10.0.0.0/24"),
+                           {AsNumber(701)}, 90);
+  route.add_community(Community(7018, 1000));
+  const std::string text = route.to_string();
+  EXPECT_NE(text.find("10.0.0.0/24"), std::string::npos);
+  EXPECT_NE(text.find("701"), std::string::npos);
+  EXPECT_NE(text.find("lp 90"), std::string::npos);
+  EXPECT_NE(text.find("7018:1000"), std::string::npos);
+}
+
+TEST(Route, OriginToString) {
+  EXPECT_EQ(to_string(Origin::kIgp), "IGP");
+  EXPECT_EQ(to_string(Origin::kEgp), "EGP");
+  EXPECT_EQ(to_string(Origin::kIncomplete), "incomplete");
+}
+
+TEST(Ensure, ThrowsOnViolation) {
+  EXPECT_NO_THROW(util::ensure(true, "fine"));
+  EXPECT_THROW(util::ensure(false, "bad input"), std::invalid_argument);
+  EXPECT_NO_THROW(util::ensure_state(true, "fine"));
+  EXPECT_THROW(util::ensure_state(false, "bad state"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bgpolicy::bgp

@@ -1,0 +1,88 @@
+#include "bgp/table.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace bgpolicy::bgp {
+namespace {
+
+using testing::make_route;
+using util::AsNumber;
+
+const Prefix kPrefix = Prefix::parse("10.0.0.0/24");
+const Prefix kOther = Prefix::parse("10.0.1.0/24");
+
+TEST(BgpTable, StartsEmpty) {
+  const BgpTable table{AsNumber(7018)};
+  EXPECT_EQ(table.owner(), AsNumber(7018));
+  EXPECT_EQ(table.prefix_count(), 0u);
+  EXPECT_EQ(table.route_count(), 0u);
+  EXPECT_FALSE(table.contains(kPrefix));
+  EXPECT_EQ(table.best(kPrefix), nullptr);
+}
+
+TEST(BgpTable, AddAndLookup) {
+  BgpTable table{AsNumber(7018)};
+  table.add(make_route(kPrefix, {AsNumber(4)}, 100));
+  table.add(make_route(kPrefix, {AsNumber(5)}, 120));
+  table.add(make_route(kOther, {AsNumber(4)}, 100));
+  EXPECT_EQ(table.prefix_count(), 2u);
+  EXPECT_EQ(table.route_count(), 3u);
+  EXPECT_EQ(table.routes(kPrefix).size(), 2u);
+  const Route* best = table.best(kPrefix);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->learned_from, AsNumber(5));
+}
+
+TEST(BgpTable, SameNeighborReplacesImplicitWithdraw) {
+  BgpTable table{AsNumber(7018)};
+  table.add(make_route(kPrefix, {AsNumber(4)}, 100));
+  table.add(make_route(kPrefix, {AsNumber(4)}, 70));
+  EXPECT_EQ(table.route_count(), 1u);
+  EXPECT_EQ(table.best(kPrefix)->local_pref, 70u);
+}
+
+TEST(BgpTable, WithdrawRemovesOnlyThatNeighbor) {
+  BgpTable table{AsNumber(7018)};
+  table.add(make_route(kPrefix, {AsNumber(4)}, 100));
+  table.add(make_route(kPrefix, {AsNumber(5)}, 120));
+  table.withdraw(kPrefix, AsNumber(5));
+  EXPECT_EQ(table.route_count(), 1u);
+  EXPECT_EQ(table.best(kPrefix)->learned_from, AsNumber(4));
+  table.withdraw(kPrefix, AsNumber(4));
+  EXPECT_FALSE(table.contains(kPrefix));
+  EXPECT_EQ(table.prefix_count(), 0u);
+}
+
+TEST(BgpTable, WithdrawMissingIsNoOp) {
+  BgpTable table{AsNumber(7018)};
+  table.withdraw(kPrefix, AsNumber(4));
+  table.add(make_route(kPrefix, {AsNumber(4)}, 100));
+  table.withdraw(kPrefix, AsNumber(9));
+  EXPECT_EQ(table.route_count(), 1u);
+}
+
+TEST(BgpTable, ForEachBestVisitsOnePerPrefix) {
+  BgpTable table{AsNumber(7018)};
+  table.add(make_route(kPrefix, {AsNumber(4)}, 100));
+  table.add(make_route(kPrefix, {AsNumber(5)}, 120));
+  table.add(make_route(kOther, {AsNumber(4)}, 100));
+  std::size_t count = 0;
+  table.for_each_best([&](const Route& best) {
+    ++count;
+    if (best.prefix == kPrefix) EXPECT_EQ(best.learned_from, AsNumber(5));
+  });
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(BgpTable, PrefixesReturnsAll) {
+  BgpTable table{AsNumber(7018)};
+  table.add(make_route(kPrefix, {AsNumber(4)}, 100));
+  table.add(make_route(kOther, {AsNumber(4)}, 100));
+  auto prefixes = table.prefixes();
+  EXPECT_EQ(prefixes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace bgpolicy::bgp

@@ -1,0 +1,84 @@
+#include "core/path_index.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace bgpolicy::core {
+namespace {
+
+using namespace bgpolicy::testing;
+using bgp::Prefix;
+using util::AsNumber;
+
+const Prefix kP1 = Prefix::parse("10.0.0.0/24");
+const Prefix kP2 = Prefix::parse("10.0.1.0/24");
+
+bgp::BgpTable make_table() {
+  bgp::BgpTable table{AsNumber(99)};
+  table.add(make_route(kP1, {AsNumber(1), AsNumber(2), AsNumber(3)}));
+  table.add(make_route(kP1, {AsNumber(4), AsNumber(3)}));
+  table.add(make_route(kP2, {AsNumber(1), AsNumber(2), AsNumber(5)}));
+  return table;
+}
+
+TEST(PathIndex, CountsDistinctPaths) {
+  PathIndex index;
+  index.add_table(make_table());
+  EXPECT_EQ(index.path_count(), 3u);
+  // Re-adding the same table adds nothing (dedup by prefix+path).
+  index.add_table(make_table());
+  EXPECT_EQ(index.path_count(), 3u);
+}
+
+TEST(PathIndex, PathsFromOrigin) {
+  PathIndex index;
+  index.add_table(make_table());
+  const auto from3 = index.paths_from_origin(AsNumber(3));
+  EXPECT_EQ(from3.size(), 2u);
+  const auto from5 = index.paths_from_origin(AsNumber(5));
+  ASSERT_EQ(from5.size(), 1u);
+  EXPECT_EQ(from5.front().size(), 3u);
+  EXPECT_TRUE(index.paths_from_origin(AsNumber(42)).empty());
+}
+
+TEST(PathIndex, PathsForPrefix) {
+  PathIndex index;
+  index.add_table(make_table());
+  EXPECT_EQ(index.paths_for_prefix(kP1).size(), 2u);
+  EXPECT_EQ(index.paths_for_prefix(kP2).size(), 1u);
+  EXPECT_TRUE(index.paths_for_prefix(Prefix::parse("10.9.0.0/24")).empty());
+}
+
+TEST(PathIndex, AdjacencyIsOrdered) {
+  PathIndex index;
+  index.add_table(make_table());
+  EXPECT_TRUE(index.has_adjacency(AsNumber(1), AsNumber(2)));
+  EXPECT_TRUE(index.has_adjacency(AsNumber(2), AsNumber(3)));
+  EXPECT_FALSE(index.has_adjacency(AsNumber(2), AsNumber(1)));
+  EXPECT_FALSE(index.has_adjacency(AsNumber(1), AsNumber(3)));
+}
+
+TEST(PathIndex, SamePathDifferentPrefixBothIndexed) {
+  bgp::BgpTable table{AsNumber(99)};
+  table.add(make_route(kP1, {AsNumber(1), AsNumber(2)}));
+  table.add(make_route(kP2, {AsNumber(1), AsNumber(2)}));
+  PathIndex index;
+  index.add_table(table);
+  EXPECT_EQ(index.paths_for_prefix(kP1).size(), 1u);
+  EXPECT_EQ(index.paths_for_prefix(kP2).size(), 1u);
+}
+
+TEST(PathIndex, SelfOriginatedRoutesSkipped) {
+  bgp::BgpTable table{AsNumber(99)};
+  bgp::Route self;
+  self.prefix = kP1;
+  self.learned_from = AsNumber(99);
+  table.add(self);
+  PathIndex index;
+  index.add_table(table);
+  EXPECT_EQ(index.path_count(), 0u);
+}
+
+}  // namespace
+}  // namespace bgpolicy::core

@@ -1,0 +1,101 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/pipeline_cache.h"
+
+namespace bgpolicy::core {
+namespace {
+
+using bgpolicy::testing::shared_pipeline;
+using util::AsNumber;
+
+TEST(Scenario, CanonicalConfigsAreConsistent) {
+  const Scenario big = Scenario::internet2002();
+  EXPECT_EQ(big.topo_params.tier1_count, 10u);
+  EXPECT_EQ(big.looking_glass.size(), 15u);   // the paper's 15 LG vantages
+  EXPECT_EQ(big.verification_ases.size(), 9u);  // Table 4's 9 ASes
+  EXPECT_EQ(big.policy_params.force_tagging.size(), 9u);
+  const auto focus = Scenario::focus_tier1();
+  EXPECT_EQ(focus.size(), 3u);
+
+  const Scenario small = Scenario::small();
+  EXPECT_LT(small.topo_params.stub_count, big.topo_params.stub_count);
+}
+
+TEST(Scenario, RegionLabelsAreDeterministicAndCoverAll) {
+  std::map<std::string, int> counts;
+  for (std::uint32_t as = 1; as < 500; ++as) {
+    ++counts[region_of(AsNumber(as))];
+    EXPECT_EQ(region_of(AsNumber(as)), region_of(AsNumber(as)));
+  }
+  EXPECT_GT(counts["NA"], counts["Au"]);
+  EXPECT_GT(counts["Eu"], counts["As"]);
+}
+
+TEST(Pipeline, TablesRecordedForAllVantages) {
+  const auto& pipe = shared_pipeline();
+  for (const auto as : pipe.vantage.looking_glass) {
+    EXPECT_TRUE(pipe.has_table(as));
+    EXPECT_GT(pipe.table_for(as).prefix_count(), 0u);
+  }
+  for (const auto as : pipe.vantage.best_only) {
+    EXPECT_TRUE(pipe.has_table(as));
+  }
+  EXPECT_FALSE(pipe.has_table(AsNumber(424242)));
+  EXPECT_THROW((void)pipe.table_for(AsNumber(424242)), std::out_of_range);
+}
+
+TEST(Pipeline, CollectorSeesNearlyAllPrefixes) {
+  const auto& pipe = shared_pipeline();
+  EXPECT_GT(pipe.sim.collector.prefix_count(),
+            pipe.originations.size() * 9 / 10);
+  EXPECT_EQ(pipe.sim.unconverged_prefixes, 0u);
+}
+
+TEST(Pipeline, InferenceProductsPopulated) {
+  const auto& pipe = shared_pipeline();
+  EXPECT_GT(pipe.inferred.edge_count(), 100u);
+  EXPECT_GT(pipe.inferred_graph.as_count(), 100u);
+  EXPECT_FALSE(pipe.tiers.tier1.empty());
+  EXPECT_GT(pipe.paths.path_count(), 500u);
+  EXPECT_FALSE(pipe.irr_objects.empty());
+}
+
+TEST(Pipeline, IrrLookupFindsRegisteredAses) {
+  const auto& pipe = shared_pipeline();
+  std::size_t found = 0;
+  for (const auto as : pipe.topo.graph.ases()) {
+    if (pipe.irr_for(as) != nullptr) ++found;
+  }
+  const double coverage = static_cast<double>(found) /
+                          static_cast<double>(pipe.topo.graph.as_count());
+  EXPECT_NEAR(coverage, pipe.scenario.irr_params.coverage, 0.15);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  const auto a = run_pipeline(Scenario::small(77));
+  const auto b = run_pipeline(Scenario::small(77));
+  EXPECT_EQ(a.sim.collector.route_count(), b.sim.collector.route_count());
+  EXPECT_EQ(a.inferred.edge_count(), b.inferred.edge_count());
+  EXPECT_EQ(a.irr_text, b.irr_text);
+}
+
+TEST(Pipeline, CommunityVerifiedNeighborsNonEmptyForVerificationAses) {
+  const auto& pipe = shared_pipeline();
+  for (const auto as_value : pipe.scenario.verification_ases) {
+    const AsNumber as{as_value};
+    if (!pipe.sim.looking_glass.contains(as)) continue;
+    EXPECT_FALSE(pipe.community_verified_neighbors(as).empty())
+        << util::to_string(as);
+  }
+}
+
+TEST(Pipeline, CommunityVerificationRequiresLookingGlass) {
+  const auto& pipe = shared_pipeline();
+  EXPECT_THROW(pipe.community_verification(AsNumber(424242)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bgpolicy::core

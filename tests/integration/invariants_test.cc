@@ -1,0 +1,130 @@
+// Cross-module property tests on full pipeline runs: the simulator's
+// global invariants and the consistency between inference output and
+// ground truth, swept over seeds.
+#include <gtest/gtest.h>
+
+#include "core/export_inference.h"
+#include "core/import_inference.h"
+#include "core/pipeline.h"
+#include "testing/pipeline_cache.h"
+
+namespace bgpolicy {
+namespace {
+
+using core::Scenario;
+using util::AsNumber;
+
+class PipelineInvariants : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  const core::Pipeline& pipe() { return testing::shared_pipeline(GetParam()); }
+};
+
+TEST_P(PipelineInvariants, AllCollectorPathsAreValleyFree) {
+  // Every path any vantage observes must be valley-free under the ground
+  // truth annotations — the export rules guarantee it (Section 2.2.2).
+  const auto& p = pipe();
+  std::size_t checked = 0;
+  p.sim.collector.for_each([&](const bgp::Prefix&,
+                               std::span<const bgp::Route> routes) {
+    for (const auto& route : routes) {
+      ++checked;
+      ASSERT_TRUE(p.topo.graph.is_valley_free(route.path.hops()))
+          << "valley in " << route.path.to_string();
+    }
+  });
+  EXPECT_GT(checked, 1000u);
+}
+
+TEST_P(PipelineInvariants, NoPathContainsLoops) {
+  // Consecutive duplicates are AS-path prepending, not loops; an AS
+  // reappearing after a different AS is a genuine loop.
+  const auto& p = pipe();
+  p.sim.collector.for_each([&](const bgp::Prefix&,
+                               std::span<const bgp::Route> routes) {
+    for (const auto& route : routes) {
+      std::unordered_set<AsNumber> seen;
+      const auto hops = route.path.hops();
+      for (std::size_t i = 0; i < hops.size(); ++i) {
+        if (i > 0 && hops[i] == hops[i - 1]) continue;  // prepending
+        ASSERT_TRUE(seen.insert(hops[i]).second)
+            << "loop in " << route.path.to_string();
+      }
+    }
+  });
+}
+
+TEST_P(PipelineInvariants, CollectorPathsEndAtTheTrueOrigin) {
+  const auto& p = pipe();
+  std::unordered_map<bgp::Prefix, AsNumber> origin_of;
+  for (const auto& origination : p.originations) {
+    origin_of.emplace(origination.prefix, origination.origin);
+  }
+  p.sim.collector.for_each([&](const bgp::Prefix& prefix,
+                               std::span<const bgp::Route> routes) {
+    const auto it = origin_of.find(prefix);
+    ASSERT_NE(it, origin_of.end());
+    for (const auto& route : routes) {
+      EXPECT_EQ(route.origin_as(), it->second);
+    }
+  });
+}
+
+TEST_P(PipelineInvariants, WithheldPrefixesNeverCrossDeniedEdges) {
+  // Ground-truth check: a plain-deny selective unit means no observed path
+  // may carry that prefix across the (provider <- origin) edge.
+  const auto& p = pipe();
+  for (const auto& unit : p.gen.truth.origin_units) {
+    if (!unit.withheld || unit.via_community) continue;
+    for (const auto path : p.paths.paths_for_prefix(unit.prefix)) {
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const bool crosses =
+            path[i] == unit.provider && path[i + 1] == unit.origin;
+        ASSERT_FALSE(crosses)
+            << unit.prefix.to_string() << " leaked across the denied edge";
+      }
+    }
+  }
+}
+
+TEST_P(PipelineInvariants, SaPrefixesScoreWellAgainstTruthOracle) {
+  // Running the SA algorithm with inferred relationships should agree with
+  // running it on ground truth for the vast majority of prefixes.
+  const auto& p = pipe();
+  const AsNumber provider{1};
+  const auto inferred_run =
+      core::infer_sa_prefixes(p.table_for(provider), provider,
+                              p.inferred_graph, p.inferred_oracle());
+  const auto truth_run = core::infer_sa_prefixes(
+      p.table_for(provider), provider, p.topo.graph, p.truth_oracle());
+
+  std::unordered_set<bgp::Prefix> truth_sa;
+  for (const auto& sa : truth_run.sa_prefixes) truth_sa.insert(sa.prefix);
+  std::size_t agree = 0;
+  for (const auto& sa : inferred_run.sa_prefixes) {
+    if (truth_sa.contains(sa.prefix)) ++agree;
+  }
+  ASSERT_GT(truth_run.sa_count, 0u);
+  // Precision stays high; recall is bounded by inference coverage (origins
+  // whose cone membership the path data never reveals), so it gets the
+  // looser bound — the regime the paper itself operated in.
+  EXPECT_GT(util::percent(agree, inferred_run.sa_count), 85.0);
+  EXPECT_GT(util::percent(agree, truth_run.sa_count), 75.0);
+}
+
+TEST_P(PipelineInvariants, ImportTypicalityMatchesConfiguredRates) {
+  // With the truth oracle the measured atypicality must reflect only the
+  // injected deviations, never exceed a loose bound.
+  const auto& p = pipe();
+  for (const auto vantage : p.vantage.looking_glass) {
+    const auto result = core::analyze_import_typicality(
+        p.sim.looking_glass.at(vantage), p.truth_oracle());
+    if (result.comparable_prefixes < 20) continue;
+    EXPECT_GT(result.percent_typical, 80.0) << util::to_string(vantage);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineInvariants,
+                         ::testing::Values(42, 1234, 98765));
+
+}  // namespace
+}  // namespace bgpolicy

@@ -1,0 +1,147 @@
+// Deterministic mutation fuzzing of every parser in the repo: corrupt
+// inputs must be rejected with std::invalid_argument (or parsed, if the
+// mutation happens to stay valid) — never crash, loop, or corrupt state.
+#include <gtest/gtest.h>
+
+#include "io/binary_table.h"
+#include "io/table_dump.h"
+#include "rpsl/generator.h"
+#include "rpsl/parser.h"
+#include "testing/fixtures.h"
+#include "util/rng.h"
+
+namespace bgpolicy {
+namespace {
+
+using util::Rng;
+
+bgp::BgpTable sample_table() {
+  bgp::BgpTable table{util::AsNumber(7018)};
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    auto route = testing::make_route(
+        bgp::Prefix(0x0A000000 + (i << 8), 24),
+        {util::AsNumber(700 + i % 3), util::AsNumber(9000 + i)},
+        90 + i % 40);
+    route.add_community(bgp::Community(7018, static_cast<std::uint16_t>(
+                                                 1000 + 10 * (i % 5))));
+    table.add(route);
+  }
+  return table;
+}
+
+template <typename Bytes, typename Fn>
+void mutate_and_run(const Bytes& original, std::uint64_t seed, Fn parse) {
+  Rng rng(seed);
+  for (int round = 0; round < 200; ++round) {
+    Bytes mutated = original;
+    if (mutated.empty()) break;
+    const int mutation = static_cast<int>(rng.uniform(0, 3));
+    const std::size_t at = rng.index(mutated.size());
+    switch (mutation) {
+      case 0:  // flip a byte
+        mutated[at] = static_cast<typename Bytes::value_type>(
+            rng.uniform(0, 255));
+        break;
+      case 1:  // truncate
+        mutated.resize(at);
+        break;
+      case 2:  // duplicate a chunk
+        mutated.insert(mutated.end(), mutated.begin(),
+                       mutated.begin() +
+                           static_cast<std::ptrdiff_t>(
+                               std::min<std::size_t>(at, 64)));
+        break;
+      case 3:  // delete a chunk
+        mutated.erase(mutated.begin() + static_cast<std::ptrdiff_t>(at),
+                      mutated.begin() +
+                          static_cast<std::ptrdiff_t>(std::min(
+                              mutated.size(), at + rng.index(32) + 1)));
+        break;
+    }
+    try {
+      parse(mutated);  // success is fine; the mutation may be harmless
+    } catch (const std::invalid_argument&) {
+      // expected rejection path
+    }
+    // anything else (crash, other exception) fails the test
+  }
+}
+
+class ParserRobustness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserRobustness, TextTableDumpSurvivesMutations) {
+  const std::string original = io::dump_table(sample_table());
+  mutate_and_run(original, GetParam(),
+                 [](const std::string& text) { (void)io::parse_table(text); });
+}
+
+TEST_P(ParserRobustness, BinaryTableSurvivesMutations) {
+  const std::vector<std::uint8_t> original =
+      io::serialize_table(sample_table());
+  mutate_and_run(original, GetParam() ^ 0xB1, [](const auto& bytes) {
+    (void)io::deserialize_table(bytes);
+  });
+}
+
+TEST_P(ParserRobustness, RpslParserSurvivesMutations) {
+  // The RPSL parser is lenient by design (IRR dumps are messy): it must
+  // never throw at all, just skip garbage.
+  topo::GeneratorParams params;
+  params.seed = 3;
+  params.tier1_count = 3;
+  params.tier2_count = 4;
+  params.tier3_count = 6;
+  params.stub_count = 20;
+  const auto topo = topo::generate_topology(params);
+  sim::PolicySet policies;
+  for (const auto as : topo.graph.ases()) {
+    policies.by_as.emplace(as, sim::AsPolicy{});
+  }
+  rpsl::IrrGenParams irr;
+  irr.coverage = 1.0;
+  const std::string original = rpsl::generate_irr(topo, policies, irr);
+
+  Rng rng(GetParam() ^ 0x1227);
+  for (int round = 0; round < 100; ++round) {
+    std::string mutated = original;
+    const std::size_t at = rng.index(mutated.size());
+    switch (rng.uniform(0, 2)) {
+      case 0: mutated[at] = static_cast<char>(rng.uniform(1, 255)); break;
+      case 1: mutated.resize(at); break;
+      case 2:
+        mutated.insert(at, "\n+ garbage continuation: :: ##\n");
+        break;
+    }
+    EXPECT_NO_THROW((void)rpsl::parse_aut_nums(mutated));
+  }
+}
+
+TEST_P(ParserRobustness, PrefixAndPathParsersSurviveMutations) {
+  Rng rng(GetParam() ^ 0x99);
+  const std::string prefix_base = "192.168.10.0/24";
+  const std::string path_base = "7018 701 3356 64512";
+  const std::string community_base = "12859:1000";
+  for (int round = 0; round < 300; ++round) {
+    const auto mutate = [&](std::string s) {
+      if (!s.empty()) {
+        const std::size_t at = rng.index(s.size());
+        s[at] = static_cast<char>(rng.uniform(32, 126));
+      }
+      return s;
+    };
+    // try_parse variants must be noexcept-clean; parse variants may throw
+    // std::invalid_argument only.
+    (void)bgp::Prefix::try_parse(mutate(prefix_base));
+    try {
+      (void)bgp::AsPath::parse(mutate(path_base));
+    } catch (const std::invalid_argument&) {
+    }
+    (void)bgp::Community::try_parse(mutate(community_base));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustness,
+                         ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace bgpolicy

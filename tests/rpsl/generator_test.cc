@@ -1,0 +1,118 @@
+#include "rpsl/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "rpsl/parser.h"
+#include "sim/policy_gen.h"
+#include "topology/prefix_alloc.h"
+
+namespace bgpolicy::rpsl {
+namespace {
+
+struct World {
+  topo::Topology topo;
+  sim::PolicySet policies;
+};
+
+World make_world() {
+  topo::GeneratorParams p;
+  p.seed = 5;
+  p.tier1_count = 4;
+  p.tier2_count = 8;
+  p.tier3_count = 16;
+  p.stub_count = 60;
+  World w;
+  w.topo = topo::generate_topology(p);
+  const auto plan = topo::allocate_prefixes(w.topo, {});
+  sim::PolicyGenParams pg;
+  pg.tagging_as_prob = 1.0;
+  pg.publish_prob = 1.0;
+  w.policies = sim::generate_policies(w.topo, plan, pg).policies;
+  return w;
+}
+
+TEST(IrrGenerator, PrefInversionHelper) {
+  EXPECT_EQ(pref_from_local_pref(100), 900u);
+  EXPECT_EQ(pref_from_local_pref(0), 1000u);
+  EXPECT_EQ(pref_from_local_pref(1000), 0u);
+  // Higher LOCAL_PREF => smaller (better) RPSL pref.
+  EXPECT_LT(pref_from_local_pref(120), pref_from_local_pref(80));
+}
+
+TEST(IrrGenerator, FullCoverageRoundTrips) {
+  const World w = make_world();
+  IrrGenParams params;
+  params.coverage = 1.0;
+  params.stale_prob = 0.0;
+  params.wrong_pref_prob = 0.0;
+  params.missing_pref_prob = 0.0;
+  const std::string db = generate_irr(w.topo, w.policies, params);
+  const auto aut_nums = parse_aut_nums(db);
+  EXPECT_EQ(aut_nums.size(), w.topo.graph.as_count());
+
+  for (const auto& aut_num : aut_nums) {
+    EXPECT_EQ(aut_num.imports.size(), w.topo.graph.degree(aut_num.as));
+    EXPECT_EQ(aut_num.changed_date, params.fresh_date);
+    for (const auto& line : aut_num.imports) {
+      ASSERT_TRUE(line.pref.has_value());
+      // Invert back and compare against the configured policy.
+      const auto rel = w.topo.graph.relationship(aut_num.as, line.from);
+      ASSERT_TRUE(rel);
+      const auto& import = w.policies.at(aut_num.as).import;
+      std::uint32_t expected = import.base_for(*rel);
+      if (const auto it = import.neighbor_override.find(line.from);
+          it != import.neighbor_override.end()) {
+        expected = it->second;
+      }
+      EXPECT_EQ(*line.pref, pref_from_local_pref(expected));
+    }
+  }
+}
+
+TEST(IrrGenerator, CoverageAndStalenessRates) {
+  const World w = make_world();
+  IrrGenParams params;
+  params.coverage = 0.5;
+  params.stale_prob = 0.4;
+  const std::string db = generate_irr(w.topo, w.policies, params);
+  const auto aut_nums = parse_aut_nums(db);
+  const double coverage_rate = static_cast<double>(aut_nums.size()) /
+                               static_cast<double>(w.topo.graph.as_count());
+  EXPECT_NEAR(coverage_rate, 0.5, 0.15);
+  std::size_t stale = 0;
+  for (const auto& aut_num : aut_nums) {
+    if (aut_num.changed_date < 20020000) ++stale;
+  }
+  const double stale_rate =
+      static_cast<double>(stale) / static_cast<double>(aut_nums.size());
+  EXPECT_NEAR(stale_rate, 0.4, 0.15);
+}
+
+TEST(IrrGenerator, PublishedProfilesEmitCommunityRemarks) {
+  const World w = make_world();
+  IrrGenParams params;
+  params.coverage = 1.0;
+  const std::string db = generate_irr(w.topo, w.policies, params);
+  const auto aut_nums = parse_aut_nums(db);
+  std::size_t with_remarks = 0;
+  for (const auto& aut_num : aut_nums) {
+    const auto& profile = w.policies.at(aut_num.as).community;
+    if (profile.enabled && profile.published) {
+      EXPECT_EQ(aut_num.community_remarks.size(), 3u)
+          << util::to_string(aut_num.as);
+      ++with_remarks;
+    } else {
+      EXPECT_TRUE(aut_num.community_remarks.empty());
+    }
+  }
+  EXPECT_GT(with_remarks, 0u);
+}
+
+TEST(IrrGenerator, DeterministicForSeed) {
+  const World w = make_world();
+  EXPECT_EQ(generate_irr(w.topo, w.policies, {}),
+            generate_irr(w.topo, w.policies, {}));
+}
+
+}  // namespace
+}  // namespace bgpolicy::rpsl

@@ -1,0 +1,124 @@
+#include "rpsl/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpolicy::rpsl {
+namespace {
+
+constexpr const char* kSampleDb = R"(# comment line
+aut-num: AS1
+as-name: EXAMPLE-1
+import: from AS2 action pref = 1; accept ANY
+import: from AS3 accept ANY
+export: to AS2 announce AS1
+remarks: rel-community peer 1000 1029
+remarks: ordinary human text
+changed: noc@example.net 20021118
+source: SYNTH
+
+aut-num: AS7018
+as-name: ATT
+import: from AS701 action pref = 900; accept ANY
+changed: old@example.net 20010101
+changed: new@example.net 20020301
+
+route: 192.0.2.0/24
+origin: AS1
+)";
+
+TEST(RpslParser, SplitsObjectsOnBlankLines) {
+  const auto objects = parse_database(kSampleDb);
+  ASSERT_EQ(objects.size(), 3u);
+  EXPECT_EQ(objects[0].class_name(), "aut-num");
+  EXPECT_EQ(objects[2].class_name(), "route");
+}
+
+TEST(RpslParser, AttributeAccess) {
+  const auto objects = parse_database(kSampleDb);
+  EXPECT_EQ(objects[0].first("as-name"), "EXAMPLE-1");
+  EXPECT_EQ(objects[0].all("import").size(), 2u);
+  EXPECT_FALSE(objects[0].first("missing"));
+}
+
+TEST(RpslParser, ContinuationLinesFold) {
+  const auto objects = parse_database(
+      "aut-num: AS5\nimport: from AS6\n+ action pref = 10; accept ANY\n");
+  ASSERT_EQ(objects.size(), 1u);
+  const auto aut_num = parse_aut_num(objects[0]);
+  ASSERT_TRUE(aut_num);
+  ASSERT_EQ(aut_num->imports.size(), 1u);
+  EXPECT_EQ(aut_num->imports[0].pref, 10u);
+}
+
+TEST(RpslParser, AutNumFields) {
+  const auto aut_nums = parse_aut_nums(kSampleDb);
+  ASSERT_EQ(aut_nums.size(), 2u);
+  const AutNum& first = aut_nums[0];
+  EXPECT_EQ(first.as, AsNumber(1));
+  EXPECT_EQ(first.as_name, "EXAMPLE-1");
+  ASSERT_EQ(first.imports.size(), 2u);
+  EXPECT_EQ(first.imports[0].from, AsNumber(2));
+  EXPECT_EQ(first.imports[0].pref, 1u);
+  EXPECT_FALSE(first.imports[1].pref);
+  ASSERT_EQ(first.exports.size(), 1u);
+  EXPECT_EQ(first.exports[0].to, AsNumber(2));
+  EXPECT_EQ(first.changed_date, 20021118u);
+  ASSERT_EQ(first.community_remarks.size(), 1u);
+  EXPECT_EQ(first.community_remarks[0].kind, RelKind::kPeer);
+  EXPECT_EQ(first.community_remarks[0].value_lo, 1000);
+  EXPECT_EQ(first.community_remarks[0].value_hi, 1029);
+}
+
+TEST(RpslParser, LatestChangedDateWins) {
+  const auto aut_nums = parse_aut_nums(kSampleDb);
+  EXPECT_EQ(aut_nums[1].changed_date, 20020301u);
+}
+
+TEST(RpslParser, ImportLineVariants) {
+  const auto with_pref =
+      parse_import_line("from AS65000 action pref = 100; accept ANY");
+  ASSERT_TRUE(with_pref);
+  EXPECT_EQ(with_pref->from, AsNumber(65000));
+  EXPECT_EQ(with_pref->pref, 100u);
+  EXPECT_EQ(with_pref->accept, "ANY");
+
+  const auto without_action = parse_import_line("from AS2 accept AS2");
+  ASSERT_TRUE(without_action);
+  EXPECT_FALSE(without_action->pref);
+  EXPECT_EQ(without_action->accept, "AS2");
+
+  EXPECT_FALSE(parse_import_line("to AS2 announce ANY"));
+  EXPECT_FALSE(parse_import_line("from NOTANAS accept ANY"));
+  EXPECT_FALSE(parse_import_line("from AS2 action pref = x; accept ANY"));
+}
+
+TEST(RpslParser, CommunityRemarkVariants) {
+  const auto peer = parse_community_remark("rel-community peer 1000 1029");
+  ASSERT_TRUE(peer);
+  EXPECT_EQ(peer->kind, RelKind::kPeer);
+  const auto customer =
+      parse_community_remark("rel-community customer 4000 4000");
+  ASSERT_TRUE(customer);
+  EXPECT_EQ(customer->kind, RelKind::kCustomer);
+  EXPECT_FALSE(parse_community_remark("rel-community sibling 1 2"));
+  EXPECT_FALSE(parse_community_remark("rel-community peer 2 1"));
+  EXPECT_FALSE(parse_community_remark("rel-community peer 1 70000"));
+  EXPECT_FALSE(parse_community_remark("something else entirely"));
+}
+
+TEST(RpslParser, NonAutNumObjectsAreSkipped) {
+  EXPECT_FALSE(parse_aut_num(parse_database("route: 10.0.0.0/8\n")[0]));
+  EXPECT_FALSE(parse_aut_num(parse_database("aut-num: garbage\n")[0]));
+}
+
+TEST(RpslParser, HandlesCrLfAndTrailingJunk) {
+  const auto objects =
+      parse_database("aut-num: AS9\r\nas-name: X\r\n\r\nmalformed line\n");
+  ASSERT_GE(objects.size(), 1u);
+  const auto aut_num = parse_aut_num(objects[0]);
+  ASSERT_TRUE(aut_num);
+  EXPECT_EQ(aut_num->as, AsNumber(9));
+}
+
+}  // namespace
+}  // namespace bgpolicy::rpsl

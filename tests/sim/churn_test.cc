@@ -1,0 +1,97 @@
+#include "sim/churn.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace bgpolicy::sim {
+namespace {
+
+using namespace bgpolicy::testing;
+using bgp::Prefix;
+
+const Prefix kPrefix = Prefix::parse("10.0.0.0/24");
+
+// A Fig. 3 world with one toggleable selective unit: A withholds kPrefix
+// from B (announces only to C).
+struct ChurnWorld {
+  Figure3 fig = figure3_graph();
+  PolicySet policies;
+  GroundTruth truth;
+  std::vector<Origination> originations;
+};
+
+ChurnWorld make_world(bool withheld) {
+  ChurnWorld w;
+  w.policies = typical_policies(w.fig.graph);
+  if (withheld) {
+    ExportRule rule;
+    rule.prefix = kPrefix;
+    rule.action = ExportAction::kDeny;
+    w.policies.at_mut(w.fig.a).export_.add_rule_for(w.fig.b, rule);
+  }
+  w.truth.origin_units.push_back({w.fig.a, kPrefix, w.fig.b, withheld, false});
+  w.originations.push_back({kPrefix, w.fig.a});
+  return w;
+}
+
+TEST(Churn, RunInitialPopulatesWatchedTables) {
+  ChurnWorld w = make_world(/*withheld=*/true);
+  ChurnParams params;
+  ChurnSimulator churn(w.fig.graph, w.policies, w.originations, w.truth,
+                       {w.fig.d}, params);
+  churn.run_initial();
+  const auto& watched = churn.watched(w.fig.d);
+  ASSERT_TRUE(watched.contains(kPrefix));
+  EXPECT_EQ(watched.at(kPrefix).learned_from, w.fig.e);  // peer route: SA
+}
+
+TEST(Churn, StepTogglesSelectiveAnnouncement) {
+  ChurnWorld w = make_world(/*withheld=*/true);
+  ChurnParams params;
+  params.flip_fraction = 1.0;  // flip the single unit every step
+  ChurnSimulator churn(w.fig.graph, w.policies, w.originations, w.truth,
+                       {w.fig.d}, params);
+  churn.run_initial();
+
+  const auto changed = churn.step();
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed.front(), kPrefix);
+  // After re-announcing to B, D regains the customer route via B.
+  EXPECT_EQ(churn.watched(w.fig.d).at(kPrefix).learned_from, w.fig.b);
+
+  churn.step();
+  // Withheld again: back to the peer route.
+  EXPECT_EQ(churn.watched(w.fig.d).at(kPrefix).learned_from, w.fig.e);
+}
+
+TEST(Churn, StepBeforeInitialThrows) {
+  ChurnWorld w = make_world(true);
+  ChurnSimulator churn(w.fig.graph, w.policies, w.originations, w.truth,
+                       {w.fig.d}, {});
+  EXPECT_THROW(churn.step(), std::runtime_error);
+  churn.run_initial();
+  EXPECT_THROW(churn.run_initial(), std::runtime_error);
+}
+
+TEST(Churn, UnwatchedAsThrows) {
+  ChurnWorld w = make_world(true);
+  ChurnSimulator churn(w.fig.graph, w.policies, w.originations, w.truth,
+                       {w.fig.d}, {});
+  churn.run_initial();
+  EXPECT_THROW((void)churn.watched(w.fig.e), std::invalid_argument);
+}
+
+TEST(Churn, CommunityUnitsAreNotToggled) {
+  ChurnWorld w = make_world(true);
+  w.truth.origin_units.front().via_community = true;  // not toggleable
+  ChurnParams params;
+  params.flip_fraction = 1.0;
+  ChurnSimulator churn(w.fig.graph, w.policies, w.originations, w.truth,
+                       {w.fig.d}, params);
+  churn.run_initial();
+  EXPECT_TRUE(churn.step().empty());
+}
+
+}  // namespace
+}  // namespace bgpolicy::sim

@@ -1,0 +1,144 @@
+#include "sim/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace bgpolicy::sim {
+namespace {
+
+using namespace bgpolicy::testing;
+using bgp::Prefix;
+
+const Prefix kPrefix = Prefix::parse("10.0.0.0/24");
+const Prefix kOther = Prefix::parse("10.9.0.0/24");
+
+TEST(ImportPolicy, ClassBasesAreTypicalByDefault) {
+  const ImportPolicy import;
+  EXPECT_GT(import.customer_pref, import.peer_pref);
+  EXPECT_GT(import.peer_pref, import.provider_pref);
+  EXPECT_EQ(import.preference(kAs1, RelKind::kCustomer, kPrefix),
+            import.customer_pref);
+  EXPECT_EQ(import.preference(kAs1, RelKind::kPeer, kPrefix),
+            import.peer_pref);
+  EXPECT_EQ(import.preference(kAs1, RelKind::kProvider, kPrefix),
+            import.provider_pref);
+}
+
+TEST(ImportPolicy, NeighborOverrideBeatsClassBase) {
+  ImportPolicy import;
+  import.neighbor_override[kAs2] = 42;
+  EXPECT_EQ(import.preference(kAs2, RelKind::kCustomer, kPrefix), 42u);
+  EXPECT_EQ(import.preference(kAs3, RelKind::kCustomer, kPrefix),
+            import.customer_pref);
+}
+
+TEST(ImportPolicy, PrefixOverrideBeatsNeighborOverride) {
+  ImportPolicy import;
+  import.neighbor_override[kAs2] = 42;
+  import.prefix_override[kPrefix] = 77;
+  EXPECT_EQ(import.preference(kAs2, RelKind::kCustomer, kPrefix), 77u);
+  EXPECT_EQ(import.preference(kAs2, RelKind::kCustomer, kOther), 42u);
+}
+
+TEST(ExportRule, MatchSemantics) {
+  ExportRule any;
+  EXPECT_TRUE(any.matches(kPrefix, kAs1));
+
+  ExportRule by_prefix;
+  by_prefix.prefix = kPrefix;
+  EXPECT_TRUE(by_prefix.matches(kPrefix, kAs1));
+  EXPECT_FALSE(by_prefix.matches(kOther, kAs1));
+
+  ExportRule by_origin;
+  by_origin.origin = kAs1;
+  EXPECT_TRUE(by_origin.matches(kPrefix, kAs1));
+  EXPECT_FALSE(by_origin.matches(kPrefix, kAs2));
+
+  ExportRule both;
+  both.prefix = kPrefix;
+  both.origin = kAs1;
+  EXPECT_TRUE(both.matches(kPrefix, kAs1));
+  EXPECT_FALSE(both.matches(kPrefix, kAs2));
+  EXPECT_FALSE(both.matches(kOther, kAs1));
+}
+
+TEST(ExportPolicy, PerNeighborAndAnyNeighborRules) {
+  ExportPolicy policy;
+  ExportRule deny;
+  deny.prefix = kPrefix;
+  deny.action = ExportAction::kDeny;
+  policy.add_rule_for(kAs2, deny);
+  EXPECT_NE(policy.match(kAs2, kPrefix, kAs1), nullptr);
+  EXPECT_EQ(policy.match(kAs3, kPrefix, kAs1), nullptr);
+  EXPECT_EQ(policy.match(kAs2, kOther, kAs1), nullptr);
+
+  ExportRule global;
+  global.prefix = kOther;
+  policy.add_rule_any(global);
+  EXPECT_NE(policy.match(kAs3, kOther, kAs1), nullptr);
+}
+
+TEST(ExportPolicy, RemovePrefixRules) {
+  ExportPolicy policy;
+  ExportRule deny;
+  deny.prefix = kPrefix;
+  policy.add_rule_for(kAs2, deny);
+  ExportRule deny_other;
+  deny_other.prefix = kOther;
+  policy.add_rule_for(kAs2, deny_other);
+
+  EXPECT_EQ(policy.remove_prefix_rules(kAs2, kPrefix), 1u);
+  EXPECT_EQ(policy.match(kAs2, kPrefix, kAs1), nullptr);
+  EXPECT_NE(policy.match(kAs2, kOther, kAs1), nullptr);
+  EXPECT_EQ(policy.remove_prefix_rules(kAs2, kPrefix), 0u);
+  EXPECT_EQ(policy.remove_prefix_rules(util::AsNumber(9), kPrefix), 0u);
+}
+
+TEST(CommunityProfile, TagEncodesRelationshipClass) {
+  CommunityProfile profile;
+  profile.enabled = true;
+  const auto tag = profile.tag(kAs1, kAs2, RelKind::kCustomer);
+  EXPECT_EQ(tag.asn(), 1);
+  EXPECT_EQ(profile.classify(tag, kAs1), RelKind::kCustomer);
+  EXPECT_EQ(profile.classify(profile.tag(kAs1, kAs3, RelKind::kPeer), kAs1),
+            RelKind::kPeer);
+  EXPECT_EQ(
+      profile.classify(profile.tag(kAs1, kAs4, RelKind::kProvider), kAs1),
+      RelKind::kProvider);
+}
+
+TEST(CommunityProfile, ClassifyRejectsForeignAndUnknown) {
+  CommunityProfile profile;
+  const auto tag = profile.tag(kAs1, kAs2, RelKind::kPeer);
+  EXPECT_FALSE(profile.classify(tag, kAs2));  // tagged by AS1, not AS2
+  EXPECT_FALSE(profile.classify(bgp::Community(1, 9999), kAs1));
+}
+
+TEST(CommunityProfile, SlotsAreStablePerNeighbor) {
+  CommunityProfile profile;
+  profile.values_per_class = 3;
+  const auto tag1 = profile.tag(kAs1, kAs2, RelKind::kPeer);
+  const auto tag2 = profile.tag(kAs1, kAs2, RelKind::kPeer);
+  EXPECT_EQ(tag1, tag2);
+}
+
+TEST(AsPolicy, NoExportSlotsAreReused) {
+  AsPolicy policy;
+  const auto slot1 = policy.no_export_slot_for(kAs5);
+  const auto slot2 = policy.no_export_slot_for(kAs6);
+  const auto slot1_again = policy.no_export_slot_for(kAs5);
+  EXPECT_EQ(slot1, slot1_again);
+  EXPECT_NE(slot1, slot2);
+  EXPECT_EQ(policy.no_export_targets.size(), 2u);
+}
+
+TEST(PolicySet, AtThrowsForUnknownAs) {
+  PolicySet policies;
+  EXPECT_THROW((void)policies.at(kAs1), std::out_of_range);
+  (void)policies.at_mut(kAs1);
+  EXPECT_NO_THROW((void)policies.at(kAs1));
+}
+
+}  // namespace
+}  // namespace bgpolicy::sim

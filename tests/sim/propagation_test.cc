@@ -1,0 +1,246 @@
+#include "sim/propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace bgpolicy::sim {
+namespace {
+
+using namespace bgpolicy::testing;
+using bgp::Prefix;
+
+const Prefix kPrefix = Prefix::parse("10.0.0.0/24");
+
+TEST(Propagation, OriginInstallsSelfRoute) {
+  const auto g = figure1_graph();
+  const auto policies = typical_policies(g);
+  const PropagationEngine engine(g, policies);
+  const auto state = engine.propagate({kPrefix, kAs4});
+  const bgp::Route* self = state.best_at(kAs4);
+  ASSERT_NE(self, nullptr);
+  EXPECT_TRUE(self->self_originated());
+  EXPECT_EQ(self->local_pref, kSelfLocalPref);
+}
+
+TEST(Propagation, EveryoneReachesAStubPrefix) {
+  const auto g = figure1_graph();
+  const auto policies = typical_policies(g);
+  const PropagationEngine engine(g, policies);
+  const auto state = engine.propagate({kPrefix, kAs4});
+  EXPECT_TRUE(state.converged);
+  for (const auto as : g.ases()) {
+    EXPECT_NE(state.best_at(as), nullptr) << util::to_string(as);
+  }
+}
+
+TEST(Propagation, PathsExcludeOwnerAndEndAtOrigin) {
+  const auto g = figure1_graph();
+  const auto policies = typical_policies(g);
+  const PropagationEngine engine(g, policies);
+  const auto state = engine.propagate({kPrefix, kAs4});
+  for (const auto as : g.ases()) {
+    const bgp::Route* best = state.best_at(as);
+    ASSERT_NE(best, nullptr);
+    EXPECT_FALSE(best->path.contains(as));
+    if (as != kAs4) {
+      EXPECT_EQ(best->origin_as(), kAs4);
+      EXPECT_EQ(best->learned_from, *best->path.next_hop_as());
+    }
+  }
+}
+
+TEST(Propagation, AllUsedPathsAreValleyFree) {
+  const auto g = figure1_graph();
+  const auto policies = typical_policies(g);
+  const PropagationEngine engine(g, policies);
+  for (const auto origin : g.ases()) {
+    const auto state = engine.propagate({kPrefix, origin});
+    for (const auto as : g.ases()) {
+      const bgp::Route* best = state.best_at(as);
+      if (best == nullptr || best->self_originated()) continue;
+      // The full path including the owner must be valley-free.
+      const auto full = best->path.prepend(as);
+      EXPECT_TRUE(g.is_valley_free(full.hops()))
+          << util::to_string(as) << " uses " << full.to_string();
+    }
+  }
+}
+
+TEST(Propagation, CustomerRoutePreferredOverPeerRoute) {
+  // AS5 can reach AS4 via customer AS2 (two hops) or learn nothing better;
+  // give AS5 an alternative: AS6 peers with AS5 and also reaches AS4 via
+  // AS2?  Use Fig. 1: AS5's route must come through customer AS2, never the
+  // peer AS6 (AS6's route to AS4 is via its customer AS3's peer edge —
+  // which AS3 won't export upward).
+  const auto g = figure1_graph();
+  const auto policies = typical_policies(g);
+  const PropagationEngine engine(g, policies);
+  const auto state = engine.propagate({kPrefix, kAs4});
+  const bgp::Route* at5 = state.best_at(kAs5);
+  ASSERT_NE(at5, nullptr);
+  EXPECT_EQ(at5->learned_from, kAs2);
+}
+
+TEST(Propagation, PeerRouteNotExportedToPeerOrProvider) {
+  // AS3 learns AS4's prefix over the AS3-AS4 peer edge.  The export rules
+  // (Section 2.2.2) forbid announcing a peer-learned route to AS3's
+  // provider AS6.  AS6 instead hears the prefix from its customer AS2
+  // (which holds a customer route to AS4 and may export it anywhere).
+  const auto g = figure1_graph();
+  const auto policies = typical_policies(g);
+  const PropagationEngine engine(g, policies);
+  const auto state = engine.propagate({kPrefix, kAs4});
+  const bgp::Route* at6 = state.best_at(kAs6);
+  ASSERT_NE(at6, nullptr);
+  EXPECT_NE(at6->learned_from, kAs3)
+      << "AS3 exported a peer-learned route to its provider";
+  EXPECT_EQ(at6->learned_from, kAs2) << "the customer route must win";
+}
+
+TEST(Propagation, SelectiveAnnouncementCreatesPeerOnlyVisibility) {
+  // The paper's Fig. 3: A announces p to provider C but not to B.
+  // D (B's provider) must then see p via its peer E, not via a customer.
+  auto f = figure3_graph();
+  auto policies = typical_policies(f.graph);
+  ExportRule rule;
+  rule.prefix = kPrefix;
+  rule.action = ExportAction::kDeny;
+  policies.at_mut(f.a).export_.add_rule_for(f.b, rule);
+
+  const PropagationEngine engine(f.graph, policies);
+  const auto state = engine.propagate({kPrefix, f.a});
+
+  const bgp::Route* at_b = state.best_at(f.b);
+  ASSERT_NE(at_b, nullptr);  // B still hears p from its provider D
+  EXPECT_EQ(at_b->learned_from, f.d);
+
+  const bgp::Route* at_d = state.best_at(f.d);
+  ASSERT_NE(at_d, nullptr);
+  EXPECT_EQ(at_d->learned_from, f.e) << "D must see p only via its peer E";
+
+  const bgp::Route* at_c = state.best_at(f.c);
+  ASSERT_NE(at_c, nullptr);
+  EXPECT_EQ(at_c->learned_from, f.a) << "C keeps the direct customer route";
+}
+
+TEST(Propagation, NoExportUpstreamCommunityCapsPropagation) {
+  // Fig. 3 variant of Case 3: A announces p to B but tags it so B must not
+  // propagate it to B's providers.  B keeps a customer route; D sees the
+  // prefix only via its peer E.
+  auto f = figure3_graph();
+  auto policies = typical_policies(f.graph);
+  ExportRule rule;
+  rule.prefix = kPrefix;
+  rule.action = ExportAction::kTagNoExportUpstream;
+  policies.at_mut(f.a).export_.add_rule_for(f.b, rule);
+
+  const PropagationEngine engine(f.graph, policies);
+  const auto state = engine.propagate({kPrefix, f.a});
+
+  const bgp::Route* at_b = state.best_at(f.b);
+  ASSERT_NE(at_b, nullptr);
+  EXPECT_EQ(at_b->learned_from, f.a) << "B keeps the tagged customer route";
+
+  const bgp::Route* at_d = state.best_at(f.d);
+  ASSERT_NE(at_d, nullptr);
+  EXPECT_EQ(at_d->learned_from, f.e)
+      << "the community must stop B from exporting to D";
+}
+
+TEST(Propagation, NoExportToTargetCommunityBlocksOneAs) {
+  auto f = figure3_graph();
+  auto policies = typical_policies(f.graph);
+  // Register D as a no-export target of B, then tag A's announcement.
+  policies.at_mut(f.b).no_export_slot_for(f.d);
+  ExportRule rule;
+  rule.prefix = kPrefix;
+  rule.action = ExportAction::kTagNoExportTo;
+  rule.target = f.d;
+  policies.at_mut(f.a).export_.add_rule_for(f.b, rule);
+
+  const PropagationEngine engine(f.graph, policies);
+  const auto state = engine.propagate({kPrefix, f.a});
+  const bgp::Route* at_d = state.best_at(f.d);
+  ASSERT_NE(at_d, nullptr);
+  EXPECT_EQ(at_d->learned_from, f.e);
+}
+
+TEST(Propagation, WellKnownNoExportStopsAllPropagation) {
+  auto f = figure3_graph();
+  auto policies = typical_policies(f.graph);
+  const PropagationEngine engine(f.graph, policies);
+  // Simulate a self route carrying NO_EXPORT by checking route_as_received.
+  bgp::Route self;
+  self.prefix = kPrefix;
+  self.learned_from = f.a;
+  self.local_pref = kSelfLocalPref;
+  self.add_community(bgp::kNoExport);
+  const auto received =
+      engine.route_as_received(f.a, &self, {kPrefix, f.a}, f.b);
+  EXPECT_FALSE(received.has_value());
+}
+
+TEST(Propagation, ImportPolicySetsLocalPref) {
+  auto f = figure3_graph();
+  auto policies = typical_policies(f.graph);
+  policies.at_mut(f.b).import.customer_pref = 111;
+  const PropagationEngine engine(f.graph, policies);
+  const auto state = engine.propagate({kPrefix, f.a});
+  const bgp::Route* at_b = state.best_at(f.b);
+  ASSERT_NE(at_b, nullptr);
+  EXPECT_EQ(at_b->local_pref, 111u);
+}
+
+TEST(Propagation, PerPrefixOverrideBeatsNeighborDefault) {
+  auto f = figure3_graph();
+  auto policies = typical_policies(f.graph);
+  policies.at_mut(f.b).import.prefix_override[kPrefix] = 66;
+  const PropagationEngine engine(f.graph, policies);
+  const auto state = engine.propagate({kPrefix, f.a});
+  ASSERT_NE(state.best_at(f.b), nullptr);
+  EXPECT_EQ(state.best_at(f.b)->local_pref, 66u);
+}
+
+TEST(Propagation, CommunityTaggingOnImport) {
+  auto f = figure3_graph();
+  auto policies = typical_policies(f.graph);
+  policies.at_mut(f.b).community.enabled = true;
+  const PropagationEngine engine(f.graph, policies);
+  const auto state = engine.propagate({kPrefix, f.a});
+  const bgp::Route* at_b = state.best_at(f.b);
+  ASSERT_NE(at_b, nullptr);
+  ASSERT_FALSE(at_b->communities.empty());
+  const auto decoded = policies.at(f.b).community.classify(
+      at_b->communities.front(), f.b);
+  EXPECT_EQ(decoded, topo::RelKind::kCustomer);
+}
+
+TEST(Propagation, UnknownOriginThrows) {
+  const auto g = figure1_graph();
+  const auto policies = typical_policies(g);
+  const PropagationEngine engine(g, policies);
+  EXPECT_THROW(engine.propagate({kPrefix, util::AsNumber(999)}),
+               std::invalid_argument);
+}
+
+TEST(Propagation, AtypicalPreferenceChangesBestRoute) {
+  // Give D an atypical import policy preferring its peer E over customers;
+  // with A announcing everywhere, D normally uses the customer chain via B.
+  auto f = figure3_graph();
+  auto policies = typical_policies(f.graph);
+  const PropagationEngine typical_engine(f.graph, policies);
+  const auto typical_state = typical_engine.propagate({kPrefix, f.a});
+  ASSERT_NE(typical_state.best_at(f.d), nullptr);
+  EXPECT_EQ(typical_state.best_at(f.d)->learned_from, f.b);
+
+  policies.at_mut(f.d).import.neighbor_override[f.e] = 130;  // above customer
+  const PropagationEngine atypical_engine(f.graph, policies);
+  const auto atypical_state = atypical_engine.propagate({kPrefix, f.a});
+  ASSERT_NE(atypical_state.best_at(f.d), nullptr);
+  EXPECT_EQ(atypical_state.best_at(f.d)->learned_from, f.e);
+  EXPECT_TRUE(atypical_state.converged);
+}
+
+}  // namespace
+}  // namespace bgpolicy::sim

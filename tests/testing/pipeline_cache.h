@@ -1,0 +1,24 @@
+// Caches pipeline runs per seed so the many core-analysis tests don't each
+// pay for a fresh simulation.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/pipeline.h"
+
+namespace bgpolicy::testing {
+
+/// A shared, lazily built small-scenario pipeline.  Tests must treat it as
+/// immutable.
+inline const core::Pipeline& shared_pipeline(std::uint64_t seed = 42) {
+  static std::map<std::uint64_t, std::unique_ptr<core::Pipeline>> cache;
+  auto& entry = cache[seed];
+  if (!entry) {
+    entry = std::make_unique<core::Pipeline>(
+        core::run_pipeline(core::Scenario::small(seed)));
+  }
+  return *entry;
+}
+
+}  // namespace bgpolicy::testing

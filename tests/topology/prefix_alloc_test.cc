@@ -1,0 +1,117 @@
+#include "topology/prefix_alloc.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpolicy::topo {
+namespace {
+
+Topology small_topo(std::uint64_t seed = 1) {
+  GeneratorParams p;
+  p.seed = seed;
+  p.tier1_count = 4;
+  p.tier2_count = 8;
+  p.tier3_count = 20;
+  p.stub_count = 100;
+  return generate_topology(p);
+}
+
+TEST(PrefixAlloc, EveryAsOriginatesSomething) {
+  const Topology topo = small_topo();
+  const PrefixPlan plan = allocate_prefixes(topo, {});
+  for (const auto as : topo.graph.ases()) {
+    EXPECT_GE(plan.count_for(as), 1u) << util::to_string(as);
+  }
+}
+
+TEST(PrefixAlloc, TransitBlocksRecorded) {
+  const Topology topo = small_topo();
+  const PrefixPlan plan = allocate_prefixes(topo, {});
+  for (const auto& group : {topo.tier1, topo.tier2, topo.tier3}) {
+    for (const auto as : group) {
+      ASSERT_TRUE(plan.transit_block.contains(as));
+    }
+  }
+  // Tier sizes: /12 for Tier-1, /14 for Tier-2, /16 for Tier-3.
+  EXPECT_EQ(plan.transit_block.at(topo.tier1[0]).length(), 12);
+  EXPECT_EQ(plan.transit_block.at(topo.tier2[0]).length(), 14);
+  EXPECT_EQ(plan.transit_block.at(topo.tier3[0]).length(), 16);
+}
+
+TEST(PrefixAlloc, TransitBlocksAreDisjoint) {
+  const Topology topo = small_topo();
+  const PrefixPlan plan = allocate_prefixes(topo, {});
+  std::vector<bgp::Prefix> blocks;
+  for (const auto& [as, block] : plan.transit_block) blocks.push_back(block);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+      EXPECT_FALSE(blocks[i].covers(blocks[j]));
+      EXPECT_FALSE(blocks[j].covers(blocks[i]));
+    }
+  }
+}
+
+TEST(PrefixAlloc, ProviderAssignedSpaceLiesInsideProviderBlock) {
+  const Topology topo = small_topo();
+  PrefixAllocParams params;
+  params.provider_space_prob = 0.9;  // force plenty of provider-assigned space
+  const PrefixPlan plan = allocate_prefixes(topo, params);
+  std::size_t assigned = 0;
+  for (const auto& op : plan.prefixes) {
+    if (!op.allocated_from) continue;
+    ++assigned;
+    const auto block = plan.transit_block.find(*op.allocated_from);
+    ASSERT_NE(block, plan.transit_block.end());
+    EXPECT_TRUE(block->second.covers(op.prefix))
+        << op.prefix.to_string() << " not inside "
+        << block->second.to_string();
+  }
+  EXPECT_GT(assigned, 0u);
+}
+
+TEST(PrefixAlloc, IndependentStubPrefixesDisjointFromTransitBlocks) {
+  const Topology topo = small_topo();
+  const PrefixPlan plan = allocate_prefixes(topo, {});
+  for (const auto& op : plan.prefixes) {
+    if (op.allocated_from) continue;
+    if (plan.transit_block.contains(op.origin)) continue;  // transit's own
+    for (const auto& [as, block] : plan.transit_block) {
+      EXPECT_FALSE(block.covers(op.prefix))
+          << op.prefix.to_string() << " collides with " << util::to_string(as);
+    }
+  }
+}
+
+TEST(PrefixAlloc, ByOriginIndexIsConsistent) {
+  const Topology topo = small_topo();
+  const PrefixPlan plan = allocate_prefixes(topo, {});
+  for (const auto& [origin, indices] : plan.by_origin) {
+    for (const auto index : indices) {
+      ASSERT_LT(index, plan.prefixes.size());
+      EXPECT_EQ(plan.prefixes[index].origin, origin);
+    }
+  }
+}
+
+TEST(PrefixAlloc, DeterministicForSeed) {
+  const Topology topo = small_topo();
+  const PrefixPlan a = allocate_prefixes(topo, {});
+  const PrefixPlan b = allocate_prefixes(topo, {});
+  ASSERT_EQ(a.prefixes.size(), b.prefixes.size());
+  for (std::size_t i = 0; i < a.prefixes.size(); ++i) {
+    EXPECT_EQ(a.prefixes[i].prefix, b.prefixes[i].prefix);
+    EXPECT_EQ(a.prefixes[i].origin, b.prefixes[i].origin);
+  }
+}
+
+TEST(PrefixAlloc, StubPrefixCountRespectsCap) {
+  const Topology topo = small_topo();
+  PrefixAllocParams params;
+  params.max_stub_prefixes = 5;
+  const PrefixPlan plan = allocate_prefixes(topo, params);
+  for (const auto as : topo.stubs) {
+    EXPECT_LE(plan.count_for(as), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace bgpolicy::topo

@@ -1,0 +1,139 @@
+#include "topology/topology_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace bgpolicy::topo {
+namespace {
+
+GeneratorParams small_params(std::uint64_t seed = 1) {
+  GeneratorParams p;
+  p.seed = seed;
+  p.tier1_count = 6;
+  p.tier2_count = 10;
+  p.tier3_count = 30;
+  p.stub_count = 120;
+  return p;
+}
+
+TEST(TopologyGen, CountsMatchParams) {
+  const Topology topo = generate_topology(small_params());
+  EXPECT_EQ(topo.tier1.size(), 6u);
+  EXPECT_EQ(topo.tier2.size(), 10u);
+  EXPECT_EQ(topo.tier3.size(), 30u);
+  EXPECT_EQ(topo.stubs.size(), 120u);
+  EXPECT_EQ(topo.graph.as_count(), 166u);
+}
+
+TEST(TopologyGen, DeterministicForSeed) {
+  const Topology a = generate_topology(small_params(7));
+  const Topology b = generate_topology(small_params(7));
+  EXPECT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  for (const auto as : a.graph.ases()) {
+    EXPECT_EQ(a.graph.degree(as), b.graph.degree(as));
+  }
+}
+
+TEST(TopologyGen, DifferentSeedsDiffer) {
+  const Topology a = generate_topology(small_params(1));
+  const Topology b = generate_topology(small_params(2));
+  // Edge sets should differ somewhere (counts may coincide; check degrees).
+  bool any_different = a.graph.edge_count() != b.graph.edge_count();
+  for (const auto as : a.graph.ases()) {
+    if (a.graph.degree(as) != b.graph.degree(as)) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(TopologyGen, Tier1FormsFullPeerClique) {
+  const Topology topo = generate_topology(small_params());
+  for (std::size_t i = 0; i < topo.tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < topo.tier1.size(); ++j) {
+      EXPECT_EQ(topo.graph.relationship(topo.tier1[i], topo.tier1[j]),
+                RelKind::kPeer);
+    }
+  }
+}
+
+TEST(TopologyGen, Tier1HasNoProviders) {
+  const Topology topo = generate_topology(small_params());
+  for (const auto as : topo.tier1) {
+    EXPECT_TRUE(topo.graph.providers(as).empty())
+        << util::to_string(as) << " must be provider-free";
+  }
+}
+
+TEST(TopologyGen, EveryNonTier1HasAProvider) {
+  const Topology topo = generate_topology(small_params());
+  for (const auto& group : {topo.tier2, topo.tier3, topo.stubs}) {
+    for (const auto as : group) {
+      EXPECT_FALSE(topo.graph.providers(as).empty())
+          << util::to_string(as) << " is disconnected from the hierarchy";
+    }
+  }
+}
+
+TEST(TopologyGen, StubsHaveNoCustomers) {
+  const Topology topo = generate_topology(small_params());
+  for (const auto as : topo.stubs) {
+    EXPECT_TRUE(topo.graph.customers(as).empty());
+  }
+}
+
+TEST(TopologyGen, WellKnownAsNumbersPresent) {
+  const Topology topo = generate_topology(small_params());
+  EXPECT_TRUE(topo.graph.contains(util::AsNumber(well_known::kAtt)));
+  EXPECT_TRUE(topo.graph.contains(util::AsNumber(well_known::kGte)));
+  EXPECT_TRUE(topo.graph.contains(util::AsNumber(well_known::kGlobalCrossing)));
+  EXPECT_EQ(topo.tier_of(util::AsNumber(7018)), Tier::kTier1);
+}
+
+TEST(TopologyGen, Tier1DegreesDominateTier2) {
+  // The degree-realism property the inference heuristic depends on:
+  // the average Tier-1 degree clearly exceeds the average Tier-2 degree.
+  const Topology topo = generate_topology(small_params());
+  double tier1_avg = 0;
+  for (const auto as : topo.tier1) {
+    tier1_avg += static_cast<double>(topo.graph.degree(as));
+  }
+  tier1_avg /= static_cast<double>(topo.tier1.size());
+  double tier2_avg = 0;
+  for (const auto as : topo.tier2) {
+    tier2_avg += static_cast<double>(topo.graph.degree(as));
+  }
+  tier2_avg /= static_cast<double>(topo.tier2.size());
+  EXPECT_GT(tier1_avg, tier2_avg);
+}
+
+TEST(TopologyGen, RejectsDegenerateParams) {
+  GeneratorParams p = small_params();
+  p.tier1_count = 1;
+  EXPECT_THROW(generate_topology(p), std::invalid_argument);
+  p = small_params();
+  p.max_stub_providers = 1;
+  EXPECT_THROW(generate_topology(p), std::invalid_argument);
+}
+
+// Property sweep: multihoming rate tracks the parameter across seeds.
+class TopologyMultihoming : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopologyMultihoming, RateNearParameter) {
+  GeneratorParams p = small_params(GetParam());
+  p.stub_count = 400;
+  p.stub_multihome_prob = 0.6;
+  const Topology topo = generate_topology(p);
+  std::size_t multihomed = 0;
+  for (const auto as : topo.stubs) {
+    if (topo.graph.providers(as).size() >= 2) ++multihomed;
+  }
+  const double rate =
+      static_cast<double>(multihomed) / static_cast<double>(topo.stubs.size());
+  EXPECT_NEAR(rate, 0.6, 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologyMultihoming,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace bgpolicy::topo

@@ -1,0 +1,138 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace bgpolicy::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(7);
+  Rng child1 = parent.fork();
+  Rng child2 = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1() == child2()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+  EXPECT_EQ(rng.uniform(5, 5), 5u);
+  EXPECT_THROW((void)rng.uniform(6, 5), std::invalid_argument);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, IndexRejectsEmpty) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(4);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_FALSE(rng.chance(-1.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_TRUE(rng.chance(2.0));
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ParetoBoundedAndHeavyTailed) {
+  Rng rng(6);
+  std::size_t ones = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.pareto(1.2, 100);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 100u);
+    if (v == 1) ++ones;
+  }
+  // Mass concentrates at the low end for alpha > 1.
+  EXPECT_GT(ones, 2000u);
+  EXPECT_THROW((void)rng.pareto(0.0, 10), std::invalid_argument);
+  EXPECT_THROW((void)rng.pareto(1.0, 0), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(8);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, items);
+}
+
+TEST(Rng, SampleIndicesDistinctAndBounded) {
+  Rng rng(10);
+  const auto sparse = rng.sample_indices(1000, 10);
+  EXPECT_EQ(sparse.size(), 10u);
+  std::set<std::size_t> unique(sparse.begin(), sparse.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (const auto i : sparse) EXPECT_LT(i, 1000u);
+
+  const auto dense = rng.sample_indices(10, 9);
+  std::set<std::size_t> dense_unique(dense.begin(), dense.end());
+  EXPECT_EQ(dense_unique.size(), 9u);
+
+  EXPECT_THROW(rng.sample_indices(3, 4), std::invalid_argument);
+  EXPECT_TRUE(rng.sample_indices(5, 0).empty());
+}
+
+TEST(Splitmix64, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const auto first = splitmix64(state);
+  const auto second = splitmix64(state);
+  // Pinned values keep every seeded experiment reproducible across builds.
+  EXPECT_EQ(first, 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(second, 0x6E789E6AA1B965F4ULL);
+}
+
+}  // namespace
+}  // namespace bgpolicy::util

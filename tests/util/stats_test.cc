@@ -1,0 +1,61 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpolicy::util {
+namespace {
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, BasicStatistics) {
+  const std::vector<double> values{4.0, 1.0, 3.0, 2.0, 5.0};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(Percent, HandlesZeroDenominator) {
+  EXPECT_EQ(percent(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+  EXPECT_DOUBLE_EQ(percent(0, 4), 0.0);
+}
+
+TEST(Histogram, AccumulatesWeights) {
+  Histogram h;
+  h.add(3);
+  h.add(3, 2);
+  h.add(5);
+  EXPECT_EQ(h.at(3), 3u);
+  EXPECT_EQ(h.at(5), 1u);
+  EXPECT_EQ(h.at(7), 0u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bins().size(), 2u);
+}
+
+TEST(RankSeries, SortsNonIncreasing) {
+  const auto series = RankSeries::from("test", {3, 9, 1, 9, 4});
+  EXPECT_EQ(series.values, (std::vector<std::uint64_t>{9, 9, 4, 3, 1}));
+}
+
+TEST(RenderRankSeries, IncludesLabelAndExtremes) {
+  const auto series = RankSeries::from("AS1 prefixes", {100, 50, 10, 1});
+  const std::string out = render_rank_series(series);
+  EXPECT_NE(out.find("AS1 prefixes"), std::string::npos);
+  EXPECT_NE(out.find("rank 1"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+}
+
+TEST(RenderRankSeries, EmptySeriesIsJustHeader) {
+  const auto series = RankSeries::from("empty", {});
+  EXPECT_NE(render_rank_series(series).find("empty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgpolicy::util

@@ -1,0 +1,77 @@
+#include "util/text_table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/ids.h"
+
+#include <sstream>
+
+namespace bgpolicy::util {
+namespace {
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"AS", "% SA"});
+  table.add_row({"AS1", "32"});
+  table.add_row({"AS6453", "48.6"});
+  const std::string out = table.render("Table 5");
+  EXPECT_NE(out.find("Table 5"), std::string::npos);
+  EXPECT_NE(out.find("AS6453"), std::string::npos);
+  // All rows have the same width.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line == "Table 5") continue;
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Fmt, FixedDigits) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(100.0, 0), "100");
+  EXPECT_EQ(fmt(99.955, 3), "99.955");
+}
+
+TEST(FmtCountPct, PaperStyleCell) {
+  EXPECT_EQ(fmt_count_pct(611, 75.0), "611 (75%)");
+}
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(csv_escape("with\nnewline"), "\"with\nnewline\"");
+}
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"a", "b,c"});
+  writer.write_row({"1", "2"});
+  EXPECT_EQ(out.str(), "a,\"b,c\"\n1,2\n");
+}
+
+TEST(Ids, Formatting) {
+  EXPECT_EQ(to_string(AsNumber(7018)), "AS7018");
+  EXPECT_EQ(to_string(RouterId(3)), "r3");
+}
+
+TEST(Ids, OrderingAndHash) {
+  EXPECT_LT(AsNumber(1), AsNumber(2));
+  EXPECT_EQ(std::hash<AsNumber>{}(AsNumber(5)),
+            std::hash<AsNumber>{}(AsNumber(5)));
+}
+
+}  // namespace
+}  // namespace bgpolicy::util
