@@ -32,6 +32,7 @@ int main() {
   // (a) 31 daily steps with the default churn rate.
   {
     sim::ChurnParams churn_params;
+    churn_params.propagation = pipe.scenario.propagation;
     churn_params.seed = 31;
     churn_params.flip_fraction = 0.006;
     sim::ChurnSimulator churn(pipe.topo.graph, pipe.gen.policies,
@@ -46,6 +47,7 @@ int main() {
   // (b) 12 intra-day steps with much lower churn.
   {
     sim::ChurnParams churn_params;
+    churn_params.propagation = pipe.scenario.propagation;
     churn_params.seed = 15;
     churn_params.flip_fraction = 0.002;
     sim::ChurnSimulator churn(pipe.topo.graph, pipe.gen.policies,

@@ -34,6 +34,7 @@ int main() {
 
   {
     sim::ChurnParams churn_params;
+    churn_params.propagation = pipe.scenario.propagation;
     churn_params.seed = 7;
     churn_params.flip_fraction = 0.006;
     sim::ChurnSimulator churn(pipe.topo.graph, pipe.gen.policies,
@@ -49,6 +50,7 @@ int main() {
   }
   {
     sim::ChurnParams churn_params;
+    churn_params.propagation = pipe.scenario.propagation;
     churn_params.seed = 8;
     churn_params.flip_fraction = 0.002;
     sim::ChurnSimulator churn(pipe.topo.graph, pipe.gen.policies,

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Runs the thread-scaling bench and emits its JSON result on stdout — the
+# bench-trajectory hook for CI and local tracking.
+#
+# Usage: scripts/bench.sh [--small] [extra bench_sim_scaling flags...]
+# Builds the bench target first if the build tree is missing it.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build"
+bench="$build_dir/bench_sim_scaling"
+
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+  cmake -B "$build_dir" -S "$repo_root" >&2
+fi
+# Always build: a no-op when up to date, and never benchmarks a stale binary.
+cmake --build "$build_dir" -j --target bench_sim_scaling >&2
+
+exec "$bench" --json "$@"

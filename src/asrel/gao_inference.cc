@@ -133,7 +133,7 @@ InferredRelationships GaoInference::infer(const GaoParams& params) const {
   // Phase 3a: preliminary vote-based classification (no peers yet); the
   // clique overrides votes where it applies.
   InferredRelationships prelim;
-  const auto classify_votes = [&](const PairKey& key,
+  const auto classify_votes = [&](const PairKey& /*key*/,
                                   const EdgeVotes& v) -> EdgeType {
     if (v.lo_provider > 0 && v.hi_provider > 0) {
       const double lesser =

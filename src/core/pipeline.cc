@@ -69,9 +69,11 @@ std::unordered_set<AsNumber> Pipeline::community_verified_neighbors(
   return out;
 }
 
-Pipeline run_pipeline(const Scenario& scenario) {
+Pipeline run_pipeline(const Scenario& scenario,
+                      std::optional<std::size_t> threads_override) {
   Pipeline p;
   p.scenario = scenario;
+  if (threads_override) p.scenario.propagation.threads = *threads_override;
 
   // 1. Ground truth: topology, address plan, policies.
   p.topo = topo::generate_topology(scenario.topo_params);
@@ -107,7 +109,7 @@ Pipeline run_pipeline(const Scenario& scenario) {
 
   // 3. Simulate and record tables.
   p.sim = sim::run_simulation(p.topo.graph, p.gen.policies, p.originations,
-                              p.vantage, scenario.propagation);
+                              p.vantage, p.scenario.propagation);
 
   // 4. Infer relationships from every observed path (RouteViews + LGs).
   asrel::GaoInference gao;

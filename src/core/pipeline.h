@@ -77,7 +77,12 @@ struct Pipeline {
   [[nodiscard]] const rpsl::AutNum* irr_for(AsNumber as) const;
 };
 
-/// Runs the full pipeline.  Deterministic in the scenario seeds.
-[[nodiscard]] Pipeline run_pipeline(const Scenario& scenario);
+/// Runs the full pipeline.  Deterministic in the scenario seeds alone —
+/// the simulation stage shards prefixes across
+/// `scenario.propagation.threads` workers (overridable here) with
+/// thread-count-independent output.
+[[nodiscard]] Pipeline run_pipeline(
+    const Scenario& scenario,
+    std::optional<std::size_t> threads_override = std::nullopt);
 
 }  // namespace bgpolicy::core

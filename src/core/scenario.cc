@@ -34,6 +34,10 @@ Scenario Scenario::internet2002(std::uint64_t seed) {
   s.policy_params.seed = seed ^ 0x90C1;
   s.irr_params.seed = seed ^ 0x1212;
 
+  // Full propagation is the scenario's hot path; shard it across all
+  // hardware threads (output is byte-identical at any thread count).
+  s.propagation.threads = 0;
+
   s.looking_glass = kLookingGlass;
   s.best_only = kBestOnly;
   s.verification_ases = kVerification;
@@ -56,6 +60,7 @@ Scenario Scenario::small(std::uint64_t seed) {
   s.alloc_params.max_stub_prefixes = 8;
   s.policy_params.seed = seed ^ 0x90C1;
   s.irr_params.seed = seed ^ 0x1212;
+  s.propagation.threads = 0;
 
   s.looking_glass = {1, 3549, 7018, 5511, 577, 6667, 12859};
   s.best_only = {701, 1239};

@@ -54,7 +54,9 @@ class Reader {
 std::vector<std::uint8_t> serialize_table(const bgp::BgpTable& table) {
   std::vector<std::uint8_t> out;
   Writer w(out);
-  out.insert(out.end(), kMagic, kMagic + 4);
+  // Byte-wise append: the obvious range insert trips GCC 12's
+  // -Wstringop-overflow (false positive) under -Werror.
+  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
   w.put(kVersion);
   w.put(table.owner().value());
   w.put(static_cast<std::uint64_t>(table.route_count()));

@@ -1,5 +1,7 @@
 #include "sim/churn.h"
 
+#include <algorithm>
+
 #include "util/ensure.h"
 
 namespace bgpolicy::sim {
@@ -24,33 +26,48 @@ ChurnSimulator::ChurnSimulator(const topo::AsGraph& graph, PolicySet policies,
   for (const AsNumber as : watch_) watched_[as];
 }
 
-void ChurnSimulator::repropagate(const bgp::Prefix& prefix) {
-  const auto it = by_prefix_.find(prefix);
-  util::ensure(it != by_prefix_.end(), "churn: unknown prefix");
-  const PropagationEngine engine(*graph_, policies_);
-  const PrefixRouting state = engine.propagate(it->second);
-  for (const AsNumber as : watch_) {
-    auto& table = watched_.at(as);
-    const bgp::Route* best = state.best_at(as);
-    if (best == nullptr) {
-      table.erase(prefix);
-    } else {
-      table.insert_or_assign(prefix, *best);
-    }
+void ChurnSimulator::repropagate(std::span<const bgp::Prefix> prefixes) {
+  // util::shard_and_merge computes the fixpoints on the executor and applies
+  // watched-table updates sequentially in `prefixes` order — deterministic
+  // for every thread count (propagation.h "Concurrency model").  The pool is
+  // created once and reused across steps.
+  const std::size_t threads =
+      util::resolve_threads(params_.propagation.threads);
+  if (threads > 1 && prefixes.size() > 1 && pool_ == nullptr) {
+    // Sized to the knob, not this call's prefix count: later steps may carry
+    // more prefixes than the call that first triggers creation.
+    pool_ = std::make_unique<util::ThreadPool>(threads);
   }
+  util::shard_and_merge(
+      pool_.get(), prefixes.size(),
+      [&](std::size_t i) {
+        const auto it = by_prefix_.find(prefixes[i]);
+        util::ensure(it != by_prefix_.end(), "churn: unknown prefix");
+        return compute_prefix(*graph_, policies_, it->second, nullptr,
+                              params_.propagation);
+      },
+      [&](std::size_t i, const PrefixRouting& state) {
+        for (const AsNumber as : watch_) {
+          auto& table = watched_.at(as);
+          const bgp::Route* best = state.best_at(as);
+          if (best == nullptr) {
+            table.erase(prefixes[i]);
+          } else {
+            table.insert_or_assign(prefixes[i], *best);
+          }
+        }
+      });
 }
 
 void ChurnSimulator::run_initial() {
   util::ensure_state(!initialized_, "churn: run_initial called twice");
   initialized_ = true;
-  const PropagationEngine engine(*graph_, policies_);
+  std::vector<bgp::Prefix> all;
+  all.reserve(originations_.size());
   for (const auto& origination : originations_) {
-    const PrefixRouting state = engine.propagate(origination);
-    for (const AsNumber as : watch_) {
-      const bgp::Route* best = state.best_at(as);
-      if (best != nullptr) watched_.at(as).emplace(origination.prefix, *best);
-    }
+    all.push_back(origination.prefix);
   }
+  repropagate(all);
 }
 
 std::vector<bgp::Prefix> ChurnSimulator::step() {
@@ -78,7 +95,7 @@ std::vector<bgp::Prefix> ChurnSimulator::step() {
     }
   }
   std::vector<bgp::Prefix> out(changed.begin(), changed.end());
-  for (const auto& prefix : out) repropagate(prefix);
+  repropagate(out);
   return out;
 }
 

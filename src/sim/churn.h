@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "bgp/route.h"
 #include "sim/policy_gen.h"
 #include "sim/propagation.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace bgpolicy::sim {
@@ -24,6 +27,10 @@ struct ChurnParams {
   std::uint64_t seed = 777;
   /// Fraction of toggleable units flipped per step.
   double flip_fraction = 0.015;
+  /// Propagation options for the initial run and per-step re-propagation;
+  /// `propagation.threads` shards prefixes across workers with results
+  /// applied in deterministic order (see propagation.h "Concurrency model").
+  PropagationOptions propagation;
 };
 
 class ChurnSimulator {
@@ -51,7 +58,10 @@ class ChurnSimulator {
   }
 
  private:
-  void repropagate(const bgp::Prefix& prefix);
+  /// Re-propagates the given prefixes (sharded across
+  /// params.propagation.threads workers) and applies the watched-table
+  /// updates sequentially in `prefixes` order.
+  void repropagate(std::span<const bgp::Prefix> prefixes);
 
   const topo::AsGraph* graph_;
   PolicySet policies_;
@@ -66,6 +76,9 @@ class ChurnSimulator {
       watched_;
   util::Rng rng_;
   ChurnParams params_;
+  /// Lazily created on the first multi-prefix repropagation when
+  /// params.propagation.threads resolves above 1; reused across steps.
+  std::unique_ptr<util::ThreadPool> pool_;
   bool initialized_ = false;
 };
 

@@ -163,12 +163,25 @@ std::optional<bgp::Route> PropagationEngine::route_as_received(
 
 PrefixRouting PropagationEngine::propagate(
     const Origination& origination, const PropagationOptions& options) const {
-  util::ensure(graph_->contains(origination.origin),
+  return compute_prefix(*graph_, *policies_, origination, failures_, options);
+}
+
+PrefixRouting compute_prefix(const topo::AsGraph& graph,
+                             const PolicySet& policies,
+                             const Origination& origination,
+                             const FailedEdges* failed,
+                             const PropagationOptions& options) {
+  util::ensure(graph.contains(origination.origin),
                "propagation: origin AS not in graph");
+
+  // All state below is local; the engine only carries const pointers, so
+  // concurrent compute_prefix calls never touch shared mutable memory.
+  PropagationEngine engine(graph, policies);
+  engine.set_failures(failed);
 
   PrefixRouting state;
   state.origination = origination;
-  state.best.emplace(origination.origin, self_route(origination));
+  state.best.emplace(origination.origin, engine.self_route(origination));
 
   std::deque<AsNumber> queue;
   std::unordered_map<AsNumber, bool> in_queue;
@@ -181,7 +194,7 @@ PrefixRouting PropagationEngine::propagate(
     queue.push_back(as);
   };
 
-  for (const auto& n : graph_->neighbors(origination.origin)) enqueue(n.as);
+  for (const auto& n : graph.neighbors(origination.origin)) enqueue(n.as);
 
   while (!queue.empty()) {
     const AsNumber current = queue.front();
@@ -202,10 +215,10 @@ PrefixRouting PropagationEngine::propagate(
 
     // Pull candidates from every neighbor's current best.
     std::vector<bgp::Route> candidates;
-    candidates.reserve(graph_->degree(current));
-    for (const auto& n : graph_->neighbors(current)) {
-      auto received = route_as_received(n.as, state.best_at(n.as),
-                                        origination, current);
+    candidates.reserve(graph.degree(current));
+    for (const auto& n : graph.neighbors(current)) {
+      auto received = engine.route_as_received(n.as, state.best_at(n.as),
+                                               origination, current);
       if (received) candidates.push_back(std::move(*received));
     }
 
@@ -229,7 +242,7 @@ PrefixRouting PropagationEngine::propagate(
     }
 
     if (changed) {
-      for (const auto& n : graph_->neighbors(current)) enqueue(n.as);
+      for (const auto& n : graph.neighbors(current)) enqueue(n.as);
     }
   }
 

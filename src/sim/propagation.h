@@ -14,12 +14,32 @@
 // Vantage recorders (vantage.h) re-derive any Adj-RIB-In they need from the
 // converged per-prefix state via `route_as_received`, which is also how the
 // engine itself computes candidate routes — one code path, no drift.
+//
+// Concurrency model
+// -----------------
+// `compute_prefix` is the unit of parallelism: a pure function of
+// (graph, policies, origination, failures, options) that touches no shared
+// mutable state — the graph, policy set, and failure set are read-only for
+// its whole duration, and all fixpoint scratch state (queue, counters,
+// per-AS best routes) lives in locals and the returned PrefixRouting.  Any
+// number of compute_prefix calls may therefore run concurrently over the
+// same graph/policies/failures.  Higher layers exploit exactly this:
+// run_simulation (simulation.h) and the churn engine (churn.h) shard their
+// origination lists across a util::ThreadPool (util/parallel.h), compute
+// each prefix's fixpoint on whichever worker claims it, and then merge the
+// per-prefix results on the calling thread in origination order — so
+// recorded tables and counters are byte-identical for every thread count,
+// including `threads = 1` (which runs the exact sequential seed program).
+// Callers must NOT mutate the graph, policies, or failure set while a
+// parallel region is in flight; mutation between regions (as churn does) is
+// fine.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "bgp/route.h"
@@ -39,6 +59,13 @@ struct PropagationOptions {
   /// Max times a single AS may recompute for one prefix before the engine
   /// declares non-convergence (dispute-wheel guard).
   std::size_t max_process_per_as = 100;
+
+  /// Worker-thread count for whole-simulation runs (run_simulation, churn
+  /// re-propagation).  0 = hardware concurrency, 1 = single-threaded (the
+  /// exact seed program).  Each individual prefix fixpoint is always
+  /// sequential; output is byte-identical for every value (see the
+  /// "Concurrency model" section above).
+  std::size_t threads = 1;
 };
 
 /// A set of failed inter-AS sessions (undirected).  Failure injection: no
@@ -73,6 +100,19 @@ struct PrefixRouting {
   }
 };
 
+class PropagationEngine;
+
+/// The pure, reentrant per-prefix fixpoint: computes the converged routing
+/// state for one origination with no shared mutable state (see "Concurrency
+/// model" above).  `failed` may be nullptr for a healthy network.  This is
+/// the unit the parallel executors shard over; PropagationEngine::propagate
+/// is a thin wrapper around it.
+[[nodiscard]] PrefixRouting compute_prefix(const topo::AsGraph& graph,
+                                           const PolicySet& policies,
+                                           const Origination& origination,
+                                           const FailedEdges* failed,
+                                           const PropagationOptions& options = {});
+
 class PropagationEngine {
  public:
   /// Both references must outlive the engine.
@@ -100,6 +140,12 @@ class PropagationEngine {
   [[nodiscard]] const PolicySet& policies() const { return *policies_; }
 
  private:
+  // compute_prefix is the out-of-class fixpoint implementation; it needs
+  // self_route and the engine's receive path.
+  friend PrefixRouting compute_prefix(const topo::AsGraph&, const PolicySet&,
+                                      const Origination&, const FailedEdges*,
+                                      const PropagationOptions&);
+
   /// The self-originated route the origin AS installs.
   [[nodiscard]] bgp::Route self_route(const Origination& origination) const;
 

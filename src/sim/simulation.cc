@@ -1,5 +1,7 @@
 #include "sim/simulation.h"
 
+#include "util/parallel.h"
+
 namespace bgpolicy::sim {
 
 void record_prefix(const PropagationEngine& engine, const PrefixRouting& state,
@@ -46,13 +48,24 @@ SimResult run_simulation(const topo::AsGraph& graph, const PolicySet& policies,
     result.best_only.emplace(as, bgp::BgpTable(as));
   }
 
-  for (const Origination& origination : originations) {
-    const PrefixRouting state = engine.propagate(origination, options);
+  const auto record = [&](const PrefixRouting& state) {
     if (!state.converged) ++result.unconverged_prefixes;
     result.process_events += state.process_events;
     record_prefix(engine, state, spec, result);
     ++result.origination_count;
-  }
+  };
+
+  // Sharded execution: workers compute prefix fixpoints into index-addressed
+  // slots which the calling thread merges in origination order, so every
+  // table and counter is byte-identical to the sequential run (see
+  // util::shard_and_merge).
+  util::shard_and_merge(
+      options.threads, originations.size(),
+      [&](std::size_t i) {
+        return compute_prefix(graph, policies, originations[i], nullptr,
+                              options);
+      },
+      [&](std::size_t, const PrefixRouting& state) { record(state); });
   return result;
 }
 

@@ -41,8 +41,11 @@ struct SimResult {
 };
 
 /// Runs the propagation engine over every origination and records the
-/// requested vantage tables.  Deterministic; prefix-parallel in structure
-/// but single-threaded (benches measure the engine, not thread scheduling).
+/// requested vantage tables.  Prefix-sharded across
+/// `options.threads` workers (0 = hardware concurrency, 1 = sequential
+/// seed behavior); per-prefix results are merged on the calling thread in
+/// origination order, so the output — tables and counters — is
+/// byte-identical for every thread count.
 [[nodiscard]] SimResult run_simulation(const topo::AsGraph& graph,
                                        const PolicySet& policies,
                                        std::span<const Origination> originations,

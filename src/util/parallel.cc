@@ -1,0 +1,133 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+
+namespace bgpolicy::util {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// State for one parallel_for call, shared by every participating thread.
+struct ThreadPool::Batch {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  std::atomic<std::size_t> cursor{0};
+  /// Workers still inside run_chunks; the caller waits for 0.
+  std::size_t active = 0;
+  std::exception_ptr error;  // first failure wins, guarded by pool mutex_
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_chunks(Batch& batch) {
+  while (true) {
+    const std::size_t begin = batch.cursor.fetch_add(batch.grain);
+    if (begin >= batch.n) return;
+    const std::size_t end = std::min(begin + batch.grain, batch.n);
+    for (std::size_t i = begin; i < end; ++i) (*batch.fn)(i);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stop_ || (batch_ != nullptr && batch_epoch_ != seen_epoch);
+      });
+      if (stop_) return;
+      seen_epoch = batch_epoch_;
+      batch = batch_;
+      ++batch->active;
+    }
+    std::exception_ptr error;
+    try {
+      run_chunks(*batch);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !batch->error) {
+        batch->error = error;
+        batch->cursor.store(batch->n);  // drain: skip remaining indices
+      }
+      --batch->active;
+    }
+    batch_done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (n == 0) return;
+  Batch batch;
+  batch.fn = &fn;
+  batch.n = n;
+  batch.grain = std::max<std::size_t>(1, grain);
+
+  if (!workers_.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      batch_ = &batch;
+      ++batch_epoch_;
+    }
+    work_ready_.notify_all();
+  }
+
+  // The calling thread always participates; with zero workers this is a
+  // plain in-order loop.
+  std::exception_ptr error;
+  try {
+    run_chunks(batch);
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (error && !batch.error) {
+    batch.error = error;
+    batch.cursor.store(batch.n);
+  }
+  if (!workers_.empty()) {
+    batch_ = nullptr;  // workers that have not joined yet will see no work
+    batch_done_.wait(lock, [&batch] { return batch.active == 0; });
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+void parallel_for(std::size_t threads, std::size_t n,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  threads = std::min(resolve_threads(threads), n);  // 0 = hw; no idle workers
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(threads);
+  pool.parallel_for(n, fn, grain);
+}
+
+}  // namespace bgpolicy::util

@@ -1,0 +1,133 @@
+// Minimal parallel executor for embarrassingly parallel index loops.
+//
+// The simulation stack's unit of work is one prefix (one origination): every
+// fixpoint is independent, so the only primitive needed is a parallel
+// index-for with deterministic completion.  `ThreadPool` keeps a fixed set
+// of workers alive across many `parallel_for` calls (run_simulation issues
+// one call per batch); work is handed out in chunks through an atomic
+// cursor, so scheduling is dynamic but which-index-runs-where never affects
+// results — callers write into index-addressed slots and merge in index
+// order.
+//
+// Thread-count semantics (shared by every `threads` knob in the codebase):
+//   threads == 0  ->  hardware concurrency (resolve_threads)
+//   threads == 1  ->  no workers are spawned; the caller runs every index
+//                     in order on its own thread — exact seed behavior
+//   threads >= 2  ->  threads-1 workers plus the calling thread
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bgpolicy::util {
+
+/// Maps a user-facing thread-count knob to an executor size: 0 means "all
+/// hardware threads" (at least 1), anything else is taken literally.
+[[nodiscard]] std::size_t resolve_threads(std::size_t requested);
+
+/// Fixed pool of `threads - 1` workers; the thread calling parallel_for is
+/// always the final executor, so `threads` is the total concurrency.
+class ThreadPool {
+ public:
+  /// `threads` is used as given (call resolve_threads first for the 0 knob).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + the calling thread).
+  [[nodiscard]] std::size_t size() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, n) and blocks until all complete.  Work
+  /// is claimed in chunks of `grain` indices through an atomic cursor.  If
+  /// any invocation throws, the first exception is rethrown here after the
+  /// loop drains (remaining indices may be skipped).  Not reentrant: one
+  /// parallel_for at a time per pool.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+  static void run_chunks(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  Batch* batch_ = nullptr;        // guarded by mutex_
+  std::uint64_t batch_epoch_ = 0; // guarded by mutex_; bumped per batch so a
+                                  // worker joins each batch at most once
+                                  // (no busy re-grab at the batch tail)
+  bool stop_ = false;             // guarded by mutex_
+};
+
+/// One-shot convenience: `threads <= 1` runs the loop inline (no pool, no
+/// atomics — byte-for-byte the sequential program); otherwise spins up a
+/// temporary pool.  Prefer a long-lived ThreadPool when calling repeatedly.
+void parallel_for(std::size_t threads, std::size_t n,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1);
+
+/// Batched shard-and-merge, the canonical deterministic-parallel pattern of
+/// the simulation stack: computes `compute(index)` into index-addressed
+/// slots (on `pool` when given and the batch has work for more than one
+/// thread, inline otherwise), then calls `merge(index, slot)` sequentially
+/// in index order.  Merge order never depends on thread count or
+/// scheduling, so output built by `merge` is byte-identical to the
+/// sequential program; batching bounds peak memory to one batch of results.
+/// `pool` may be nullptr for fully sequential execution.
+template <typename Compute, typename Merge>
+void shard_and_merge(ThreadPool* pool, std::size_t n, Compute&& compute,
+                     Merge&& merge) {
+  if (n == 0) return;
+  const std::size_t threads = pool == nullptr ? 1 : pool->size();
+  // Sequential execution merges each result immediately (one live slot,
+  // exactly the pre-sharding loop); parallel batches trade bounded memory
+  // for worker utilization.
+  const std::size_t batch_size =
+      pool == nullptr
+          ? std::size_t{1}
+          : (threads * 8 > std::size_t{32} ? threads * 8 : std::size_t{32});
+  using Result = decltype(compute(std::size_t{0}));
+  std::vector<Result> slots(batch_size < n ? batch_size : n);
+  for (std::size_t base = 0; base < n; base += batch_size) {
+    const std::size_t count =
+        batch_size < n - base ? batch_size : n - base;
+    const auto fill = [&](std::size_t i) { slots[i] = compute(base + i); };
+    if (pool != nullptr && count > 1) {
+      pool->parallel_for(count, fill);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) fill(i);
+    }
+    for (std::size_t i = 0; i < count; ++i) merge(base + i, slots[i]);
+  }
+}
+
+/// Convenience overload owning a one-shot pool: resolves the `threads` knob
+/// (0 = hardware concurrency), clamps it to the work available, and runs
+/// inline when that leaves a single thread.  Callers that shard repeatedly
+/// should keep their own ThreadPool and use the pointer overload.
+template <typename Compute, typename Merge>
+void shard_and_merge(std::size_t threads, std::size_t n, Compute&& compute,
+                     Merge&& merge) {
+  threads = resolve_threads(threads);
+  if (threads > n) threads = n;
+  if (threads > 1) {
+    ThreadPool pool(threads);
+    shard_and_merge(&pool, n, compute, merge);
+  } else {
+    shard_and_merge(static_cast<ThreadPool*>(nullptr), n, compute, merge);
+  }
+}
+
+}  // namespace bgpolicy::util

@@ -1,0 +1,127 @@
+// The tentpole guarantee of the prefix-sharded engine: simulation output is
+// byte-identical for every thread count.  Runs the `small` scenario's full
+// simulation at threads ∈ {1, 2, 8} and compares the binary serialization
+// of every recorded table plus the convergence counters; also checks the
+// churn engine's watched state across thread counts.
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "io/binary_table.h"
+#include "sim/churn.h"
+#include "sim/simulation.h"
+#include "topology/prefix_alloc.h"
+#include "topology/topology_gen.h"
+
+namespace bgpolicy::sim {
+namespace {
+
+struct World {
+  topo::Topology topo;
+  GeneratedPolicies gen;
+  std::vector<Origination> originations;
+  VantageSpec vantage;
+};
+
+World make_world() {
+  const auto scenario = core::Scenario::small();
+  World w;
+  w.topo = topo::generate_topology(scenario.topo_params);
+  const auto plan = topo::allocate_prefixes(w.topo, scenario.alloc_params);
+  w.gen = generate_policies(w.topo, plan, scenario.policy_params);
+  w.originations = all_originations(plan, w.gen);
+
+  for (const auto as : w.topo.tier1) w.vantage.collector_peers.push_back(as);
+  for (std::size_t i = 0; i < 4 && i < w.topo.tier2.size(); ++i) {
+    w.vantage.collector_peers.push_back(w.topo.tier2[i]);
+  }
+  for (const std::uint32_t as : scenario.looking_glass) {
+    if (w.topo.graph.contains(AsNumber(as))) {
+      w.vantage.looking_glass.emplace_back(as);
+    }
+  }
+  for (const std::uint32_t as : scenario.best_only) {
+    if (w.topo.graph.contains(AsNumber(as))) {
+      w.vantage.best_only.emplace_back(as);
+    }
+  }
+  return w;
+}
+
+SimResult run_at(const World& w, std::size_t threads) {
+  PropagationOptions options;
+  options.threads = threads;
+  return run_simulation(w.topo.graph, w.gen.policies, w.originations,
+                        w.vantage, options);
+}
+
+TEST(ParallelDeterminism, TablesAndCountersIdenticalAcrossThreadCounts) {
+  const World w = make_world();
+  const SimResult reference = run_at(w, 1);
+  ASSERT_GT(reference.origination_count, 0u);
+  const auto reference_collector = io::serialize_table(reference.collector);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const SimResult result = run_at(w, threads);
+
+    EXPECT_EQ(result.origination_count, reference.origination_count);
+    EXPECT_EQ(result.unconverged_prefixes, reference.unconverged_prefixes);
+    EXPECT_EQ(result.process_events, reference.process_events);
+
+    EXPECT_EQ(io::serialize_table(result.collector), reference_collector)
+        << "collector table differs at threads=" << threads;
+
+    ASSERT_EQ(result.looking_glass.size(), reference.looking_glass.size());
+    for (const auto& [as, table] : reference.looking_glass) {
+      const auto it = result.looking_glass.find(as);
+      ASSERT_NE(it, result.looking_glass.end());
+      EXPECT_EQ(io::serialize_table(it->second), io::serialize_table(table))
+          << "looking-glass table for AS " << as.value()
+          << " differs at threads=" << threads;
+    }
+
+    ASSERT_EQ(result.best_only.size(), reference.best_only.size());
+    for (const auto& [as, table] : reference.best_only) {
+      const auto it = result.best_only.find(as);
+      ASSERT_NE(it, result.best_only.end());
+      EXPECT_EQ(io::serialize_table(it->second), io::serialize_table(table))
+          << "best-only table for AS " << as.value()
+          << " differs at threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, ChurnWatchedStateIdenticalAcrossThreadCounts) {
+  const World w = make_world();
+  ASSERT_FALSE(w.topo.tier1.empty());
+  const std::vector<AsNumber> watch = {w.topo.tier1.front(),
+                                       w.topo.tier1.back()};
+
+  const auto run_churn = [&](std::size_t threads) {
+    ChurnParams params;
+    params.propagation.threads = threads;
+    ChurnSimulator churn(w.topo.graph, w.gen.policies, w.originations,
+                         w.gen.truth, watch, params);
+    churn.run_initial();
+    for (int s = 0; s < 3; ++s) churn.step();
+    return churn;
+  };
+
+  const auto reference = run_churn(1);
+  const auto parallel = run_churn(4);
+  for (const AsNumber as : watch) {
+    const auto& ref = reference.watched(as);
+    const auto& par = parallel.watched(as);
+    ASSERT_EQ(ref.size(), par.size());
+    for (const auto& [prefix, route] : ref) {
+      const auto it = par.find(prefix);
+      ASSERT_NE(it, par.end());
+      EXPECT_EQ(it->second, route);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bgpolicy::sim

@@ -1,0 +1,83 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bgpolicy::util {
+namespace {
+
+TEST(ResolveThreads, ZeroMeansHardwareConcurrency) {
+  EXPECT_GE(resolve_threads(0), 1u);
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(7), 7u);
+}
+
+TEST(ParallelFor, SingleThreadRunsInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for(1, 100, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for(threads, hits.size(),
+                 [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsANoop) {
+  bool called = false;
+  parallel_for(4, 0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(64, [&](std::size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 64u * 63u / 2);
+  }
+}
+
+TEST(ThreadPool, SizeOneRunsSequentiallyInOrder) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(64, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 64u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, GrainBatchesStillCoverEverything) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(101);  // not a multiple of the grain
+  pool.parallel_for(
+      hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool survives a failed batch.
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(10, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+}  // namespace
+}  // namespace bgpolicy::util
