@@ -1,0 +1,170 @@
+// Thread-scaling bench for the sharded inference pipeline: Gao relationship
+// voting, path-index construction, and the per-table analysis suite.
+//
+// Mirrors bench_sim_scaling: the simulation runs once (that stage has its
+// own bench), then each inference stage is timed at 1/2/4/8 threads.  Every
+// run's products — inferred relationships, tiers, path-index counts, and
+// all analysis-suite counters — are digested via the canonical serializers
+// and asserted byte-identical across thread counts, the same determinism
+// contract the propagation engine holds.
+//
+// Flags:
+//   --small   use the `small` scenario (CI-sized, seconds not minutes)
+//   --json    emit a single JSON object on stdout (for scripts/bench.sh)
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "asrel/gao_inference.h"
+#include "asrel/tier_classify.h"
+#include "core/analysis_suite.h"
+#include "core/pipeline.h"
+#include "core/scenario.h"
+#include "util/text_table.h"
+
+namespace {
+
+using namespace bgpolicy;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct Row {
+  std::size_t threads;
+  double gao_seconds;
+  double index_seconds;
+  double analysis_seconds;
+  double total_seconds;
+  double speedup;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool small = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--small") == 0) small = true;
+  }
+
+  const core::Scenario scenario =
+      small ? core::Scenario::small() : core::Scenario::internet2002();
+  if (!json) {
+    std::cout << "[bench] building the " << scenario.name
+              << " pipeline (simulation runs once, inference is timed)...\n";
+  }
+  const core::Pipeline pipe = core::run_pipeline(scenario);
+
+  // Shared inputs, prepared once: the ingested Gao path set (infer() is
+  // const and reusable), the canonical table-source list, and the vantage
+  // list — all in run_pipeline's canonical ingest order so the digested
+  // products match what the pipeline produces.
+  asrel::GaoInference gao;
+  gao.add_table_paths(pipe.sim.collector);
+  for (const util::AsNumber as : core::sorted_looking_glass(pipe.sim)) {
+    gao.add_table_paths(pipe.sim.looking_glass.at(as), as);
+  }
+  const std::vector<core::PathIndex::TableSource> sources =
+      core::inference_table_sources(pipe.sim);
+  const std::vector<util::AsNumber> vantages = core::recorded_vantages(pipe);
+
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  std::vector<Row> rows;
+  std::string reference_digest;
+  bool products_match = true;
+  double base_seconds = 0.0;
+  std::size_t path_count = 0;
+
+  for (const std::size_t threads : thread_counts) {
+    asrel::GaoParams params;
+    params.threads = threads;
+    auto start = std::chrono::steady_clock::now();
+    const asrel::InferredRelationships inferred = gao.infer(params);
+    const double gao_seconds = seconds_since(start);
+
+    start = std::chrono::steady_clock::now();
+    core::PathIndex index;
+    index.add_tables(sources, threads);
+    const double index_seconds = seconds_since(start);
+    path_count = index.path_count();
+
+    start = std::chrono::steady_clock::now();
+    const core::AnalysisSuite suite =
+        core::run_analysis_suite(pipe, vantages, threads);
+    const double analysis_seconds = seconds_since(start);
+
+    const double total = gao_seconds + index_seconds + analysis_seconds;
+    if (threads == 1) base_seconds = total;
+    rows.push_back({threads, gao_seconds, index_seconds, analysis_seconds,
+                    total, base_seconds / total});
+
+    const std::string digest =
+        asrel::canonical_serialize(inferred) + "tiers\n" +
+        asrel::canonical_serialize(asrel::classify_tiers(inferred)) +
+        "paths " + std::to_string(index.path_count()) + " adjacencies " +
+        std::to_string(index.adjacency_count()) + "\n" +
+        core::canonical_serialize(suite);
+    if (reference_digest.empty()) {
+      reference_digest = digest;
+    } else if (digest != reference_digest) {
+      products_match = false;
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (json) {
+    std::cout << "{\"bench\":\"inference_scaling\",\"scenario\":\""
+              << scenario.name << "\",\"hardware_concurrency\":" << hw
+              << ",\"gao_paths\":" << gao.path_count()
+              << ",\"indexed_paths\":" << path_count
+              << ",\"vantages\":" << vantages.size()
+              << ",\"products_match\":" << (products_match ? "true" : "false")
+              << ",\"results\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::cout << (i == 0 ? "" : ",") << "{\"threads\":" << r.threads
+                << ",\"gao_seconds\":" << r.gao_seconds
+                << ",\"path_index_seconds\":" << r.index_seconds
+                << ",\"analysis_seconds\":" << r.analysis_seconds
+                << ",\"total_seconds\":" << r.total_seconds
+                << ",\"speedup\":" << r.speedup << "}";
+    }
+    std::cout << "]}" << std::endl;
+    return products_match ? 0 : 1;
+  }
+
+  std::cout << "== inference scaling · sharded Gao voting + path indexing + "
+               "analysis suite ==\n"
+            << "scenario " << scenario.name << " · " << gao.path_count()
+            << " observed paths · " << vantages.size()
+            << " vantages · hardware threads: " << hw << "\n\n";
+  util::TextTable table({"threads", "gao infer", "path index", "analyses",
+                         "total", "speedup"});
+  for (const Row& r : rows) {
+    table.add_row({std::to_string(r.threads), util::fmt(r.gao_seconds, 3),
+                   util::fmt(r.index_seconds, 3),
+                   util::fmt(r.analysis_seconds, 3),
+                   util::fmt(r.total_seconds, 3),
+                   util::fmt(r.speedup, 2) + "x"});
+  }
+  std::cout << table.render("inference wall clock (seconds) by thread count")
+            << "\n"
+            << (products_match
+                    ? "inference products byte-identical across all thread "
+                      "counts\n"
+                    : "PRODUCT MISMATCH ACROSS THREAD COUNTS\n");
+  if (hw < 4) {
+    std::cout << "note: only " << hw
+              << " hardware thread(s) available; speedup is bounded by the "
+                 "host, not the engine\n";
+  }
+  return products_match ? 0 : 1;
+}

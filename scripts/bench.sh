@@ -1,19 +1,27 @@
 #!/usr/bin/env sh
-# Runs the thread-scaling bench and emits its JSON result on stdout — the
-# bench-trajectory hook for CI and local tracking.
+# Runs the thread-scaling benches (prefix-sharded simulation + sharded
+# inference pipeline) and emits one combined JSON record on stdout — the
+# bench-trajectory hook for CI and local tracking.  Committed trajectory
+# points live at the repo root as BENCH_*.json (see docs/REPRODUCTION.md).
 #
-# Usage: scripts/bench.sh [--small] [extra bench_sim_scaling flags...]
-# Builds the bench target first if the build tree is missing it.
+# Usage: scripts/bench.sh [--small] [extra bench flags...]
+# Builds the bench targets first if the build tree is missing them.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir="$repo_root/build"
-bench="$build_dir/bench_sim_scaling"
 
 if [ ! -f "$build_dir/CMakeCache.txt" ]; then
   cmake -B "$build_dir" -S "$repo_root" >&2
 fi
 # Always build: a no-op when up to date, and never benchmarks a stale binary.
-cmake --build "$build_dir" -j --target bench_sim_scaling >&2
+cmake --build "$build_dir" -j \
+  --target bench_sim_scaling --target bench_inference_scaling >&2
 
-exec "$bench" --json "$@"
+# Each bench exits non-zero when its cross-thread determinism check fails;
+# set -e turns that into a failed trajectory run.
+sim_json=$("$build_dir/bench_sim_scaling" --json "$@")
+inference_json=$("$build_dir/bench_inference_scaling" --json "$@")
+
+printf '{"schema":"bgpolicy-bench/v2","generated_utc":"%s","sim_scaling":%s,"inference_scaling":%s}\n' \
+  "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$sim_json" "$inference_json"

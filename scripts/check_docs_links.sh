@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Checks that every relative markdown link in README.md and docs/*.md
+# resolves to an existing file or directory, so the docs cannot silently
+# rot as the tree moves.  External links (scheme://...) and pure anchors
+# (#...) are skipped; a #fragment on a relative link is stripped before the
+# existence check.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+failures=$(mktemp)
+trap 'rm -f "$failures"' EXIT
+
+for doc in "$repo_root/README.md" "$repo_root"/docs/*.md; do
+  [ -f "$doc" ] || continue
+  doc_dir=$(dirname -- "$doc")
+  # Extract every ](target) markdown link target, one per line.
+  grep -o ']([^)]*)' "$doc" | sed 's/^](//; s/)$//' |
+  while IFS= read -r target; do
+    case "$target" in
+      ''|\#*) continue ;;                  # pure anchor
+      *://*|mailto:*) continue ;;          # external
+    esac
+    path=${target%%#*}                     # strip fragment
+    [ -n "$path" ] || continue
+    if [ ! -e "$doc_dir/$path" ] && [ ! -e "$repo_root/$path" ]; then
+      echo "BROKEN LINK in ${doc#"$repo_root"/}: $target" | tee -a "$failures" >&2
+    fi
+  done
+done
+
+if [ -s "$failures" ]; then
+  exit 1
+fi
+echo "all relative links in README.md and docs/*.md resolve"

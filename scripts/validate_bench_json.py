@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Validates a bgpolicy bench-trajectory record (scripts/bench.sh output).
+
+Usage: validate_bench_json.py FILE...
+Exits non-zero with a message naming the first violated requirement.
+Stdlib-only on purpose: CI and the committed BENCH_*.json points must be
+checkable without installing anything.
+"""
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(path, condition, message):
+    if not condition:
+        fail(path, message)
+
+
+def check_scaling(path, name, record, result_keys):
+    require(path, isinstance(record, dict), f"{name} must be an object")
+    for key in ("bench", "scenario", "hardware_concurrency", "results"):
+        require(path, key in record, f"{name}.{key} missing")
+    require(path, isinstance(record["hardware_concurrency"], int),
+            f"{name}.hardware_concurrency must be an integer")
+    results = record["results"]
+    require(path, isinstance(results, list) and results,
+            f"{name}.results must be a non-empty array")
+    for row in results:
+        for key in result_keys:
+            require(path, key in row, f"{name}.results[].{key} missing")
+            require(path, isinstance(row[key], (int, float)),
+                    f"{name}.results[].{key} must be a number")
+    threads = [row["threads"] for row in results]
+    require(path, threads == sorted(threads) and len(set(threads)) == len(threads),
+            f"{name}.results[].threads must be strictly increasing")
+
+
+def check_file(path):
+    with open(path, encoding="utf-8") as handle:
+        try:
+            record = json.load(handle)
+        except json.JSONDecodeError as error:
+            fail(path, f"not valid JSON: {error}")
+    require(path, record.get("schema") == "bgpolicy-bench/v2",
+            'schema must be "bgpolicy-bench/v2"')
+    require(path, "generated_utc" in record, "generated_utc missing")
+
+    sim = record.get("sim_scaling")
+    check_scaling(path, "sim_scaling", sim, ("threads", "seconds", "speedup"))
+    require(path, sim.get("counters_match") is True,
+            "sim_scaling.counters_match must be true")
+
+    inference = record.get("inference_scaling")
+    check_scaling(path, "inference_scaling", inference,
+                  ("threads", "gao_seconds", "path_index_seconds",
+                   "analysis_seconds", "total_seconds", "speedup"))
+    require(path, inference.get("products_match") is True,
+            "inference_scaling.products_match must be true")
+
+    print(f"{path}: ok "
+          f"(sim rows: {len(sim['results'])}, "
+          f"inference rows: {len(inference['results'])})")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        check_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

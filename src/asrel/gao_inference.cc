@@ -1,6 +1,9 @@
 #include "asrel/gao_inference.h"
 
 #include <algorithm>
+#include <memory>
+
+#include "util/parallel.h"
 
 namespace bgpolicy::asrel {
 
@@ -23,6 +26,19 @@ void GaoInference::add_path(std::span<const AsNumber> path) {
   }
   paths_.push_back(std::move(cleaned));
   ++path_count_;
+}
+
+void GaoInference::add_table_paths(const bgp::BgpTable& table,
+                                   std::optional<AsNumber> prepend) {
+  table.for_each([&](const bgp::Prefix&, std::span<const bgp::Route> routes) {
+    for (const bgp::Route& route : routes) {
+      if (prepend) {
+        add_path(route.path.prepend(*prepend));
+      } else {
+        add_path(route.path);
+      }
+    }
+  });
 }
 
 std::size_t GaoInference::degree(AsNumber as) const {
@@ -77,51 +93,91 @@ std::vector<AsNumber> GaoInference::top_clique(const GaoParams& params) const {
 }
 
 InferredRelationships GaoInference::infer(const GaoParams& params) const {
-  std::unordered_map<PairKey, EdgeVotes, AsPairHash> votes;
+  using VoteMap = std::unordered_map<PairKey, EdgeVotes, AsPairHash>;
 
-  const auto vote = [&](AsNumber provider, AsNumber customer) {
-    const PairKey key = InferredRelationships::key(provider, customer);
-    EdgeVotes& v = votes[key];
-    if (provider == key.first) {
-      ++v.lo_provider;
-    } else {
-      ++v.hi_provider;
+  // Parallel layout: the two per-path passes (vote accumulation here, the
+  // valley-free disqualification below) shard contiguous path ranges across
+  // the pool and reduce per-range results in range order.  Votes are summed
+  // and disqualifications unioned — both order-insensitive — so the final
+  // classification is identical at every thread count; threads <= 1 runs
+  // the pre-sharding loops directly (the exact seed program, no pool).
+  const std::size_t threads = std::min(
+      util::resolve_threads(params.threads), std::max<std::size_t>(1, paths_.size()));
+  std::unique_ptr<util::ThreadPool> pool;
+  std::vector<util::IndexRange> ranges;
+  if (threads > 1) {
+    pool = std::make_unique<util::ThreadPool>(threads);
+    ranges = util::split_ranges(paths_.size(), threads * 4);
+  }
+
+  // Phase 1: every path votes on the transit direction of its edges.
+  const auto accumulate_votes = [&](std::size_t begin, std::size_t end,
+                                    VoteMap& votes) {
+    const auto vote = [&](AsNumber provider, AsNumber customer) {
+      const PairKey key = InferredRelationships::key(provider, customer);
+      EdgeVotes& v = votes[key];
+      if (provider == key.first) {
+        ++v.lo_provider;
+      } else {
+        ++v.hi_provider;
+      }
+    };
+    for (std::size_t pi = begin; pi < end; ++pi) {
+      const auto& path = paths_[pi];
+      // The highest-degree AS is taken as the path's top.
+      std::size_t top = 0;
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        if (degree(path[i]) > degree(path[top])) top = i;
+      }
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        // Reading the table path left (observer) to right (origin): edges
+        // left of the top climb toward it (the right AS is the provider),
+        // edges right of it descend (the left AS is the provider).
+        if (i + 1 <= top) {
+          vote(path[i + 1], path[i]);
+        } else {
+          vote(path[i], path[i + 1]);
+        }
+      }
+      // Path crests nominate peer candidates: the edge between the top and
+      // its larger-degree path neighbor.  Boundary tops are included (a
+      // vantage's own peer routes put the crest at position 0); the
+      // valley-free disqualification pass below weeds out the false
+      // nominations this admits.
+      if (params.detect_peers) {
+        std::size_t mate;
+        if (top == 0) {
+          mate = 1;
+        } else if (top + 1 == path.size()) {
+          mate = top - 1;
+        } else {
+          mate = degree(path[top - 1]) >= degree(path[top + 1]) ? top - 1
+                                                                : top + 1;
+        }
+        ++votes[InferredRelationships::key(path[top], path[mate])].top_pair;
+      }
     }
   };
 
-  for (const auto& path : paths_) {
-    // Phase 1: the highest-degree AS is taken as the path's top.
-    std::size_t top = 0;
-    for (std::size_t i = 1; i < path.size(); ++i) {
-      if (degree(path[i]) > degree(path[top])) top = i;
-    }
-    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-      // Reading the table path left (observer) to right (origin): edges
-      // left of the top climb toward it (the right AS is the provider),
-      // edges right of it descend (the left AS is the provider).
-      if (i + 1 <= top) {
-        vote(path[i + 1], path[i]);
-      } else {
-        vote(path[i], path[i + 1]);
-      }
-    }
-    // Path crests nominate peer candidates: the edge between the top and
-    // its larger-degree path neighbor.  Boundary tops are included (a
-    // vantage's own peer routes put the crest at position 0); the
-    // valley-free disqualification pass below weeds out the false
-    // nominations this admits.
-    if (params.detect_peers) {
-      std::size_t mate;
-      if (top == 0) {
-        mate = 1;
-      } else if (top + 1 == path.size()) {
-        mate = top - 1;
-      } else {
-        mate =
-            degree(path[top - 1]) >= degree(path[top + 1]) ? top - 1 : top + 1;
-      }
-      ++votes[InferredRelationships::key(path[top], path[mate])].top_pair;
-    }
+  VoteMap votes;
+  if (pool == nullptr) {
+    accumulate_votes(0, paths_.size(), votes);
+  } else {
+    util::shard_and_merge(
+        pool.get(), ranges.size(),
+        [&](std::size_t r) {
+          VoteMap local;
+          accumulate_votes(ranges[r].begin, ranges[r].end, local);
+          return local;
+        },
+        [&](std::size_t, VoteMap& local) {
+          for (const auto& [key, v] : local) {
+            EdgeVotes& merged = votes[key];
+            merged.lo_provider += v.lo_provider;
+            merged.hi_provider += v.hi_provider;
+            merged.top_pair += v.top_pair;
+          }
+        });
   }
 
   // Phase 2: the default-free core.
@@ -176,16 +232,36 @@ InferredRelationships GaoInference::infer(const GaoParams& params) const {
   };
   InferredRelationships current = std::move(prelim);
   for (int round = 0; round < 2; ++round) {
-    std::unordered_set<std::uint64_t> disqualified;
-    for (const auto& path : paths_) {
-      for (std::size_t i = 1; i + 1 < path.size(); ++i) {
-        const AsNumber u = path[i];
-        const AsNumber v = path[i + 1];
-        const auto outer_rel = current.relationship(u, path[i - 1]);
-        if (outer_rel != RelKind::kCustomer) {
-          disqualified.insert(pack(InferredRelationships::key(u, v)));
+    // Sharded like the voting pass: per-range disqualification sets are
+    // unioned in range order (`current` is read-only for the whole pass).
+    const auto disqualify = [&](std::size_t begin, std::size_t end,
+                                std::unordered_set<std::uint64_t>& out) {
+      for (std::size_t pi = begin; pi < end; ++pi) {
+        const auto& path = paths_[pi];
+        for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+          const AsNumber u = path[i];
+          const AsNumber v = path[i + 1];
+          const auto outer_rel = current.relationship(u, path[i - 1]);
+          if (outer_rel != RelKind::kCustomer) {
+            out.insert(pack(InferredRelationships::key(u, v)));
+          }
         }
       }
+    };
+    std::unordered_set<std::uint64_t> disqualified;
+    if (pool == nullptr) {
+      disqualify(0, paths_.size(), disqualified);
+    } else {
+      util::shard_and_merge(
+          pool.get(), ranges.size(),
+          [&](std::size_t r) {
+            std::unordered_set<std::uint64_t> local;
+            disqualify(ranges[r].begin, ranges[r].end, local);
+            return local;
+          },
+          [&](std::size_t, std::unordered_set<std::uint64_t>& local) {
+            disqualified.merge(local);
+          });
     }
     // Visible peer links connect transit ASes: a peer route propagates only
     // to customers, so an AS with no customers can never show anyone its

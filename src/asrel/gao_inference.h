@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -28,6 +29,7 @@
 
 #include "asrel/relationships.h"
 #include "bgp/aspath.h"
+#include "bgp/table.h"
 
 namespace bgpolicy::asrel {
 
@@ -48,6 +50,13 @@ struct GaoParams {
   /// at crests (share near 1); provider-customer edges accumulate transit
   /// votes far beyond their incidental crest nominations.
   double peer_candidate_min_share = 0.33;
+  /// Worker-thread count for the per-path passes of `infer` (vote
+  /// accumulation and valley-free peer disqualification).  Same knob
+  /// semantics as sim::PropagationOptions::threads: 0 = hardware
+  /// concurrency, 1 = the exact sequential seed program.  Vote counters are
+  /// summed and disqualification sets unioned in stable shard order, so the
+  /// inferred relationships are identical at every value.
+  std::size_t threads = 1;
 };
 
 class GaoInference {
@@ -57,6 +66,12 @@ class GaoInference {
   /// ignored, mirroring the paper's data cleaning.
   void add_path(std::span<const AsNumber> path);
   void add_path(const bgp::AsPath& path) { add_path(path.hops()); }
+
+  /// Feeds every route's path from a BGP table.  `prepend`, when set, is
+  /// the vantage AS prepended to each path so looking-glass views match the
+  /// shape a collector would record.
+  void add_table_paths(const bgp::BgpTable& table,
+                       std::optional<AsNumber> prepend = std::nullopt);
 
   [[nodiscard]] std::size_t path_count() const { return path_count_; }
 

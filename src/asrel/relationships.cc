@@ -1,5 +1,8 @@
 #include "asrel/relationships.h"
 
+#include <algorithm>
+#include <tuple>
+
 namespace bgpolicy::asrel {
 
 std::string to_string(EdgeType type) {
@@ -86,6 +89,24 @@ double InferredRelationships::accuracy_against(
   }
   if (comparable == 0) return 0.0;
   return static_cast<double>(correct) / static_cast<double>(comparable);
+}
+
+std::string canonical_serialize(const InferredRelationships& rels) {
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, EdgeType>> rows;
+  rels.for_each([&](AsNumber lo, AsNumber hi, EdgeType type) {
+    rows.emplace_back(lo.value(), hi.value(), type);
+  });
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  for (const auto& [lo, hi, type] : rows) {
+    out += std::to_string(lo);
+    out += ' ';
+    out += std::to_string(hi);
+    out += ' ';
+    out += to_string(type);
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace bgpolicy::asrel

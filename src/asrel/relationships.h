@@ -75,4 +75,13 @@ class InferredRelationships {
       edges_;
 };
 
+/// Stable textual serialization of a classification: one "lo hi type" line
+/// per pair, sorted by (lo, hi).  Independent of construction and hash-map
+/// iteration order, so two inference runs produced at different thread
+/// counts serialize byte-identically iff they classified identically — the
+/// comparison hook for the inference determinism test and the
+/// bench_inference_scaling product digest.
+[[nodiscard]] std::string canonical_serialize(
+    const InferredRelationships& rels);
+
 }  // namespace bgpolicy::asrel

@@ -96,4 +96,26 @@ TierAssignment classify_tiers(const InferredRelationships& rels,
   return out;
 }
 
+std::string canonical_serialize(const TierAssignment& tiers) {
+  std::string out = "tier1:";
+  for (const AsNumber as : tiers.tier1) {
+    out += ' ';
+    out += std::to_string(as.value());
+  }
+  out += '\n';
+  std::vector<std::pair<std::uint32_t, int>> rows;
+  rows.reserve(tiers.level.size());
+  for (const auto& [as, level] : tiers.level) {
+    rows.emplace_back(as.value(), level);
+  }
+  std::sort(rows.begin(), rows.end());
+  for (const auto& [as, level] : rows) {
+    out += std::to_string(as);
+    out += ' ';
+    out += std::to_string(level);
+    out += '\n';
+  }
+  return out;
+}
+
 }  // namespace bgpolicy::asrel

@@ -38,4 +38,9 @@ struct TierAssignment {
 [[nodiscard]] TierAssignment classify_tiers(const InferredRelationships& rels,
                                             const TierParams& params = {});
 
+/// Stable textual serialization: the Tier-1 list in clique order followed
+/// by one "as level" line per AS, sorted by AS number.  The
+/// byte-comparison hook for the inference determinism test.
+[[nodiscard]] std::string canonical_serialize(const TierAssignment& tiers);
+
 }  // namespace bgpolicy::asrel

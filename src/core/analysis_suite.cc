@@ -1,0 +1,106 @@
+#include "core/analysis_suite.h"
+
+#include <algorithm>
+
+#include "util/parallel.h"
+
+namespace bgpolicy::core {
+
+namespace {
+
+VantageAnalysis analyze_vantage(const Pipeline& pipe, AsNumber as) {
+  VantageAnalysis out;
+  out.vantage = as;
+  const bgp::BgpTable& table = pipe.table_for(as);
+  const RelationshipOracle rels = pipe.inferred_oracle();
+
+  out.sa = infer_sa_prefixes(table, as, pipe.inferred_graph, rels);
+  out.homing = analyze_homing(out.sa, pipe.inferred_graph);
+  out.causes =
+      analyze_causes(out.sa, table, pipe.paths, pipe.inferred_graph, rels);
+
+  if (pipe.sim.looking_glass.contains(as)) {
+    out.looking_glass = true;
+    out.import_typicality = analyze_import_typicality(table, rels);
+    out.sa_verification = verify_sa_prefixes(
+        out.sa, pipe.paths, pipe.community_verified_neighbors(as), rels);
+  }
+  return out;
+}
+
+void append_counter(std::string& out, const char* name, std::size_t value) {
+  out += ' ';
+  out += name;
+  out += '=';
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+const VantageAnalysis* AnalysisSuite::find(AsNumber as) const {
+  for (const VantageAnalysis& v : vantages) {
+    if (v.vantage == as) return &v;
+  }
+  return nullptr;
+}
+
+std::vector<AsNumber> recorded_vantages(const Pipeline& pipe) {
+  std::vector<AsNumber> out;
+  out.reserve(pipe.sim.looking_glass.size() + pipe.sim.best_only.size());
+  for (const auto& [as, table] : pipe.sim.looking_glass) out.push_back(as);
+  for (const auto& [as, table] : pipe.sim.best_only) out.push_back(as);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+AnalysisSuite run_analysis_suite(const Pipeline& pipe,
+                                 std::span<const AsNumber> vantages,
+                                 std::size_t threads) {
+  AnalysisSuite suite;
+  suite.vantages.reserve(vantages.size());
+  // Each vantage's bundle reads only the immutable pipeline; merging in
+  // vantage order makes the suite independent of scheduling.
+  util::shard_and_merge(
+      threads, vantages.size(),
+      [&](std::size_t i) { return analyze_vantage(pipe, vantages[i]); },
+      [&](std::size_t, VantageAnalysis& bundle) {
+        suite.vantages.push_back(std::move(bundle));
+      });
+  return suite;
+}
+
+std::string canonical_serialize(const AnalysisSuite& suite) {
+  std::string out;
+  for (const VantageAnalysis& v : suite.vantages) {
+    out += "as=";
+    out += std::to_string(v.vantage.value());
+    append_counter(out, "lg", v.looking_glass ? 1 : 0);
+    append_counter(out, "sa_customer_prefixes", v.sa.customer_prefixes);
+    append_counter(out, "sa_count", v.sa.sa_count);
+    append_counter(out, "homing_multi", v.homing.multihomed_ases);
+    append_counter(out, "homing_single", v.homing.singlehomed_ases);
+    append_counter(out, "causes_splitting", v.causes.splitting);
+    append_counter(out, "causes_aggregating", v.causes.aggregating);
+    append_counter(out, "causes_identified", v.causes.identified);
+    append_counter(out, "causes_announce", v.causes.announce_to_direct);
+    append_counter(out, "causes_withheld", v.causes.withheld_from_direct);
+    if (v.import_typicality) {
+      append_counter(out, "import_comparable",
+                     v.import_typicality->comparable_prefixes);
+      append_counter(out, "import_typical",
+                     v.import_typicality->typical_prefixes);
+    }
+    if (v.sa_verification) {
+      append_counter(out, "verify_total", v.sa_verification->sa_total);
+      append_counter(out, "verify_ok", v.sa_verification->verified);
+      append_counter(out, "verify_step1_fail",
+                     v.sa_verification->step1_failures);
+      append_counter(out, "verify_step2_fail",
+                     v.sa_verification->step2_failures);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bgpolicy::core

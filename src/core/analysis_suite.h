@@ -1,0 +1,64 @@
+// Batched, sharded execution of the paper's independent per-table analyses.
+//
+// Sections 4-5 of the paper run one analysis per vantage table: SA-prefix
+// inference (Fig. 4 / Table 5), homing distribution (Table 8), cause
+// classification (Table 9), and — for looking glasses, where local-pref and
+// communities are visible — import typicality (Table 2) and the two-step SA
+// verification (Table 7).  Each vantage's bundle is a pure function of the
+// (immutable) pipeline, so the suite shards vantages across the
+// util/parallel thread pool and merges results in vantage order: identical
+// output at any thread count, `threads = 1` is the exact sequential
+// program (the same calls the bench binaries previously made one by one).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/causes.h"
+#include "core/export_inference.h"
+#include "core/homing.h"
+#include "core/import_inference.h"
+#include "core/pipeline.h"
+#include "core/sa_verification.h"
+
+namespace bgpolicy::core {
+
+/// Every per-table analysis the paper runs against one vantage AS.
+struct VantageAnalysis {
+  AsNumber vantage;
+  bool looking_glass = false;
+  SaAnalysis sa;
+  HomingDistribution homing;
+  CausesAnalysis causes;
+  /// Looking-glass vantages only (local preference visible).
+  std::optional<ImportTypicality> import_typicality;
+  /// Looking-glass vantages only (community verification needs the LG).
+  std::optional<SaVerification> sa_verification;
+};
+
+struct AnalysisSuite {
+  /// One bundle per requested vantage, in request order.
+  std::vector<VantageAnalysis> vantages;
+
+  [[nodiscard]] const VantageAnalysis* find(AsNumber as) const;
+};
+
+/// Every AS with a recorded table (looking glass or best-only), sorted by
+/// AS number — the canonical vantage list for whole-suite runs.
+[[nodiscard]] std::vector<AsNumber> recorded_vantages(const Pipeline& pipe);
+
+/// Runs the full analysis bundle for each vantage, sharded across
+/// `threads` workers (0 = hardware concurrency, 1 = sequential seed
+/// behavior).  `pipe` must stay immutable for the duration of the call.
+[[nodiscard]] AnalysisSuite run_analysis_suite(
+    const Pipeline& pipe, std::span<const AsNumber> vantages,
+    std::size_t threads);
+
+/// Stable textual serialization of every integer counter in the suite, in
+/// vantage order — the byte-comparison hook for the inference determinism
+/// test and the bench_inference_scaling product digest.
+[[nodiscard]] std::string canonical_serialize(const AnalysisSuite& suite);
+
+}  // namespace bgpolicy::core

@@ -1,5 +1,7 @@
 #include "core/path_index.h"
 
+#include "util/parallel.h"
+
 namespace bgpolicy::core {
 
 namespace {
@@ -15,26 +17,36 @@ std::uint64_t hash_path(std::span<const util::AsNumber> path) {
   return h;
 }
 
+std::uint64_t entry_key(const bgp::Prefix& prefix,
+                        std::span<const util::AsNumber> path) {
+  return mix(mix(hash_path(path), prefix.network()), prefix.length());
+}
+
 std::uint64_t pack_pair(util::AsNumber a, util::AsNumber b) {
   return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
 }
 
 }  // namespace
 
+void PathIndex::install(Extracted&& entry) {
+  if (entry.path.empty()) return;
+  if (!seen_.insert(entry.key).second) return;
+
+  const std::size_t id = paths_.size();
+  by_origin_[entry.path.back()].push_back(id);
+  by_prefix_[entry.prefix].push_back(id);
+  for (std::size_t i = 0; i + 1 < entry.path.size(); ++i) {
+    adjacency_.insert(pack_pair(entry.path[i], entry.path[i + 1]));
+  }
+  paths_.push_back(std::move(entry.path));
+}
+
 void PathIndex::add_path(const bgp::Prefix& prefix,
                          std::span<const util::AsNumber> path) {
   if (path.empty()) return;
-  const std::uint64_t key =
-      mix(mix(hash_path(path), prefix.network()), prefix.length());
-  if (!seen_.insert(key).second) return;
-
-  const std::size_t id = paths_.size();
-  paths_.emplace_back(path.begin(), path.end());
-  by_origin_[path.back()].push_back(id);
-  by_prefix_[prefix].push_back(id);
-  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    adjacency_.insert(pack_pair(path[i], path[i + 1]));
-  }
+  install({prefix,
+           std::vector<util::AsNumber>(path.begin(), path.end()),
+           entry_key(prefix, path)});
 }
 
 void PathIndex::add_table(const bgp::BgpTable& table) {
@@ -44,6 +56,40 @@ void PathIndex::add_table(const bgp::BgpTable& table) {
       add_path(prefix, route.path.hops());
     }
   });
+}
+
+void PathIndex::add_tables(std::span<const TableSource> tables,
+                           std::size_t threads) {
+  // Per-table extraction (prepend + hash + local dedup) is the heavy part
+  // and shards cleanly; the merge replays each table's surviving entries in
+  // table order through the global dedup, so the result matches the
+  // sequential per-table ingest exactly.
+  util::shard_and_merge(
+      threads, tables.size(),
+      [&](std::size_t t) {
+        const TableSource& source = tables[t];
+        std::vector<Extracted> out;
+        std::unordered_set<std::uint64_t> local_seen;
+        if (source.table == nullptr) return out;
+        source.table->for_each([&](const bgp::Prefix& prefix,
+                                   std::span<const bgp::Route> routes) {
+          for (const bgp::Route& route : routes) {
+            const auto hops = route.path.hops();
+            if (hops.empty() && !source.prepend) continue;
+            std::vector<util::AsNumber> path;
+            path.reserve(hops.size() + (source.prepend ? 1 : 0));
+            if (source.prepend) path.push_back(*source.prepend);
+            path.insert(path.end(), hops.begin(), hops.end());
+            const std::uint64_t key = entry_key(prefix, path);
+            if (!local_seen.insert(key).second) continue;
+            out.push_back({prefix, std::move(path), key});
+          }
+        });
+        return out;
+      },
+      [&](std::size_t, std::vector<Extracted>& extracted) {
+        for (Extracted& entry : extracted) install(std::move(entry));
+      });
 }
 
 std::vector<std::span<const util::AsNumber>> PathIndex::paths_from_origin(

@@ -4,8 +4,18 @@
 // operations: the active-customer-path check of the SA verification
 // (Section 5.1.3, Step 2) and the direct-provider adjacency scan of the
 // Case-3 cause analysis (Section 5.1.5).
+//
+// Construction parallelism: `add_tables` shards per-table ingest across a
+// thread pool — each table's (prefix, path) observations are extracted,
+// prepended, and locally deduplicated on a worker, then merged into the
+// index on the calling thread *in table order* with the global dedup
+// applied at merge time.  The indexed path set, adjacency set, and every
+// query answer are therefore identical at any thread count (threads = 1
+// runs the exact sequential ingest).  All queries are set-membership or
+// any-of scans, so consumers are insensitive to path-id assignment order.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -18,6 +28,13 @@ namespace bgpolicy::core {
 
 class PathIndex {
  public:
+  /// One table to ingest; `prepend`, when set, is the vantage AS prepended
+  /// to every path so looking-glass views line up with the collector's.
+  struct TableSource {
+    const bgp::BgpTable* table = nullptr;
+    std::optional<util::AsNumber> prepend;
+  };
+
   /// Ingests every route's AS path from `table` (deduplicated).
   void add_table(const bgp::BgpTable& table);
 
@@ -26,7 +43,18 @@ class PathIndex {
   void add_path(const bgp::Prefix& prefix,
                 std::span<const util::AsNumber> path);
 
+  /// Ingests many tables with per-table extraction sharded across
+  /// `threads` workers (0 = hardware concurrency, 1 = sequential seed
+  /// behavior) and a stable table-order merge — index contents are
+  /// identical at any thread count.
+  void add_tables(std::span<const TableSource> tables, std::size_t threads);
+
   [[nodiscard]] std::size_t path_count() const { return paths_.size(); }
+
+  /// Distinct ordered AS adjacencies across all indexed paths.
+  [[nodiscard]] std::size_t adjacency_count() const {
+    return adjacency_.size();
+  }
 
   /// All distinct paths whose origin (rightmost hop) is `origin`.
   [[nodiscard]] std::vector<std::span<const util::AsNumber>>
@@ -42,6 +70,16 @@ class PathIndex {
                                    util::AsNumber right) const;
 
  private:
+  /// One extracted observation, hashed and ready to merge.
+  struct Extracted {
+    bgp::Prefix prefix;
+    std::vector<util::AsNumber> path;
+    std::uint64_t key = 0;  ///< (prefix, path) dedup key
+  };
+
+  /// Installs an extracted observation unless its key was already seen.
+  void install(Extracted&& entry);
+
   std::vector<std::vector<util::AsNumber>> paths_;
   std::unordered_map<util::AsNumber, std::vector<std::size_t>> by_origin_;
   std::unordered_map<bgp::Prefix, std::vector<std::size_t>> by_prefix_;

@@ -69,6 +69,25 @@ std::unordered_set<AsNumber> Pipeline::community_verified_neighbors(
   return out;
 }
 
+std::vector<AsNumber> sorted_looking_glass(const sim::SimResult& sim) {
+  std::vector<AsNumber> out;
+  out.reserve(sim.looking_glass.size());
+  for (const auto& [as, table] : sim.looking_glass) out.push_back(as);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<PathIndex::TableSource> inference_table_sources(
+    const sim::SimResult& sim) {
+  std::vector<PathIndex::TableSource> sources;
+  sources.reserve(1 + sim.looking_glass.size());
+  sources.push_back({&sim.collector, std::nullopt});
+  for (const AsNumber as : sorted_looking_glass(sim)) {
+    sources.push_back({&sim.looking_glass.at(as), as});
+  }
+  return sources;
+}
+
 Pipeline run_pipeline(const Scenario& scenario,
                       std::optional<std::size_t> threads_override) {
   Pipeline p;
@@ -111,22 +130,22 @@ Pipeline run_pipeline(const Scenario& scenario,
   p.sim = sim::run_simulation(p.topo.graph, p.gen.policies, p.originations,
                               p.vantage, p.scenario.propagation);
 
-  // 4. Infer relationships from every observed path (RouteViews + LGs).
+  // Looking glasses in ascending AS order: the canonical ingest order for
+  // the inference stages, so sharded and sequential runs (and reruns at any
+  // thread count) consume tables identically.
+  const std::vector<AsNumber> lg_order = sorted_looking_glass(p.sim);
+
+  // 4. Infer relationships from every observed path (RouteViews + LGs; a
+  //    looking glass sees paths without the vantage itself, so its AS is
+  //    prepended to match the collector's shape).
   asrel::GaoInference gao;
-  p.sim.collector.for_each(
-      [&](const bgp::Prefix&, std::span<const bgp::Route> routes) {
-        for (const bgp::Route& route : routes) gao.add_path(route.path);
-      });
-  for (const auto& [as, table] : p.sim.looking_glass) {
-    table.for_each([&](const bgp::Prefix&, std::span<const bgp::Route> routes) {
-      for (const bgp::Route& route : routes) {
-        // The looking glass sees paths without the vantage itself; prepend
-        // it so the inference sees the same shape RouteViews would.
-        gao.add_path(route.path.prepend(as));
-      }
-    });
+  gao.add_table_paths(p.sim.collector);
+  for (const AsNumber as : lg_order) {
+    gao.add_table_paths(p.sim.looking_glass.at(as), as);
   }
-  p.inferred = gao.infer();
+  asrel::GaoParams gao_params;
+  gao_params.threads = p.scenario.propagation.threads;
+  p.inferred = gao.infer(gao_params);
   p.inferred_graph = p.inferred.to_graph();
   p.tiers = asrel::classify_tiers(p.inferred);
 
@@ -134,19 +153,11 @@ Pipeline run_pipeline(const Scenario& scenario,
   p.irr_text = rpsl::generate_irr(p.topo, p.gen.policies, scenario.irr_params);
   p.irr_objects = rpsl::parse_aut_nums(p.irr_text);
 
-  // 6. Path index for verification & cause analyses.  Looking-glass paths
-  //    are prepended with the vantage AS so their adjacencies line up with
-  //    the collector's view.
-  p.paths.add_table(p.sim.collector);
-  for (const auto& [as, table] : p.sim.looking_glass) {
-    table.for_each([&](const bgp::Prefix& prefix,
-                       std::span<const bgp::Route> routes) {
-      for (const bgp::Route& route : routes) {
-        const bgp::AsPath prepended = route.path.prepend(as);
-        p.paths.add_path(prefix, prepended.hops());
-      }
-    });
-  }
+  // 6. Path index for verification & cause analyses, sharded per table.
+  //    Looking-glass paths are prepended with the vantage AS so their
+  //    adjacencies line up with the collector's view.
+  p.paths.add_tables(inference_table_sources(p.sim),
+                     p.scenario.propagation.threads);
 
   return p;
 }

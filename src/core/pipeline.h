@@ -78,11 +78,31 @@ struct Pipeline {
 };
 
 /// Runs the full pipeline.  Deterministic in the scenario seeds alone —
-/// the simulation stage shards prefixes across
-/// `scenario.propagation.threads` workers (overridable here) with
-/// thread-count-independent output.
+/// `scenario.propagation.threads` (overridable here) shards the simulation
+/// over prefixes AND the inference stages (Gao relationship voting over
+/// observed paths, path-index construction) over paths and tables, all
+/// with thread-count-independent output: every product — tables, inferred
+/// relationships, tiers, path index — is identical at any thread count,
+/// and `threads = 1` runs the exact sequential seed program.
+///
+/// The per-table analyses of Sections 4-5 are NOT part of the pipeline
+/// run; they execute over a finished Pipeline via core::run_analysis_suite
+/// (analysis_suite.h), which takes the same threads knob explicitly.
 [[nodiscard]] Pipeline run_pipeline(
     const Scenario& scenario,
     std::optional<std::size_t> threads_override = std::nullopt);
+
+/// Looking-glass vantages of a simulation in ascending AS order — the
+/// canonical ingest order of the inference stages.  run_pipeline and
+/// bench_inference_scaling must consume tables in the same order for their
+/// products to be comparable.
+[[nodiscard]] std::vector<AsNumber> sorted_looking_glass(
+    const sim::SimResult& sim);
+
+/// The canonical PathIndex table-source list for a simulation: collector
+/// first, then each looking glass (ascending AS order) with its vantage AS
+/// prepended.  `sim` must outlive the returned pointers.
+[[nodiscard]] std::vector<PathIndex::TableSource> inference_table_sources(
+    const sim::SimResult& sim);
 
 }  // namespace bgpolicy::core

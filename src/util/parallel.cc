@@ -10,6 +10,22 @@ std::size_t resolve_threads(std::size_t requested) {
   return hw == 0 ? 1 : hw;
 }
 
+std::vector<IndexRange> split_ranges(std::size_t n, std::size_t parts) {
+  std::vector<IndexRange> ranges;
+  if (n == 0) return ranges;
+  parts = std::max<std::size_t>(1, std::min(parts, n));
+  ranges.reserve(parts);
+  const std::size_t base = n / parts;
+  const std::size_t remainder = n % parts;
+  std::size_t begin = 0;
+  for (std::size_t r = 0; r < parts; ++r) {
+    const std::size_t size = base + (r < remainder ? 1 : 0);
+    ranges.push_back({begin, begin + size});
+    begin += size;
+  }
+  return ranges;
+}
+
 /// State for one parallel_for call, shared by every participating thread.
 struct ThreadPool::Batch {
   const std::function<void(std::size_t)>* fn = nullptr;

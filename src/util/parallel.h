@@ -32,6 +32,23 @@ namespace bgpolicy::util {
 /// hardware threads" (at least 1), anything else is taken literally.
 [[nodiscard]] std::size_t resolve_threads(std::size_t requested);
 
+/// A contiguous [begin, end) slice of an index space.
+struct IndexRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+};
+
+/// Splits [0, n) into at most `parts` contiguous, non-empty, near-equal
+/// ranges (the remainder is spread one index each across the leading
+/// ranges).  The decomposition depends only on (n, parts) — never on
+/// scheduling — so shard-and-merge callers that reduce per-range results in
+/// range order stay deterministic at any thread count.  Used by the
+/// inference stages (Gao voting, path indexing) to shard loops whose
+/// per-index work is too small to schedule individually.
+[[nodiscard]] std::vector<IndexRange> split_ranges(std::size_t n,
+                                                   std::size_t parts);
+
 /// Fixed pool of `threads - 1` workers; the thread calling parallel_for is
 /// always the final executor, so `threads` is the total concurrency.
 class ThreadPool {

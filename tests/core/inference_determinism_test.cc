@@ -1,0 +1,83 @@
+// The inference-side determinism contract (the counterpart of
+// sim_parallel_determinism_test): every inference product — inferred
+// relationships, tier assignment, path index, and the per-table analysis
+// suite — serializes byte-identically for threads ∈ {1, 2, 0}, where 1 is
+// the exact sequential seed program and 0 resolves to hardware concurrency.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "asrel/tier_classify.h"
+#include "core/analysis_suite.h"
+#include "core/pipeline.h"
+#include "core/scenario.h"
+
+namespace bgpolicy::core {
+namespace {
+
+struct InferenceProducts {
+  std::string relationships;
+  std::string tiers;
+  std::size_t path_count = 0;
+  std::size_t adjacency_count = 0;
+  std::string analyses;
+};
+
+InferenceProducts products_at(std::size_t threads) {
+  const Pipeline pipe = run_pipeline(Scenario::small(), threads);
+  InferenceProducts out;
+  out.relationships = asrel::canonical_serialize(pipe.inferred);
+  out.tiers = asrel::canonical_serialize(pipe.tiers);
+  out.path_count = pipe.paths.path_count();
+  out.adjacency_count = pipe.paths.adjacency_count();
+  out.analyses = canonical_serialize(
+      run_analysis_suite(pipe, recorded_vantages(pipe), threads));
+  return out;
+}
+
+TEST(InferenceDeterminism, ProductsIdenticalAcrossThreadCounts) {
+  const InferenceProducts reference = products_at(1);
+  ASSERT_FALSE(reference.relationships.empty());
+  ASSERT_FALSE(reference.tiers.empty());
+  ASSERT_GT(reference.path_count, 0u);
+  ASSERT_GT(reference.adjacency_count, 0u);
+  ASSERT_FALSE(reference.analyses.empty());
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{0}}) {
+    const InferenceProducts result = products_at(threads);
+    EXPECT_EQ(result.relationships, reference.relationships)
+        << "inferred relationships differ at threads=" << threads;
+    EXPECT_EQ(result.tiers, reference.tiers)
+        << "tier assignment differs at threads=" << threads;
+    EXPECT_EQ(result.path_count, reference.path_count)
+        << "path index size differs at threads=" << threads;
+    EXPECT_EQ(result.adjacency_count, reference.adjacency_count)
+        << "path index adjacencies differ at threads=" << threads;
+    EXPECT_EQ(result.analyses, reference.analyses)
+        << "analysis suite differs at threads=" << threads;
+  }
+}
+
+// Sharded Gao voting must match the sequential classification on the raw
+// path set too, not only end-to-end through the pipeline.
+TEST(InferenceDeterminism, GaoVotingIdenticalOnSharedPathSet) {
+  const Pipeline pipe = run_pipeline(Scenario::small(), 1);
+
+  asrel::GaoInference gao;
+  gao.add_table_paths(pipe.sim.collector);
+  asrel::GaoParams params;
+  params.threads = 1;
+  const std::string reference = asrel::canonical_serialize(gao.infer(params));
+  ASSERT_FALSE(reference.empty());
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{5}}) {
+    params.threads = threads;
+    EXPECT_EQ(asrel::canonical_serialize(gao.infer(params)), reference)
+        << "Gao classification differs at threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace bgpolicy::core
