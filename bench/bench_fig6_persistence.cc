@@ -39,7 +39,8 @@ int main() {
                               pipe.originations, pipe.gen.truth, {watch},
                               churn_params);
     const auto study = core::run_persistence_study(
-        churn, watch, pipe.inferred_graph, pipe.inferred_oracle(), 31);
+        churn, watch, pipe.inferred_graph, pipe.inferred_oracle(), 31,
+        pipe.scenario.propagation.threads);
     std::cout << "Fig. 6(a): daily snapshots, March-2002 equivalent\n";
     print_series(study, "day");
   }
@@ -54,7 +55,8 @@ int main() {
                               pipe.originations, pipe.gen.truth, {watch},
                               churn_params);
     const auto study = core::run_persistence_study(
-        churn, watch, pipe.inferred_graph, pipe.inferred_oracle(), 12);
+        churn, watch, pipe.inferred_graph, pipe.inferred_oracle(), 12,
+        pipe.scenario.propagation.threads);
     std::cout << "Fig. 6(b): intra-day snapshots, March 15 equivalent\n";
     print_series(study, "interval");
   }

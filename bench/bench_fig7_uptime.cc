@@ -41,7 +41,8 @@ int main() {
                               pipe.originations, pipe.gen.truth, {watch},
                               churn_params);
     const auto study = core::run_persistence_study(
-        churn, watch, pipe.inferred_graph, pipe.inferred_oracle(), 31);
+        churn, watch, pipe.inferred_graph, pipe.inferred_oracle(), 31,
+        pipe.scenario.propagation.threads);
     std::cout << "Fig. 7(a): month-scale churn\n";
     print_histogram(study, "days");
     std::cout << "Shape check (a): shifted share "
@@ -57,7 +58,8 @@ int main() {
                               pipe.originations, pipe.gen.truth, {watch},
                               churn_params);
     const auto study = core::run_persistence_study(
-        churn, watch, pipe.inferred_graph, pipe.inferred_oracle(), 12);
+        churn, watch, pipe.inferred_graph, pipe.inferred_oracle(), 12,
+        pipe.scenario.propagation.threads);
     std::cout << "Fig. 7(b): day-scale churn\n";
     print_histogram(study, "hours");
     std::cout << "Shape check (b): shifted share "

@@ -1,0 +1,167 @@
+// Per-stage wall-clock bench for the staged experiment API: times each
+// stage of Synthesize → Simulate → Observe → Infer → Analyze separately at
+// 1/2/4/8 threads, so the tracked bench trajectory can attribute future
+// speedups to individual stages.
+//
+// Every run's products are digested via the canonical serializers and
+// asserted byte-identical across thread counts — the same determinism
+// contract the other scaling benches enforce (exit code 1 on mismatch).
+//
+// Flags:
+//   --small   use the `small` scenario (CI-sized, seconds not minutes)
+//   --json    emit a single JSON object on stdout (for scripts/bench.sh)
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/analysis_suite.h"
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "util/text_table.h"
+
+namespace {
+
+using namespace bgpolicy;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct Row {
+  std::size_t threads;
+  double synthesize_seconds;
+  double simulate_seconds;
+  double observe_seconds;
+  double infer_seconds;
+  double analyze_seconds;
+  double total_seconds;
+  double speedup;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool small = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--small") == 0) small = true;
+  }
+
+  const core::Scenario scenario =
+      small ? core::Scenario::small() : core::Scenario::internet2002();
+  if (!json) {
+    std::cout << "[bench] staged experiment on the " << scenario.name
+              << " scenario (every stage timed per thread count)...\n";
+  }
+
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  std::vector<Row> rows;
+  std::string reference_digest;
+  bool products_match = true;
+  double base_seconds = 0.0;
+
+  for (const std::size_t threads : thread_counts) {
+    core::RunOptions options;
+    options.threads = threads;
+    core::Experiment experiment(scenario, options);
+
+    auto start = std::chrono::steady_clock::now();
+    (void)experiment.truth();
+    const double synthesize_seconds = seconds_since(start);
+
+    start = std::chrono::steady_clock::now();
+    (void)experiment.sim();
+    const double simulate_seconds = seconds_since(start);
+
+    start = std::chrono::steady_clock::now();
+    (void)experiment.observations();
+    const double observe_seconds = seconds_since(start);
+
+    start = std::chrono::steady_clock::now();
+    (void)experiment.inference();
+    const double infer_seconds = seconds_since(start);
+
+    start = std::chrono::steady_clock::now();
+    const core::AnalysisSuite& suite = experiment.analyses();
+    const double analyze_seconds = seconds_since(start);
+
+    const double total = synthesize_seconds + simulate_seconds +
+                         observe_seconds + infer_seconds + analyze_seconds;
+    if (threads == 1) base_seconds = total;
+    rows.push_back({threads, synthesize_seconds, simulate_seconds,
+                    observe_seconds, infer_seconds, analyze_seconds, total,
+                    base_seconds / total});
+
+    const core::InferenceProducts& inference = experiment.inference();
+    const std::string digest =
+        asrel::canonical_serialize(inference.inferred) + "tiers\n" +
+        asrel::canonical_serialize(inference.tiers) + "paths " +
+        std::to_string(experiment.observations().paths.path_count()) +
+        " adjacencies " +
+        std::to_string(experiment.observations().paths.adjacency_count()) +
+        "\nirr_bytes " +
+        std::to_string(experiment.observations().irr_text.size()) + "\n" +
+        core::canonical_serialize(suite);
+    if (reference_digest.empty()) {
+      reference_digest = digest;
+    } else if (digest != reference_digest) {
+      products_match = false;
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (json) {
+    std::cout << "{\"bench\":\"pipeline_stages\",\"scenario\":\""
+              << scenario.name << "\",\"hardware_concurrency\":" << hw
+              << ",\"products_match\":" << (products_match ? "true" : "false")
+              << ",\"results\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::cout << (i == 0 ? "" : ",") << "{\"threads\":" << r.threads
+                << ",\"synthesize_seconds\":" << r.synthesize_seconds
+                << ",\"simulate_seconds\":" << r.simulate_seconds
+                << ",\"observe_seconds\":" << r.observe_seconds
+                << ",\"infer_seconds\":" << r.infer_seconds
+                << ",\"analyze_seconds\":" << r.analyze_seconds
+                << ",\"total_seconds\":" << r.total_seconds
+                << ",\"speedup\":" << r.speedup << "}";
+    }
+    std::cout << "]}" << std::endl;
+    return products_match ? 0 : 1;
+  }
+
+  std::cout << "== pipeline stages · staged experiment wall clock per stage "
+               "==\n"
+            << "scenario " << scenario.name
+            << " · hardware threads: " << hw << "\n\n";
+  util::TextTable table({"threads", "synthesize", "simulate", "observe",
+                         "infer", "analyze", "total", "speedup"});
+  for (const Row& r : rows) {
+    table.add_row({std::to_string(r.threads),
+                   util::fmt(r.synthesize_seconds, 3),
+                   util::fmt(r.simulate_seconds, 3),
+                   util::fmt(r.observe_seconds, 3),
+                   util::fmt(r.infer_seconds, 3),
+                   util::fmt(r.analyze_seconds, 3),
+                   util::fmt(r.total_seconds, 3),
+                   util::fmt(r.speedup, 2) + "x"});
+  }
+  std::cout << table.render("stage wall clock (seconds) by thread count")
+            << "\n"
+            << (products_match
+                    ? "stage products byte-identical across all thread "
+                      "counts\n"
+                    : "PRODUCT MISMATCH ACROSS THREAD COUNTS\n");
+  if (hw < 4) {
+    std::cout << "note: only " << hw
+              << " hardware thread(s) available; speedup is bounded by the "
+                 "host, not the engine\n";
+  }
+  return products_match ? 0 : 1;
+}

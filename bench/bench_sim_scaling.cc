@@ -17,10 +17,9 @@
 #include <thread>
 #include <vector>
 
+#include "core/experiment.h"
 #include "core/scenario.h"
 #include "sim/simulation.h"
-#include "topology/prefix_alloc.h"
-#include "topology/topology_gen.h"
 #include "util/text_table.h"
 
 namespace {
@@ -28,32 +27,18 @@ namespace {
 using namespace bgpolicy;
 
 struct World {
-  topo::Topology topo;
-  sim::GeneratedPolicies gen;
-  std::vector<sim::Origination> originations;
+  core::GroundTruth truth;
   sim::VantageSpec vantage;
   sim::PropagationOptions options;
 };
 
 World build(const core::Scenario& scenario) {
+  // The Synthesize stage plus the canonical vantage derivation — the same
+  // world run_pipeline simulates.
   World w;
-  w.topo = topo::generate_topology(scenario.topo_params);
-  const auto plan = topo::allocate_prefixes(w.topo, scenario.alloc_params);
-  w.gen = sim::generate_policies(w.topo, plan, scenario.policy_params);
-  w.originations = sim::all_originations(plan, w.gen);
+  w.truth = core::synthesize(scenario);
+  w.vantage = core::derive_vantage(scenario, w.truth.topo);
   w.options = scenario.propagation;
-
-  for (const auto as : w.topo.tier1) w.vantage.collector_peers.push_back(as);
-  for (std::size_t i = 0;
-       i < std::min(scenario.collector_tier2_peers, w.topo.tier2.size());
-       ++i) {
-    w.vantage.collector_peers.push_back(w.topo.tier2[i]);
-  }
-  for (const std::uint32_t as : scenario.looking_glass) {
-    if (w.topo.graph.contains(util::AsNumber(as))) {
-      w.vantage.looking_glass.emplace_back(as);
-    }
-  }
   return w;
 }
 
@@ -89,7 +74,8 @@ int main(int argc, char** argv) {
     options.threads = threads;
     const auto start = std::chrono::steady_clock::now();
     const sim::SimResult result = sim::run_simulation(
-        w.topo.graph, w.gen.policies, w.originations, w.vantage, options);
+        w.truth.topo.graph, w.truth.gen.policies, w.truth.originations,
+        w.vantage, options);
     const auto stop = std::chrono::steady_clock::now();
     const double seconds =
         std::chrono::duration<double>(stop - start).count();
@@ -106,7 +92,7 @@ int main(int argc, char** argv) {
   if (json) {
     std::cout << "{\"bench\":\"sim_scaling\",\"scenario\":\"" << scenario.name
               << "\",\"hardware_concurrency\":" << hw
-              << ",\"originations\":" << w.originations.size()
+              << ",\"originations\":" << w.truth.originations.size()
               << ",\"counters_match\":" << (counters_match ? "true" : "false")
               << ",\"results\":[";
     for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -121,7 +107,7 @@ int main(int argc, char** argv) {
 
   std::cout << "== sim scaling · prefix-sharded run_simulation ==\n"
             << "scenario " << scenario.name << " · "
-            << w.originations.size() << " originations · hardware threads: "
+            << w.truth.originations.size() << " originations · hardware threads: "
             << hw << "\n\n";
   util::TextTable table({"threads", "seconds", "speedup", "process events",
                          "unconverged"});

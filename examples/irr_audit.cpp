@@ -11,9 +11,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/import_inference.h"
+#include "core/experiment.h"
 #include "core/nexthop_consistency.h"
-#include "core/pipeline.h"
 #include "rpsl/generator.h"
 #include "util/text_table.h"
 
@@ -29,16 +28,25 @@ int main(int argc, char** argv) {
 
   std::cout << "Auditing the IRR against observed routing (seed " << seed
             << ")...\n";
-  const core::Pipeline pipe = core::run_pipeline(scenario);
+  // The audit compares the registry against observed tables only — no
+  // relationship inference needed, so the staged experiment stops at
+  // Observe (stage selection skips the Infer/Analyze cost entirely).
+  core::RunOptions options;
+  options.until = core::Stage::kObserve;
+  core::Experiment experiment(scenario, options);
+  experiment.run();
+  const core::GroundTruth& truth = experiment.truth();
+  const sim::SimResult& sim = experiment.sim().sim;
+  const core::Observations& observations = experiment.observations();
 
   std::size_t registered = 0;
   std::size_t stale = 0;
-  for (const auto& aut_num : pipe.irr_objects) {
+  for (const auto& aut_num : observations.irr_objects) {
     ++registered;
     if (aut_num.changed_date / 10000 < 2002) ++stale;
   }
   std::cout << "Registry: " << registered << " aut-num objects covering "
-            << util::fmt(util::percent(registered, pipe.topo.graph.as_count()), 1)
+            << util::fmt(util::percent(registered, truth.topo.graph.as_count()), 1)
             << "% of ASs; " << stale
             << " stale (not touched during 2002 — the paper discards these)\n\n";
 
@@ -46,8 +54,8 @@ int main(int argc, char** argv) {
   // registered import against the observed modal local preference.
   util::TextTable table({"AS", "registered imports", "checkable",
                          "contradicted", "verdict"});
-  for (const auto vantage : pipe.vantage.looking_glass) {
-    const rpsl::AutNum* aut_num = pipe.irr_for(vantage);
+  for (const auto vantage : experiment.sim().vantage.looking_glass) {
+    const rpsl::AutNum* aut_num = observations.irr_for(vantage);
     if (aut_num == nullptr) {
       table.add_row({util::to_string(vantage), "-", "-", "-",
                      "NOT REGISTERED"});
@@ -61,8 +69,8 @@ int main(int argc, char** argv) {
     }
 
     // Observed: modal local-pref per neighbor from the looking glass.
-    const auto observed = core::analyze_nexthop_consistency(
-        pipe.sim.looking_glass.at(vantage));
+    const auto observed =
+        core::analyze_nexthop_consistency(sim.looking_glass.at(vantage));
 
     std::size_t checkable = 0;
     std::size_t contradicted = 0;

@@ -1,9 +1,11 @@
-// Policy atlas: run the full measurement pipeline on a synthetic Internet
-// and emit a per-vantage routing-policy report — the "global view of
-// routing policies" the paper argues operators lack.
+// Policy atlas: run the staged measurement experiment on a synthetic
+// Internet and emit a per-vantage routing-policy report — the "global view
+// of routing policies" the paper argues operators lack.
 //
-// Also demonstrates the io layer: the collector table is dumped to a file
-// and re-parsed, and the report is mirrored to CSV.
+// The per-vantage numbers come straight from the Analyze stage's suite
+// (one cached bundle per vantage); the io layer is demonstrated by dumping
+// the collector table to a file and re-parsing it, and the report is
+// mirrored to CSV.
 //
 //   $ policy_atlas [seed] [output-dir]
 #include <cstdlib>
@@ -11,10 +13,8 @@
 #include <fstream>
 #include <iostream>
 
-#include "core/export_inference.h"
-#include "core/import_inference.h"
+#include "core/experiment.h"
 #include "core/nexthop_consistency.h"
-#include "core/pipeline.h"
 #include "io/table_dump.h"
 #include "util/csv.h"
 #include "util/text_table.h"
@@ -30,7 +30,11 @@ int main(int argc, char** argv) {
 
   core::Scenario scenario = core::Scenario::small(seed);
   std::cout << "Building the atlas (seed " << seed << ")...\n";
-  const core::Pipeline pipe = core::run_pipeline(scenario);
+  core::Experiment experiment(scenario);
+  experiment.run();  // Synthesize → ... → Analyze, all artifacts cached
+  const sim::SimResult& sim = experiment.sim().sim;
+  const core::InferenceProducts& inference = experiment.inference();
+  const core::AnalysisSuite& analyses = experiment.analyses();
 
   // --- The atlas table -----------------------------------------------------
   util::TextTable atlas({"AS", "tier", "degree", "% typical import",
@@ -40,27 +44,25 @@ int main(int argc, char** argv) {
   csv.write_row({"as", "tier", "degree", "typical_import_pct",
                  "nexthop_keyed_pct", "customer_prefixes", "sa_pct"});
 
-  for (const auto vantage : pipe.vantage.looking_glass) {
-    const auto& lg = pipe.sim.looking_glass.at(vantage);
-    const auto import_result =
-        core::analyze_import_typicality(lg, pipe.inferred_oracle());
-    const auto nh = core::analyze_nexthop_consistency(lg);
-    const auto sa = core::infer_sa_prefixes(lg, vantage, pipe.inferred_graph,
-                                            pipe.inferred_oracle());
+  for (const auto vantage : experiment.sim().vantage.looking_glass) {
+    const core::VantageAnalysis* bundle = analyses.find(vantage);
+    if (bundle == nullptr || !bundle->import_typicality) continue;
+    const auto nh =
+        core::analyze_nexthop_consistency(sim.looking_glass.at(vantage));
     atlas.add_row({util::to_string(vantage),
-                   std::to_string(pipe.tiers.level_of(vantage)),
-                   std::to_string(pipe.topo.graph.degree(vantage)),
-                   util::fmt(import_result.percent_typical, 1),
+                   std::to_string(inference.tiers.level_of(vantage)),
+                   std::to_string(experiment.truth().topo.graph.degree(vantage)),
+                   util::fmt(bundle->import_typicality->percent_typical, 1),
                    util::fmt(nh.percent_consistent, 1),
-                   std::to_string(sa.customer_prefixes),
-                   util::fmt(sa.percent_sa, 1)});
+                   std::to_string(bundle->sa.customer_prefixes),
+                   util::fmt(bundle->sa.percent_sa, 1)});
     csv.write_row({util::to_string(vantage),
-                   std::to_string(pipe.tiers.level_of(vantage)),
-                   std::to_string(pipe.topo.graph.degree(vantage)),
-                   util::fmt(import_result.percent_typical, 2),
+                   std::to_string(inference.tiers.level_of(vantage)),
+                   std::to_string(experiment.truth().topo.graph.degree(vantage)),
+                   util::fmt(bundle->import_typicality->percent_typical, 2),
                    util::fmt(nh.percent_consistent, 2),
-                   std::to_string(sa.customer_prefixes),
-                   util::fmt(sa.percent_sa, 2)});
+                   std::to_string(bundle->sa.customer_prefixes),
+                   util::fmt(bundle->sa.percent_sa, 2)});
   }
   std::cout << atlas.render("Routing-policy atlas (one row per vantage)")
             << "\n";
@@ -73,13 +75,11 @@ int main(int argc, char** argv) {
   std::size_t curving = 0;
   std::size_t with_customer_path = 0;
   for (const auto as_value : core::Scenario::focus_tier1()) {
-    const util::AsNumber tier1{as_value};
-    if (!pipe.has_table(tier1)) continue;
-    const auto sa = core::infer_sa_prefixes(pipe.table_for(tier1), tier1,
-                                            pipe.inferred_graph,
-                                            pipe.inferred_oracle());
-    with_customer_path += sa.customer_prefixes;
-    curving += sa.sa_count;
+    const core::VantageAnalysis* bundle =
+        analyses.find(util::AsNumber(as_value));
+    if (bundle == nullptr) continue;
+    with_customer_path += bundle->sa.customer_prefixes;
+    curving += bundle->sa.sa_count;
   }
   std::cout << "Connectivity vs reachability: " << curving << " of "
             << with_customer_path
@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
   const auto dump_path = out_dir / "collector.bgp";
   {
     std::ofstream dump_file(dump_path);
-    io::dump_table(pipe.sim.collector, dump_file);
+    io::dump_table(sim.collector, dump_file);
   }
   std::ifstream dump_file(dump_path);
   std::string text((std::istreambuf_iterator<char>(dump_file)),
@@ -101,7 +101,7 @@ int main(int argc, char** argv) {
   std::cout << "Collector table dumped to " << dump_path << " ("
             << std::filesystem::file_size(dump_path) / 1024
             << " KiB) and re-parsed: " << reloaded.route_count()
-            << " routes (original " << pipe.sim.collector.route_count()
+            << " routes (original " << sim.collector.route_count()
             << ")\n";
   std::cout << "Atlas CSV written to " << (out_dir / "atlas.csv") << "\n";
   return 0;

@@ -1,15 +1,17 @@
-// Quickstart: run the full pipeline on a small synthetic Internet and print
-// the headline findings of the paper — import-policy typicality, the
+// Quickstart: run the staged experiment on a small synthetic Internet and
+// print the headline findings of the paper — import-policy typicality, the
 // SA-prefix shares at the Tier-1 vantages, and relationship-inference
 // accuracy against ground truth.
+//
+// The staged API runs Synthesize → Simulate → Observe → Infer → Analyze
+// with each artifact cached on the Experiment; the Analyze stage bundles
+// every per-table analysis the tables below read from.
 //
 //   $ quickstart [seed]
 #include <cstdlib>
 #include <iostream>
 
-#include "core/export_inference.h"
-#include "core/import_inference.h"
-#include "core/pipeline.h"
+#include "core/experiment.h"
 #include "util/text_table.h"
 
 int main(int argc, char** argv) {
@@ -17,50 +19,57 @@ int main(int argc, char** argv) {
 
   const std::uint64_t seed =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
-  const core::Scenario scenario = core::Scenario::small(seed);
+  core::Experiment experiment(core::Scenario::small(seed));
 
-  std::cout << "Running scenario '" << scenario.name << "' (seed " << seed
-            << ")...\n";
-  const core::Pipeline pipe = core::run_pipeline(scenario);
+  std::cout << "Running scenario '" << experiment.scenario().name
+            << "' (seed " << seed << ")...\n";
+  experiment.run();  // all five stages; artifacts stay cached on the object
 
-  std::cout << "Simulated " << pipe.topo.graph.as_count() << " ASs, "
-            << pipe.topo.graph.edge_count() << " edges, "
-            << pipe.originations.size() << " originated prefixes ("
-            << pipe.sim.unconverged_prefixes << " unconverged)\n";
-  std::cout << "Collector table: " << pipe.sim.collector.prefix_count()
-            << " prefixes, " << pipe.sim.collector.route_count()
-            << " routes from " << pipe.vantage.collector_peers.size()
-            << " peers\n";
+  const core::GroundTruth& truth = experiment.truth();
+  const sim::SimResult& sim = experiment.sim().sim;
+  const core::InferenceProducts& inference = experiment.inference();
+  const core::AnalysisSuite& analyses = experiment.analyses();
+
+  std::cout << "Simulated " << truth.topo.graph.as_count() << " ASs, "
+            << truth.topo.graph.edge_count() << " edges, "
+            << truth.originations.size() << " originated prefixes ("
+            << sim.unconverged_prefixes << " unconverged)\n";
+  std::cout << "Collector table: " << sim.collector.prefix_count()
+            << " prefixes, " << sim.collector.route_count()
+            << " routes from "
+            << experiment.sim().vantage.collector_peers.size() << " peers\n";
   std::cout << "Relationship inference accuracy vs ground truth: "
-            << util::fmt(100.0 * pipe.inferred.accuracy_against(pipe.topo.graph), 2)
-            << "% over " << pipe.inferred.edge_count() << " classified pairs\n\n";
+            << util::fmt(
+                   100.0 * inference.inferred.accuracy_against(truth.topo.graph),
+                   2)
+            << "% over " << inference.inferred.edge_count()
+            << " classified pairs\n\n";
 
   // Import typicality at every looking glass (Table 2 flavor).
   util::TextTable import_table({"AS", "tier", "% typical local-pref"});
-  for (const auto vantage : pipe.vantage.looking_glass) {
-    const auto result = core::analyze_import_typicality(
-        pipe.sim.looking_glass.at(vantage), pipe.inferred_oracle());
-    import_table.add_row({util::to_string(vantage),
-                          std::to_string(pipe.tiers.level_of(vantage)),
-                          util::fmt(result.percent_typical, 2)});
+  for (const auto vantage : experiment.sim().vantage.looking_glass) {
+    const core::VantageAnalysis* bundle = analyses.find(vantage);
+    if (bundle == nullptr || !bundle->import_typicality) continue;
+    import_table.add_row(
+        {util::to_string(vantage),
+         std::to_string(inference.tiers.level_of(vantage)),
+         util::fmt(bundle->import_typicality->percent_typical, 2)});
   }
   std::cout << import_table.render("Import policies (typical local-pref)");
 
   // SA prefixes at the focus Tier-1s (Table 5 flavor).
   util::TextTable sa_table({"AS", "customer prefixes", "SA prefixes", "% SA"});
   for (const std::uint32_t as : core::Scenario::focus_tier1()) {
-    const util::AsNumber vantage{as};
-    if (!pipe.has_table(vantage)) continue;
-    const auto analysis =
-        core::infer_sa_prefixes(pipe.table_for(vantage), vantage,
-                                pipe.inferred_graph, pipe.inferred_oracle());
-    sa_table.add_row({util::to_string(vantage),
-                      std::to_string(analysis.customer_prefixes),
-                      std::to_string(analysis.sa_count),
-                      util::fmt(analysis.percent_sa, 1)});
+    const core::VantageAnalysis* bundle = analyses.find(util::AsNumber(as));
+    if (bundle == nullptr) continue;
+    sa_table.add_row({util::to_string(util::AsNumber(as)),
+                      std::to_string(bundle->sa.customer_prefixes),
+                      std::to_string(bundle->sa.sa_count),
+                      util::fmt(bundle->sa.percent_sa, 1)});
   }
   std::cout << "\n"
             << sa_table.render("Selectively announced (SA) prefixes");
-  std::cout << "\nDone. See bench/ for the full per-table reproductions.\n";
+  std::cout << "\nDone. Try examples/scenario_lab for cached-artifact "
+               "sweeps, and bench/ for the full per-table reproductions.\n";
   return 0;
 }

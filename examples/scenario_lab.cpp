@@ -1,20 +1,22 @@
-// Scenario lab: a command-line driver over the full pipeline for
+// Scenario lab: a command-line driver over the staged experiment API for
 // sensitivity studies — sweep a policy knob and watch the paper's headline
 // statistics move.
 //
 //   $ scenario_lab [--seed N] [--stubs N] [--selective P] [--multihome P]
-//                  [--sweep selective|multihome|prepend] [--steps N]
+//                  [--sweep selective|multihome|prepend|gao] [--steps N]
+//                  [--threads N]
 //
-// With --sweep, the chosen knob is swept across `--steps` values and one
-// row is printed per setting; without it a single run is reported.
+// With --sweep, the chosen knob is swept across `--steps` values through
+// core::sweep — variants run sharded across the thread pool, and upstream
+// artifacts are cached per distinct scenario (the `gao` sweep varies only
+// inference parameters, so every variant reuses ONE synthesized/simulated
+// world).  Without it a single staged run is reported.
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "core/export_inference.h"
-#include "core/homing.h"
-#include "core/import_inference.h"
-#include "core/pipeline.h"
+#include "core/experiment.h"
 #include "core/prepending.h"
 #include "util/text_table.h"
 
@@ -30,6 +32,7 @@ struct Options {
   double prepend = 0.15;
   std::string sweep;
   std::size_t steps = 5;
+  std::size_t threads = 0;
 };
 
 Options parse_args(int argc, char** argv) {
@@ -57,11 +60,13 @@ Options parse_args(int argc, char** argv) {
       opts.sweep = next();
     } else if (arg == "--steps") {
       opts.steps = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--threads") {
+      opts.threads = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: scenario_lab [--seed N] [--stubs N] "
                    "[--selective P] [--multihome P] [--prepend P]\n"
-                   "                    [--sweep selective|multihome|prepend] "
-                   "[--steps N]\n";
+                   "                    [--sweep selective|multihome|prepend|"
+                   "gao] [--steps N] [--threads N]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag " << arg << " (try --help)\n";
@@ -69,6 +74,15 @@ Options parse_args(int argc, char** argv) {
     }
   }
   return opts;
+}
+
+core::Scenario make_scenario(const Options& opts) {
+  core::Scenario scenario = core::Scenario::small(opts.seed);
+  scenario.topo_params.stub_count = opts.stubs;
+  scenario.topo_params.stub_multihome_prob = opts.multihome;
+  scenario.policy_params.origin_selective_as_prob = opts.selective;
+  scenario.policy_params.prepend_as_prob = opts.prepend;
+  return scenario;
 }
 
 struct RunStats {
@@ -79,30 +93,23 @@ struct RunStats {
   double accuracy = 0;
 };
 
-RunStats run_once(const Options& opts) {
-  core::Scenario scenario = core::Scenario::small(opts.seed);
-  scenario.topo_params.stub_count = opts.stubs;
-  scenario.topo_params.stub_multihome_prob = opts.multihome;
-  scenario.policy_params.origin_selective_as_prob = opts.selective;
-  scenario.policy_params.prepend_as_prob = opts.prepend;
-  const core::Pipeline pipe = core::run_pipeline(scenario);
-
+// Stats shared by the single-run and sweep paths, read from staged
+// artifacts: per-vantage bundles from the Analyze suite, accuracy scored
+// against the upstream ground truth, prepending from the collector table.
+RunStats stats_from(const core::GroundTruth& truth,
+                    const sim::SimResult& sim,
+                    const core::InferenceProducts& inference,
+                    const core::AnalysisSuite& analyses) {
   RunStats stats;
-  stats.accuracy = 100.0 * pipe.inferred.accuracy_against(pipe.topo.graph);
-
-  const util::AsNumber as1{1};
-  const auto sa = core::infer_sa_prefixes(pipe.table_for(as1), as1,
-                                          pipe.inferred_graph,
-                                          pipe.inferred_oracle());
-  stats.sa_pct_as1 = sa.percent_sa;
-  stats.multihomed_pct =
-      core::analyze_homing(sa, pipe.inferred_graph).percent_multihomed;
-  stats.typical_pct =
-      core::analyze_import_typicality(pipe.sim.looking_glass.at(as1),
-                                      pipe.inferred_oracle())
-          .percent_typical;
-  stats.prepended_pct =
-      core::analyze_prepending(pipe.sim.collector).percent_prepended;
+  stats.accuracy = 100.0 * inference.inferred.accuracy_against(truth.topo.graph);
+  if (const core::VantageAnalysis* as1 = analyses.find(util::AsNumber(1))) {
+    stats.sa_pct_as1 = as1->sa.percent_sa;
+    stats.multihomed_pct = as1->homing.percent_multihomed;
+    if (as1->import_typicality) {
+      stats.typical_pct = as1->import_typicality->percent_typical;
+    }
+  }
+  stats.prepended_pct = core::analyze_prepending(sim.collector).percent_prepended;
   return stats;
 }
 
@@ -123,34 +130,58 @@ int main(int argc, char** argv) {
   };
 
   if (base.sweep.empty()) {
-    std::cout << "Single run (seed " << base.seed << ", " << base.stubs
+    std::cout << "Single staged run (seed " << base.seed << ", " << base.stubs
               << " stubs)...\n";
-    add_row("baseline", run_once(base));
+    core::Experiment experiment(make_scenario(base));
+    experiment.run();
+    add_row("baseline",
+            stats_from(experiment.truth(), experiment.sim().sim,
+                       experiment.inference(), experiment.analyses()));
   } else {
-    std::cout << "Sweeping --" << base.sweep << " over " << base.steps
-              << " settings (seed " << base.seed << ")...\n";
+    std::vector<core::SweepVariant> variants;
     for (std::size_t i = 0; i < base.steps; ++i) {
       const double value =
           base.steps == 1
               ? 0.0
               : static_cast<double>(i) / static_cast<double>(base.steps - 1);
       Options opts = base;
+      core::SweepVariant variant;
       if (base.sweep == "selective") {
         opts.selective = value;
+        variant.label = "selective = " + util::fmt(value, 2);
       } else if (base.sweep == "multihome") {
         opts.multihome = 0.2 + 0.75 * value;  // degenerate worlds below 0.2
+        variant.label = "multihome = " + util::fmt(opts.multihome, 2);
       } else if (base.sweep == "prepend") {
         opts.prepend = value;
+        variant.label = "prepend = " + util::fmt(value, 2);
+      } else if (base.sweep == "gao") {
+        // Inference-parameter sweep: the scenario never changes, so every
+        // variant reuses one cached upstream world.
+        asrel::GaoParams gao;
+        gao.peer_degree_ratio = 10.0 + 110.0 * value;
+        variant.options.gao = gao;
+        variant.label = "gao R = " + util::fmt(gao.peer_degree_ratio, 0);
       } else {
         std::cerr << "unknown sweep knob " << base.sweep << "\n";
         return 2;
       }
-      add_row(base.sweep + " = " + util::fmt(base.sweep == "multihome"
-                                                 ? 0.2 + 0.75 * value
-                                                 : value,
-                                             2),
-              run_once(opts));
+      variant.scenario = make_scenario(opts);
+      variants.push_back(std::move(variant));
     }
+
+    std::cout << "Sweeping --" << base.sweep << " over " << base.steps
+              << " settings (seed " << base.seed << ")...\n";
+    const core::SweepReport report = core::sweep(variants, base.threads);
+    for (const core::SweepRun& run : report.runs) {
+      const core::Experiment& up = *report.upstream[run.scenario_index];
+      add_row(run.label, stats_from(up.truth(), up.sim().sim, run.inference,
+                                    run.analyses));
+    }
+    std::cout << "Upstream worlds synthesized: " << report.distinct_scenarios
+              << " for " << report.runs.size()
+              << " variants (stage runs: " << report.counters.synthesize
+              << " synthesize, " << report.counters.infer << " infer)\n";
   }
   std::cout << table.render("scenario_lab results") << "\n";
   std::cout << "Reading: SA prevalence tracks the selective-announcement "

@@ -1,6 +1,9 @@
 #!/usr/bin/env python3
 """Validates a bgpolicy bench-trajectory record (scripts/bench.sh output).
 
+Accepts bgpolicy-bench/v3 (current: adds the pipeline_stages section with
+per-stage wall-clock timings) and v2 (earlier committed trajectory points).
+
 Usage: validate_bench_json.py FILE...
 Exits non-zero with a message naming the first violated requirement.
 Stdlib-only on purpose: CI and the committed BENCH_*.json points must be
@@ -45,8 +48,9 @@ def check_file(path):
             record = json.load(handle)
         except json.JSONDecodeError as error:
             fail(path, f"not valid JSON: {error}")
-    require(path, record.get("schema") == "bgpolicy-bench/v2",
-            'schema must be "bgpolicy-bench/v2"')
+    schema = record.get("schema")
+    require(path, schema in ("bgpolicy-bench/v2", "bgpolicy-bench/v3"),
+            'schema must be "bgpolicy-bench/v2" or "bgpolicy-bench/v3"')
     require(path, "generated_utc" in record, "generated_utc missing")
 
     sim = record.get("sim_scaling")
@@ -61,9 +65,19 @@ def check_file(path):
     require(path, inference.get("products_match") is True,
             "inference_scaling.products_match must be true")
 
-    print(f"{path}: ok "
-          f"(sim rows: {len(sim['results'])}, "
-          f"inference rows: {len(inference['results'])})")
+    summary = (f"sim rows: {len(sim['results'])}, "
+               f"inference rows: {len(inference['results'])}")
+    if schema == "bgpolicy-bench/v3":
+        stages = record.get("pipeline_stages")
+        check_scaling(path, "pipeline_stages", stages,
+                      ("threads", "synthesize_seconds", "simulate_seconds",
+                       "observe_seconds", "infer_seconds", "analyze_seconds",
+                       "total_seconds", "speedup"))
+        require(path, stages.get("products_match") is True,
+                "pipeline_stages.products_match must be true")
+        summary += f", stage rows: {len(stages['results'])}"
+
+    print(f"{path}: ok ({summary})")
 
 
 def main(argv):

@@ -19,6 +19,33 @@ void BgpTable::add(Route route) {
   }
 }
 
+void BgpTable::add_batch(std::vector<Route> routes) {
+  if (routes.empty()) return;
+  // Per-prefix neighbor -> slot index, seeded lazily from any routes the
+  // table already held for the prefix, so replacement semantics match add().
+  std::unordered_map<Prefix, std::unordered_map<util::AsNumber, std::size_t>>
+      index;
+  index.reserve(routes.size());
+  for (Route& route : routes) {
+    auto& neighbors = index[route.prefix];
+    auto& slots = entries_[route.prefix];
+    if (neighbors.empty() && !slots.empty()) {
+      neighbors.reserve(slots.size());
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        neighbors.emplace(slots[i].learned_from, i);
+      }
+    }
+    const auto [it, inserted] =
+        neighbors.try_emplace(route.learned_from, slots.size());
+    if (inserted) {
+      slots.push_back(std::move(route));
+      ++route_count_;
+    } else {
+      slots[it->second] = std::move(route);
+    }
+  }
+}
+
 void BgpTable::withdraw(const Prefix& prefix, util::AsNumber neighbor) {
   const auto entry = entries_.find(prefix);
   if (entry == entries_.end()) return;

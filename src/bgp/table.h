@@ -35,6 +35,15 @@ class BgpTable {
   /// prefix it is replaced (BGP implicit withdraw semantics).
   void add(Route route);
 
+  /// Adds many routes with the same observable semantics as calling add()
+  /// on each in order, but O(1) amortized per route: a per-call
+  /// (prefix, neighbor) index replaces the per-route implicit-withdraw
+  /// linear scan, so batch-loading a recorded table is linear in the batch
+  /// instead of quadratic in routes-per-prefix.  The batch-load path for
+  /// ingesting recorded tables (io::deserialize_table, vantage-view
+  /// construction).
+  void add_batch(std::vector<Route> routes);
+
   /// Removes the route for `prefix` learned from `neighbor`, if any.
   void withdraw(const Prefix& prefix, util::AsNumber neighbor);
 

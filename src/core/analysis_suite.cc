@@ -8,22 +8,22 @@ namespace bgpolicy::core {
 
 namespace {
 
-VantageAnalysis analyze_vantage(const Pipeline& pipe, AsNumber as) {
+VantageAnalysis analyze_vantage(const ExperimentView& view, AsNumber as) {
   VantageAnalysis out;
   out.vantage = as;
-  const bgp::BgpTable& table = pipe.table_for(as);
-  const RelationshipOracle rels = pipe.inferred_oracle();
+  const bgp::BgpTable& table = view.table_for(as);
+  const RelationshipOracle rels = view.inferred_oracle();
 
-  out.sa = infer_sa_prefixes(table, as, pipe.inferred_graph, rels);
-  out.homing = analyze_homing(out.sa, pipe.inferred_graph);
+  out.sa = infer_sa_prefixes(table, as, *view.inferred_graph, rels);
+  out.homing = analyze_homing(out.sa, *view.inferred_graph);
   out.causes =
-      analyze_causes(out.sa, table, pipe.paths, pipe.inferred_graph, rels);
+      analyze_causes(out.sa, table, *view.paths, *view.inferred_graph, rels);
 
-  if (pipe.sim.looking_glass.contains(as)) {
+  if (view.sim->looking_glass.contains(as)) {
     out.looking_glass = true;
     out.import_typicality = analyze_import_typicality(table, rels);
     out.sa_verification = verify_sa_prefixes(
-        out.sa, pipe.paths, pipe.community_verified_neighbors(as), rels);
+        out.sa, *view.paths, view.community_verified_neighbors(as), rels);
   }
   return out;
 }
@@ -44,29 +44,39 @@ const VantageAnalysis* AnalysisSuite::find(AsNumber as) const {
   return nullptr;
 }
 
-std::vector<AsNumber> recorded_vantages(const Pipeline& pipe) {
+std::vector<AsNumber> recorded_vantages(const sim::SimResult& sim) {
   std::vector<AsNumber> out;
-  out.reserve(pipe.sim.looking_glass.size() + pipe.sim.best_only.size());
-  for (const auto& [as, table] : pipe.sim.looking_glass) out.push_back(as);
-  for (const auto& [as, table] : pipe.sim.best_only) out.push_back(as);
+  out.reserve(sim.looking_glass.size() + sim.best_only.size());
+  for (const auto& [as, table] : sim.looking_glass) out.push_back(as);
+  for (const auto& [as, table] : sim.best_only) out.push_back(as);
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::vector<AsNumber> recorded_vantages(const Pipeline& pipe) {
+  return recorded_vantages(pipe.sim);
+}
+
+AnalysisSuite run_analysis_suite(const ExperimentView& view,
+                                 std::span<const AsNumber> vantages,
+                                 std::size_t threads) {
+  AnalysisSuite suite;
+  suite.vantages.reserve(vantages.size());
+  // Each vantage's bundle reads only the immutable view; merging in
+  // vantage order makes the suite independent of scheduling.
+  util::shard_and_merge(
+      threads, vantages.size(),
+      [&](std::size_t i) { return analyze_vantage(view, vantages[i]); },
+      [&](std::size_t, VantageAnalysis& bundle) {
+        suite.vantages.push_back(std::move(bundle));
+      });
+  return suite;
 }
 
 AnalysisSuite run_analysis_suite(const Pipeline& pipe,
                                  std::span<const AsNumber> vantages,
                                  std::size_t threads) {
-  AnalysisSuite suite;
-  suite.vantages.reserve(vantages.size());
-  // Each vantage's bundle reads only the immutable pipeline; merging in
-  // vantage order makes the suite independent of scheduling.
-  util::shard_and_merge(
-      threads, vantages.size(),
-      [&](std::size_t i) { return analyze_vantage(pipe, vantages[i]); },
-      [&](std::size_t, VantageAnalysis& bundle) {
-        suite.vantages.push_back(std::move(bundle));
-      });
-  return suite;
+  return run_analysis_suite(pipe.view(), vantages, threads);
 }
 
 std::string canonical_serialize(const AnalysisSuite& suite) {

@@ -47,11 +47,17 @@ struct AnalysisSuite {
 
 /// Every AS with a recorded table (looking glass or best-only), sorted by
 /// AS number — the canonical vantage list for whole-suite runs.
+[[nodiscard]] std::vector<AsNumber> recorded_vantages(const sim::SimResult& sim);
 [[nodiscard]] std::vector<AsNumber> recorded_vantages(const Pipeline& pipe);
 
 /// Runs the full analysis bundle for each vantage, sharded across
 /// `threads` workers (0 = hardware concurrency, 1 = sequential seed
-/// behavior).  `pipe` must stay immutable for the duration of the call.
+/// behavior).  The view's products must stay immutable for the duration of
+/// the call.  This is the Analyze stage of the staged experiment API
+/// (experiment.h); the Pipeline overload is the compatibility spelling.
+[[nodiscard]] AnalysisSuite run_analysis_suite(
+    const ExperimentView& view, std::span<const AsNumber> vantages,
+    std::size_t threads);
 [[nodiscard]] AnalysisSuite run_analysis_suite(
     const Pipeline& pipe, std::span<const AsNumber> vantages,
     std::size_t threads);

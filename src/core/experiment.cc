@@ -1,0 +1,501 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "rpsl/generator.h"
+#include "util/parallel.h"
+
+namespace bgpolicy::core {
+
+const char* to_string(Stage stage) {
+  switch (stage) {
+    case Stage::kSynthesize: return "synthesize";
+    case Stage::kSimulate: return "simulate";
+    case Stage::kObserve: return "observe";
+    case Stage::kInfer: return "infer";
+    case Stage::kAnalyze: return "analyze";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------- stage runners --
+
+GroundTruth synthesize(const Scenario& scenario) {
+  GroundTruth truth;
+  truth.topo = topo::generate_topology(scenario.topo_params);
+  truth.plan = topo::allocate_prefixes(truth.topo, scenario.alloc_params);
+  truth.gen =
+      sim::generate_policies(truth.topo, truth.plan, scenario.policy_params);
+  truth.originations = sim::all_originations(truth.plan, truth.gen);
+  return truth;
+}
+
+sim::VantageSpec derive_vantage(const Scenario& scenario,
+                                const topo::Topology& topo) {
+  sim::VantageSpec vantage;
+  // Collector peers are the Tier-1s plus leading Tier-2/Tier-3 ASes (the
+  // paper's 56-peer Oregon view).
+  for (const auto as : topo.tier1) vantage.collector_peers.push_back(as);
+  for (std::size_t i = 0;
+       i < std::min(scenario.collector_tier2_peers, topo.tier2.size()); ++i) {
+    vantage.collector_peers.push_back(topo.tier2[i]);
+  }
+  for (std::size_t i = 0;
+       i < std::min(scenario.collector_tier3_peers, topo.tier3.size()); ++i) {
+    vantage.collector_peers.push_back(topo.tier3[i]);
+  }
+  for (const std::uint32_t as : scenario.looking_glass) {
+    if (topo.graph.contains(AsNumber(as))) {
+      vantage.looking_glass.emplace_back(as);
+    }
+  }
+  for (const std::uint32_t as : scenario.best_only) {
+    const AsNumber number(as);
+    if (topo.graph.contains(number) &&
+        std::find(vantage.looking_glass.begin(), vantage.looking_glass.end(),
+                  number) == vantage.looking_glass.end()) {
+      vantage.best_only.push_back(number);
+    }
+  }
+  return vantage;
+}
+
+SimArtifact simulate(const Scenario& scenario, const GroundTruth& truth,
+                     std::size_t threads) {
+  SimArtifact artifact;
+  artifact.vantage = derive_vantage(scenario, truth.topo);
+  sim::PropagationOptions options = scenario.propagation;
+  options.threads = threads;
+  artifact.sim =
+      sim::run_simulation(truth.topo.graph, truth.gen.policies,
+                          truth.originations, artifact.vantage, options);
+  return artifact;
+}
+
+Observations observe(const Scenario& scenario, const GroundTruth& truth,
+                     const SimArtifact& sim, std::size_t threads) {
+  Observations obs;
+  obs.lg_order = sorted_looking_glass(sim.sim);
+
+  rpsl::IrrGenParams irr_params = scenario.irr_params;
+  irr_params.threads = threads;
+  obs.irr_text =
+      rpsl::generate_irr(truth.topo, truth.gen.policies, irr_params);
+  obs.irr_objects = rpsl::parse_aut_nums(obs.irr_text);
+
+  // Observed path multiset (RouteViews + LGs; a looking glass sees paths
+  // without the vantage itself, so its AS is prepended to match the
+  // collector's shape), and the path index over the same sources.
+  obs.observed_paths.add_table_paths(sim.sim.collector);
+  for (const AsNumber as : obs.lg_order) {
+    obs.observed_paths.add_table_paths(sim.sim.looking_glass.at(as), as);
+  }
+  obs.paths.add_tables(inference_table_sources(sim.sim), threads);
+  return obs;
+}
+
+const rpsl::AutNum* Observations::irr_for(AsNumber as) const {
+  for (const auto& aut_num : irr_objects) {
+    if (aut_num.as == as) return &aut_num;
+  }
+  return nullptr;
+}
+
+InferenceProducts infer_relationships(const Observations& observations,
+                                      const asrel::GaoParams& params) {
+  InferenceProducts products;
+  products.inferred = observations.observed_paths.infer(params);
+  products.inferred_graph = products.inferred.to_graph();
+  products.tiers = asrel::classify_tiers(products.inferred);
+  return products;
+}
+
+ExperimentView make_view(const SimArtifact& sim,
+                         const Observations& observations,
+                         const InferenceProducts& inference) {
+  ExperimentView view;
+  view.sim = &sim.sim;
+  view.irr_objects = &observations.irr_objects;
+  view.inferred = &inference.inferred;
+  view.inferred_graph = &inference.inferred_graph;
+  view.tiers = &inference.tiers;
+  view.paths = &observations.paths;
+  return view;
+}
+
+// -------------------------------------------------------------- experiment --
+
+Experiment::Experiment(Scenario scenario, RunOptions options)
+    : scenario_(std::move(scenario)), options_(std::move(options)) {
+  // Fold the override into the scenario so one knob drives every stage and
+  // the assembled Pipeline reports it, exactly like pre-staging
+  // run_pipeline.
+  if (options_.threads) scenario_.propagation.threads = *options_.threads;
+}
+
+void Experiment::run(Stage until) {
+  if (until >= Stage::kSynthesize) truth();
+  if (until >= Stage::kSimulate) sim();
+  if (until >= Stage::kObserve) observations();
+  if (until >= Stage::kInfer) inference();
+  if (until >= Stage::kAnalyze) analyses();
+}
+
+const GroundTruth& Experiment::truth() {
+  if (!truth_) {
+    truth_ = synthesize(scenario_);
+    ++counters_.synthesize;
+  }
+  return *truth_;
+}
+
+const SimArtifact& Experiment::sim() {
+  if (!sim_) {
+    sim_ = simulate(scenario_, truth(), threads());
+    ++counters_.simulate;
+  }
+  return *sim_;
+}
+
+const Observations& Experiment::observations() {
+  if (!observations_) {
+    observations_ = observe(scenario_, truth(), sim(), threads());
+    ++counters_.observe;
+  }
+  return *observations_;
+}
+
+const InferenceProducts& Experiment::inference() {
+  if (!inference_) {
+    inference_ = infer_relationships(observations(), effective_gao_params());
+    ++counters_.infer;
+  }
+  return *inference_;
+}
+
+const AnalysisSuite& Experiment::analyses() {
+  if (!analyses_) {
+    inference();  // ensure the view's inputs exist
+    std::vector<AsNumber> vantages = options_.analysis_vantages;
+    if (vantages.empty()) vantages = recorded_vantages(sim_->sim);
+    analyses_ = run_analysis_suite(view(), vantages, threads());
+    ++counters_.analyze;
+  }
+  return *analyses_;
+}
+
+namespace {
+
+template <typename T>
+const T& materialized(const std::optional<T>& artifact, const char* stage) {
+  if (!artifact) {
+    throw std::logic_error(std::string("Experiment: the ") + stage +
+                           " stage has not run");
+  }
+  return *artifact;
+}
+
+}  // namespace
+
+const GroundTruth& Experiment::truth() const {
+  return materialized(truth_, "synthesize");
+}
+const SimArtifact& Experiment::sim() const {
+  return materialized(sim_, "simulate");
+}
+const Observations& Experiment::observations() const {
+  return materialized(observations_, "observe");
+}
+const InferenceProducts& Experiment::inference() const {
+  return materialized(inference_, "infer");
+}
+const AnalysisSuite& Experiment::analyses() const {
+  return materialized(analyses_, "analyze");
+}
+
+const InferenceProducts& Experiment::rerun_infer(
+    const asrel::GaoParams& params) {
+  observations();  // cached upstream is reused, never re-run
+  inference_ = infer_relationships(*observations_, params);
+  ++counters_.infer;
+  analyses_.reset();
+  return *inference_;
+}
+
+void Experiment::set_observations(Observations observations) {
+  observations_ = std::move(observations);
+  inference_.reset();
+  analyses_.reset();
+}
+
+void Experiment::invalidate(Stage from) {
+  switch (from) {
+    case Stage::kSynthesize:
+      truth_.reset();
+      [[fallthrough]];
+    case Stage::kSimulate:
+      sim_.reset();
+      [[fallthrough]];
+    case Stage::kObserve:
+      observations_.reset();
+      [[fallthrough]];
+    case Stage::kInfer:
+      inference_.reset();
+      [[fallthrough]];
+    case Stage::kAnalyze:
+      analyses_.reset();
+  }
+}
+
+asrel::GaoParams Experiment::effective_gao_params() const {
+  if (options_.gao) return *options_.gao;
+  asrel::GaoParams params;
+  params.threads = threads();
+  return params;
+}
+
+ExperimentView Experiment::view() {
+  inference();  // materializes sim/observations too
+  return make_view(*sim_, *observations_, *inference_);
+}
+
+Pipeline Experiment::to_pipeline() {
+  run(Stage::kInfer);
+  Pipeline p;
+  p.scenario = scenario_;
+  p.topo = truth_->topo;
+  p.plan = truth_->plan;
+  p.gen = truth_->gen;
+  p.originations = truth_->originations;
+  p.vantage = sim_->vantage;
+  p.sim = sim_->sim;
+  p.irr_text = observations_->irr_text;
+  p.irr_objects = observations_->irr_objects;
+  p.inferred = inference_->inferred;
+  p.inferred_graph = inference_->inferred_graph;
+  p.tiers = inference_->tiers;
+  p.paths = observations_->paths;
+  return p;
+}
+
+Pipeline Experiment::into_pipeline() && {
+  run(Stage::kInfer);
+  Pipeline p;
+  p.scenario = std::move(scenario_);
+  p.topo = std::move(truth_->topo);
+  p.plan = std::move(truth_->plan);
+  p.gen = std::move(truth_->gen);
+  p.originations = std::move(truth_->originations);
+  p.vantage = std::move(sim_->vantage);
+  p.sim = std::move(sim_->sim);
+  p.irr_text = std::move(observations_->irr_text);
+  p.irr_objects = std::move(observations_->irr_objects);
+  p.inferred = std::move(inference_->inferred);
+  p.inferred_graph = std::move(inference_->inferred_graph);
+  p.tiers = std::move(inference_->tiers);
+  p.paths = std::move(observations_->paths);
+  invalidate(Stage::kSynthesize);
+  return p;
+}
+
+// ------------------------------------------------------------------ sweep --
+
+namespace {
+
+/// Appends one key=value field; doubles are emitted as exact bit patterns
+/// so near-equal parameters never alias to one cache entry.
+void field(std::string& key, const char* name, double value) {
+  key += name;
+  key += '=';
+  key += std::to_string(std::bit_cast<std::uint64_t>(value));
+  key += ';';
+}
+
+void field(std::string& key, const char* name, std::uint64_t value) {
+  key += name;
+  key += '=';
+  key += std::to_string(value);
+  key += ';';
+}
+
+void field(std::string& key, const char* name,
+           const std::vector<std::uint32_t>& values) {
+  key += name;
+  key += '=';
+  for (const std::uint32_t v : values) {
+    key += std::to_string(v);
+    key += ',';
+  }
+  key += ';';
+}
+
+}  // namespace
+
+std::string scenario_cache_key(const Scenario& scenario) {
+  // Every parameter below feeds the Synthesize/Simulate/Observe artifacts;
+  // keep this list in sync when Scenario or its parameter structs grow.
+  // Deliberately excluded: `name` (a label) and every worker-thread knob
+  // (artifacts are byte-identical at any thread count).
+  std::string key;
+  key.reserve(1024);
+
+  const auto& t = scenario.topo_params;
+  field(key, "t.seed", t.seed);
+  field(key, "t.t1", t.tier1_count);
+  field(key, "t.t2", t.tier2_count);
+  field(key, "t.t3", t.tier3_count);
+  field(key, "t.stubs", t.stub_count);
+  field(key, "t.multihome", t.stub_multihome_prob);
+  field(key, "t.max_providers", t.max_stub_providers);
+  field(key, "t.t2_peer_mean", t.tier2_peer_mean);
+  field(key, "t.t3_peer_mean", t.tier3_peer_mean);
+  field(key, "t.stub_peer", t.stub_peer_prob);
+  field(key, "t.t3_direct_t1", t.tier3_direct_tier1_prob);
+  field(key, "t.stub_t1_frac", t.stub_tier1_frac);
+  field(key, "t.stub_t2_frac", t.stub_tier2_frac);
+  field(key, "t.skew", t.provider_popularity_skew);
+
+  const auto& a = scenario.alloc_params;
+  field(key, "a.seed", a.seed);
+  field(key, "a.provider_space", a.provider_space_prob);
+  field(key, "a.count_alpha", a.count_alpha);
+  field(key, "a.max_stub", a.max_stub_prefixes);
+  field(key, "a.max_transit", a.max_transit_extra);
+
+  const auto& p = scenario.policy_params;
+  field(key, "p.seed", p.seed);
+  field(key, "p.atypical", p.atypical_neighbor_prob);
+  field(key, "p.te_as", p.te_as_prob);
+  field(key, "p.te_rate", p.te_prefix_max_rate);
+  field(key, "p.selective", p.origin_selective_as_prob);
+  field(key, "p.withhold", p.withhold_prefix_prob);
+  field(key, "p.single", p.single_announce_prob);
+  field(key, "p.community", p.community_flavor_prob);
+  field(key, "p.target", p.community_target_prob);
+  field(key, "p.prepend", p.prepend_as_prob);
+  field(key, "p.max_prepend", std::uint64_t{p.max_prepend});
+  field(key, "p.intermediate", p.intermediate_selective_prob);
+  field(key, "p.victim", p.intermediate_victim_prob);
+  field(key, "p.splitting", p.splitting_as_prob);
+  field(key, "p.aggregation", p.aggregation_prob);
+  field(key, "p.peer_withhold", p.peer_withhold_prob);
+  field(key, "p.peer_total", p.peer_withhold_total_prob);
+  field(key, "p.tagging", p.tagging_as_prob);
+  field(key, "p.publish", p.publish_prob);
+  key += "p.force=";
+  for (const AsNumber as : p.force_tagging) {
+    key += std::to_string(as.value());
+    key += ',';
+  }
+  key += ';';
+
+  const auto& i = scenario.irr_params;
+  field(key, "i.seed", i.seed);
+  field(key, "i.coverage", i.coverage);
+  field(key, "i.stale", i.stale_prob);
+  field(key, "i.wrong", i.wrong_pref_prob);
+  field(key, "i.missing", i.missing_pref_prob);
+  field(key, "i.fresh_date", std::uint64_t{i.fresh_date});
+  field(key, "i.stale_date", std::uint64_t{i.stale_date});
+
+  field(key, "s.max_process", scenario.propagation.max_process_per_as);
+  field(key, "s.lg", scenario.looking_glass);
+  field(key, "s.best", scenario.best_only);
+  field(key, "s.verify", scenario.verification_ases);
+  field(key, "s.t2_peers", scenario.collector_tier2_peers);
+  field(key, "s.t3_peers", scenario.collector_tier3_peers);
+  return key;
+}
+
+SweepReport sweep(std::span<const SweepVariant> variants,
+                  std::size_t threads) {
+  SweepReport report;
+  if (variants.empty()) return report;
+
+  // 1. Distinct upstream scenarios, in first-appearance order.
+  std::vector<std::size_t> group_of_variant(variants.size());
+  std::vector<std::string> keys;
+  std::vector<std::size_t> representative;  // group -> first variant index
+  std::unordered_map<std::string, std::size_t> group_by_key;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    std::string key = scenario_cache_key(variants[i].scenario);
+    const auto [it, inserted] =
+        group_by_key.try_emplace(std::move(key), keys.size());
+    if (inserted) {
+      keys.push_back(it->first);
+      representative.push_back(i);
+    }
+    group_of_variant[i] = it->second;
+  }
+  report.distinct_scenarios = keys.size();
+
+  // 2. Upstream artifacts: one Experiment per distinct scenario, built
+  //    once and shared by every variant in the group.  Sharded across the
+  //    pool; stage-internal threading is forced to 1 (the sweep worker is
+  //    the unit of parallelism), which never changes artifact bytes.
+  report.upstream.resize(keys.size());
+  util::shard_and_merge(
+      threads, keys.size(),
+      [&](std::size_t group) {
+        RunOptions options;
+        options.threads = 1;
+        options.until = Stage::kObserve;
+        auto experiment = std::make_unique<Experiment>(
+            variants[representative[group]].scenario, options);
+        experiment->run();
+        return experiment;
+      },
+      [&](std::size_t group, std::unique_ptr<Experiment>& built) {
+        report.upstream[group] = std::move(built);
+        const StageCounters& c = report.upstream[group]->counters();
+        report.counters.synthesize += c.synthesize;
+        report.counters.simulate += c.simulate;
+        report.counters.observe += c.observe;
+      });
+
+  // 3. Per-variant Infer + Analyze against the shared (now immutable)
+  //    upstream artifacts, sharded over variants, merged in request order.
+  report.runs.reserve(variants.size());
+  util::shard_and_merge(
+      threads, variants.size(),
+      [&](std::size_t i) {
+        const SweepVariant& variant = variants[i];
+        const Experiment& up = *report.upstream[group_of_variant[i]];
+        SweepRun run;
+        run.label = variant.label;
+        run.scenario_key = keys[group_of_variant[i]];
+        run.scenario_index = group_of_variant[i];
+        asrel::GaoParams gao =
+            variant.options.gao.value_or(asrel::GaoParams{});
+        gao.threads = 1;  // see SweepVariant: the sweep worker parallelizes
+        run.inference = infer_relationships(up.observations(), gao);
+        const ExperimentView view =
+            make_view(up.sim(), up.observations(), run.inference);
+        std::vector<AsNumber> vantages = variant.options.analysis_vantages;
+        if (vantages.empty()) vantages = recorded_vantages(up.sim().sim);
+        run.analyses = run_analysis_suite(view, vantages, 1);
+        return run;
+      },
+      [&](std::size_t, SweepRun& run) {
+        report.runs.push_back(std::move(run));
+        ++report.counters.infer;
+        ++report.counters.analyze;
+      });
+  return report;
+}
+
+// ------------------------------------------------- run_pipeline wrapper --
+
+Pipeline run_pipeline(const Scenario& scenario,
+                      std::optional<std::size_t> threads_override) {
+  RunOptions options;
+  options.threads = threads_override;
+  options.until = Stage::kInfer;
+  Experiment experiment(scenario, std::move(options));
+  return std::move(experiment).into_pipeline();
+}
+
+}  // namespace bgpolicy::core

@@ -1,0 +1,279 @@
+// Staged experiment API: the paper's workflow as composable pipeline
+// stages with value-typed, independently reusable artifacts.
+//
+//   Synthesize ──► Simulate ──► Observe ──► Infer ──► Analyze
+//   GroundTruth    SimArtifact  Observations InferenceProducts AnalysisSuite
+//
+// Each stage is a pure function of the scenario plus its upstream
+// artifact(s); each artifact is an immutable value the next stage consumes
+// or a caller swaps independently — e.g. re-run Infer with different
+// GaoParams against cached Observations, or fan many Analyze runs off one
+// SimArtifact.  `Experiment` drives the stages lazily with memoized
+// artifacts and stage-run counters; `sweep` runs many scenario/parameter
+// variants sharded across the util/parallel pool with stage-level caching
+// keyed by the upstream-relevant scenario parameters and a deterministic
+// request-order merge.
+//
+// Determinism contract (docs/ARCHITECTURE.md): every stage honors the
+// shared `threads` knob (0 = hardware concurrency, 1 = the exact
+// sequential seed program) with byte-identical artifacts at any value, so
+// caching and sweep sharding never change any product.
+// `core::run_pipeline` remains as a thin compatibility wrapper that runs
+// the stages and moves their artifacts into the flat `Pipeline` struct.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/analysis_suite.h"
+#include "core/pipeline.h"
+
+namespace bgpolicy::core {
+
+// ---------------------------------------------------------------- stages --
+
+enum class Stage : std::uint8_t {
+  kSynthesize = 0,
+  kSimulate = 1,
+  kObserve = 2,
+  kInfer = 3,
+  kAnalyze = 4,
+};
+
+[[nodiscard]] const char* to_string(Stage stage);
+
+/// Unifies the knobs every stage runner takes: the worker-thread count and
+/// how far down the stage chain to run.
+struct RunOptions {
+  /// Overrides scenario.propagation.threads for every stage when set
+  /// (same semantics: 0 = hardware concurrency, 1 = sequential).
+  std::optional<std::size_t> threads;
+  /// Inference parameters for the Infer stage; GaoParams{} (with the
+  /// effective thread count) when unset.
+  std::optional<asrel::GaoParams> gao;
+  /// Vantages for the Analyze stage; every recorded vantage when empty.
+  std::vector<AsNumber> analysis_vantages;
+  /// Last stage Experiment::run() executes.
+  Stage until = Stage::kAnalyze;
+};
+
+// -------------------------------------------------------------- artifacts --
+
+/// Synthesize: the ground truth the paper could not see.
+struct GroundTruth {
+  topo::Topology topo;
+  topo::PrefixPlan plan;
+  sim::GeneratedPolicies gen;
+  std::vector<sim::Origination> originations;
+};
+
+/// Simulate: converged vantage tables plus the spec that recorded them.
+struct SimArtifact {
+  sim::VantageSpec vantage;
+  sim::SimResult sim;
+};
+
+/// Observe: everything the paper *had* — the observed path set (cleaned
+/// and ready for relationship inference), the path index over it, and the
+/// registry — all parameter-free w.r.t. inference, so one Observations
+/// serves any number of Infer variants.
+struct Observations {
+  /// Looking glasses in ascending AS order: the canonical ingest order.
+  std::vector<AsNumber> lg_order;
+  std::string irr_text;
+  std::vector<rpsl::AutNum> irr_objects;
+  /// Ingested path multiset (collector first, then each looking glass in
+  /// lg_order with the vantage AS prepended); `infer(params)` on it is
+  /// const and reusable.
+  asrel::GaoInference observed_paths;
+  PathIndex paths;
+
+  /// The AutNum registered for `as`, if the IRR has one.
+  [[nodiscard]] const rpsl::AutNum* irr_for(AsNumber as) const;
+};
+
+/// Infer: the relationship products of Section 3.
+struct InferenceProducts {
+  asrel::InferredRelationships inferred;
+  topo::AsGraph inferred_graph;
+  asrel::TierAssignment tiers;
+};
+
+// (Analyze's artifact is core::AnalysisSuite, analysis_suite.h.)
+
+// ---------------------------------------------------------- stage runners --
+// Pure, freestanding stage functions — the composable layer `Experiment`
+// and `run_pipeline` are assembled from.  `threads` follows the shared
+// knob semantics; every output is byte-identical at any value.
+
+[[nodiscard]] GroundTruth synthesize(const Scenario& scenario);
+
+/// The canonical vantage configuration: collector peers are the Tier-1s
+/// plus the scenario's leading Tier-2/Tier-3 ASes, looking glasses and
+/// best-only views filtered to ASes present in the topology.
+[[nodiscard]] sim::VantageSpec derive_vantage(const Scenario& scenario,
+                                              const topo::Topology& topo);
+
+[[nodiscard]] SimArtifact simulate(const Scenario& scenario,
+                                   const GroundTruth& truth,
+                                   std::size_t threads);
+
+[[nodiscard]] Observations observe(const Scenario& scenario,
+                                   const GroundTruth& truth,
+                                   const SimArtifact& sim,
+                                   std::size_t threads);
+
+[[nodiscard]] InferenceProducts infer_relationships(
+    const Observations& observations, const asrel::GaoParams& params);
+
+/// Analyze is run_analysis_suite (analysis_suite.h) over a view assembled
+/// from the artifacts:
+[[nodiscard]] ExperimentView make_view(const SimArtifact& sim,
+                                       const Observations& observations,
+                                       const InferenceProducts& inference);
+
+// -------------------------------------------------------------- experiment --
+
+/// How many times each stage actually executed — the cache-verification
+/// hook for artifact-reuse tests and sweeps.
+struct StageCounters {
+  std::size_t synthesize = 0;
+  std::size_t simulate = 0;
+  std::size_t observe = 0;
+  std::size_t infer = 0;
+  std::size_t analyze = 0;
+};
+
+/// Lazily-staged experiment with memoized artifacts.  Accessors run the
+/// requested stage (and everything upstream of it) on first use; re-running
+/// a downstream stage with new parameters reuses every cached upstream
+/// artifact.  Not thread-safe for concurrent mutation; a fully-run
+/// Experiment is safe to read from many threads.
+class Experiment {
+ public:
+  explicit Experiment(Scenario scenario, RunOptions options = {});
+
+  /// Runs stages up to options.until (run()) or `until` (run(until)).
+  void run() { run(options_.until); }
+  void run(Stage until);
+
+  // Artifact accessors; each runs its stage (and upstream) if not cached.
+  const GroundTruth& truth();
+  const SimArtifact& sim();
+  const Observations& observations();
+  const InferenceProducts& inference();
+  const AnalysisSuite& analyses();
+
+  // Read-only accessors for already-materialized artifacts (throws
+  // std::logic_error when the stage has not run).
+  [[nodiscard]] const GroundTruth& truth() const;
+  [[nodiscard]] const SimArtifact& sim() const;
+  [[nodiscard]] const Observations& observations() const;
+  [[nodiscard]] const InferenceProducts& inference() const;
+  [[nodiscard]] const AnalysisSuite& analyses() const;
+
+  /// Re-runs Infer with new parameters against the cached Observations
+  /// (upstream stages are NOT re-run); drops any cached Analyze artifact.
+  const InferenceProducts& rerun_infer(const asrel::GaoParams& params);
+
+  /// Swaps in an externally built artifact (e.g. deserialized tables or a
+  /// modified registry) and invalidates everything downstream of it.
+  void set_observations(Observations observations);
+
+  /// Drops the artifact of `stage` and every stage after it; the next
+  /// accessor re-runs them.
+  void invalidate(Stage from);
+
+  [[nodiscard]] const Scenario& scenario() const { return scenario_; }
+  [[nodiscard]] const RunOptions& options() const { return options_; }
+  [[nodiscard]] const StageCounters& counters() const { return counters_; }
+  /// The effective worker-thread knob every stage runs with.
+  [[nodiscard]] std::size_t threads() const {
+    return scenario_.propagation.threads;
+  }
+
+  /// Non-owning analysis view over the Simulate/Observe/Infer artifacts
+  /// (runs them if needed); `this` must outlive the view.
+  [[nodiscard]] ExperimentView view();
+
+  /// Assembles the flat compatibility struct from the staged artifacts,
+  /// running stages up to Infer if needed.  `to_pipeline` copies;
+  /// `into_pipeline` moves the artifacts out and leaves the experiment
+  /// empty (only Synthesize..Infer artifacts transfer; a cached
+  /// AnalysisSuite is discarded).
+  [[nodiscard]] Pipeline to_pipeline();
+  [[nodiscard]] Pipeline into_pipeline() &&;
+
+ private:
+  [[nodiscard]] asrel::GaoParams effective_gao_params() const;
+
+  Scenario scenario_;
+  RunOptions options_;
+  StageCounters counters_;
+  std::optional<GroundTruth> truth_;
+  std::optional<SimArtifact> sim_;
+  std::optional<Observations> observations_;
+  std::optional<InferenceProducts> inference_;
+  std::optional<AnalysisSuite> analyses_;
+};
+
+// ------------------------------------------------------------------ sweep --
+
+/// One scenario/parameter variant of a sweep.
+struct SweepVariant {
+  std::string label;
+  Scenario scenario;
+  /// Per-variant inference/analysis knobs.  `options.threads` is ignored
+  /// inside sweeps (stage-internal threading is forced to 1; the sweep
+  /// `threads` argument is the parallelism knob) and `options.until` is
+  /// always treated as kAnalyze.
+  RunOptions options;
+};
+
+/// One finished variant, in request order.
+struct SweepRun {
+  std::string label;
+  /// Upstream cache key this variant resolved to (diagnostics; equal keys
+  /// shared one Synthesize/Simulate/Observe execution).
+  std::string scenario_key;
+  /// Index into SweepReport::upstream of the shared artifacts this run
+  /// consumed.
+  std::size_t scenario_index = 0;
+  InferenceProducts inference;
+  AnalysisSuite analyses;
+};
+
+struct SweepReport {
+  /// One run per variant, merged in request order.
+  std::vector<SweepRun> runs;
+  /// The shared upstream experiments (run through Observe), one per
+  /// distinct scenario in first-appearance order — runs reference them via
+  /// scenario_index, and callers can read ground truth / simulation
+  /// artifacts from them (e.g. to score inference accuracy).
+  std::vector<std::unique_ptr<Experiment>> upstream;
+  /// Actual stage executions across the whole sweep: synthesize/simulate/
+  /// observe count distinct upstream scenarios, infer/analyze count
+  /// variants — the artifact-reuse ledger.
+  StageCounters counters;
+  std::size_t distinct_scenarios = 0;
+};
+
+/// The upstream cache identity of a scenario: every parameter that feeds
+/// the Synthesize/Simulate/Observe artifacts, serialized stably.  Worker
+/// thread counts are deliberately excluded (they never change artifact
+/// bytes), so variants differing only in threading share upstream work.
+[[nodiscard]] std::string scenario_cache_key(const Scenario& scenario);
+
+/// Runs every variant's full stage chain with upstream artifacts built
+/// once per distinct scenario_cache_key and shared across variants.
+/// Variant execution is sharded across `threads` workers (0 = hardware
+/// concurrency) with results merged in request order — the report is
+/// byte-identical at any thread count.
+[[nodiscard]] SweepReport sweep(std::span<const SweepVariant> variants,
+                                std::size_t threads = 0);
+
+}  // namespace bgpolicy::core

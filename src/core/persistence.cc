@@ -4,59 +4,104 @@
 #include <map>
 #include <unordered_map>
 
+#include "util/parallel.h"
 #include "util/stats.h"
 
 namespace bgpolicy::core {
+
+namespace {
+
+/// The slice of one watched-table route the SA analysis needs — recorded
+/// per step while churn runs so snapshots can be analyzed after (and in
+/// parallel with respect to) each other.
+struct RouteObservation {
+  bgp::Prefix prefix;
+  AsNumber origin;
+  AsNumber learned_from;
+};
+
+/// Per-snapshot analysis output: the Fig. 6 counters plus the (prefix,
+/// was-SA) pairs feeding the cross-step prefix histories.
+struct SnapshotAnalysis {
+  Snapshot snap;
+  std::vector<std::pair<bgp::Prefix, bool>> customer_observations;
+};
+
+}  // namespace
 
 PersistenceStudy run_persistence_study(sim::ChurnSimulator& churn,
                                        AsNumber provider,
                                        const topo::AsGraph& annotated,
                                        const RelationshipOracle& rels,
-                                       std::size_t steps) {
+                                       std::size_t steps,
+                                       std::size_t threads) {
   PersistenceStudy out;
   out.provider = provider;
 
+  // Phase 1 (sequential): drive the churn simulator and record the compact
+  // observation list per step.  Stepping mutates the simulator, so this
+  // phase cannot shard; everything downstream of it can.
+  std::vector<std::vector<RouteObservation>> recorded;
+  recorded.reserve(steps);
+  const auto record = [&] {
+    std::vector<RouteObservation> observations;
+    const auto& watched = churn.watched(provider);
+    observations.reserve(watched.size());
+    for (const auto& [prefix, route] : watched) {
+      observations.push_back({prefix, route.origin_as(), route.learned_from});
+    }
+    recorded.push_back(std::move(observations));
+  };
+  churn.run_initial();
+  record();
+  for (std::size_t step = 1; step < steps; ++step) {
+    churn.step();
+    record();
+  }
+
+  // Memoized customer-cone membership, computed once per distinct origin in
+  // step order so the sharded analysis only reads it.
+  std::unordered_map<AsNumber, bool> cone;
+  for (const auto& observations : recorded) {
+    for (const RouteObservation& obs : observations) {
+      if (cone.contains(obs.origin)) continue;
+      cone.emplace(obs.origin,
+                   annotated.contains(obs.origin) &&
+                       annotated.in_customer_cone(provider, obs.origin));
+    }
+  }
+
+  // Phase 2 (sharded over snapshots): each step's SA analysis is a pure
+  // function of its recorded observations; snapshots merge in step order.
   struct PrefixHistory {
     std::size_t present = 0;
     std::size_t sa = 0;
   };
   std::unordered_map<bgp::Prefix, PrefixHistory> history;
-
-  // Memoized customer-cone membership.
-  std::unordered_map<AsNumber, bool> cone_cache;
-  const auto in_cone = [&](AsNumber origin) {
-    const auto it = cone_cache.find(origin);
-    if (it != cone_cache.end()) return it->second;
-    const bool result = annotated.contains(origin) &&
-                        annotated.in_customer_cone(provider, origin);
-    cone_cache.emplace(origin, result);
-    return result;
-  };
-
-  const auto snapshot = [&](std::size_t step) {
-    Snapshot snap;
-    snap.step = step;
-    for (const auto& [prefix, route] : churn.watched(provider)) {
-      ++snap.total_prefixes;
-      const AsNumber origin = route.origin_as();
-      if (origin == provider || !in_cone(origin)) continue;
-      ++snap.customer_prefixes;
-      PrefixHistory& h = history[prefix];
-      ++h.present;
-      if (rels(provider, route.learned_from) != RelKind::kCustomer) {
-        ++snap.sa_prefixes;
-        ++h.sa;
-      }
-    }
-    out.series.push_back(snap);
-  };
-
-  churn.run_initial();
-  snapshot(0);
-  for (std::size_t step = 1; step < steps; ++step) {
-    churn.step();
-    snapshot(step);
-  }
+  out.series.reserve(recorded.size());
+  util::shard_and_merge(
+      threads, recorded.size(),
+      [&](std::size_t step) {
+        SnapshotAnalysis analysis;
+        analysis.snap.step = step;
+        for (const RouteObservation& obs : recorded[step]) {
+          ++analysis.snap.total_prefixes;
+          if (obs.origin == provider || !cone.at(obs.origin)) continue;
+          ++analysis.snap.customer_prefixes;
+          const bool sa = rels(provider, obs.learned_from) != RelKind::kCustomer;
+          if (sa) ++analysis.snap.sa_prefixes;
+          analysis.customer_observations.emplace_back(obs.prefix, sa);
+        }
+        return analysis;
+      },
+      [&](std::size_t, SnapshotAnalysis& analysis) {
+        out.series.push_back(analysis.snap);
+        for (const auto& [prefix, sa] : analysis.customer_observations) {
+          PrefixHistory& h = history[prefix];
+          ++h.present;
+          if (sa) ++h.sa;
+        }
+      });
 
   // Fig. 7: uptime histogram over ever-SA prefixes.
   std::map<std::size_t, UptimeBucket> buckets;
@@ -77,6 +122,24 @@ PersistenceStudy run_persistence_study(sim::ChurnSimulator& churn,
     out.uptime_histogram.push_back(bucket);
   }
   out.percent_shifted = util::percent(out.shifted_total, out.ever_sa);
+  return out;
+}
+
+std::string canonical_serialize(const PersistenceStudy& study) {
+  std::string out = "provider=" + util::to_string(study.provider) + "\n";
+  for (const Snapshot& snap : study.series) {
+    out += "step=" + std::to_string(snap.step) +
+           " total=" + std::to_string(snap.total_prefixes) +
+           " customer=" + std::to_string(snap.customer_prefixes) +
+           " sa=" + std::to_string(snap.sa_prefixes) + "\n";
+  }
+  for (const UptimeBucket& bucket : study.uptime_histogram) {
+    out += "uptime=" + std::to_string(bucket.uptime) +
+           " remaining=" + std::to_string(bucket.remaining_sa) +
+           " shifted=" + std::to_string(bucket.shifted) + "\n";
+  }
+  out += "ever_sa=" + std::to_string(study.ever_sa) +
+         " shifted_total=" + std::to_string(study.shifted_total) + "\n";
   return out;
 }
 

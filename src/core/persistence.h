@@ -5,8 +5,17 @@
 // and produces (a) the Fig. 6 time series of total vs SA prefixes and
 // (b) the Fig. 7 uptime histograms splitting ever-SA prefixes into
 // "remained SA whenever present" vs "shifted from SA to non-SA".
+//
+// Concurrency model: churn stepping is inherently sequential (each step
+// mutates the simulator), so the driver records one compact observation
+// list per step while stepping, then shards the per-snapshot SA analysis
+// across `threads` workers and merges snapshots in step order — the same
+// shard-and-merge contract as every other parallel stage, so the study is
+// byte-identical at any thread count and `threads = 1` reproduces the
+// sequential seed program exactly.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/relationship_oracle.h"
@@ -39,9 +48,17 @@ struct PersistenceStudy {
 
 /// Runs `steps` churn steps after the simulator's initial propagation
 /// (run_initial is called here; pass a freshly constructed simulator).
+/// `threads` shards the per-snapshot SA analysis over collected snapshots
+/// (0 = hardware concurrency, 1 = sequential); churn stepping itself stays
+/// sequential, and the study is identical at any thread count.
 [[nodiscard]] PersistenceStudy run_persistence_study(
     sim::ChurnSimulator& churn, AsNumber provider,
     const topo::AsGraph& annotated, const RelationshipOracle& rels,
-    std::size_t steps);
+    std::size_t steps, std::size_t threads = 1);
+
+/// Stable textual serialization of every counter in the study, in step /
+/// uptime order — the byte-comparison hook for the persistence-sharding
+/// determinism test.
+[[nodiscard]] std::string canonical_serialize(const PersistenceStudy& study);
 
 }  // namespace bgpolicy::core

@@ -3,10 +3,81 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "rpsl/generator.h"
 #include "util/ensure.h"
 
 namespace bgpolicy::core {
+
+const bgp::BgpTable& ExperimentView::table_for(AsNumber as) const {
+  if (const auto it = sim->looking_glass.find(as);
+      it != sim->looking_glass.end()) {
+    return it->second;
+  }
+  if (const auto it = sim->best_only.find(as); it != sim->best_only.end()) {
+    return it->second;
+  }
+  throw std::out_of_range("ExperimentView: no table recorded for " +
+                          util::to_string(as));
+}
+
+bool ExperimentView::has_table(AsNumber as) const {
+  return sim->looking_glass.contains(as) || sim->best_only.contains(as);
+}
+
+const rpsl::AutNum* ExperimentView::irr_for(AsNumber as) const {
+  for (const auto& aut_num : *irr_objects) {
+    if (aut_num.as == as) return &aut_num;
+  }
+  return nullptr;
+}
+
+asrel::CommunityVerification ExperimentView::community_verification(
+    AsNumber vantage_as) const {
+  const auto lg_it = sim->looking_glass.find(vantage_as);
+  util::ensure(lg_it != sim->looking_glass.end(),
+               "community_verification: vantage is not a looking glass");
+
+  // Published semantics, when the AS registered them (Step 2's easy case).
+  std::optional<std::unordered_map<std::uint16_t, RelKind>> published;
+  if (const rpsl::AutNum* aut_num = irr_for(vantage_as);
+      aut_num != nullptr && !aut_num->community_remarks.empty()) {
+    std::unordered_map<std::uint16_t, RelKind> semantics;
+    for (const auto& remark : aut_num->community_remarks) {
+      for (std::uint32_t v = remark.value_lo; v <= remark.value_hi; ++v) {
+        semantics.emplace(static_cast<std::uint16_t>(v), remark.kind);
+      }
+    }
+    published = std::move(semantics);
+  }
+
+  asrel::CommunityVerifyParams params;
+  params.has_providers = tiers->level_of(vantage_as) != 1;
+  return asrel::verify_with_communities(lg_it->second, published, *inferred,
+                                        params);
+}
+
+std::unordered_set<AsNumber> ExperimentView::community_verified_neighbors(
+    AsNumber vantage_as) const {
+  std::unordered_set<AsNumber> out;
+  const auto verification = community_verification(vantage_as);
+  for (const auto& obs : verification.neighbors) {
+    if (obs.community_rel && obs.inferred_rel &&
+        *obs.community_rel == *obs.inferred_rel) {
+      out.insert(obs.neighbor);
+    }
+  }
+  return out;
+}
+
+ExperimentView Pipeline::view() const {
+  ExperimentView v;
+  v.sim = &sim;
+  v.irr_objects = &irr_objects;
+  v.inferred = &inferred;
+  v.inferred_graph = &inferred_graph;
+  v.tiers = &tiers;
+  v.paths = &paths;
+  return v;
+}
 
 const bgp::BgpTable& Pipeline::table_for(AsNumber as) const {
   if (const auto it = sim.looking_glass.find(as);
@@ -25,48 +96,17 @@ bool Pipeline::has_table(AsNumber as) const {
 }
 
 const rpsl::AutNum* Pipeline::irr_for(AsNumber as) const {
-  for (const auto& aut_num : irr_objects) {
-    if (aut_num.as == as) return &aut_num;
-  }
-  return nullptr;
+  return view().irr_for(as);
 }
 
 asrel::CommunityVerification Pipeline::community_verification(
     AsNumber vantage_as) const {
-  const auto lg_it = sim.looking_glass.find(vantage_as);
-  util::ensure(lg_it != sim.looking_glass.end(),
-               "community_verification: vantage is not a looking glass");
-
-  // Published semantics, when the AS registered them (Step 2's easy case).
-  std::optional<std::unordered_map<std::uint16_t, RelKind>> published;
-  if (const rpsl::AutNum* aut_num = irr_for(vantage_as);
-      aut_num != nullptr && !aut_num->community_remarks.empty()) {
-    std::unordered_map<std::uint16_t, RelKind> semantics;
-    for (const auto& remark : aut_num->community_remarks) {
-      for (std::uint32_t v = remark.value_lo; v <= remark.value_hi; ++v) {
-        semantics.emplace(static_cast<std::uint16_t>(v), remark.kind);
-      }
-    }
-    published = std::move(semantics);
-  }
-
-  asrel::CommunityVerifyParams params;
-  params.has_providers = tiers.level_of(vantage_as) != 1;
-  return asrel::verify_with_communities(lg_it->second, published, inferred,
-                                        params);
+  return view().community_verification(vantage_as);
 }
 
 std::unordered_set<AsNumber> Pipeline::community_verified_neighbors(
     AsNumber vantage_as) const {
-  std::unordered_set<AsNumber> out;
-  const auto verification = community_verification(vantage_as);
-  for (const auto& obs : verification.neighbors) {
-    if (obs.community_rel && obs.inferred_rel &&
-        *obs.community_rel == *obs.inferred_rel) {
-      out.insert(obs.neighbor);
-    }
-  }
-  return out;
+  return view().community_verified_neighbors(vantage_as);
 }
 
 std::vector<AsNumber> sorted_looking_glass(const sim::SimResult& sim) {
@@ -86,80 +126,6 @@ std::vector<PathIndex::TableSource> inference_table_sources(
     sources.push_back({&sim.looking_glass.at(as), as});
   }
   return sources;
-}
-
-Pipeline run_pipeline(const Scenario& scenario,
-                      std::optional<std::size_t> threads_override) {
-  Pipeline p;
-  p.scenario = scenario;
-  if (threads_override) p.scenario.propagation.threads = *threads_override;
-
-  // 1. Ground truth: topology, address plan, policies.
-  p.topo = topo::generate_topology(scenario.topo_params);
-  p.plan = topo::allocate_prefixes(p.topo, scenario.alloc_params);
-  p.gen = sim::generate_policies(p.topo, p.plan, scenario.policy_params);
-  p.originations = sim::all_originations(p.plan, p.gen);
-
-  // 2. Vantage configuration: collector peers are the Tier-1s plus leading
-  //    Tier-2/Tier-3 ASes (the paper's 56-peer Oregon view).
-  for (const auto as : p.topo.tier1) p.vantage.collector_peers.push_back(as);
-  for (std::size_t i = 0;
-       i < std::min(scenario.collector_tier2_peers, p.topo.tier2.size()); ++i) {
-    p.vantage.collector_peers.push_back(p.topo.tier2[i]);
-  }
-  for (std::size_t i = 0;
-       i < std::min(scenario.collector_tier3_peers, p.topo.tier3.size()); ++i) {
-    p.vantage.collector_peers.push_back(p.topo.tier3[i]);
-  }
-  for (const std::uint32_t as : scenario.looking_glass) {
-    if (p.topo.graph.contains(AsNumber(as))) {
-      p.vantage.looking_glass.emplace_back(as);
-    }
-  }
-  for (const std::uint32_t as : scenario.best_only) {
-    const AsNumber number(as);
-    if (p.topo.graph.contains(number) &&
-        std::find(p.vantage.looking_glass.begin(),
-                  p.vantage.looking_glass.end(),
-                  number) == p.vantage.looking_glass.end()) {
-      p.vantage.best_only.push_back(number);
-    }
-  }
-
-  // 3. Simulate and record tables.
-  p.sim = sim::run_simulation(p.topo.graph, p.gen.policies, p.originations,
-                              p.vantage, p.scenario.propagation);
-
-  // Looking glasses in ascending AS order: the canonical ingest order for
-  // the inference stages, so sharded and sequential runs (and reruns at any
-  // thread count) consume tables identically.
-  const std::vector<AsNumber> lg_order = sorted_looking_glass(p.sim);
-
-  // 4. Infer relationships from every observed path (RouteViews + LGs; a
-  //    looking glass sees paths without the vantage itself, so its AS is
-  //    prepended to match the collector's shape).
-  asrel::GaoInference gao;
-  gao.add_table_paths(p.sim.collector);
-  for (const AsNumber as : lg_order) {
-    gao.add_table_paths(p.sim.looking_glass.at(as), as);
-  }
-  asrel::GaoParams gao_params;
-  gao_params.threads = p.scenario.propagation.threads;
-  p.inferred = gao.infer(gao_params);
-  p.inferred_graph = p.inferred.to_graph();
-  p.tiers = asrel::classify_tiers(p.inferred);
-
-  // 5. IRR.
-  p.irr_text = rpsl::generate_irr(p.topo, p.gen.policies, scenario.irr_params);
-  p.irr_objects = rpsl::parse_aut_nums(p.irr_text);
-
-  // 6. Path index for verification & cause analyses, sharded per table.
-  //    Looking-glass paths are prepended with the vantage AS so their
-  //    adjacencies line up with the collector's view.
-  p.paths.add_tables(inference_table_sources(p.sim),
-                     p.scenario.propagation.threads);
-
-  return p;
 }
 
 }  // namespace bgpolicy::core

@@ -25,6 +25,45 @@
 
 namespace bgpolicy::core {
 
+/// Non-owning view over the products the per-table analyses consume.
+/// Assembled either from a finished `Pipeline` (Pipeline::view) or directly
+/// from staged experiment artifacts (core::Experiment, experiment.h), so
+/// every analysis runs identically against both representations.  All
+/// pointers must outlive the view; all methods are const reads, safe to
+/// call concurrently.
+struct ExperimentView {
+  const sim::SimResult* sim = nullptr;
+  const std::vector<rpsl::AutNum>* irr_objects = nullptr;
+  const asrel::InferredRelationships* inferred = nullptr;
+  const topo::AsGraph* inferred_graph = nullptr;
+  const asrel::TierAssignment* tiers = nullptr;
+  const PathIndex* paths = nullptr;
+
+  /// A vantage table for `as`: the looking-glass table when recorded, else
+  /// the best-only table.  Throws std::out_of_range when neither exists.
+  [[nodiscard]] const bgp::BgpTable& table_for(AsNumber as) const;
+
+  [[nodiscard]] bool has_table(AsNumber as) const;
+
+  /// Oracle over inferred relationships (what the paper used).
+  [[nodiscard]] RelationshipOracle inferred_oracle() const {
+    return oracle_from(*inferred);
+  }
+
+  /// Runs the Appendix community verification for one vantage (see
+  /// Pipeline::community_verification).
+  [[nodiscard]] asrel::CommunityVerification community_verification(
+      AsNumber vantage_as) const;
+
+  /// Neighbors of `vantage_as` whose relationship the community method
+  /// confirms — Step 1 input of the Table 7 verification.
+  [[nodiscard]] std::unordered_set<AsNumber> community_verified_neighbors(
+      AsNumber vantage_as) const;
+
+  /// The AutNum registered for `as`, if the IRR has one.
+  [[nodiscard]] const rpsl::AutNum* irr_for(AsNumber as) const;
+};
+
 struct Pipeline {
   Scenario scenario;
 
@@ -75,6 +114,10 @@ struct Pipeline {
 
   /// The AutNum registered for `as`, if the IRR has one.
   [[nodiscard]] const rpsl::AutNum* irr_for(AsNumber as) const;
+
+  /// Non-owning analysis view over this pipeline's products; the pipeline
+  /// must outlive it.
+  [[nodiscard]] ExperimentView view() const;
 };
 
 /// Runs the full pipeline.  Deterministic in the scenario seeds alone —
@@ -85,9 +128,17 @@ struct Pipeline {
 /// relationships, tiers, path index — is identical at any thread count,
 /// and `threads = 1` runs the exact sequential seed program.
 ///
+/// Compatibility wrapper: since the staged-experiment redesign this is a
+/// thin assembly over core::Experiment (experiment.h) — it runs the
+/// Synthesize → Simulate → Observe → Infer stages and moves their
+/// artifacts into the flat Pipeline struct, byte-identical to the
+/// pre-staging monolithic run.  New code that wants artifact reuse or
+/// scenario sweeps should use Experiment directly.
+///
 /// The per-table analyses of Sections 4-5 are NOT part of the pipeline
 /// run; they execute over a finished Pipeline via core::run_analysis_suite
-/// (analysis_suite.h), which takes the same threads knob explicitly.
+/// (analysis_suite.h), which takes the same threads knob explicitly (or
+/// through Experiment's Analyze stage).
 [[nodiscard]] Pipeline run_pipeline(
     const Scenario& scenario,
     std::optional<std::size_t> threads_override = std::nullopt);

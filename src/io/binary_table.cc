@@ -1,5 +1,6 @@
 #include "io/binary_table.h"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -92,6 +93,12 @@ bgp::BgpTable deserialize_table(std::span<const std::uint8_t> bytes) {
   bgp::BgpTable table{util::AsNumber(r.get<std::uint32_t>())};
   const std::uint64_t route_count = r.get<std::uint64_t>();
 
+  std::vector<bgp::Route> routes;
+  // route_count is untrusted input: cap the reservation by what the
+  // remaining bytes could possibly encode (a route is ≥ 22 bytes), so a
+  // corrupted header fails with invalid_argument below, not bad_alloc.
+  routes.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(route_count, bytes.size() / 22 + 1)));
   for (std::uint64_t i = 0; i < route_count; ++i) {
     bgp::Route route;
     const std::uint32_t network = r.get<std::uint32_t>();
@@ -116,11 +123,12 @@ bgp::BgpTable deserialize_table(std::span<const std::uint8_t> bytes) {
       route.add_community(bgp::Community(r.get<std::uint32_t>()));
     }
     route.router_id = route.learned_from.value();
-    table.add(std::move(route));
+    routes.push_back(std::move(route));
   }
   if (!r.exhausted()) {
     throw std::invalid_argument("binary table: trailing bytes");
   }
+  table.add_batch(std::move(routes));
   return table;
 }
 

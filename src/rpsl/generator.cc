@@ -1,66 +1,116 @@
 #include "rpsl/generator.h"
 
+#include <optional>
 #include <sstream>
+#include <vector>
 
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace bgpolicy::rpsl {
 
+namespace {
+
+/// Every random decision for one registered aut-num, drawn in the single
+/// sequential RNG pass so the rendered database is byte-identical to the
+/// pre-sharding generator at any thread count.
+struct AutNumPlan {
+  util::AsNumber as;
+  bool stale = false;
+  /// Final LOCAL_PREF per neighbor in topo.graph.neighbors(as) order;
+  /// nullopt = the import line is registered without a pref action.
+  std::vector<std::optional<std::uint32_t>> import_pref;
+};
+
+std::string render_block(const topo::Topology& topo,
+                         const sim::PolicySet& policies,
+                         const IrrGenParams& params, const AutNumPlan& plan) {
+  const auto as = plan.as;
+  const auto& policy = policies.at(as);
+  std::ostringstream out;
+
+  out << "aut-num: AS" << as.value() << "\n";
+  out << "as-name: " << topo::to_string(topo.tier_of(as)) << "-" << as.value()
+      << "\n";
+
+  std::size_t neighbor_index = 0;
+  for (const auto& neighbor : topo.graph.neighbors(as)) {
+    out << "import: from AS" << neighbor.as.value();
+    if (const auto lp = plan.import_pref[neighbor_index]; lp.has_value()) {
+      out << " action pref = " << pref_from_local_pref(*lp) << ";";
+    }
+    out << " accept ANY\n";
+    ++neighbor_index;
+  }
+  for (const auto& neighbor : topo.graph.neighbors(as)) {
+    out << "export: to AS" << neighbor.as.value() << " announce AS"
+        << as.value() << "\n";
+  }
+
+  if (policy.community.enabled && policy.community.published) {
+    const auto& profile = policy.community;
+    const auto width =
+        static_cast<std::uint16_t>(profile.values_per_class * 10);
+    const auto emit_range = [&](const char* kind, std::uint16_t base) {
+      out << "remarks: rel-community " << kind << " " << base << " "
+          << (base + width - 1) << "\n";
+    };
+    emit_range("peer", profile.peer_base);
+    emit_range("provider", profile.provider_base);
+    emit_range("customer", profile.customer_base);
+  }
+
+  out << "mnt-by: MAINT-AS" << as.value() << "\n";
+  out << "changed: noc@as" << as.value() << ".example.net "
+      << (plan.stale ? params.stale_date : params.fresh_date) << "\n";
+  out << "source: SYNTH\n\n";
+  return out.str();
+}
+
+}  // namespace
+
 std::string generate_irr(const topo::Topology& topo,
                          const sim::PolicySet& policies,
                          const IrrGenParams& params) {
+  // Pass 1 (sequential): replicate the exact RNG draw order of the
+  // pre-sharding generator — coverage, staleness, then per-import
+  // missing-pref / wrong-pref decisions — into per-AS plans.
   util::Rng rng(params.seed);
-  std::ostringstream out;
-  out << "# synthetic IRR database (bgpolicy reproduction)\n\n";
-
+  std::vector<AutNumPlan> plans;
   for (const auto as : topo.graph.ases()) {
     if (!rng.chance(params.coverage)) continue;
     const auto& policy = policies.at(as);
-    const bool stale = rng.chance(params.stale_prob);
-
-    out << "aut-num: AS" << as.value() << "\n";
-    out << "as-name: " << topo::to_string(topo.tier_of(as)) << "-"
-        << as.value() << "\n";
-
+    AutNumPlan plan;
+    plan.as = as;
+    plan.stale = rng.chance(params.stale_prob);
     for (const auto& neighbor : topo.graph.neighbors(as)) {
-      out << "import: from AS" << neighbor.as.value();
-      if (!rng.chance(params.missing_pref_prob)) {
-        std::uint32_t lp = policy.import.base_for(neighbor.kind);
-        if (const auto it = policy.import.neighbor_override.find(neighbor.as);
-            it != policy.import.neighbor_override.end()) {
-          lp = it->second;
-        }
-        if (rng.chance(params.wrong_pref_prob)) {
-          lp = static_cast<std::uint32_t>(50 + rng.index(120));
-        }
-        out << " action pref = " << pref_from_local_pref(lp) << ";";
+      if (rng.chance(params.missing_pref_prob)) {
+        plan.import_pref.emplace_back(std::nullopt);
+        continue;
       }
-      out << " accept ANY\n";
+      std::uint32_t lp = policy.import.base_for(neighbor.kind);
+      if (const auto it = policy.import.neighbor_override.find(neighbor.as);
+          it != policy.import.neighbor_override.end()) {
+        lp = it->second;
+      }
+      if (rng.chance(params.wrong_pref_prob)) {
+        lp = static_cast<std::uint32_t>(50 + rng.index(120));
+      }
+      plan.import_pref.emplace_back(lp);
     }
-    for (const auto& neighbor : topo.graph.neighbors(as)) {
-      out << "export: to AS" << neighbor.as.value() << " announce AS"
-          << as.value() << "\n";
-    }
-
-    if (policy.community.enabled && policy.community.published) {
-      const auto& profile = policy.community;
-      const auto width =
-          static_cast<std::uint16_t>(profile.values_per_class * 10);
-      const auto emit_range = [&](const char* kind, std::uint16_t base) {
-        out << "remarks: rel-community " << kind << " " << base << " "
-            << (base + width - 1) << "\n";
-      };
-      emit_range("peer", profile.peer_base);
-      emit_range("provider", profile.provider_base);
-      emit_range("customer", profile.customer_base);
-    }
-
-    out << "mnt-by: MAINT-AS" << as.value() << "\n";
-    out << "changed: noc@as" << as.value() << ".example.net "
-        << (stale ? params.stale_date : params.fresh_date) << "\n";
-    out << "source: SYNTH\n\n";
+    plans.push_back(std::move(plan));
   }
-  return out.str();
+
+  // Pass 2: render blocks (RNG-free, pure per AS) sharded across workers,
+  // concatenated in AS order — byte-identical at any thread count.
+  std::string out = "# synthetic IRR database (bgpolicy reproduction)\n\n";
+  util::shard_and_merge(
+      params.threads, plans.size(),
+      [&](std::size_t i) {
+        return render_block(topo, policies, params, plans[i]);
+      },
+      [&](std::size_t, std::string& block) { out += block; });
+  return out;
 }
 
 }  // namespace bgpolicy::rpsl

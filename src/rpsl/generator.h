@@ -28,6 +28,13 @@ struct IrrGenParams {
   double missing_pref_prob = 0.10;
   std::uint32_t fresh_date = 20021015;
   std::uint32_t stale_date = 20010612;
+  /// Worker-thread count for rendering aut-num blocks (0 = hardware
+  /// concurrency, 1 = sequential).  Every random decision is drawn in one
+  /// sequential pass first, then blocks are rendered in parallel and
+  /// concatenated in AS order, so the output is byte-identical at any
+  /// value.  Excluded from the staged-experiment cache key for the same
+  /// reason.
+  std::size_t threads = 1;
 };
 
 /// Renders a whois-style flat-file IRR database for the given topology and

@@ -35,6 +35,7 @@ std::vector<RouterView> partition_routers(const bgp::BgpTable& lg_table,
     }
   }
 
+  std::vector<std::vector<bgp::Route>> batches(params.router_count);
   lg_table.for_each([&](const bgp::Prefix& prefix,
                         std::span<const bgp::Route> routes) {
     for (const bgp::Route& route : routes) {
@@ -51,9 +52,12 @@ std::vector<RouterView> partition_routers(const bgp::BgpTable& lg_table,
             60 + static_cast<std::uint32_t>(
                      hash01(params.seed ^ 0xBEEF, prefix.network(), r) * 70.0);
       }
-      views[r].table.add(std::move(copy));
+      batches[r].push_back(std::move(copy));
     }
   });
+  for (std::size_t r = 0; r < params.router_count; ++r) {
+    views[r].table.add_batch(std::move(batches[r]));
+  }
   return views;
 }
 

@@ -84,5 +84,46 @@ TEST(BgpTable, PrefixesReturnsAll) {
   EXPECT_EQ(prefixes.size(), 2u);
 }
 
+// add_batch is the batch-load fast path: same observable semantics as
+// calling add() per route, including implicit-withdraw replacement within
+// the batch and against pre-existing routes.
+TEST(BgpTable, AddBatchMatchesSequentialAdd) {
+  std::vector<Route> batch;
+  batch.push_back(make_route(kPrefix, {AsNumber(4)}, 100));
+  batch.push_back(make_route(kPrefix, {AsNumber(5)}, 120));
+  batch.push_back(make_route(kOther, {AsNumber(4)}, 90));
+  batch.push_back(make_route(kPrefix, {AsNumber(4)}, 70));  // replaces #1
+  batch.push_back(make_route(kOther, {AsNumber(6)}, 110));
+
+  BgpTable sequential{AsNumber(7018)};
+  BgpTable batched{AsNumber(7018)};
+  // Both tables start with a pre-existing route that the batch replaces.
+  sequential.add(make_route(kOther, {AsNumber(6)}, 50));
+  batched.add(make_route(kOther, {AsNumber(6)}, 50));
+  for (const Route& route : batch) sequential.add(route);
+  batched.add_batch(std::move(batch));
+
+  EXPECT_EQ(batched.prefix_count(), sequential.prefix_count());
+  EXPECT_EQ(batched.route_count(), sequential.route_count());
+  for (const Prefix& prefix : {kPrefix, kOther}) {
+    const auto expected = sequential.routes(prefix);
+    const auto actual = batched.routes(prefix);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].learned_from, expected[i].learned_from);
+      EXPECT_EQ(actual[i].local_pref, expected[i].local_pref);
+    }
+  }
+  EXPECT_EQ(batched.best(kPrefix)->learned_from, AsNumber(5));
+  EXPECT_EQ(batched.routes(kOther).size(), 2u);
+  EXPECT_EQ(batched.best(kOther)->local_pref, 110u);
+}
+
+TEST(BgpTable, AddBatchEmptyIsNoOp) {
+  BgpTable table{AsNumber(7018)};
+  table.add_batch({});
+  EXPECT_EQ(table.route_count(), 0u);
+}
+
 }  // namespace
 }  // namespace bgpolicy::bgp

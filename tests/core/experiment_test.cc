@@ -1,0 +1,234 @@
+// The staged experiment API contract (ISSUE 3): staged artifacts
+// reassemble into a Pipeline byte-identical to run_pipeline's at any
+// thread count, downstream stages re-run against cached upstream artifacts
+// (verified by stage-run counters), and sweeps are thread-count
+// independent with upstream work shared per distinct scenario.
+#include "core/experiment.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/binary_table.h"
+
+namespace bgpolicy::core {
+namespace {
+
+using util::AsNumber;
+
+std::string table_bytes(const bgp::BgpTable& table) {
+  const auto bytes = io::serialize_table(table);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+// Byte-level digest of every product run_pipeline assembles.  Tables are
+// serialized through the io layer; relationships/tiers go through the
+// canonical serializers.
+std::string pipeline_digest(const Pipeline& pipe) {
+  std::string out;
+  out += "collector\n" + table_bytes(pipe.sim.collector);
+  for (const AsNumber as : sorted_looking_glass(pipe.sim)) {
+    out += "lg " + util::to_string(as) + "\n" +
+           table_bytes(pipe.sim.looking_glass.at(as));
+  }
+  out += "unconverged=" + std::to_string(pipe.sim.unconverged_prefixes);
+  out += " events=" + std::to_string(pipe.sim.process_events);
+  out += " origs=" + std::to_string(pipe.originations.size());
+  out += " best_only=" + std::to_string(pipe.sim.best_only.size()) + "\n";
+  out += pipe.irr_text;
+  out += asrel::canonical_serialize(pipe.inferred);
+  out += asrel::canonical_serialize(pipe.tiers);
+  out += "paths=" + std::to_string(pipe.paths.path_count());
+  out += " adjacencies=" + std::to_string(pipe.paths.adjacency_count());
+  out += "\n";
+  return out;
+}
+
+TEST(Experiment, StagedRoundtripMatchesRunPipelineAtEveryThreadCount) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const Pipeline reference = run_pipeline(Scenario::small(91), threads);
+
+    RunOptions options;
+    options.threads = threads;
+    options.until = Stage::kInfer;
+    Experiment experiment(Scenario::small(91), options);
+    experiment.run();
+
+    // Each stage ran exactly once.
+    EXPECT_EQ(experiment.counters().synthesize, 1u);
+    EXPECT_EQ(experiment.counters().simulate, 1u);
+    EXPECT_EQ(experiment.counters().observe, 1u);
+    EXPECT_EQ(experiment.counters().infer, 1u);
+    EXPECT_EQ(experiment.counters().analyze, 0u);
+
+    const Pipeline copied = experiment.to_pipeline();
+    EXPECT_EQ(pipeline_digest(copied), pipeline_digest(reference))
+        << "staged reassembly differs from run_pipeline at threads="
+        << threads;
+
+    const Pipeline moved = std::move(experiment).into_pipeline();
+    EXPECT_EQ(pipeline_digest(moved), pipeline_digest(reference));
+  }
+}
+
+TEST(Experiment, RerunInferReusesCachedUpstreamArtifacts) {
+  Experiment experiment(Scenario::small(7));
+  const std::string irr_before = experiment.observations().irr_text;
+  const std::string first =
+      asrel::canonical_serialize(experiment.inference().inferred);
+
+  // Same params, different knob: the peer-detection ablation must change
+  // the classification, without re-running any upstream stage.
+  asrel::GaoParams no_peers;
+  no_peers.detect_peers = false;
+  const std::string second =
+      asrel::canonical_serialize(experiment.rerun_infer(no_peers).inferred);
+  EXPECT_NE(second, first);
+
+  EXPECT_EQ(experiment.counters().synthesize, 1u);
+  EXPECT_EQ(experiment.counters().simulate, 1u);
+  EXPECT_EQ(experiment.counters().observe, 1u);
+  EXPECT_EQ(experiment.counters().infer, 2u);
+  EXPECT_EQ(experiment.observations().irr_text, irr_before);
+
+  // Re-running with the original params restores the original products —
+  // the cached Observations are bit-for-bit stable across Infer variants.
+  asrel::GaoParams original;
+  original.threads = experiment.threads();
+  EXPECT_EQ(asrel::canonical_serialize(
+                experiment.rerun_infer(original).inferred),
+            first);
+}
+
+TEST(Experiment, StageSelectionStopsWhereAsked) {
+  RunOptions options;
+  options.until = Stage::kSimulate;
+  Experiment experiment(Scenario::small(7), options);
+  experiment.run();
+  EXPECT_EQ(experiment.counters().synthesize, 1u);
+  EXPECT_EQ(experiment.counters().simulate, 1u);
+  EXPECT_EQ(experiment.counters().observe, 0u);
+  EXPECT_EQ(experiment.counters().infer, 0u);
+  EXPECT_EQ(experiment.counters().analyze, 0u);
+
+  const Experiment& finished = experiment;
+  EXPECT_GT(finished.sim().sim.collector.prefix_count(), 0u);
+  EXPECT_THROW((void)finished.observations(), std::logic_error);
+  EXPECT_THROW((void)finished.inference(), std::logic_error);
+}
+
+TEST(Experiment, AnalyzeStageMatchesSuiteOverPipeline) {
+  RunOptions options;
+  options.threads = 1;
+  Experiment experiment(Scenario::small(42), options);
+  const std::string staged = canonical_serialize(experiment.analyses());
+  EXPECT_EQ(experiment.counters().analyze, 1u);
+
+  const Pipeline pipe = run_pipeline(Scenario::small(42), 1);
+  const std::string direct = canonical_serialize(
+      run_analysis_suite(pipe, recorded_vantages(pipe), 1));
+  EXPECT_EQ(staged, direct);
+}
+
+std::string run_digest(const SweepRun& run) {
+  return run.label + "\n" +
+         asrel::canonical_serialize(run.inference.inferred) +
+         asrel::canonical_serialize(run.inference.tiers) +
+         canonical_serialize(run.analyses);
+}
+
+std::vector<SweepVariant> sweep_variants() {
+  SweepVariant base;
+  base.label = "base";
+  base.scenario = Scenario::small(5);
+
+  SweepVariant no_peers = base;
+  no_peers.label = "no-peers";
+  no_peers.options.gao = asrel::GaoParams{};
+  no_peers.options.gao->detect_peers = false;
+
+  SweepVariant other_seed;
+  other_seed.label = "seed9";
+  other_seed.scenario = Scenario::small(9);
+
+  // Same world as `base`, different thread knob: must share its upstream
+  // cache entry (thread counts never change artifact bytes).
+  SweepVariant threaded = base;
+  threaded.label = "threaded";
+  threaded.scenario.propagation.threads = 3;
+
+  return {base, no_peers, other_seed, threaded};
+}
+
+TEST(Sweep, ReusesUpstreamArtifactsPerDistinctScenario) {
+  const std::vector<SweepVariant> variants = sweep_variants();
+  const SweepReport report = sweep(variants, 1);
+
+  ASSERT_EQ(report.runs.size(), 4u);
+  EXPECT_EQ(report.distinct_scenarios, 2u);
+  // The stage-run ledger: upstream stages once per distinct scenario,
+  // Infer/Analyze once per variant.
+  EXPECT_EQ(report.counters.synthesize, 2u);
+  EXPECT_EQ(report.counters.simulate, 2u);
+  EXPECT_EQ(report.counters.observe, 2u);
+  EXPECT_EQ(report.counters.infer, 4u);
+  EXPECT_EQ(report.counters.analyze, 4u);
+
+  // Results merge in request order.
+  EXPECT_EQ(report.runs[0].label, "base");
+  EXPECT_EQ(report.runs[1].label, "no-peers");
+  EXPECT_EQ(report.runs[2].label, "seed9");
+  EXPECT_EQ(report.runs[3].label, "threaded");
+
+  // Cache-key relationships.
+  EXPECT_EQ(report.runs[0].scenario_key, report.runs[1].scenario_key);
+  EXPECT_EQ(report.runs[0].scenario_key, report.runs[3].scenario_key);
+  EXPECT_NE(report.runs[0].scenario_key, report.runs[2].scenario_key);
+
+  // Identical scenario + params => identical products; a changed inference
+  // knob or seed => different ones.
+  EXPECT_EQ(asrel::canonical_serialize(report.runs[0].inference.inferred),
+            asrel::canonical_serialize(report.runs[3].inference.inferred));
+  EXPECT_NE(asrel::canonical_serialize(report.runs[0].inference.inferred),
+            asrel::canonical_serialize(report.runs[1].inference.inferred));
+  EXPECT_NE(asrel::canonical_serialize(report.runs[0].inference.inferred),
+            asrel::canonical_serialize(report.runs[2].inference.inferred));
+}
+
+TEST(Sweep, OutputIndependentOfThreadCount) {
+  const std::vector<SweepVariant> variants = sweep_variants();
+  const SweepReport sequential = sweep(variants, 1);
+  const SweepReport sharded = sweep(variants, 4);
+
+  ASSERT_EQ(sequential.runs.size(), sharded.runs.size());
+  for (std::size_t i = 0; i < sequential.runs.size(); ++i) {
+    EXPECT_EQ(run_digest(sequential.runs[i]), run_digest(sharded.runs[i]))
+        << "sweep run " << i << " differs between thread counts";
+  }
+  EXPECT_EQ(sharded.counters.synthesize, sequential.counters.synthesize);
+  EXPECT_EQ(sharded.counters.infer, sequential.counters.infer);
+}
+
+TEST(ScenarioCacheKey, SeparatesWorldsAndIgnoresThreadKnobs) {
+  const Scenario a = Scenario::small(5);
+  Scenario b = Scenario::small(5);
+  EXPECT_EQ(scenario_cache_key(a), scenario_cache_key(b));
+
+  b.propagation.threads = 7;  // thread knobs never change artifacts
+  EXPECT_EQ(scenario_cache_key(a), scenario_cache_key(b));
+
+  b = Scenario::small(5);
+  b.topo_params.stub_count += 1;
+  EXPECT_NE(scenario_cache_key(a), scenario_cache_key(b));
+
+  b = Scenario::small(5);
+  b.irr_params.coverage += 1e-9;  // exact bit-pattern, no double rounding
+  EXPECT_NE(scenario_cache_key(a), scenario_cache_key(b));
+
+  EXPECT_NE(scenario_cache_key(Scenario::small(5)),
+            scenario_cache_key(Scenario::small(6)));
+}
+
+}  // namespace
+}  // namespace bgpolicy::core

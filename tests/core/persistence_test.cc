@@ -97,5 +97,28 @@ TEST(Persistence, PipelineFig6Fig7Shape) {
   EXPECT_LT(study.percent_shifted, 50.0);
 }
 
+// The persistence-sharding determinism contract: churn stepping is
+// sequential, the per-snapshot SA analysis shards over snapshots, and the
+// study serializes byte-identically for threads ∈ {1, 4, 0}.
+TEST(Persistence, ShardedSnapshotAnalysisIsThreadCountIndependent) {
+  const auto& pipe = shared_pipeline();
+  const auto study_at = [&](std::size_t threads) {
+    sim::ChurnParams churn_params;
+    churn_params.flip_fraction = 0.02;
+    sim::ChurnSimulator churn(pipe.topo.graph, pipe.gen.policies,
+                              pipe.originations, pipe.gen.truth,
+                              {AsNumber(1)}, churn_params);
+    return canonical_serialize(run_persistence_study(
+        churn, AsNumber(1), pipe.inferred_graph, pipe.inferred_oracle(), 8,
+        threads));
+  };
+  const std::string reference = study_at(1);
+  ASSERT_FALSE(reference.empty());
+  for (const std::size_t threads : {std::size_t{4}, std::size_t{0}}) {
+    EXPECT_EQ(study_at(threads), reference)
+        << "persistence study differs at threads=" << threads;
+  }
+}
+
 }  // namespace
 }  // namespace bgpolicy::core

@@ -114,5 +114,20 @@ TEST(IrrGenerator, DeterministicForSeed) {
             generate_irr(w.topo, w.policies, {}));
 }
 
+// Per-aut-num sharded rendering concatenates in AS order: the database is
+// byte-identical at any thread count (threads = 1 is the sequential seed
+// program).
+TEST(IrrGenerator, ShardedRenderingIsByteIdentical) {
+  const World w = make_world();
+  IrrGenParams params;
+  const std::string reference = generate_irr(w.topo, w.policies, params);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4},
+                                    std::size_t{0}}) {
+    params.threads = threads;
+    EXPECT_EQ(generate_irr(w.topo, w.policies, params), reference)
+        << "IRR differs at threads=" << threads;
+  }
+}
+
 }  // namespace
 }  // namespace bgpolicy::rpsl
