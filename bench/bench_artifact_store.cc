@@ -1,0 +1,202 @@
+// Artifact-store bench (ISSUE 4): per staged artifact type, how expensive
+// is computing the stage versus serializing, deserializing, and loading it
+// back from the on-disk store?  The load-vs-recompute ratio is the number
+// that justifies the store: simulate dominates staged wall-clock
+// (~93% in BENCH_2026-07-30_pr3.json), so serving SimArtifact from disk is
+// the resume win.
+//
+// Every artifact is round-tripped (encode -> decode -> re-encode) and the
+// bytes compared — the same content-purity contract the cache keys chain
+// on; a mismatch fails the bench (exit 1), wiring codec fidelity into the
+// tracked trajectory like the other benches' determinism checks.
+//
+// Flags:
+//   --small   use the `small` scenario (CI-sized, seconds not minutes)
+//   --json    emit a single JSON object on stdout (for scripts/bench.sh)
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/artifact_store.h"
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "io/artifact_codec.h"
+#include "util/text_table.h"
+
+namespace {
+
+using namespace bgpolicy;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct Row {
+  std::string artifact;
+  std::size_t bytes = 0;
+  double compute_seconds = 0;
+  double encode_seconds = 0;
+  double decode_seconds = 0;
+  double load_seconds = 0;  ///< store read + decode
+  double load_speedup = 0;  ///< compute / load
+};
+
+/// Benches one artifact: encode/decode timings, store write, then a timed
+/// load (read + decode).  Returns false when the roundtrip is not
+/// byte-pure.
+template <typename T, typename DecodeFn>
+bool bench_artifact(const core::ArtifactStore& store, const std::string& key,
+                    const T& artifact, double compute_seconds,
+                    DecodeFn&& decode, Row& row) {
+  auto start = std::chrono::steady_clock::now();
+  const std::vector<std::uint8_t> bytes = io::encode(artifact);
+  row.encode_seconds = seconds_since(start);
+  row.bytes = bytes.size();
+  row.compute_seconds = compute_seconds;
+
+  start = std::chrono::steady_clock::now();
+  const T decoded = decode(std::span<const std::uint8_t>(bytes));
+  row.decode_seconds = seconds_since(start);
+  const bool pure = io::encode(decoded) == bytes;
+
+  if (!store.put(key, bytes)) {
+    std::cerr << "artifact store write failed for " << key << " under "
+              << store.root().string() << "\n";
+    return false;
+  }
+  start = std::chrono::steady_clock::now();
+  const auto loaded = store.load(key);
+  if (!loaded) {
+    std::cerr << "artifact store read-back failed for " << key << "\n";
+    return false;
+  }
+  const T from_disk = decode(std::span<const std::uint8_t>(*loaded));
+  row.load_seconds = seconds_since(start);
+  row.load_speedup =
+      row.load_seconds > 0 ? row.compute_seconds / row.load_seconds : 0;
+  return pure && io::encode(from_disk) == bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool small = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--small") == 0) small = true;
+  }
+
+  const core::Scenario scenario =
+      small ? core::Scenario::small() : core::Scenario::internet2002();
+  if (!json) {
+    std::cout << "[bench] artifact store on the " << scenario.name
+              << " scenario (serialize / deserialize / load vs recompute "
+                 "per stage artifact)...\n";
+  }
+
+  const std::filesystem::path store_dir =
+      std::filesystem::temp_directory_path() /
+      ("bgpolicy-bench-store-" + scenario.name);
+  std::filesystem::remove_all(store_dir);
+  const core::ArtifactStore store(store_dir);
+
+  // Stage the experiment once, timing each compute (threads = 1: the
+  // sequential reference cost a cold store saves).
+  core::RunOptions options;
+  options.threads = 1;
+  core::Experiment experiment(scenario, options);
+
+  auto start = std::chrono::steady_clock::now();
+  (void)experiment.truth();
+  const double synthesize_seconds = seconds_since(start);
+  start = std::chrono::steady_clock::now();
+  (void)experiment.sim();
+  const double simulate_seconds = seconds_since(start);
+  start = std::chrono::steady_clock::now();
+  (void)experiment.observations();
+  const double observe_seconds = seconds_since(start);
+  start = std::chrono::steady_clock::now();
+  (void)experiment.inference();
+  const double infer_seconds = seconds_since(start);
+  start = std::chrono::steady_clock::now();
+  (void)experiment.analyses();
+  const double analyze_seconds = seconds_since(start);
+
+  std::vector<Row> rows(5);
+  bool roundtrip_ok = true;
+  rows[0].artifact = "ground_truth";
+  roundtrip_ok &= bench_artifact(
+      store, "bench|truth", experiment.truth(), synthesize_seconds,
+      [](std::span<const std::uint8_t> b) { return io::decode_ground_truth(b); },
+      rows[0]);
+  rows[1].artifact = "sim_artifact";
+  roundtrip_ok &= bench_artifact(
+      store, "bench|sim", experiment.sim(), simulate_seconds,
+      [](std::span<const std::uint8_t> b) { return io::decode_sim_artifact(b); },
+      rows[1]);
+  rows[2].artifact = "observations";
+  roundtrip_ok &= bench_artifact(
+      store, "bench|obs", experiment.observations(), observe_seconds,
+      [](std::span<const std::uint8_t> b) { return io::decode_observations(b); },
+      rows[2]);
+  rows[3].artifact = "inference_products";
+  roundtrip_ok &= bench_artifact(
+      store, "bench|infer", experiment.inference(), infer_seconds,
+      [](std::span<const std::uint8_t> b) { return io::decode_inference(b); },
+      rows[3]);
+  rows[4].artifact = "analysis_suite";
+  roundtrip_ok &= bench_artifact(
+      store, "bench|analyses", experiment.analyses(), analyze_seconds,
+      [](std::span<const std::uint8_t> b) {
+        return io::decode_analysis_suite(b);
+      },
+      rows[4]);
+
+  std::filesystem::remove_all(store_dir);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (json) {
+    std::cout << "{\"bench\":\"artifact_store\",\"scenario\":\""
+              << scenario.name << "\",\"hardware_concurrency\":" << hw
+              << ",\"roundtrip_ok\":" << (roundtrip_ok ? "true" : "false")
+              << ",\"results\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::cout << (i == 0 ? "" : ",") << "{\"artifact\":\"" << r.artifact
+                << "\",\"bytes\":" << r.bytes
+                << ",\"compute_seconds\":" << r.compute_seconds
+                << ",\"encode_seconds\":" << r.encode_seconds
+                << ",\"decode_seconds\":" << r.decode_seconds
+                << ",\"load_seconds\":" << r.load_seconds
+                << ",\"load_speedup\":" << r.load_speedup << "}";
+    }
+    std::cout << "]}" << std::endl;
+    return roundtrip_ok ? 0 : 1;
+  }
+
+  std::cout << "== artifact store · serialize / load vs recompute ==\n"
+            << "scenario " << scenario.name << " · hardware threads: " << hw
+            << "\n\n";
+  util::TextTable table({"artifact", "bytes", "compute", "encode", "decode",
+                         "load", "load speedup"});
+  for (const Row& r : rows) {
+    table.add_row({r.artifact, std::to_string(r.bytes),
+                   util::fmt(r.compute_seconds, 3),
+                   util::fmt(r.encode_seconds, 3),
+                   util::fmt(r.decode_seconds, 3), util::fmt(r.load_seconds, 3),
+                   util::fmt(r.load_speedup, 1) + "x"});
+  }
+  std::cout << table.render("per-artifact codec + store timings (seconds)")
+            << "\n"
+            << (roundtrip_ok
+                    ? "every artifact round-trips byte-identically\n"
+                    : "ROUNDTRIP MISMATCH: codec is not content-pure\n");
+  return roundtrip_ok ? 0 : 1;
+}

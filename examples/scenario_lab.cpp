@@ -4,18 +4,25 @@
 //
 //   $ scenario_lab [--seed N] [--stubs N] [--selective P] [--multihome P]
 //                  [--sweep selective|multihome|prepend|gao] [--steps N]
-//                  [--threads N]
+//                  [--threads N] [--store DIR]
 //
 // With --sweep, the chosen knob is swept across `--steps` values through
 // core::sweep — variants run sharded across the thread pool, and upstream
 // artifacts are cached per distinct scenario (the `gao` sweep varies only
 // inference parameters, so every variant reuses ONE synthesized/simulated
 // world).  Without it a single staged run is reported.
+//
+// With --store DIR, stage artifacts persist to an on-disk artifact store:
+// run the same command twice and the second run loads everything (watch
+// the executed-vs-loaded ledger); kill a sweep halfway and the re-run
+// recomputes only the missing variants.
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/artifact_store.h"
 #include "core/experiment.h"
 #include "core/prepending.h"
 #include "util/text_table.h"
@@ -33,6 +40,7 @@ struct Options {
   std::string sweep;
   std::size_t steps = 5;
   std::size_t threads = 0;
+  std::string store_dir;
 };
 
 Options parse_args(int argc, char** argv) {
@@ -62,11 +70,13 @@ Options parse_args(int argc, char** argv) {
       opts.steps = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--threads") {
       opts.threads = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--store") {
+      opts.store_dir = next();
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: scenario_lab [--seed N] [--stubs N] "
                    "[--selective P] [--multihome P] [--prepend P]\n"
                    "                    [--sweep selective|multihome|prepend|"
-                   "gao] [--steps N] [--threads N]\n";
+                   "gao] [--steps N] [--threads N] [--store DIR]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag " << arg << " (try --help)\n";
@@ -118,6 +128,15 @@ RunStats stats_from(const core::GroundTruth& truth,
 int main(int argc, char** argv) {
   const Options base = parse_args(argc, argv);
 
+  // Optional on-disk artifact store: a second identical invocation loads
+  // every artifact instead of recomputing (see the ledger line below).
+  std::unique_ptr<core::ArtifactStore> store;
+  if (!base.store_dir.empty()) {
+    store = std::make_unique<core::ArtifactStore>(base.store_dir);
+    std::cout << "Artifact store: " << store->root().string() << " ("
+              << store->size() << " artifacts on disk)\n";
+  }
+
   util::TextTable table({"knob setting", "% SA @AS1", "% multihomed origins",
                          "% typical import @AS1", "% prepended routes",
                          "inference accuracy %"});
@@ -132,11 +151,22 @@ int main(int argc, char** argv) {
   if (base.sweep.empty()) {
     std::cout << "Single staged run (seed " << base.seed << ", " << base.stubs
               << " stubs)...\n";
-    core::Experiment experiment(make_scenario(base));
+    core::RunOptions options;
+    options.store = store.get();
+    core::Experiment experiment(make_scenario(base), options);
     experiment.run();
     add_row("baseline",
             stats_from(experiment.truth(), experiment.sim().sim,
                        experiment.inference(), experiment.analyses()));
+    if (store) {
+      const auto& c = experiment.counters();
+      const auto& l = experiment.loads();
+      std::cout << "Stages executed: " << c.synthesize + c.simulate +
+                       c.observe + c.infer + c.analyze
+                << ", loaded from store: "
+                << l.synthesize + l.simulate + l.observe + l.infer + l.analyze
+                << "\n";
+    }
   } else {
     std::vector<core::SweepVariant> variants;
     for (std::size_t i = 0; i < base.steps; ++i) {
@@ -172,7 +202,8 @@ int main(int argc, char** argv) {
 
     std::cout << "Sweeping --" << base.sweep << " over " << base.steps
               << " settings (seed " << base.seed << ")...\n";
-    const core::SweepReport report = core::sweep(variants, base.threads);
+    const core::SweepReport report =
+        core::sweep(variants, base.threads, store.get());
     for (const core::SweepRun& run : report.runs) {
       const core::Experiment& up = *report.upstream[run.scenario_index];
       add_row(run.label, stats_from(up.truth(), up.sim().sim, run.inference,
@@ -182,6 +213,12 @@ int main(int argc, char** argv) {
               << " for " << report.runs.size()
               << " variants (stage runs: " << report.counters.synthesize
               << " synthesize, " << report.counters.infer << " infer)\n";
+    if (store) {
+      std::cout << "Resume ledger: executed " << report.counters.simulate
+                << " simulate / " << report.counters.infer
+                << " infer stages, loaded " << report.loads.simulate
+                << " / " << report.loads.infer << " from the store\n";
+    }
   }
   std::cout << table.render("scenario_lab results") << "\n";
   std::cout << "Reading: SA prevalence tracks the selective-announcement "

@@ -1,9 +1,10 @@
 #!/usr/bin/env sh
 # Runs the thread-scaling benches (prefix-sharded simulation, sharded
-# inference pipeline, and the staged-experiment per-stage bench) and emits
-# one combined JSON record on stdout — the bench-trajectory hook for CI and
-# local tracking.  Committed trajectory points live at the repo root as
-# BENCH_*.json (see docs/REPRODUCTION.md).
+# inference pipeline, the staged-experiment per-stage bench, and the
+# artifact-store codec/load bench) and emits one combined JSON record on
+# stdout — the bench-trajectory hook for CI and local tracking.  Committed
+# trajectory points live at the repo root as BENCH_*.json (see
+# docs/REPRODUCTION.md).
 #
 # Usage: scripts/bench.sh [--small] [extra bench flags...]
 # Builds the bench targets first if the build tree is missing them.
@@ -18,13 +19,14 @@ fi
 # Always build: a no-op when up to date, and never benchmarks a stale binary.
 cmake --build "$build_dir" -j \
   --target bench_sim_scaling --target bench_inference_scaling \
-  --target bench_pipeline_stages >&2
+  --target bench_pipeline_stages --target bench_artifact_store >&2
 
-# Each bench exits non-zero when its cross-thread determinism check fails;
-# set -e turns that into a failed trajectory run.
+# Each bench exits non-zero when its cross-thread determinism (or codec
+# roundtrip) check fails; set -e turns that into a failed trajectory run.
 sim_json=$("$build_dir/bench_sim_scaling" --json "$@")
 inference_json=$("$build_dir/bench_inference_scaling" --json "$@")
 stages_json=$("$build_dir/bench_pipeline_stages" --json "$@")
+artifact_json=$("$build_dir/bench_artifact_store" --json "$@")
 
-printf '{"schema":"bgpolicy-bench/v3","generated_utc":"%s","sim_scaling":%s,"inference_scaling":%s,"pipeline_stages":%s}\n' \
-  "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$sim_json" "$inference_json" "$stages_json"
+printf '{"schema":"bgpolicy-bench/v4","generated_utc":"%s","sim_scaling":%s,"inference_scaling":%s,"pipeline_stages":%s,"artifact_store":%s}\n' \
+  "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$sim_json" "$inference_json" "$stages_json" "$artifact_json"

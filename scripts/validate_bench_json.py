@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
 """Validates a bgpolicy bench-trajectory record (scripts/bench.sh output).
 
-Accepts bgpolicy-bench/v3 (current: adds the pipeline_stages section with
-per-stage wall-clock timings) and v2 (earlier committed trajectory points).
+Accepts bgpolicy-bench/v4 (current: adds the artifact_store section with
+per-artifact codec + load-vs-recompute timings), v3 (adds the
+pipeline_stages section with per-stage wall-clock timings), and v2
+(earlier committed trajectory points).
 
 Usage: validate_bench_json.py FILE...
 Exits non-zero with a message naming the first violated requirement.
@@ -42,6 +44,30 @@ def check_scaling(path, name, record, result_keys):
             f"{name}.results[].threads must be strictly increasing")
 
 
+def check_artifact_store(path, record):
+    name = "artifact_store"
+    require(path, isinstance(record, dict), f"{name} must be an object")
+    for key in ("bench", "scenario", "hardware_concurrency", "results"):
+        require(path, key in record, f"{name}.{key} missing")
+    require(path, record.get("roundtrip_ok") is True,
+            f"{name}.roundtrip_ok must be true")
+    results = record["results"]
+    require(path, isinstance(results, list) and results,
+            f"{name}.results must be a non-empty array")
+    artifacts = []
+    for row in results:
+        require(path, isinstance(row.get("artifact"), str),
+                f"{name}.results[].artifact must be a string")
+        artifacts.append(row["artifact"])
+        for key in ("bytes", "compute_seconds", "encode_seconds",
+                    "decode_seconds", "load_seconds", "load_speedup"):
+            require(path, key in row, f"{name}.results[].{key} missing")
+            require(path, isinstance(row[key], (int, float)),
+                    f"{name}.results[].{key} must be a number")
+    require(path, len(set(artifacts)) == len(artifacts),
+            f"{name}.results[].artifact must be unique")
+
+
 def check_file(path):
     with open(path, encoding="utf-8") as handle:
         try:
@@ -49,8 +75,10 @@ def check_file(path):
         except json.JSONDecodeError as error:
             fail(path, f"not valid JSON: {error}")
     schema = record.get("schema")
-    require(path, schema in ("bgpolicy-bench/v2", "bgpolicy-bench/v3"),
-            'schema must be "bgpolicy-bench/v2" or "bgpolicy-bench/v3"')
+    require(path,
+            schema in ("bgpolicy-bench/v2", "bgpolicy-bench/v3",
+                       "bgpolicy-bench/v4"),
+            'schema must be "bgpolicy-bench/v2".."bgpolicy-bench/v4"')
     require(path, "generated_utc" in record, "generated_utc missing")
 
     sim = record.get("sim_scaling")
@@ -67,7 +95,7 @@ def check_file(path):
 
     summary = (f"sim rows: {len(sim['results'])}, "
                f"inference rows: {len(inference['results'])}")
-    if schema == "bgpolicy-bench/v3":
+    if schema in ("bgpolicy-bench/v3", "bgpolicy-bench/v4"):
         stages = record.get("pipeline_stages")
         check_scaling(path, "pipeline_stages", stages,
                       ("threads", "synthesize_seconds", "simulate_seconds",
@@ -76,6 +104,10 @@ def check_file(path):
         require(path, stages.get("products_match") is True,
                 "pipeline_stages.products_match must be true")
         summary += f", stage rows: {len(stages['results'])}"
+    if schema == "bgpolicy-bench/v4":
+        store = record.get("artifact_store")
+        check_artifact_store(path, store)
+        summary += f", artifact rows: {len(store['results'])}"
 
     print(f"{path}: ok ({summary})")
 

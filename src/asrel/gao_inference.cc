@@ -92,7 +92,8 @@ std::vector<AsNumber> GaoInference::top_clique(const GaoParams& params) const {
   return best;
 }
 
-InferredRelationships GaoInference::infer(const GaoParams& params) const {
+InferredRelationships GaoInference::infer(const GaoParams& params,
+                                          const util::Executor* executor) const {
   using VoteMap = std::unordered_map<PairKey, EdgeVotes, AsPairHash>;
 
   // Parallel layout: the two per-path passes (vote accumulation here, the
@@ -101,12 +102,16 @@ InferredRelationships GaoInference::infer(const GaoParams& params) const {
   // and disqualifications unioned — both order-insensitive — so the final
   // classification is identical at every thread count; threads <= 1 runs
   // the pre-sharding loops directly (the exact seed program, no pool).
-  const std::size_t threads = std::min(
-      util::resolve_threads(params.threads), std::max<std::size_t>(1, paths_.size()));
-  std::unique_ptr<util::ThreadPool> pool;
+  // A caller-supplied executor replaces the one-shot pool (params.threads
+  // is then ignored); products are identical either way.
+  std::unique_ptr<util::Executor> owned;
+  const util::Executor& exec = util::executor_or(
+      executor, params.threads, std::max<std::size_t>(1, paths_.size()), owned);
+  const std::size_t threads =
+      std::min(exec.threads(), std::max<std::size_t>(1, paths_.size()));
+  util::ThreadPool* pool = threads > 1 ? exec.pool() : nullptr;
   std::vector<util::IndexRange> ranges;
-  if (threads > 1) {
-    pool = std::make_unique<util::ThreadPool>(threads);
+  if (pool != nullptr) {
     ranges = util::split_ranges(paths_.size(), threads * 4);
   }
 
@@ -164,7 +169,7 @@ InferredRelationships GaoInference::infer(const GaoParams& params) const {
     accumulate_votes(0, paths_.size(), votes);
   } else {
     util::shard_and_merge(
-        pool.get(), ranges.size(),
+        pool, ranges.size(),
         [&](std::size_t r) {
           VoteMap local;
           accumulate_votes(ranges[r].begin, ranges[r].end, local);
@@ -253,7 +258,7 @@ InferredRelationships GaoInference::infer(const GaoParams& params) const {
       disqualify(0, paths_.size(), disqualified);
     } else {
       util::shard_and_merge(
-          pool.get(), ranges.size(),
+          pool, ranges.size(),
           [&](std::size_t r) {
             std::unordered_set<std::uint64_t> local;
             disqualify(ranges[r].begin, ranges[r].end, local);

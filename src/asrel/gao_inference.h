@@ -30,6 +30,7 @@
 #include "asrel/relationships.h"
 #include "bgp/aspath.h"
 #include "bgp/table.h"
+#include "util/parallel.h"
 
 namespace bgpolicy::asrel {
 
@@ -78,8 +79,21 @@ class GaoInference {
   /// Degree (distinct observed neighbors) of an AS.
   [[nodiscard]] std::size_t degree(AsNumber as) const;
 
-  /// Runs the classification over everything fed so far.
-  [[nodiscard]] InferredRelationships infer(const GaoParams& params = {}) const;
+  /// Runs the classification over everything fed so far.  When `executor`
+  /// is given its shared pool runs the per-path passes and
+  /// `params.threads` is ignored; otherwise a one-shot pool sized from the
+  /// knob is used.  Identical products either way.
+  [[nodiscard]] InferredRelationships infer(
+      const GaoParams& params = {},
+      const util::Executor* executor = nullptr) const;
+
+  /// The cleaned path multiset in ingest order (prepending collapsed,
+  /// loop paths dropped) — the serialization hook for io/artifact_codec:
+  /// re-feeding these paths through add_path in order reconstructs an
+  /// identical inference state.
+  [[nodiscard]] std::span<const std::vector<AsNumber>> paths() const {
+    return paths_;
+  }
 
   /// The inferred default-free core (exposed for diagnostics/tests).
   [[nodiscard]] std::vector<AsNumber> top_clique(

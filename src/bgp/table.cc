@@ -5,7 +5,9 @@
 namespace bgpolicy::bgp {
 
 void BgpTable::add(Route route) {
-  auto& routes = entries_[route.prefix];
+  const auto [entry, inserted] = entries_.try_emplace(route.prefix);
+  if (inserted) order_.push_back(route.prefix);
+  auto& routes = entry->second;
   const auto it = std::find_if(routes.begin(), routes.end(),
                                [&](const Route& existing) {
                                  return existing.learned_from ==
@@ -28,7 +30,9 @@ void BgpTable::add_batch(std::vector<Route> routes) {
   index.reserve(routes.size());
   for (Route& route : routes) {
     auto& neighbors = index[route.prefix];
-    auto& slots = entries_[route.prefix];
+    const auto [entry, fresh] = entries_.try_emplace(route.prefix);
+    if (fresh) order_.push_back(route.prefix);
+    auto& slots = entry->second;
     if (neighbors.empty() && !slots.empty()) {
       neighbors.reserve(slots.size());
       for (std::size_t i = 0; i < slots.size(); ++i) {
@@ -57,7 +61,10 @@ void BgpTable::withdraw(const Prefix& prefix, util::AsNumber neighbor) {
   if (it == routes.end()) return;
   routes.erase(it);
   --route_count_;
-  if (routes.empty()) entries_.erase(entry);
+  if (routes.empty()) {
+    entries_.erase(entry);
+    order_.erase(std::find(order_.begin(), order_.end(), prefix));
+  }
 }
 
 std::span<const Route> BgpTable::routes(const Prefix& prefix) const {
@@ -77,22 +84,16 @@ bool BgpTable::contains(const Prefix& prefix) const {
   return entries_.contains(prefix);
 }
 
-std::vector<Prefix> BgpTable::prefixes() const {
-  std::vector<Prefix> out;
-  out.reserve(entries_.size());
-  for (const auto& [prefix, routes] : entries_) out.push_back(prefix);
-  return out;
-}
-
 void BgpTable::for_each(
     const std::function<void(const Prefix&, std::span<const Route>)>& fn)
     const {
-  for (const auto& [prefix, routes] : entries_) fn(prefix, routes);
+  for (const Prefix& prefix : order_) fn(prefix, entries_.at(prefix));
 }
 
 void BgpTable::for_each_best(
     const std::function<void(const Route&)>& fn) const {
-  for (const auto& [prefix, routes] : entries_) {
+  for (const Prefix& prefix : order_) {
+    const auto& routes = entries_.at(prefix);
     const auto index = select_best(routes);
     if (index) fn(routes[*index]);
   }

@@ -57,19 +57,26 @@ class BgpTable {
   [[nodiscard]] std::size_t prefix_count() const { return entries_.size(); }
   [[nodiscard]] std::size_t route_count() const { return route_count_; }
 
-  /// All prefixes, in unspecified order.
-  [[nodiscard]] std::vector<Prefix> prefixes() const;
+  /// All prefixes, in first-insertion order.  Deterministic iteration is
+  /// what lets io-serialized tables round-trip byte-identically and makes
+  /// every for_each consumer independent of hash-map layout
+  /// (io/artifact_codec.h relies on this).
+  [[nodiscard]] std::vector<Prefix> prefixes() const { return order_; }
 
-  /// Calls fn(prefix, all-routes) for every entry.
+  /// Calls fn(prefix, all-routes) for every entry, in first-insertion
+  /// prefix order.
   void for_each(const std::function<void(const Prefix&,
                                          std::span<const Route>)>& fn) const;
 
-  /// Calls fn(best-route) for every prefix that has at least one route.
+  /// Calls fn(best-route) for every prefix that has at least one route, in
+  /// first-insertion prefix order.
   void for_each_best(const std::function<void(const Route&)>& fn) const;
 
  private:
   util::AsNumber owner_;
   std::unordered_map<Prefix, std::vector<Route>> entries_;
+  /// Prefixes in first-insertion order (kept in sync with entries_).
+  std::vector<Prefix> order_;
   std::size_t route_count_ = 0;
 };
 

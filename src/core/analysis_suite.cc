@@ -59,13 +59,17 @@ std::vector<AsNumber> recorded_vantages(const Pipeline& pipe) {
 
 AnalysisSuite run_analysis_suite(const ExperimentView& view,
                                  std::span<const AsNumber> vantages,
-                                 std::size_t threads) {
+                                 std::size_t threads,
+                                 const util::Executor* executor) {
   AnalysisSuite suite;
   suite.vantages.reserve(vantages.size());
   // Each vantage's bundle reads only the immutable view; merging in
   // vantage order makes the suite independent of scheduling.
+  std::unique_ptr<util::Executor> owned;
+  const util::Executor& exec =
+      util::executor_or(executor, threads, vantages.size(), owned);
   util::shard_and_merge(
-      threads, vantages.size(),
+      exec, vantages.size(),
       [&](std::size_t i) { return analyze_vantage(view, vantages[i]); },
       [&](std::size_t, VantageAnalysis& bundle) {
         suite.vantages.push_back(std::move(bundle));
@@ -75,8 +79,9 @@ AnalysisSuite run_analysis_suite(const ExperimentView& view,
 
 AnalysisSuite run_analysis_suite(const Pipeline& pipe,
                                  std::span<const AsNumber> vantages,
-                                 std::size_t threads) {
-  return run_analysis_suite(pipe.view(), vantages, threads);
+                                 std::size_t threads,
+                                 const util::Executor* executor) {
+  return run_analysis_suite(pipe.view(), vantages, threads, executor);
 }
 
 std::string canonical_serialize(const AnalysisSuite& suite) {

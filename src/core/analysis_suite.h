@@ -22,6 +22,7 @@
 #include "core/import_inference.h"
 #include "core/pipeline.h"
 #include "core/sa_verification.h"
+#include "util/parallel.h"
 
 namespace bgpolicy::core {
 
@@ -52,15 +53,17 @@ struct AnalysisSuite {
 
 /// Runs the full analysis bundle for each vantage, sharded across
 /// `threads` workers (0 = hardware concurrency, 1 = sequential seed
-/// behavior).  The view's products must stay immutable for the duration of
-/// the call.  This is the Analyze stage of the staged experiment API
-/// (experiment.h); the Pipeline overload is the compatibility spelling.
+/// behavior).  When `executor` is given it supplies the shared pool and
+/// `threads` is ignored.  The view's products must stay immutable for the
+/// duration of the call.  This is the Analyze stage of the staged
+/// experiment API (experiment.h); the Pipeline overload is the
+/// compatibility spelling.
 [[nodiscard]] AnalysisSuite run_analysis_suite(
     const ExperimentView& view, std::span<const AsNumber> vantages,
-    std::size_t threads);
+    std::size_t threads, const util::Executor* executor = nullptr);
 [[nodiscard]] AnalysisSuite run_analysis_suite(
     const Pipeline& pipe, std::span<const AsNumber> vantages,
-    std::size_t threads);
+    std::size_t threads, const util::Executor* executor = nullptr);
 
 /// Stable textual serialization of every integer counter in the suite, in
 /// vantage order — the byte-comparison hook for the inference determinism

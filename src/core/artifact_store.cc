@@ -1,0 +1,129 @@
+#include "core/artifact_store.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <system_error>
+
+namespace bgpolicy::core {
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes,
+                      std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (const std::uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 0x00000100000001B3ULL;  // FNV prime
+  }
+  return hash;
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+/// A second, independent basis so the two 64-bit halves of the 128-bit
+/// digest never cancel each other.
+constexpr std::uint64_t kFnvOffsetAlt = 0x6c62272e07bb0142ULL;
+
+void append_hex64(std::string& out, std::uint64_t value) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out += kHex[(value >> shift) & 0xF];
+  }
+}
+
+}  // namespace
+
+std::string stable_digest_hex(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  out.reserve(32);
+  append_hex64(out, fnv1a64(bytes, kFnvOffset));
+  append_hex64(out, fnv1a64(bytes, kFnvOffsetAlt));
+  return out;
+}
+
+std::string stable_digest_hex(std::string_view text) {
+  return stable_digest_hex(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+ArtifactStore::ArtifactStore(std::filesystem::path root)
+    : root_(std::move(root)) {
+  std::filesystem::create_directories(root_);
+}
+
+std::filesystem::path ArtifactStore::path_for(std::string_view key) const {
+  return root_ / (stable_digest_hex(key) + ".art");
+}
+
+std::optional<std::vector<std::uint8_t>> ArtifactStore::load(
+    std::string_view key) const {
+  std::ifstream in(path_for(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> bytes;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return std::nullopt;
+  in.seekg(0, std::ios::beg);
+  bytes.resize(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!in) return std::nullopt;
+  return bytes;
+}
+
+bool ArtifactStore::put(std::string_view key,
+                        std::span<const std::uint8_t> bytes) const {
+  const std::filesystem::path target = path_for(key);
+  // Temp name unique per writer: a concurrent writer of the same key races
+  // only at the final rename, which atomically installs one of two
+  // identical files.  (Even a pathological temp collision only yields
+  // bytes the codec checksum rejects — a miss, never an error.)
+  std::filesystem::path temp = target;
+  temp += ".tmp" +
+          std::to_string(static_cast<unsigned long long>(
+              std::chrono::steady_clock::now().time_since_epoch().count())) +
+          "." + std::to_string(static_cast<unsigned long long>(
+                    reinterpret_cast<std::uintptr_t>(this)));
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      out.close();
+      std::error_code ignored;
+      std::filesystem::remove(temp, ignored);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, target, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(temp, ignored);
+    return false;
+  }
+  return true;
+}
+
+bool ArtifactStore::contains(std::string_view key) const {
+  std::error_code ec;
+  return std::filesystem::exists(path_for(key), ec);
+}
+
+bool ArtifactStore::erase(std::string_view key) const {
+  std::error_code ec;
+  return std::filesystem::remove(path_for(key), ec);
+}
+
+std::size_t ArtifactStore::size() const {
+  std::size_t count = 0;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(root_, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->path().extension() == ".art") ++count;
+  }
+  return count;
+}
+
+}  // namespace bgpolicy::core

@@ -1,0 +1,78 @@
+// Content-addressed on-disk cache for stage artifacts.
+//
+// The paper's methodology re-runs inference many times over one fixed
+// observation corpus; the staged experiment API (experiment.h) already
+// caches stage artifacts in memory, and this store extends that cache
+// across process boundaries: a killed sweep re-run against the same store
+// loads the artifacts it already produced and recomputes only what is
+// missing.
+//
+// The store is a flat directory of `<digest>.art` files.  Callers address
+// entries by an arbitrary key string (Experiment builds keys from the
+// scenario cache key, upstream artifact digests, and stage parameters —
+// see docs/ARCHITECTURE.md); the store hashes the key into the file name,
+// so keys never need escaping and collisions are as unlikely as a 128-bit
+// hash makes them.  Writes go through a temp file plus an atomic rename,
+// so concurrent writers of the same key are safe (both write identical
+// bytes) and a killed process never leaves a half-written entry under a
+// live name.  Loads never throw on bad content: a missing or unreadable
+// file is a miss, and decoding (io/artifact_codec.h) treats corrupted or
+// version-mismatched bytes as misses upstream.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bgpolicy::core {
+
+/// 64-bit FNV-1a over `bytes`, folded over `seed` (exposed for tests; use
+/// stable_digest_hex for store-facing digests).
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes,
+                                    std::uint64_t seed);
+
+/// Stable 128-bit content digest as 32 lowercase hex characters — the
+/// content address for store entries and the upstream-artifact digest the
+/// staged cache keys chain on.  Depends only on the bytes, never on the
+/// process or platform.
+[[nodiscard]] std::string stable_digest_hex(std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::string stable_digest_hex(std::string_view text);
+
+class ArtifactStore {
+ public:
+  /// Opens (and creates, including parents) the store directory.  Throws
+  /// std::filesystem::filesystem_error when the path cannot be created.
+  explicit ArtifactStore(std::filesystem::path root);
+
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+
+  /// The file a key resolves to (whether or not it exists yet).
+  [[nodiscard]] std::filesystem::path path_for(std::string_view key) const;
+
+  /// The bytes stored under `key`, or nullopt when absent or unreadable.
+  /// Content integrity is the codec's job (header magic/version/checksum).
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> load(
+      std::string_view key) const;
+
+  /// Atomically stores `bytes` under `key` (temp file + rename), replacing
+  /// any previous entry.  Failures are swallowed: the store is a cache, a
+  /// failed write only costs a future recompute.  Returns false on failure.
+  bool put(std::string_view key, std::span<const std::uint8_t> bytes) const;
+
+  [[nodiscard]] bool contains(std::string_view key) const;
+
+  /// Removes the entry for `key`; returns true when something was removed.
+  bool erase(std::string_view key) const;
+
+  /// Number of artifacts currently on disk (diagnostics/tests).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  std::filesystem::path root_;
+};
+
+}  // namespace bgpolicy::core

@@ -5,7 +5,10 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "core/artifact_store.h"
+#include "io/artifact_codec.h"
 #include "rpsl/generator.h"
+#include "rpsl/parser.h"
 #include "util/parallel.h"
 
 namespace bgpolicy::core {
@@ -20,6 +23,102 @@ const char* to_string(Stage stage) {
   }
   return "?";
 }
+
+// ------------------------------------------------------------ key helpers --
+
+namespace {
+
+/// Appends one key=value field; doubles are emitted as exact bit patterns
+/// so near-equal parameters never alias to one cache entry.
+void field(std::string& key, const char* name, double value) {
+  key += name;
+  key += '=';
+  key += std::to_string(std::bit_cast<std::uint64_t>(value));
+  key += ';';
+}
+
+void field(std::string& key, const char* name, std::uint64_t value) {
+  key += name;
+  key += '=';
+  key += std::to_string(value);
+  key += ';';
+}
+
+void field(std::string& key, const char* name,
+           const std::vector<std::uint32_t>& values) {
+  key += name;
+  key += '=';
+  for (const std::uint32_t v : values) {
+    key += std::to_string(v);
+    key += ',';
+  }
+  key += ';';
+}
+
+/// The Infer-stage parameter identity: every GaoParams knob that can
+/// change the classification.  `threads` is deliberately excluded
+/// (products are byte-identical at any thread count).
+std::string gao_params_key(const asrel::GaoParams& params) {
+  std::string key;
+  field(key, "g.ratio", params.peer_degree_ratio);
+  field(key, "g.sibling", params.sibling_balance);
+  field(key, "g.peers", std::uint64_t{params.detect_peers});
+  field(key, "g.clique", std::uint64_t{params.detect_clique});
+  field(key, "g.clique_frac", params.clique_degree_fraction);
+  field(key, "g.share", params.peer_candidate_min_share);
+  return key;
+}
+
+void vantage_field(std::string& key, std::span<const AsNumber> vantages) {
+  key += "vantages=";
+  for (const AsNumber as : vantages) {
+    key += std::to_string(as.value());
+    key += ',';
+  }
+  key += ';';
+}
+
+/// Every artifact key starts with the codec version, so a codec bump
+/// retires the whole cache at the key level too (stale entries would be
+/// rejected by the header check anyway — this just avoids probing them).
+constexpr const char* kKeyPrefix = "bgpolicy-artifact/v1|";
+
+/// The probe-or-compute-and-persist discipline every stage runs when a
+/// store is attached.  A load failure of any flavor — missing file,
+/// truncation, corruption, codec-version mismatch — is a miss: `compute`
+/// runs and its artifact replaces the bad entry.  `digest_out` receives
+/// the content digest of the encoded artifact (what downstream keys chain
+/// on); `loaded` reports whether the store served the artifact.
+template <typename T, typename DecodeFn, typename ComputeFn>
+T stage_artifact(const ArtifactStore* store, const std::string& key,
+                 std::string& digest_out, bool& loaded, DecodeFn&& decode,
+                 ComputeFn&& compute) {
+  if (store != nullptr) {
+    if (const auto bytes = store->load(key)) {
+      try {
+        T artifact = decode(std::span<const std::uint8_t>(*bytes));
+        digest_out = stable_digest_hex(std::span<const std::uint8_t>(*bytes));
+        loaded = true;
+        return artifact;
+      } catch (const std::invalid_argument&) {
+        // Corrupted, truncated, or version-mismatched: a miss, never an
+        // error (artifact_codec.h).
+      }
+    }
+  }
+  T artifact = compute();
+  loaded = false;
+  if (store != nullptr) {
+    const std::vector<std::uint8_t> bytes = io::encode(artifact);
+    digest_out = stable_digest_hex(std::span<const std::uint8_t>(bytes));
+    store->put(key, bytes);
+  } else {
+    digest_out.clear();
+  }
+  return artifact;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------- stage runners --
 
@@ -64,27 +163,29 @@ sim::VantageSpec derive_vantage(const Scenario& scenario,
 }
 
 SimArtifact simulate(const Scenario& scenario, const GroundTruth& truth,
-                     std::size_t threads) {
+                     std::size_t threads, const util::Executor* executor) {
   SimArtifact artifact;
   artifact.vantage = derive_vantage(scenario, truth.topo);
   sim::PropagationOptions options = scenario.propagation;
   options.threads = threads;
   artifact.sim =
       sim::run_simulation(truth.topo.graph, truth.gen.policies,
-                          truth.originations, artifact.vantage, options);
+                          truth.originations, artifact.vantage, options,
+                          executor);
   return artifact;
 }
 
 Observations observe(const Scenario& scenario, const GroundTruth& truth,
-                     const SimArtifact& sim, std::size_t threads) {
+                     const SimArtifact& sim, std::size_t threads,
+                     const util::Executor* executor) {
   Observations obs;
   obs.lg_order = sorted_looking_glass(sim.sim);
 
   rpsl::IrrGenParams irr_params = scenario.irr_params;
   irr_params.threads = threads;
   obs.irr_text =
-      rpsl::generate_irr(truth.topo, truth.gen.policies, irr_params);
-  obs.irr_objects = rpsl::parse_aut_nums(obs.irr_text);
+      rpsl::generate_irr(truth.topo, truth.gen.policies, irr_params, executor);
+  obs.irr_objects = rpsl::parse_aut_nums(obs.irr_text, threads, executor);
 
   // Observed path multiset (RouteViews + LGs; a looking glass sees paths
   // without the vantage itself, so its AS is prepended to match the
@@ -93,7 +194,7 @@ Observations observe(const Scenario& scenario, const GroundTruth& truth,
   for (const AsNumber as : obs.lg_order) {
     obs.observed_paths.add_table_paths(sim.sim.looking_glass.at(as), as);
   }
-  obs.paths.add_tables(inference_table_sources(sim.sim), threads);
+  obs.paths.add_tables(inference_table_sources(sim.sim), threads, executor);
   return obs;
 }
 
@@ -105,9 +206,10 @@ const rpsl::AutNum* Observations::irr_for(AsNumber as) const {
 }
 
 InferenceProducts infer_relationships(const Observations& observations,
-                                      const asrel::GaoParams& params) {
+                                      const asrel::GaoParams& params,
+                                      const util::Executor* executor) {
   InferenceProducts products;
-  products.inferred = observations.observed_paths.infer(params);
+  products.inferred = observations.observed_paths.infer(params, executor);
   products.inferred_graph = products.inferred.to_graph();
   products.tiers = asrel::classify_tiers(products.inferred);
   return products;
@@ -136,6 +238,52 @@ Experiment::Experiment(Scenario scenario, RunOptions options)
   if (options_.threads) scenario_.propagation.threads = *options_.threads;
 }
 
+const util::Executor& Experiment::executor() {
+  if (!executor_) {
+    executor_ = std::make_unique<util::Executor>(threads());
+  }
+  return *executor_;
+}
+
+std::string Experiment::stage_key_material(
+    Stage stage, const asrel::GaoParams& gao) const {
+  std::string key = kKeyPrefix;
+  key += to_string(stage);
+  key += '|';
+  switch (stage) {
+    case Stage::kSynthesize:
+      key += scenario_cache_key(scenario_);
+      break;
+    case Stage::kSimulate:
+      key += scenario_cache_key(scenario_);
+      key += '|';
+      key += stage_digest(Stage::kSynthesize);
+      break;
+    case Stage::kObserve:
+      key += scenario_cache_key(scenario_);
+      key += '|';
+      key += stage_digest(Stage::kSynthesize);
+      key += '|';
+      key += stage_digest(Stage::kSimulate);
+      break;
+    case Stage::kInfer:
+      key += stage_digest(Stage::kObserve);
+      key += '|';
+      key += gao_params_key(gao);
+      break;
+    case Stage::kAnalyze:
+      key += stage_digest(Stage::kSimulate);
+      key += '|';
+      key += stage_digest(Stage::kObserve);
+      key += '|';
+      key += stage_digest(Stage::kInfer);
+      key += '|';
+      vantage_field(key, options_.analysis_vantages);
+      break;
+  }
+  return key;
+}
+
 void Experiment::run(Stage until) {
   if (until >= Stage::kSynthesize) truth();
   if (until >= Stage::kSimulate) sim();
@@ -146,43 +294,92 @@ void Experiment::run(Stage until) {
 
 const GroundTruth& Experiment::truth() {
   if (!truth_) {
-    truth_ = synthesize(scenario_);
-    ++counters_.synthesize;
+    bool loaded = false;
+    truth_ = stage_artifact<GroundTruth>(
+        options_.store, stage_key_material(Stage::kSynthesize, {}),
+        digest_slot(Stage::kSynthesize), loaded,
+        [](std::span<const std::uint8_t> bytes) {
+          return io::decode_ground_truth(bytes);
+        },
+        [&] { return synthesize(scenario_); });
+    ++(loaded ? loads_ : counters_).synthesize;
   }
   return *truth_;
 }
 
 const SimArtifact& Experiment::sim() {
   if (!sim_) {
-    sim_ = simulate(scenario_, truth(), threads());
-    ++counters_.simulate;
+    truth();  // materialize upstream (and its digest) first
+    bool loaded = false;
+    sim_ = stage_artifact<SimArtifact>(
+        options_.store, stage_key_material(Stage::kSimulate, {}),
+        digest_slot(Stage::kSimulate), loaded,
+        [](std::span<const std::uint8_t> bytes) {
+          return io::decode_sim_artifact(bytes);
+        },
+        [&] { return simulate(scenario_, *truth_, threads(), &executor()); });
+    ++(loaded ? loads_ : counters_).simulate;
   }
   return *sim_;
 }
 
 const Observations& Experiment::observations() {
   if (!observations_) {
-    observations_ = observe(scenario_, truth(), sim(), threads());
-    ++counters_.observe;
+    sim();
+    bool loaded = false;
+    observations_ = stage_artifact<Observations>(
+        options_.store, stage_key_material(Stage::kObserve, {}),
+        digest_slot(Stage::kObserve), loaded,
+        [](std::span<const std::uint8_t> bytes) {
+          return io::decode_observations(bytes);
+        },
+        [&] {
+          return observe(scenario_, *truth_, *sim_, threads(), &executor());
+        });
+    ++(loaded ? loads_ : counters_).observe;
   }
   return *observations_;
 }
 
 const InferenceProducts& Experiment::inference() {
   if (!inference_) {
-    inference_ = infer_relationships(observations(), effective_gao_params());
-    ++counters_.infer;
+    observations();
+    const asrel::GaoParams params = effective_gao_params();
+    bool loaded = false;
+    inference_ = stage_artifact<InferenceProducts>(
+        options_.store, stage_key_material(Stage::kInfer, params),
+        digest_slot(Stage::kInfer), loaded,
+        [](std::span<const std::uint8_t> bytes) {
+          return io::decode_inference(bytes);
+        },
+        [&] { return infer_relationships(*observations_, params, &executor()); });
+    ++(loaded ? loads_ : counters_).infer;
   }
   return *inference_;
 }
 
 const AnalysisSuite& Experiment::analyses() {
   if (!analyses_) {
-    inference();  // ensure the view's inputs exist
-    std::vector<AsNumber> vantages = options_.analysis_vantages;
-    if (vantages.empty()) vantages = recorded_vantages(sim_->sim);
-    analyses_ = run_analysis_suite(view(), vantages, threads());
-    ++counters_.analyze;
+    // Ensure the view's inputs exist.  sim() is requested explicitly:
+    // after set_observations, inference() is satisfied by the injected
+    // artifact alone and would leave the Simulate stage (whose tables
+    // Analyze reads) unmaterialized.
+    sim();
+    inference();
+    bool loaded = false;
+    analyses_ = stage_artifact<AnalysisSuite>(
+        options_.store,
+        stage_key_material(Stage::kAnalyze, effective_gao_params()),
+        digest_slot(Stage::kAnalyze), loaded,
+        [](std::span<const std::uint8_t> bytes) {
+          return io::decode_analysis_suite(bytes);
+        },
+        [&] {
+          std::vector<AsNumber> vantages = options_.analysis_vantages;
+          if (vantages.empty()) vantages = recorded_vantages(sim_->sim);
+          return run_analysis_suite(view(), vantages, threads(), &executor());
+        });
+    ++(loaded ? loads_ : counters_).analyze;
   }
   return *analyses_;
 }
@@ -219,9 +416,17 @@ const AnalysisSuite& Experiment::analyses() const {
 const InferenceProducts& Experiment::rerun_infer(
     const asrel::GaoParams& params) {
   observations();  // cached upstream is reused, never re-run
-  inference_ = infer_relationships(*observations_, params);
-  ++counters_.infer;
+  bool loaded = false;
+  inference_ = stage_artifact<InferenceProducts>(
+      options_.store, stage_key_material(Stage::kInfer, params),
+      digest_slot(Stage::kInfer), loaded,
+      [](std::span<const std::uint8_t> bytes) {
+        return io::decode_inference(bytes);
+      },
+      [&] { return infer_relationships(*observations_, params, &executor()); });
+  ++(loaded ? loads_ : counters_).infer;
   analyses_.reset();
+  digest_slot(Stage::kAnalyze).clear();
   return *inference_;
 }
 
@@ -229,24 +434,41 @@ void Experiment::set_observations(Observations observations) {
   observations_ = std::move(observations);
   inference_.reset();
   analyses_.reset();
+  digest_slot(Stage::kInfer).clear();
+  digest_slot(Stage::kAnalyze).clear();
+  // An externally supplied artifact is not this scenario's Observe product
+  // — never store it under the scenario-derived observe key.  Digest it so
+  // downstream Infer/Analyze keys still chain correctly (and distinctly).
+  if (options_.store != nullptr) {
+    const std::vector<std::uint8_t> bytes = io::encode(*observations_);
+    digest_slot(Stage::kObserve) =
+        stable_digest_hex(std::span<const std::uint8_t>(bytes));
+  } else {
+    digest_slot(Stage::kObserve).clear();
+  }
 }
 
 void Experiment::invalidate(Stage from) {
   switch (from) {
     case Stage::kSynthesize:
       truth_.reset();
+      digest_slot(Stage::kSynthesize).clear();
       [[fallthrough]];
     case Stage::kSimulate:
       sim_.reset();
+      digest_slot(Stage::kSimulate).clear();
       [[fallthrough]];
     case Stage::kObserve:
       observations_.reset();
+      digest_slot(Stage::kObserve).clear();
       [[fallthrough]];
     case Stage::kInfer:
       inference_.reset();
+      digest_slot(Stage::kInfer).clear();
       [[fallthrough]];
     case Stage::kAnalyze:
       analyses_.reset();
+      digest_slot(Stage::kAnalyze).clear();
   }
 }
 
@@ -258,7 +480,8 @@ asrel::GaoParams Experiment::effective_gao_params() const {
 }
 
 ExperimentView Experiment::view() {
-  inference();  // materializes sim/observations too
+  sim();  // not implied by inference() when observations were injected
+  inference();
   return make_view(*sim_, *observations_, *inference_);
 }
 
@@ -302,37 +525,6 @@ Pipeline Experiment::into_pipeline() && {
 }
 
 // ------------------------------------------------------------------ sweep --
-
-namespace {
-
-/// Appends one key=value field; doubles are emitted as exact bit patterns
-/// so near-equal parameters never alias to one cache entry.
-void field(std::string& key, const char* name, double value) {
-  key += name;
-  key += '=';
-  key += std::to_string(std::bit_cast<std::uint64_t>(value));
-  key += ';';
-}
-
-void field(std::string& key, const char* name, std::uint64_t value) {
-  key += name;
-  key += '=';
-  key += std::to_string(value);
-  key += ';';
-}
-
-void field(std::string& key, const char* name,
-           const std::vector<std::uint32_t>& values) {
-  key += name;
-  key += '=';
-  for (const std::uint32_t v : values) {
-    key += std::to_string(v);
-    key += ',';
-  }
-  key += ';';
-}
-
-}  // namespace
 
 std::string scenario_cache_key(const Scenario& scenario) {
   // Every parameter below feeds the Synthesize/Simulate/Observe artifacts;
@@ -410,10 +602,15 @@ std::string scenario_cache_key(const Scenario& scenario) {
   return key;
 }
 
-SweepReport sweep(std::span<const SweepVariant> variants,
-                  std::size_t threads) {
+SweepReport sweep(std::span<const SweepVariant> variants, std::size_t threads,
+                  ArtifactStore* store) {
   SweepReport report;
   if (variants.empty()) return report;
+
+  // One long-lived executor drives both sweep phases (and nothing else:
+  // variant-internal stages run sequentially on whichever worker owns
+  // them, so the shared pool is never entered reentrantly).
+  const util::Executor executor(threads);
 
   // 1. Distinct upstream scenarios, in first-appearance order.
   std::vector<std::size_t> group_of_variant(variants.size());
@@ -434,15 +631,18 @@ SweepReport sweep(std::span<const SweepVariant> variants,
 
   // 2. Upstream artifacts: one Experiment per distinct scenario, built
   //    once and shared by every variant in the group.  Sharded across the
-  //    pool; stage-internal threading is forced to 1 (the sweep worker is
-  //    the unit of parallelism), which never changes artifact bytes.
+  //    executor; stage-internal threading is forced to 1 (the sweep worker
+  //    is the unit of parallelism), which never changes artifact bytes.
+  //    With a store, each upstream experiment probes it stage by stage —
+  //    the cross-process half of sweep resume.
   report.upstream.resize(keys.size());
   util::shard_and_merge(
-      threads, keys.size(),
+      executor, keys.size(),
       [&](std::size_t group) {
         RunOptions options;
         options.threads = 1;
         options.until = Stage::kObserve;
+        options.store = store;
         auto experiment = std::make_unique<Experiment>(
             variants[representative[group]].scenario, options);
         experiment->run();
@@ -454,13 +654,19 @@ SweepReport sweep(std::span<const SweepVariant> variants,
         report.counters.synthesize += c.synthesize;
         report.counters.simulate += c.simulate;
         report.counters.observe += c.observe;
+        const StageCounters& l = report.upstream[group]->loads();
+        report.loads.synthesize += l.synthesize;
+        report.loads.simulate += l.simulate;
+        report.loads.observe += l.observe;
       });
 
   // 3. Per-variant Infer + Analyze against the shared (now immutable)
   //    upstream artifacts, sharded over variants, merged in request order.
+  //    With a store, a variant whose artifacts are both present loads them
+  //    instead of computing — the per-variant half of sweep resume.
   report.runs.reserve(variants.size());
   util::shard_and_merge(
-      threads, variants.size(),
+      executor, variants.size(),
       [&](std::size_t i) {
         const SweepVariant& variant = variants[i];
         const Experiment& up = *report.upstream[group_of_variant[i]];
@@ -471,18 +677,70 @@ SweepReport sweep(std::span<const SweepVariant> variants,
         asrel::GaoParams gao =
             variant.options.gao.value_or(asrel::GaoParams{});
         gao.threads = 1;  // see SweepVariant: the sweep worker parallelizes
-        run.inference = infer_relationships(up.observations(), gao);
-        const ExperimentView view =
-            make_view(up.sim(), up.observations(), run.inference);
-        std::vector<AsNumber> vantages = variant.options.analysis_vantages;
-        if (vantages.empty()) vantages = recorded_vantages(up.sim().sim);
-        run.analyses = run_analysis_suite(view, vantages, 1);
+
+        if (store != nullptr) {
+          // Variant artifact keys chain on the upstream artifact digests
+          // (stage parameters included, thread knobs excluded) — the same
+          // per-stage granularity as Experiment's keys: inference depends
+          // only on the observations and the Gao knobs, so variants
+          // differing in vantages (and the Analyze entry) reuse it.
+          std::string infer_key = kKeyPrefix;
+          infer_key += "sweep-variant|";
+          infer_key += up.stage_digest(Stage::kObserve);
+          infer_key += '|';
+          infer_key += gao_params_key(gao);
+          std::string analyze_key = infer_key;
+          analyze_key += '|';
+          analyze_key += up.stage_digest(Stage::kSimulate);
+          analyze_key += '|';
+          vantage_field(analyze_key, variant.options.analysis_vantages);
+          run.store_infer_key = infer_key + "|infer";
+          run.store_analyze_key = analyze_key + "|analyze";
+
+          // Each artifact probes independently: a variant whose Analyze
+          // entry was lost recomputes only Analyze.
+          if (const auto bytes = store->load(run.store_infer_key)) {
+            try {
+              run.inference = io::decode_inference(
+                  std::span<const std::uint8_t>(*bytes));
+              run.inference_loaded = true;
+            } catch (const std::invalid_argument&) {
+              run.inference = InferenceProducts{};
+            }
+          }
+          if (const auto bytes = store->load(run.store_analyze_key)) {
+            try {
+              run.analyses = io::decode_analysis_suite(
+                  std::span<const std::uint8_t>(*bytes));
+              run.analyses_loaded = true;
+            } catch (const std::invalid_argument&) {
+              run.analyses = AnalysisSuite{};
+            }
+          }
+        }
+
+        if (!run.inference_loaded) {
+          run.inference = infer_relationships(up.observations(), gao);
+          if (store != nullptr) {
+            store->put(run.store_infer_key, io::encode(run.inference));
+          }
+        }
+        if (!run.analyses_loaded) {
+          const ExperimentView view =
+              make_view(up.sim(), up.observations(), run.inference);
+          std::vector<AsNumber> vantages = variant.options.analysis_vantages;
+          if (vantages.empty()) vantages = recorded_vantages(up.sim().sim);
+          run.analyses = run_analysis_suite(view, vantages, 1);
+          if (store != nullptr) {
+            store->put(run.store_analyze_key, io::encode(run.analyses));
+          }
+        }
         return run;
       },
       [&](std::size_t, SweepRun& run) {
+        ++(run.inference_loaded ? report.loads : report.counters).infer;
+        ++(run.analyses_loaded ? report.loads : report.counters).analyze;
         report.runs.push_back(std::move(run));
-        ++report.counters.infer;
-        ++report.counters.analyze;
       });
   return report;
 }

@@ -22,6 +22,7 @@
 // the stages and moves their artifacts into the flat `Pipeline` struct.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <memory>
 #include <optional>
@@ -31,8 +32,11 @@
 
 #include "core/analysis_suite.h"
 #include "core/pipeline.h"
+#include "util/parallel.h"
 
 namespace bgpolicy::core {
+
+class ArtifactStore;  // core/artifact_store.h
 
 // ---------------------------------------------------------------- stages --
 
@@ -59,6 +63,15 @@ struct RunOptions {
   std::vector<AsNumber> analysis_vantages;
   /// Last stage Experiment::run() executes.
   Stage until = Stage::kAnalyze;
+  /// On-disk artifact cache (core/artifact_store.h), non-owning; must
+  /// outlive the experiment.  When set, every stage probes the store
+  /// before computing (a hit bumps loads(), not counters()) and persists
+  /// its artifact after computing.  Keys chain scenario_cache_key, the
+  /// upstream artifact digests, and stage parameters — never worker-thread
+  /// knobs, preserving the byte-identical-at-any-thread-count contract —
+  /// so a second process over the same store resumes instead of re-running
+  /// (docs/ARCHITECTURE.md "Artifact store").
+  ArtifactStore* store = nullptr;
 };
 
 // -------------------------------------------------------------- artifacts --
@@ -120,15 +133,18 @@ struct InferenceProducts {
 
 [[nodiscard]] SimArtifact simulate(const Scenario& scenario,
                                    const GroundTruth& truth,
-                                   std::size_t threads);
+                                   std::size_t threads,
+                                   const util::Executor* executor = nullptr);
 
 [[nodiscard]] Observations observe(const Scenario& scenario,
                                    const GroundTruth& truth,
                                    const SimArtifact& sim,
-                                   std::size_t threads);
+                                   std::size_t threads,
+                                   const util::Executor* executor = nullptr);
 
 [[nodiscard]] InferenceProducts infer_relationships(
-    const Observations& observations, const asrel::GaoParams& params);
+    const Observations& observations, const asrel::GaoParams& params,
+    const util::Executor* executor = nullptr);
 
 /// Analyze is run_analysis_suite (analysis_suite.h) over a view assembled
 /// from the artifacts:
@@ -191,6 +207,16 @@ class Experiment {
   [[nodiscard]] const Scenario& scenario() const { return scenario_; }
   [[nodiscard]] const RunOptions& options() const { return options_; }
   [[nodiscard]] const StageCounters& counters() const { return counters_; }
+  /// How many times each stage's artifact was loaded from the store
+  /// instead of computed (always zero without a store).  counters() +
+  /// loads() together account for every stage materialization.
+  [[nodiscard]] const StageCounters& loads() const { return loads_; }
+  /// Content digest of a stage's encoded artifact — the value downstream
+  /// cache keys chain on.  Empty when the stage has not materialized with
+  /// a store attached.
+  [[nodiscard]] const std::string& stage_digest(Stage stage) const {
+    return digests_[static_cast<std::size_t>(stage)];
+  }
   /// The effective worker-thread knob every stage runs with.
   [[nodiscard]] std::size_t threads() const {
     return scenario_.propagation.threads;
@@ -210,10 +236,24 @@ class Experiment {
 
  private:
   [[nodiscard]] asrel::GaoParams effective_gao_params() const;
+  /// The experiment's long-lived worker pool, created once (lazily, so a
+  /// fully store-served run never spawns workers) and shared by every
+  /// stage — stage internals no longer spin private pools.
+  [[nodiscard]] const util::Executor& executor();
+  /// Store-key material for a stage (empty store handled by callers); see
+  /// RunOptions::store for the key discipline.
+  [[nodiscard]] std::string stage_key_material(
+      Stage stage, const asrel::GaoParams& gao) const;
+  [[nodiscard]] std::string& digest_slot(Stage stage) {
+    return digests_[static_cast<std::size_t>(stage)];
+  }
 
   Scenario scenario_;
   RunOptions options_;
   StageCounters counters_;
+  StageCounters loads_;
+  std::array<std::string, 5> digests_;
+  std::unique_ptr<util::Executor> executor_;
   std::optional<GroundTruth> truth_;
   std::optional<SimArtifact> sim_;
   std::optional<Observations> observations_;
@@ -245,6 +285,22 @@ struct SweepRun {
   std::size_t scenario_index = 0;
   InferenceProducts inference;
   AnalysisSuite analyses;
+  /// Store keys this run's Infer/Analyze artifacts live under (empty when
+  /// the sweep ran without a store) — the handle for invalidating one
+  /// variant (ArtifactStore::erase) without touching its siblings.  The
+  /// infer key excludes the vantage list, so variants differing only in
+  /// analysis vantages share one InferenceProducts entry.
+  std::string store_infer_key;
+  std::string store_analyze_key;
+  /// Which artifacts were served from the store rather than computed
+  /// (each probes independently: an erased analyze entry recomputes only
+  /// Analyze against the still-cached inference).
+  bool inference_loaded = false;
+  bool analyses_loaded = false;
+  /// A full resume hit: nothing was computed for this variant.
+  [[nodiscard]] bool loaded_from_store() const {
+    return inference_loaded && analyses_loaded;
+  }
 };
 
 struct SweepReport {
@@ -259,6 +315,10 @@ struct SweepReport {
   /// observe count distinct upstream scenarios, infer/analyze count
   /// variants — the artifact-reuse ledger.
   StageCounters counters;
+  /// Stage artifacts served from the store instead of executing (always
+  /// zero without a store): the cross-process resume ledger.  For every
+  /// stage, counters + loads equals what an uncached sweep would execute.
+  StageCounters loads;
   std::size_t distinct_scenarios = 0;
 };
 
@@ -273,7 +333,16 @@ struct SweepReport {
 /// Variant execution is sharded across `threads` workers (0 = hardware
 /// concurrency) with results merged in request order — the report is
 /// byte-identical at any thread count.
+///
+/// With a `store`, the sweep resumes across processes: upstream stages and
+/// per-variant Infer/Analyze artifacts are probed before computing and
+/// persisted after, so a killed sweep re-run against the same store loads
+/// what finished and recomputes only the missing variants — with products
+/// byte-identical to an uninterrupted run (the store never changes bytes,
+/// only who computes them).  `store` is non-owning and must outlive the
+/// call.
 [[nodiscard]] SweepReport sweep(std::span<const SweepVariant> variants,
-                                std::size_t threads = 0);
+                                std::size_t threads = 0,
+                                ArtifactStore* store = nullptr);
 
 }  // namespace bgpolicy::core

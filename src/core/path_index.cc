@@ -38,6 +38,7 @@ void PathIndex::install(Extracted&& entry) {
   for (std::size_t i = 0; i + 1 < entry.path.size(); ++i) {
     adjacency_.insert(pack_pair(entry.path[i], entry.path[i + 1]));
   }
+  entry_prefix_.push_back(entry.prefix);
   paths_.push_back(std::move(entry.path));
 }
 
@@ -59,13 +60,17 @@ void PathIndex::add_table(const bgp::BgpTable& table) {
 }
 
 void PathIndex::add_tables(std::span<const TableSource> tables,
-                           std::size_t threads) {
+                           std::size_t threads,
+                           const util::Executor* executor) {
   // Per-table extraction (prepend + hash + local dedup) is the heavy part
   // and shards cleanly; the merge replays each table's surviving entries in
   // table order through the global dedup, so the result matches the
   // sequential per-table ingest exactly.
+  std::unique_ptr<util::Executor> owned;
+  const util::Executor& exec =
+      util::executor_or(executor, threads, tables.size(), owned);
   util::shard_and_merge(
-      threads, tables.size(),
+      exec, tables.size(),
       [&](std::size_t t) {
         const TableSource& source = tables[t];
         std::vector<Extracted> out;

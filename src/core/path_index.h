@@ -23,6 +23,7 @@
 
 #include "bgp/table.h"
 #include "util/ids.h"
+#include "util/parallel.h"
 
 namespace bgpolicy::core {
 
@@ -46,10 +47,22 @@ class PathIndex {
   /// Ingests many tables with per-table extraction sharded across
   /// `threads` workers (0 = hardware concurrency, 1 = sequential seed
   /// behavior) and a stable table-order merge — index contents are
-  /// identical at any thread count.
-  void add_tables(std::span<const TableSource> tables, std::size_t threads);
+  /// identical at any thread count.  When `executor` is given it supplies
+  /// the shared pool and `threads` is ignored.
+  void add_tables(std::span<const TableSource> tables, std::size_t threads,
+                  const util::Executor* executor = nullptr);
 
   [[nodiscard]] std::size_t path_count() const { return paths_.size(); }
+
+  /// The i-th indexed observation, in insertion order — the serialization
+  /// hook for io/artifact_codec: re-feeding every (prefix, path) entry
+  /// through add_path in order reconstructs an identical index.
+  [[nodiscard]] const bgp::Prefix& prefix_at(std::size_t i) const {
+    return entry_prefix_[i];
+  }
+  [[nodiscard]] std::span<const util::AsNumber> path_at(std::size_t i) const {
+    return paths_[i];
+  }
 
   /// Distinct ordered AS adjacencies across all indexed paths.
   [[nodiscard]] std::size_t adjacency_count() const {
@@ -81,6 +94,8 @@ class PathIndex {
   void install(Extracted&& entry);
 
   std::vector<std::vector<util::AsNumber>> paths_;
+  /// Prefix of each indexed observation, parallel to paths_ (prefix_at).
+  std::vector<bgp::Prefix> entry_prefix_;
   std::unordered_map<util::AsNumber, std::vector<std::size_t>> by_origin_;
   std::unordered_map<bgp::Prefix, std::vector<std::size_t>> by_prefix_;
   std::unordered_set<std::uint64_t> adjacency_;

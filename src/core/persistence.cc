@@ -33,10 +33,24 @@ PersistenceStudy run_persistence_study(sim::ChurnSimulator& churn,
                                        AsNumber provider,
                                        const topo::AsGraph& annotated,
                                        const RelationshipOracle& rels,
-                                       std::size_t steps,
-                                       std::size_t threads) {
+                                       std::size_t steps, std::size_t threads,
+                                       const util::Executor* executor) {
   PersistenceStudy out;
   out.provider = provider;
+
+  // One executor for the whole study: churn re-propagation below and the
+  // sharded snapshot analysis reuse the same workers.  The simulator only
+  // borrows it — unhook before returning (on every path), since `exec` may
+  // be the function-local one-shot.
+  std::unique_ptr<util::Executor> owned;
+  const util::Executor& exec =
+      util::executor_or(executor, threads, std::max<std::size_t>(steps, 1),
+                        owned);
+  churn.set_executor(&exec);
+  struct ExecutorLease {
+    sim::ChurnSimulator& churn;
+    ~ExecutorLease() { churn.set_executor(nullptr); }
+  } lease{churn};
 
   // Phase 1 (sequential): drive the churn simulator and record the compact
   // observation list per step.  Stepping mutates the simulator, so this
@@ -80,7 +94,7 @@ PersistenceStudy run_persistence_study(sim::ChurnSimulator& churn,
   std::unordered_map<bgp::Prefix, PrefixHistory> history;
   out.series.reserve(recorded.size());
   util::shard_and_merge(
-      threads, recorded.size(),
+      exec, recorded.size(),
       [&](std::size_t step) {
         SnapshotAnalysis analysis;
         analysis.snap.step = step;

@@ -50,11 +50,15 @@ struct PersistenceStudy {
 /// (run_initial is called here; pass a freshly constructed simulator).
 /// `threads` shards the per-snapshot SA analysis over collected snapshots
 /// (0 = hardware concurrency, 1 = sequential); churn stepping itself stays
-/// sequential, and the study is identical at any thread count.
+/// sequential, and the study is identical at any thread count.  One
+/// executor — the caller's, or a single one created here from `threads` —
+/// is shared between churn re-propagation and the snapshot analyses
+/// (churn.set_executor), so the study never spins nested pools.
 [[nodiscard]] PersistenceStudy run_persistence_study(
     sim::ChurnSimulator& churn, AsNumber provider,
     const topo::AsGraph& annotated, const RelationshipOracle& rels,
-    std::size_t steps, std::size_t threads = 1);
+    std::size_t steps, std::size_t threads = 1,
+    const util::Executor* executor = nullptr);
 
 /// Stable textual serialization of every counter in the study, in step /
 /// uptime order — the byte-comparison hook for the persistence-sharding

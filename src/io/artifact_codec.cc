@@ -1,0 +1,1046 @@
+#include "io/artifact_codec.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "core/artifact_store.h"
+#include "io/binary_table.h"
+
+namespace bgpolicy::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'G', 'P', 'A'};
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(&out) {}
+
+  template <typename T>
+  void put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::uint8_t raw[sizeof(T)];
+    std::memcpy(raw, &value, sizeof(T));
+    out_->insert(out_->end(), raw, raw + sizeof(T));
+  }
+
+  void put_string(std::string_view text) {
+    put(static_cast<std::uint64_t>(text.size()));
+    out_->insert(out_->end(),
+                 reinterpret_cast<const std::uint8_t*>(text.data()),
+                 reinterpret_cast<const std::uint8_t*>(text.data()) +
+                     text.size());
+  }
+
+  void put_blob(std::span<const std::uint8_t> bytes) {
+    put(static_cast<std::uint64_t>(bytes.size()));
+    out_->insert(out_->end(), bytes.begin(), bytes.end());
+  }
+
+ private:
+  std::vector<std::uint8_t>* out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > bytes_.size()) {
+      throw std::invalid_argument("artifact: truncated input");
+    }
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  /// A length prefix that still has to fit in the remaining input — the
+  /// untrusted-count guard every container read goes through.
+  [[nodiscard]] std::size_t get_count(std::size_t min_element_bytes = 1) {
+    const std::uint64_t count = get<std::uint64_t>();
+    if (count > (bytes_.size() - pos_) / std::max<std::size_t>(
+                                             1, min_element_bytes)) {
+      throw std::invalid_argument("artifact: implausible element count");
+    }
+    return static_cast<std::size_t>(count);
+  }
+
+  std::string get_string() {
+    const std::size_t size = get_count();
+    std::string text(reinterpret_cast<const char*>(bytes_.data() + pos_),
+                     size);
+    pos_ += size;
+    return text;
+  }
+
+  std::span<const std::uint8_t> get_blob() {
+    const std::size_t size = get_count();
+    const std::span<const std::uint8_t> blob = bytes_.subspan(pos_, size);
+    pos_ += size;
+    return blob;
+  }
+
+  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------ primitives --
+
+void put_as(Writer& w, util::AsNumber as) { w.put(as.value()); }
+util::AsNumber get_as(Reader& r) {
+  return util::AsNumber(r.get<std::uint32_t>());
+}
+
+void put_as_vector(Writer& w, std::span<const util::AsNumber> ases) {
+  w.put(static_cast<std::uint64_t>(ases.size()));
+  for (const auto as : ases) put_as(w, as);
+}
+std::vector<util::AsNumber> get_as_vector(Reader& r) {
+  const std::size_t count = r.get_count(sizeof(std::uint32_t));
+  std::vector<util::AsNumber> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(get_as(r));
+  return out;
+}
+
+void put_prefix(Writer& w, const bgp::Prefix& prefix) {
+  w.put(prefix.network());
+  w.put(prefix.length());
+}
+bgp::Prefix get_prefix(Reader& r) {
+  const std::uint32_t network = r.get<std::uint32_t>();
+  const std::uint8_t length = r.get<std::uint8_t>();
+  if (length > 32) throw std::invalid_argument("artifact: bad prefix length");
+  return bgp::Prefix(network, length);
+}
+
+void put_rel(Writer& w, topo::RelKind kind) {
+  w.put(static_cast<std::uint8_t>(kind));
+}
+topo::RelKind get_rel(Reader& r) {
+  const std::uint8_t raw = r.get<std::uint8_t>();
+  if (raw > 2) throw std::invalid_argument("artifact: bad relationship kind");
+  return static_cast<topo::RelKind>(raw);
+}
+
+void put_table(Writer& w, const bgp::BgpTable& table) {
+  w.put_blob(serialize_table(table));
+}
+bgp::BgpTable get_table(Reader& r) {
+  // deserialize_table rejects its own corruption (magic, bounds, trailing
+  // bytes) with the same invalid_argument contract.
+  return deserialize_table(r.get_blob());
+}
+
+/// Key-sorted view over an unordered_map's entries (no copies): encoding
+/// must be a pure function of content, not of hash-table iteration order.
+template <typename Map>
+std::vector<const typename Map::value_type*> sorted_entries(const Map& map) {
+  std::vector<const typename Map::value_type*> entries;
+  entries.reserve(map.size());
+  for (const auto& entry : map) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(), [](const auto* a, const auto* b) {
+    return a->first < b->first;
+  });
+  return entries;
+}
+
+// -------------------------------------------------------------- as graph --
+
+void put_graph(Writer& w, const topo::AsGraph& graph) {
+  put_as_vector(w, graph.ases());
+  const auto edges = graph.edges();
+  w.put(static_cast<std::uint64_t>(edges.size()));
+  for (const topo::EdgeRecord& edge : edges) {
+    put_as(w, edge.a);
+    put_as(w, edge.b);
+    put_rel(w, edge.b_is_to_a);
+  }
+}
+
+topo::AsGraph get_graph(Reader& r) {
+  topo::AsGraph graph;
+  for (const auto as : get_as_vector(r)) graph.add_as(as);
+  const std::size_t edges = r.get_count(2 * sizeof(std::uint32_t) + 1);
+  for (std::size_t i = 0; i < edges; ++i) {
+    const util::AsNumber a = get_as(r);
+    const util::AsNumber b = get_as(r);
+    const topo::RelKind kind = get_rel(r);
+    // Replaying the creation-order records reproduces per-node neighbor
+    // ordering exactly (topology/as_graph.h EdgeRecord).
+    switch (kind) {
+      case topo::RelKind::kCustomer: graph.add_provider_customer(a, b); break;
+      case topo::RelKind::kPeer: graph.add_peer_peer(a, b); break;
+      case topo::RelKind::kProvider:
+        throw std::invalid_argument("artifact: bad edge record");
+    }
+  }
+  return graph;
+}
+
+// ----------------------------------------------------------- ground truth --
+
+void put_topology(Writer& w, const topo::Topology& topo) {
+  put_graph(w, topo.graph);
+  const auto tiers = sorted_entries(topo.tier);
+  w.put(static_cast<std::uint64_t>(tiers.size()));
+  for (const auto* entry : tiers) {
+    put_as(w, entry->first);
+    w.put(static_cast<std::uint8_t>(entry->second));
+  }
+  put_as_vector(w, topo.tier1);
+  put_as_vector(w, topo.tier2);
+  put_as_vector(w, topo.tier3);
+  put_as_vector(w, topo.stubs);
+}
+
+topo::Topology get_topology(Reader& r) {
+  topo::Topology topo;
+  topo.graph = get_graph(r);
+  const std::size_t tiers = r.get_count(sizeof(std::uint32_t) + 1);
+  for (std::size_t i = 0; i < tiers; ++i) {
+    const util::AsNumber as = get_as(r);
+    const std::uint8_t raw = r.get<std::uint8_t>();
+    if (raw < 1 || raw > 4) throw std::invalid_argument("artifact: bad tier");
+    topo.tier.emplace(as, static_cast<topo::Tier>(raw));
+  }
+  topo.tier1 = get_as_vector(r);
+  topo.tier2 = get_as_vector(r);
+  topo.tier3 = get_as_vector(r);
+  topo.stubs = get_as_vector(r);
+  return topo;
+}
+
+void put_plan(Writer& w, const topo::PrefixPlan& plan) {
+  w.put(static_cast<std::uint64_t>(plan.prefixes.size()));
+  for (const topo::OriginatedPrefix& op : plan.prefixes) {
+    put_prefix(w, op.prefix);
+    put_as(w, op.origin);
+    w.put(static_cast<std::uint8_t>(op.allocated_from.has_value()));
+    if (op.allocated_from) put_as(w, *op.allocated_from);
+  }
+  const auto blocks = sorted_entries(plan.transit_block);
+  w.put(static_cast<std::uint64_t>(blocks.size()));
+  for (const auto* entry : blocks) {
+    put_as(w, entry->first);
+    put_prefix(w, entry->second);
+  }
+}
+
+topo::PrefixPlan get_plan(Reader& r) {
+  topo::PrefixPlan plan;
+  const std::size_t prefixes = r.get_count(sizeof(std::uint32_t) * 2 + 2);
+  plan.prefixes.reserve(prefixes);
+  for (std::size_t i = 0; i < prefixes; ++i) {
+    topo::OriginatedPrefix op;
+    op.prefix = get_prefix(r);
+    op.origin = get_as(r);
+    if (r.get<std::uint8_t>() != 0) op.allocated_from = get_as(r);
+    // by_origin indexes prefixes in appearance order — the same order
+    // allocate_prefixes appends them (prefix_alloc.cc).
+    plan.by_origin[op.origin].push_back(plan.prefixes.size());
+    plan.prefixes.push_back(op);
+  }
+  const std::size_t blocks = r.get_count(sizeof(std::uint32_t) * 2 + 1);
+  for (std::size_t i = 0; i < blocks; ++i) {
+    const util::AsNumber as = get_as(r);
+    plan.transit_block.emplace(as, get_prefix(r));
+  }
+  return plan;
+}
+
+void put_export_rule(Writer& w, const sim::ExportRule& rule) {
+  w.put(static_cast<std::uint8_t>(rule.prefix.has_value()));
+  if (rule.prefix) put_prefix(w, *rule.prefix);
+  w.put(static_cast<std::uint8_t>(rule.origin.has_value()));
+  if (rule.origin) put_as(w, *rule.origin);
+  w.put(static_cast<std::uint8_t>(rule.action));
+  put_as(w, rule.target);
+  w.put(rule.prepend_times);
+}
+
+sim::ExportRule get_export_rule(Reader& r) {
+  sim::ExportRule rule;
+  if (r.get<std::uint8_t>() != 0) rule.prefix = get_prefix(r);
+  if (r.get<std::uint8_t>() != 0) rule.origin = get_as(r);
+  const std::uint8_t action = r.get<std::uint8_t>();
+  if (action > static_cast<std::uint8_t>(sim::ExportAction::kPrepend)) {
+    throw std::invalid_argument("artifact: bad export action");
+  }
+  rule.action = static_cast<sim::ExportAction>(action);
+  rule.target = get_as(r);
+  rule.prepend_times = r.get<std::uint8_t>();
+  return rule;
+}
+
+void put_policy(Writer& w, const sim::AsPolicy& policy) {
+  w.put(policy.import.customer_pref);
+  w.put(policy.import.peer_pref);
+  w.put(policy.import.provider_pref);
+  const auto neighbor_overrides =
+      sorted_entries(policy.import.neighbor_override);
+  w.put(static_cast<std::uint64_t>(neighbor_overrides.size()));
+  for (const auto* entry : neighbor_overrides) {
+    put_as(w, entry->first);
+    w.put(entry->second);
+  }
+  const auto prefix_overrides = sorted_entries(policy.import.prefix_override);
+  w.put(static_cast<std::uint64_t>(prefix_overrides.size()));
+  for (const auto* entry : prefix_overrides) {
+    put_prefix(w, entry->first);
+    w.put(entry->second);
+  }
+
+  const auto per_neighbor = sorted_entries(policy.export_.per_neighbor);
+  w.put(static_cast<std::uint64_t>(per_neighbor.size()));
+  for (const auto* entry : per_neighbor) {
+    put_as(w, entry->first);
+    w.put(static_cast<std::uint64_t>(entry->second.size()));
+    for (const sim::ExportRule& rule : entry->second) put_export_rule(w, rule);
+  }
+  w.put(static_cast<std::uint64_t>(policy.export_.any_neighbor.size()));
+  for (const sim::ExportRule& rule : policy.export_.any_neighbor) {
+    put_export_rule(w, rule);
+  }
+
+  w.put(static_cast<std::uint8_t>(policy.community.enabled));
+  w.put(static_cast<std::uint8_t>(policy.community.published));
+  w.put(policy.community.peer_base);
+  w.put(policy.community.provider_base);
+  w.put(policy.community.customer_base);
+  w.put(policy.community.values_per_class);
+
+  put_as_vector(w, policy.no_export_targets);
+  w.put(static_cast<std::uint64_t>(policy.conditional.size()));
+  for (const sim::ConditionalAdvertisement& cond : policy.conditional) {
+    put_prefix(w, cond.prefix);
+    put_as(w, cond.advertise_to);
+    put_as(w, cond.watch_provider);
+  }
+}
+
+sim::AsPolicy get_policy(Reader& r) {
+  sim::AsPolicy policy;
+  policy.import.customer_pref = r.get<std::uint32_t>();
+  policy.import.peer_pref = r.get<std::uint32_t>();
+  policy.import.provider_pref = r.get<std::uint32_t>();
+  const std::size_t neighbor_overrides = r.get_count(8);
+  for (std::size_t i = 0; i < neighbor_overrides; ++i) {
+    const util::AsNumber as = get_as(r);
+    policy.import.neighbor_override.emplace(as, r.get<std::uint32_t>());
+  }
+  const std::size_t prefix_overrides = r.get_count(9);
+  for (std::size_t i = 0; i < prefix_overrides; ++i) {
+    const bgp::Prefix prefix = get_prefix(r);
+    policy.import.prefix_override.emplace(prefix, r.get<std::uint32_t>());
+  }
+
+  const std::size_t per_neighbor = r.get_count(12);
+  for (std::size_t i = 0; i < per_neighbor; ++i) {
+    const util::AsNumber as = get_as(r);
+    auto& rules = policy.export_.per_neighbor[as];
+    const std::size_t rule_count = r.get_count(8);
+    rules.reserve(rule_count);
+    for (std::size_t j = 0; j < rule_count; ++j) {
+      rules.push_back(get_export_rule(r));
+    }
+  }
+  const std::size_t any_rules = r.get_count(8);
+  policy.export_.any_neighbor.reserve(any_rules);
+  for (std::size_t i = 0; i < any_rules; ++i) {
+    policy.export_.any_neighbor.push_back(get_export_rule(r));
+  }
+
+  policy.community.enabled = r.get<std::uint8_t>() != 0;
+  policy.community.published = r.get<std::uint8_t>() != 0;
+  policy.community.peer_base = r.get<std::uint16_t>();
+  policy.community.provider_base = r.get<std::uint16_t>();
+  policy.community.customer_base = r.get<std::uint16_t>();
+  policy.community.values_per_class = r.get<std::uint16_t>();
+
+  policy.no_export_targets = get_as_vector(r);
+  const std::size_t conditionals = r.get_count(13);
+  policy.conditional.reserve(conditionals);
+  for (std::size_t i = 0; i < conditionals; ++i) {
+    sim::ConditionalAdvertisement cond;
+    cond.prefix = get_prefix(r);
+    cond.advertise_to = get_as(r);
+    cond.watch_provider = get_as(r);
+    policy.conditional.push_back(cond);
+  }
+  return policy;
+}
+
+void put_policy_truth(Writer& w, const sim::GroundTruth& truth) {
+  w.put(static_cast<std::uint64_t>(truth.origin_units.size()));
+  for (const sim::SelectiveUnit& unit : truth.origin_units) {
+    put_as(w, unit.origin);
+    put_prefix(w, unit.prefix);
+    put_as(w, unit.provider);
+    w.put(static_cast<std::uint8_t>(unit.withheld));
+    w.put(static_cast<std::uint8_t>(unit.via_community));
+  }
+  w.put(static_cast<std::uint64_t>(truth.prepend_units.size()));
+  for (const sim::PrependUnit& unit : truth.prepend_units) {
+    put_as(w, unit.origin);
+    put_as(w, unit.provider);
+    w.put(unit.times);
+  }
+  w.put(static_cast<std::uint64_t>(truth.intermediate_units.size()));
+  for (const sim::IntermediateSelective& unit : truth.intermediate_units) {
+    put_as(w, unit.intermediate);
+    put_as(w, unit.customer);
+    put_as(w, unit.provider);
+  }
+  w.put(static_cast<std::uint64_t>(truth.split_specifics.size()));
+  for (const bgp::Prefix& prefix : truth.split_specifics) {
+    put_prefix(w, prefix);
+  }
+  const auto aggregated = sorted_entries(truth.aggregated_by);
+  w.put(static_cast<std::uint64_t>(aggregated.size()));
+  for (const auto* entry : aggregated) {
+    put_prefix(w, entry->first);
+    put_as(w, entry->second);
+  }
+  w.put(static_cast<std::uint64_t>(truth.peer_withholders.size()));
+  for (const auto& [pair, fraction] : truth.peer_withholders) {
+    put_as(w, pair.first);
+    put_as(w, pair.second);
+    w.put(fraction);
+  }
+}
+
+sim::GroundTruth get_policy_truth(Reader& r) {
+  sim::GroundTruth truth;
+  const std::size_t origin_units = r.get_count(15);
+  truth.origin_units.reserve(origin_units);
+  for (std::size_t i = 0; i < origin_units; ++i) {
+    sim::SelectiveUnit unit;
+    unit.origin = get_as(r);
+    unit.prefix = get_prefix(r);
+    unit.provider = get_as(r);
+    unit.withheld = r.get<std::uint8_t>() != 0;
+    unit.via_community = r.get<std::uint8_t>() != 0;
+    truth.origin_units.push_back(unit);
+  }
+  const std::size_t prepend_units = r.get_count(9);
+  truth.prepend_units.reserve(prepend_units);
+  for (std::size_t i = 0; i < prepend_units; ++i) {
+    sim::PrependUnit unit;
+    unit.origin = get_as(r);
+    unit.provider = get_as(r);
+    unit.times = r.get<std::uint8_t>();
+    truth.prepend_units.push_back(unit);
+  }
+  const std::size_t intermediates = r.get_count(12);
+  truth.intermediate_units.reserve(intermediates);
+  for (std::size_t i = 0; i < intermediates; ++i) {
+    sim::IntermediateSelective unit;
+    unit.intermediate = get_as(r);
+    unit.customer = get_as(r);
+    unit.provider = get_as(r);
+    truth.intermediate_units.push_back(unit);
+  }
+  const std::size_t splits = r.get_count(5);
+  truth.split_specifics.reserve(splits);
+  for (std::size_t i = 0; i < splits; ++i) {
+    truth.split_specifics.push_back(get_prefix(r));
+  }
+  const std::size_t aggregated = r.get_count(9);
+  for (std::size_t i = 0; i < aggregated; ++i) {
+    const bgp::Prefix prefix = get_prefix(r);
+    truth.aggregated_by.emplace(prefix, get_as(r));
+  }
+  const std::size_t withholders = r.get_count(16);
+  truth.peer_withholders.reserve(withholders);
+  for (std::size_t i = 0; i < withholders; ++i) {
+    const util::AsNumber peer = get_as(r);
+    const util::AsNumber target = get_as(r);
+    truth.peer_withholders.push_back({{peer, target}, r.get<double>()});
+  }
+  return truth;
+}
+
+void put_ground_truth(Writer& w, const core::GroundTruth& truth) {
+  put_topology(w, truth.topo);
+  put_plan(w, truth.plan);
+
+  const auto policies = sorted_entries(truth.gen.policies.by_as);
+  w.put(static_cast<std::uint64_t>(policies.size()));
+  for (const auto* entry : policies) {
+    put_as(w, entry->first);
+    put_policy(w, entry->second);
+  }
+  w.put(static_cast<std::uint64_t>(truth.gen.split_extras.size()));
+  for (const topo::OriginatedPrefix& op : truth.gen.split_extras) {
+    put_prefix(w, op.prefix);
+    put_as(w, op.origin);
+    w.put(static_cast<std::uint8_t>(op.allocated_from.has_value()));
+    if (op.allocated_from) put_as(w, *op.allocated_from);
+  }
+  put_policy_truth(w, truth.gen.truth);
+
+  w.put(static_cast<std::uint64_t>(truth.originations.size()));
+  for (const sim::Origination& origination : truth.originations) {
+    put_prefix(w, origination.prefix);
+    put_as(w, origination.origin);
+  }
+}
+
+core::GroundTruth get_ground_truth(Reader& r) {
+  core::GroundTruth truth;
+  truth.topo = get_topology(r);
+  truth.plan = get_plan(r);
+
+  const std::size_t policies = r.get_count(4);
+  for (std::size_t i = 0; i < policies; ++i) {
+    const util::AsNumber as = get_as(r);
+    truth.gen.policies.by_as.emplace(as, get_policy(r));
+  }
+  const std::size_t extras = r.get_count(10);
+  truth.gen.split_extras.reserve(extras);
+  for (std::size_t i = 0; i < extras; ++i) {
+    topo::OriginatedPrefix op;
+    op.prefix = get_prefix(r);
+    op.origin = get_as(r);
+    if (r.get<std::uint8_t>() != 0) op.allocated_from = get_as(r);
+    truth.gen.split_extras.push_back(op);
+  }
+  truth.gen.truth = get_policy_truth(r);
+
+  const std::size_t originations = r.get_count(9);
+  truth.originations.reserve(originations);
+  for (std::size_t i = 0; i < originations; ++i) {
+    sim::Origination origination;
+    origination.prefix = get_prefix(r);
+    origination.origin = get_as(r);
+    truth.originations.push_back(origination);
+  }
+  return truth;
+}
+
+// ------------------------------------------------------------ sim artifact --
+
+void put_sim_artifact(Writer& w, const core::SimArtifact& artifact) {
+  put_as(w, artifact.vantage.collector_as);
+  put_as_vector(w, artifact.vantage.collector_peers);
+  put_as_vector(w, artifact.vantage.looking_glass);
+  put_as_vector(w, artifact.vantage.best_only);
+
+  put_table(w, artifact.sim.collector);
+  const auto looking_glass = sorted_entries(artifact.sim.looking_glass);
+  w.put(static_cast<std::uint64_t>(looking_glass.size()));
+  for (const auto* entry : looking_glass) {
+    put_as(w, entry->first);
+    put_table(w, entry->second);
+  }
+  const auto best_only = sorted_entries(artifact.sim.best_only);
+  w.put(static_cast<std::uint64_t>(best_only.size()));
+  for (const auto* entry : best_only) {
+    put_as(w, entry->first);
+    put_table(w, entry->second);
+  }
+  w.put(static_cast<std::uint64_t>(artifact.sim.origination_count));
+  w.put(static_cast<std::uint64_t>(artifact.sim.unconverged_prefixes));
+  w.put(static_cast<std::uint64_t>(artifact.sim.process_events));
+}
+
+core::SimArtifact get_sim_artifact(Reader& r) {
+  core::SimArtifact artifact;
+  artifact.vantage.collector_as = get_as(r);
+  artifact.vantage.collector_peers = get_as_vector(r);
+  artifact.vantage.looking_glass = get_as_vector(r);
+  artifact.vantage.best_only = get_as_vector(r);
+
+  artifact.sim.collector = get_table(r);
+  const std::size_t looking_glass = r.get_count(12);
+  for (std::size_t i = 0; i < looking_glass; ++i) {
+    const util::AsNumber as = get_as(r);
+    artifact.sim.looking_glass.emplace(as, get_table(r));
+  }
+  const std::size_t best_only = r.get_count(12);
+  for (std::size_t i = 0; i < best_only; ++i) {
+    const util::AsNumber as = get_as(r);
+    artifact.sim.best_only.emplace(as, get_table(r));
+  }
+  artifact.sim.origination_count =
+      static_cast<std::size_t>(r.get<std::uint64_t>());
+  artifact.sim.unconverged_prefixes =
+      static_cast<std::size_t>(r.get<std::uint64_t>());
+  artifact.sim.process_events =
+      static_cast<std::size_t>(r.get<std::uint64_t>());
+  return artifact;
+}
+
+// ------------------------------------------------------------ observations --
+
+void put_path(Writer& w, std::span<const util::AsNumber> path) {
+  w.put(static_cast<std::uint16_t>(path.size()));
+  for (const auto as : path) put_as(w, as);
+}
+
+std::vector<util::AsNumber> get_path(Reader& r) {
+  const std::uint16_t length = r.get<std::uint16_t>();
+  std::vector<util::AsNumber> path;
+  path.reserve(length);
+  for (std::uint16_t i = 0; i < length; ++i) path.push_back(get_as(r));
+  return path;
+}
+
+void put_observations(Writer& w, const core::Observations& observations) {
+  put_as_vector(w, observations.lg_order);
+  w.put_string(observations.irr_text);
+
+  w.put(static_cast<std::uint64_t>(observations.irr_objects.size()));
+  for (const rpsl::AutNum& aut_num : observations.irr_objects) {
+    put_as(w, aut_num.as);
+    w.put_string(aut_num.as_name);
+    w.put(static_cast<std::uint64_t>(aut_num.imports.size()));
+    for (const rpsl::ImportLine& line : aut_num.imports) {
+      put_as(w, line.from);
+      w.put(static_cast<std::uint8_t>(line.pref.has_value()));
+      if (line.pref) w.put(*line.pref);
+      w.put_string(line.accept);
+    }
+    w.put(static_cast<std::uint64_t>(aut_num.exports.size()));
+    for (const rpsl::ExportLine& line : aut_num.exports) {
+      put_as(w, line.to);
+      w.put_string(line.announce);
+    }
+    w.put(static_cast<std::uint64_t>(aut_num.community_remarks.size()));
+    for (const rpsl::CommunityRemark& remark : aut_num.community_remarks) {
+      put_rel(w, remark.kind);
+      w.put(remark.value_lo);
+      w.put(remark.value_hi);
+    }
+    w.put(aut_num.changed_date);
+  }
+
+  // The cleaned Gao path multiset in ingest order; add_path replays it into
+  // an identical inference state (gao_inference.h).
+  const auto gao_paths = observations.observed_paths.paths();
+  w.put(static_cast<std::uint64_t>(gao_paths.size()));
+  for (const auto& path : gao_paths) put_path(w, path);
+
+  // The path index's (prefix, path) observations in insertion order;
+  // add_path replays them into an identical index (path_index.h).
+  w.put(static_cast<std::uint64_t>(observations.paths.path_count()));
+  for (std::size_t i = 0; i < observations.paths.path_count(); ++i) {
+    put_prefix(w, observations.paths.prefix_at(i));
+    put_path(w, observations.paths.path_at(i));
+  }
+}
+
+core::Observations get_observations(Reader& r) {
+  core::Observations observations;
+  observations.lg_order = get_as_vector(r);
+  observations.irr_text = r.get_string();
+
+  const std::size_t aut_nums = r.get_count(4);
+  observations.irr_objects.reserve(aut_nums);
+  for (std::size_t i = 0; i < aut_nums; ++i) {
+    rpsl::AutNum aut_num;
+    aut_num.as = get_as(r);
+    aut_num.as_name = r.get_string();
+    const std::size_t imports = r.get_count(13);
+    aut_num.imports.reserve(imports);
+    for (std::size_t j = 0; j < imports; ++j) {
+      rpsl::ImportLine line;
+      line.from = get_as(r);
+      if (r.get<std::uint8_t>() != 0) line.pref = r.get<std::uint32_t>();
+      line.accept = r.get_string();
+      aut_num.imports.push_back(std::move(line));
+    }
+    const std::size_t exports = r.get_count(12);
+    aut_num.exports.reserve(exports);
+    for (std::size_t j = 0; j < exports; ++j) {
+      rpsl::ExportLine line;
+      line.to = get_as(r);
+      line.announce = r.get_string();
+      aut_num.exports.push_back(std::move(line));
+    }
+    const std::size_t remarks = r.get_count(5);
+    aut_num.community_remarks.reserve(remarks);
+    for (std::size_t j = 0; j < remarks; ++j) {
+      rpsl::CommunityRemark remark;
+      remark.kind = get_rel(r);
+      remark.value_lo = r.get<std::uint16_t>();
+      remark.value_hi = r.get<std::uint16_t>();
+      aut_num.community_remarks.push_back(remark);
+    }
+    aut_num.changed_date = r.get<std::uint32_t>();
+    observations.irr_objects.push_back(std::move(aut_num));
+  }
+
+  const std::size_t gao_paths = r.get_count(2);
+  for (std::size_t i = 0; i < gao_paths; ++i) {
+    observations.observed_paths.add_path(get_path(r));
+  }
+  const std::size_t index_entries = r.get_count(7);
+  for (std::size_t i = 0; i < index_entries; ++i) {
+    const bgp::Prefix prefix = get_prefix(r);
+    observations.paths.add_path(prefix, get_path(r));
+  }
+  return observations;
+}
+
+// -------------------------------------------------------------- inference --
+
+void put_inference(Writer& w, const core::InferenceProducts& inference) {
+  struct Edge {
+    util::AsNumber lo;
+    util::AsNumber hi;
+    asrel::EdgeType type;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(inference.inferred.edge_count());
+  inference.inferred.for_each(
+      [&](util::AsNumber lo, util::AsNumber hi, asrel::EdgeType type) {
+        edges.push_back({lo, hi, type});
+      });
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+  });
+  w.put(static_cast<std::uint64_t>(edges.size()));
+  for (const Edge& edge : edges) {
+    put_as(w, edge.lo);
+    put_as(w, edge.hi);
+    w.put(static_cast<std::uint8_t>(edge.type));
+  }
+
+  const auto levels = sorted_entries(inference.tiers.level);
+  w.put(static_cast<std::uint64_t>(levels.size()));
+  for (const auto* entry : levels) {
+    put_as(w, entry->first);
+    w.put(static_cast<std::int32_t>(entry->second));
+  }
+  put_as_vector(w, inference.tiers.tier1);
+}
+
+core::InferenceProducts get_inference(Reader& r) {
+  core::InferenceProducts inference;
+  const std::size_t edges = r.get_count(9);
+  for (std::size_t i = 0; i < edges; ++i) {
+    const util::AsNumber lo = get_as(r);
+    const util::AsNumber hi = get_as(r);
+    const std::uint8_t type = r.get<std::uint8_t>();
+    if (type > static_cast<std::uint8_t>(asrel::EdgeType::kSibling)) {
+      throw std::invalid_argument("artifact: bad edge type");
+    }
+    inference.inferred.set(lo, hi, static_cast<asrel::EdgeType>(type));
+  }
+  // The annotated graph is a pure function of the classification; rebuild
+  // instead of storing a second copy.
+  inference.inferred_graph = inference.inferred.to_graph();
+
+  const std::size_t levels = r.get_count(8);
+  for (std::size_t i = 0; i < levels; ++i) {
+    const util::AsNumber as = get_as(r);
+    inference.tiers.level.emplace(as, r.get<std::int32_t>());
+  }
+  inference.tiers.tier1 = get_as_vector(r);
+  return inference;
+}
+
+// --------------------------------------------------------- analysis suite --
+
+void put_analysis_suite(Writer& w, const core::AnalysisSuite& suite) {
+  w.put(static_cast<std::uint64_t>(suite.vantages.size()));
+  for (const core::VantageAnalysis& v : suite.vantages) {
+    put_as(w, v.vantage);
+    w.put(static_cast<std::uint8_t>(v.looking_glass));
+
+    put_as(w, v.sa.provider);
+    w.put(static_cast<std::uint64_t>(v.sa.customer_prefixes));
+    w.put(static_cast<std::uint64_t>(v.sa.sa_count));
+    w.put(v.sa.percent_sa);
+    w.put(static_cast<std::uint64_t>(v.sa.sa_prefixes.size()));
+    for (const core::SaPrefix& sa : v.sa.sa_prefixes) {
+      put_prefix(w, sa.prefix);
+      put_as(w, sa.origin);
+      put_as(w, sa.next_hop);
+      put_rel(w, sa.next_hop_rel);
+    }
+
+    put_as(w, v.homing.provider);
+    w.put(static_cast<std::uint64_t>(v.homing.multihomed_ases));
+    w.put(static_cast<std::uint64_t>(v.homing.singlehomed_ases));
+    w.put(v.homing.percent_multihomed);
+    w.put(v.homing.percent_singlehomed);
+
+    put_as(w, v.causes.provider);
+    w.put(static_cast<std::uint64_t>(v.causes.sa_total));
+    w.put(static_cast<std::uint64_t>(v.causes.splitting));
+    w.put(static_cast<std::uint64_t>(v.causes.aggregating));
+    w.put(static_cast<std::uint64_t>(v.causes.identified));
+    w.put(static_cast<std::uint64_t>(v.causes.announce_to_direct));
+    w.put(static_cast<std::uint64_t>(v.causes.withheld_from_direct));
+    w.put(v.causes.percent_identified);
+    w.put(v.causes.percent_announce);
+    w.put(v.causes.percent_withheld);
+
+    w.put(static_cast<std::uint8_t>(v.import_typicality.has_value()));
+    if (v.import_typicality) {
+      put_as(w, v.import_typicality->vantage);
+      w.put(static_cast<std::uint64_t>(
+          v.import_typicality->comparable_prefixes));
+      w.put(static_cast<std::uint64_t>(v.import_typicality->typical_prefixes));
+      w.put(v.import_typicality->percent_typical);
+      const auto class_values =
+          sorted_entries(v.import_typicality->class_values);
+      w.put(static_cast<std::uint64_t>(class_values.size()));
+      for (const auto* entry : class_values) {
+        put_rel(w, entry->first);
+        w.put(static_cast<std::uint64_t>(entry->second.size()));
+        for (const std::uint32_t value : entry->second) w.put(value);
+      }
+    }
+
+    w.put(static_cast<std::uint8_t>(v.sa_verification.has_value()));
+    if (v.sa_verification) {
+      put_as(w, v.sa_verification->provider);
+      w.put(static_cast<std::uint64_t>(v.sa_verification->sa_total));
+      w.put(static_cast<std::uint64_t>(v.sa_verification->verified));
+      w.put(v.sa_verification->percent_verified);
+      w.put(static_cast<std::uint64_t>(v.sa_verification->step1_failures));
+      w.put(static_cast<std::uint64_t>(v.sa_verification->step2_failures));
+    }
+  }
+}
+
+core::AnalysisSuite get_analysis_suite(Reader& r) {
+  core::AnalysisSuite suite;
+  const std::size_t vantages = r.get_count(64);
+  suite.vantages.reserve(vantages);
+  for (std::size_t i = 0; i < vantages; ++i) {
+    core::VantageAnalysis v;
+    v.vantage = get_as(r);
+    v.looking_glass = r.get<std::uint8_t>() != 0;
+
+    v.sa.provider = get_as(r);
+    v.sa.customer_prefixes = static_cast<std::size_t>(r.get<std::uint64_t>());
+    v.sa.sa_count = static_cast<std::size_t>(r.get<std::uint64_t>());
+    v.sa.percent_sa = r.get<double>();
+    const std::size_t sa_prefixes = r.get_count(14);
+    v.sa.sa_prefixes.reserve(sa_prefixes);
+    for (std::size_t j = 0; j < sa_prefixes; ++j) {
+      core::SaPrefix sa;
+      sa.prefix = get_prefix(r);
+      sa.origin = get_as(r);
+      sa.next_hop = get_as(r);
+      sa.next_hop_rel = get_rel(r);
+      v.sa.sa_prefixes.push_back(sa);
+    }
+
+    v.homing.provider = get_as(r);
+    v.homing.multihomed_ases = static_cast<std::size_t>(r.get<std::uint64_t>());
+    v.homing.singlehomed_ases =
+        static_cast<std::size_t>(r.get<std::uint64_t>());
+    v.homing.percent_multihomed = r.get<double>();
+    v.homing.percent_singlehomed = r.get<double>();
+
+    v.causes.provider = get_as(r);
+    v.causes.sa_total = static_cast<std::size_t>(r.get<std::uint64_t>());
+    v.causes.splitting = static_cast<std::size_t>(r.get<std::uint64_t>());
+    v.causes.aggregating = static_cast<std::size_t>(r.get<std::uint64_t>());
+    v.causes.identified = static_cast<std::size_t>(r.get<std::uint64_t>());
+    v.causes.announce_to_direct =
+        static_cast<std::size_t>(r.get<std::uint64_t>());
+    v.causes.withheld_from_direct =
+        static_cast<std::size_t>(r.get<std::uint64_t>());
+    v.causes.percent_identified = r.get<double>();
+    v.causes.percent_announce = r.get<double>();
+    v.causes.percent_withheld = r.get<double>();
+
+    if (r.get<std::uint8_t>() != 0) {
+      core::ImportTypicality typicality;
+      typicality.vantage = get_as(r);
+      typicality.comparable_prefixes =
+          static_cast<std::size_t>(r.get<std::uint64_t>());
+      typicality.typical_prefixes =
+          static_cast<std::size_t>(r.get<std::uint64_t>());
+      typicality.percent_typical = r.get<double>();
+      const std::size_t classes = r.get_count(9);
+      for (std::size_t j = 0; j < classes; ++j) {
+        const topo::RelKind kind = get_rel(r);
+        const std::size_t count = r.get_count(4);
+        std::vector<std::uint32_t> values;
+        values.reserve(count);
+        for (std::size_t k = 0; k < count; ++k) {
+          values.push_back(r.get<std::uint32_t>());
+        }
+        typicality.class_values.emplace(kind, std::move(values));
+      }
+      v.import_typicality = std::move(typicality);
+    }
+
+    if (r.get<std::uint8_t>() != 0) {
+      core::SaVerification verification;
+      verification.provider = get_as(r);
+      verification.sa_total = static_cast<std::size_t>(r.get<std::uint64_t>());
+      verification.verified = static_cast<std::size_t>(r.get<std::uint64_t>());
+      verification.percent_verified = r.get<double>();
+      verification.step1_failures =
+          static_cast<std::size_t>(r.get<std::uint64_t>());
+      verification.step2_failures =
+          static_cast<std::size_t>(r.get<std::uint64_t>());
+      v.sa_verification = verification;
+    }
+    suite.vantages.push_back(std::move(v));
+  }
+  return suite;
+}
+
+// ------------------------------------------------------------- framing ----
+
+constexpr std::uint64_t kChecksumSeed = 0xcbf29ce484222325ULL;
+
+std::vector<std::uint8_t> frame(ArtifactKind kind,
+                                std::vector<std::uint8_t>&& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(payload.size() + 24);
+  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  Writer w(out);
+  w.put(kArtifactCodecVersion);
+  w.put(static_cast<std::uint16_t>(kind));
+  w.put(static_cast<std::uint64_t>(payload.size()));
+  w.put(core::fnv1a64(payload, kChecksumSeed));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+/// Validates the header and returns the payload span.
+std::span<const std::uint8_t> unframe(ArtifactKind kind,
+                                      std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  char magic[4];
+  for (char& c : magic) c = static_cast<char>(r.get<std::uint8_t>());
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::invalid_argument("artifact: bad magic");
+  }
+  if (r.get<std::uint16_t>() != kArtifactCodecVersion) {
+    throw std::invalid_argument("artifact: unsupported codec version");
+  }
+  const std::uint16_t stored_kind = r.get<std::uint16_t>();
+  if (stored_kind != static_cast<std::uint16_t>(kind)) {
+    throw std::invalid_argument("artifact: kind mismatch");
+  }
+  const std::uint64_t payload_size = r.get<std::uint64_t>();
+  const std::uint64_t checksum = r.get<std::uint64_t>();
+  constexpr std::size_t kHeaderSize = 4 + 2 + 2 + 8 + 8;
+  if (payload_size != bytes.size() - kHeaderSize) {
+    throw std::invalid_argument("artifact: truncated or oversized payload");
+  }
+  const std::span<const std::uint8_t> payload = bytes.subspan(kHeaderSize);
+  if (core::fnv1a64(payload, kChecksumSeed) != checksum) {
+    throw std::invalid_argument("artifact: checksum mismatch");
+  }
+  return payload;
+}
+
+/// Runs a payload decoder with the trailing-bytes check and translates any
+/// structural failure (bounds, invariant violations inside replayed
+/// builders) into the decoder contract's invalid_argument.
+template <typename Fn>
+auto decode_payload(ArtifactKind kind, std::span<const std::uint8_t> bytes,
+                    Fn&& fn) {
+  try {
+    Reader r(unframe(kind, bytes));
+    auto value = fn(r);
+    if (!r.exhausted()) {
+      throw std::invalid_argument("artifact: trailing bytes");
+    }
+    return value;
+  } catch (const std::invalid_argument&) {
+    throw;
+  } catch (const std::exception& error) {
+    throw std::invalid_argument(std::string("artifact: corrupt payload (") +
+                                error.what() + ")");
+  }
+}
+
+}  // namespace
+
+const char* to_string(ArtifactKind kind) {
+  switch (kind) {
+    case ArtifactKind::kGroundTruth: return "ground_truth";
+    case ArtifactKind::kSimArtifact: return "sim_artifact";
+    case ArtifactKind::kObservations: return "observations";
+    case ArtifactKind::kInferenceProducts: return "inference_products";
+    case ArtifactKind::kAnalysisSuite: return "analysis_suite";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode(const core::GroundTruth& truth) {
+  std::vector<std::uint8_t> payload;
+  Writer w(payload);
+  put_ground_truth(w, truth);
+  return frame(ArtifactKind::kGroundTruth, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode(const core::SimArtifact& sim) {
+  std::vector<std::uint8_t> payload;
+  Writer w(payload);
+  put_sim_artifact(w, sim);
+  return frame(ArtifactKind::kSimArtifact, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode(const core::Observations& observations) {
+  std::vector<std::uint8_t> payload;
+  Writer w(payload);
+  put_observations(w, observations);
+  return frame(ArtifactKind::kObservations, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode(const core::InferenceProducts& inference) {
+  std::vector<std::uint8_t> payload;
+  Writer w(payload);
+  put_inference(w, inference);
+  return frame(ArtifactKind::kInferenceProducts, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode(const core::AnalysisSuite& suite) {
+  std::vector<std::uint8_t> payload;
+  Writer w(payload);
+  put_analysis_suite(w, suite);
+  return frame(ArtifactKind::kAnalysisSuite, std::move(payload));
+}
+
+core::GroundTruth decode_ground_truth(std::span<const std::uint8_t> bytes) {
+  return decode_payload(ArtifactKind::kGroundTruth, bytes,
+                        [](Reader& r) { return get_ground_truth(r); });
+}
+
+core::SimArtifact decode_sim_artifact(std::span<const std::uint8_t> bytes) {
+  return decode_payload(ArtifactKind::kSimArtifact, bytes,
+                        [](Reader& r) { return get_sim_artifact(r); });
+}
+
+core::Observations decode_observations(std::span<const std::uint8_t> bytes) {
+  return decode_payload(ArtifactKind::kObservations, bytes,
+                        [](Reader& r) { return get_observations(r); });
+}
+
+core::InferenceProducts decode_inference(std::span<const std::uint8_t> bytes) {
+  return decode_payload(ArtifactKind::kInferenceProducts, bytes,
+                        [](Reader& r) { return get_inference(r); });
+}
+
+core::AnalysisSuite decode_analysis_suite(
+    std::span<const std::uint8_t> bytes) {
+  return decode_payload(ArtifactKind::kAnalysisSuite, bytes,
+                        [](Reader& r) { return get_analysis_suite(r); });
+}
+
+}  // namespace bgpolicy::io

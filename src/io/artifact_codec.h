@@ -1,0 +1,67 @@
+// Binary (de)serialization for the staged experiment artifacts
+// (core/experiment.h): GroundTruth, SimArtifact, Observations,
+// InferenceProducts, and AnalysisSuite — the on-disk representation behind
+// core::ArtifactStore and cross-process sweep resume.
+//
+// Every encoded artifact starts with a versioned header:
+//
+//   magic "BGPA" | u16 codec version | u16 artifact kind
+//   | u64 payload length | u64 payload FNV-1a checksum | payload...
+//
+// so a decoder can reject truncated files, foreign files, future codec
+// versions, and bit corruption *before* interpreting a single payload
+// byte.  Decoders throw std::invalid_argument on any such defect; the
+// staged cache treats every decode failure as a cache miss and recomputes
+// — a damaged store can cost time, never correctness.
+//
+// Vantage tables reuse the io::serialize_table route encoding
+// (binary_table.h), each embedded as a length-prefixed blob.  Everything
+// keyed by an unordered container is serialized in sorted key order, so
+// encoding is a pure function of artifact *content*: equal artifacts
+// produce equal bytes, which is what lets the staged cache chain on
+// upstream artifact digests (core/artifact_store.h).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/analysis_suite.h"
+#include "core/experiment.h"
+
+namespace bgpolicy::io {
+
+inline constexpr std::uint16_t kArtifactCodecVersion = 1;
+
+enum class ArtifactKind : std::uint16_t {
+  kGroundTruth = 1,
+  kSimArtifact = 2,
+  kObservations = 3,
+  kInferenceProducts = 4,
+  kAnalysisSuite = 5,
+};
+
+[[nodiscard]] const char* to_string(ArtifactKind kind);
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const core::GroundTruth& truth);
+[[nodiscard]] std::vector<std::uint8_t> encode(const core::SimArtifact& sim);
+[[nodiscard]] std::vector<std::uint8_t> encode(
+    const core::Observations& observations);
+[[nodiscard]] std::vector<std::uint8_t> encode(
+    const core::InferenceProducts& inference);
+[[nodiscard]] std::vector<std::uint8_t> encode(const core::AnalysisSuite& suite);
+
+// Decoders throw std::invalid_argument on truncated, corrupted,
+// wrong-kind, or version-mismatched input.
+[[nodiscard]] core::GroundTruth decode_ground_truth(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] core::SimArtifact decode_sim_artifact(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] core::Observations decode_observations(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] core::InferenceProducts decode_inference(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] core::AnalysisSuite decode_analysis_suite(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace bgpolicy::io

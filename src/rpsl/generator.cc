@@ -71,7 +71,8 @@ std::string render_block(const topo::Topology& topo,
 
 std::string generate_irr(const topo::Topology& topo,
                          const sim::PolicySet& policies,
-                         const IrrGenParams& params) {
+                         const IrrGenParams& params,
+                         const util::Executor* executor) {
   // Pass 1 (sequential): replicate the exact RNG draw order of the
   // pre-sharding generator — coverage, staleness, then per-import
   // missing-pref / wrong-pref decisions — into per-AS plans.
@@ -104,8 +105,11 @@ std::string generate_irr(const topo::Topology& topo,
   // Pass 2: render blocks (RNG-free, pure per AS) sharded across workers,
   // concatenated in AS order — byte-identical at any thread count.
   std::string out = "# synthetic IRR database (bgpolicy reproduction)\n\n";
+  std::unique_ptr<util::Executor> owned;
+  const util::Executor& exec =
+      util::executor_or(executor, params.threads, plans.size(), owned);
   util::shard_and_merge(
-      params.threads, plans.size(),
+      exec, plans.size(),
       [&](std::size_t i) {
         return render_block(topo, policies, params, plans[i]);
       },

@@ -11,6 +11,7 @@
 
 #include "sim/policy.h"
 #include "topology/topology_gen.h"
+#include "util/parallel.h"
 
 namespace bgpolicy::rpsl {
 
@@ -39,10 +40,13 @@ struct IrrGenParams {
 
 /// Renders a whois-style flat-file IRR database for the given topology and
 /// ground-truth policies.  RPSL pref is emitted as (1000 - LOCAL_PREF), so
-/// smaller pref = more preferred, matching RPSL semantics.
+/// smaller pref = more preferred, matching RPSL semantics.  When
+/// `executor` is given it supplies the shared rendering pool and
+/// `params.threads` is ignored.
 [[nodiscard]] std::string generate_irr(const topo::Topology& topo,
                                        const sim::PolicySet& policies,
-                                       const IrrGenParams& params = {});
+                                       const IrrGenParams& params = {},
+                                       const util::Executor* executor = nullptr);
 
 /// The pref value the generator writes for a given LOCAL_PREF.
 [[nodiscard]] constexpr std::uint32_t pref_from_local_pref(std::uint32_t lp) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <iterator>
 
 namespace bgpolicy::rpsl {
 
@@ -200,6 +201,73 @@ std::vector<AutNum> parse_aut_nums(std::string_view text) {
   for (const Object& object : parse_database(text)) {
     if (auto aut_num = parse_aut_num(object)) out.push_back(std::move(*aut_num));
   }
+  return out;
+}
+
+namespace {
+
+/// Splits the dump into the blank-line-separated line runs where
+/// parse_database flushes its current object.  Parsing each run on its own
+/// therefore yields exactly the objects the sequential parser would emit
+/// for that stretch of text, in order — the boundary scan is sequential
+/// and cheap, the per-block attribute parsing is the work worth sharding.
+std::vector<std::string_view> split_object_blocks(std::string_view text) {
+  std::vector<std::string_view> blocks;
+  std::optional<std::size_t> block_start;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    std::string_view line = text.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    const bool blank = trim(line).empty();
+    if (blank) {
+      if (block_start) {
+        blocks.push_back(text.substr(*block_start, pos - *block_start));
+        block_start.reset();
+      }
+    } else if (!block_start) {
+      block_start = pos;
+    }
+    pos = eol + 1;
+    if (eol == text.size()) break;
+  }
+  if (block_start) blocks.push_back(text.substr(*block_start));
+  return blocks;
+}
+
+}  // namespace
+
+std::vector<AutNum> parse_aut_nums(std::string_view text, std::size_t threads,
+                                   const util::Executor* executor) {
+  const std::vector<std::string_view> blocks = split_object_blocks(text);
+
+  std::unique_ptr<util::Executor> owned;
+  const util::Executor& exec =
+      util::executor_or(executor, threads, blocks.size(), owned);
+  // Blocks are tiny (one object each); shard contiguous ranges of them so
+  // per-task overhead stays negligible, and concatenate range results in
+  // range order — byte-identical to the sequential parse.
+  const std::vector<util::IndexRange> ranges = util::split_ranges(
+      blocks.size(), std::max<std::size_t>(1, exec.threads() * 4));
+
+  std::vector<AutNum> out;
+  util::shard_and_merge(
+      exec, ranges.size(),
+      [&](std::size_t r) {
+        std::vector<AutNum> local;
+        for (std::size_t i = ranges[r].begin; i < ranges[r].end; ++i) {
+          for (const Object& object : parse_database(blocks[i])) {
+            if (auto aut_num = parse_aut_num(object)) {
+              local.push_back(std::move(*aut_num));
+            }
+          }
+        }
+        return local;
+      },
+      [&](std::size_t, std::vector<AutNum>& local) {
+        out.insert(out.end(), std::make_move_iterator(local.begin()),
+                   std::make_move_iterator(local.end()));
+      });
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "rpsl/rpsl.h"
+#include "util/parallel.h"
 
 namespace bgpolicy::rpsl {
 
@@ -22,8 +23,19 @@ namespace bgpolicy::rpsl {
 /// has no parsable AS number.
 [[nodiscard]] std::optional<AutNum> parse_aut_num(const Object& object);
 
-/// Parses every aut-num in a database dump.
+/// Parses every aut-num in a database dump (sequential).
 [[nodiscard]] std::vector<AutNum> parse_aut_nums(std::string_view text);
+
+/// Parses every aut-num in a database dump with object parsing sharded
+/// across `threads` workers (0 = hardware concurrency, 1 = the exact
+/// sequential program).  The dump is split sequentially at the blank-line
+/// object boundaries where the sequential parser flushes, the blocks are
+/// parsed in parallel, and results are concatenated in text order — output
+/// identical at any thread count.  When `executor` is given it supplies
+/// the shared pool and `threads` is ignored.
+[[nodiscard]] std::vector<AutNum> parse_aut_nums(
+    std::string_view text, std::size_t threads,
+    const util::Executor* executor = nullptr);
 
 /// Parses one import policy value, e.g. "from AS2 action pref = 10; accept
 /// ANY" (the action part is optional).  Exposed for tests.

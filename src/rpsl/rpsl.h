@@ -43,12 +43,14 @@ struct ImportLine {
   AsNumber from;
   std::optional<std::uint32_t> pref;
   std::string accept = "ANY";
+  friend bool operator==(const ImportLine&, const ImportLine&) = default;
 };
 
 /// "export: to AS2 announce AS1"
 struct ExportLine {
   AsNumber to;
   std::string announce;
+  friend bool operator==(const ExportLine&, const ExportLine&) = default;
 };
 
 /// "remarks: rel-community <class> <lo> <hi>" — a published community range
@@ -57,6 +59,8 @@ struct CommunityRemark {
   RelKind kind;
   std::uint16_t value_lo = 0;
   std::uint16_t value_hi = 0;
+  friend bool operator==(const CommunityRemark&, const CommunityRemark&) =
+      default;
 };
 
 struct AutNum {
@@ -67,6 +71,8 @@ struct AutNum {
   std::vector<CommunityRemark> community_remarks;
   /// YYYYMMDD from the last "changed" attribute; 0 when absent.
   std::uint32_t changed_date = 0;
+
+  friend bool operator==(const AutNum&, const AutNum&) = default;
 };
 
 }  // namespace bgpolicy::rpsl

@@ -29,17 +29,22 @@ ChurnSimulator::ChurnSimulator(const topo::AsGraph& graph, PolicySet policies,
 void ChurnSimulator::repropagate(std::span<const bgp::Prefix> prefixes) {
   // util::shard_and_merge computes the fixpoints on the executor and applies
   // watched-table updates sequentially in `prefixes` order — deterministic
-  // for every thread count (propagation.h "Concurrency model").  The pool is
-  // created once and reused across steps.
-  const std::size_t threads =
-      util::resolve_threads(params_.propagation.threads);
-  if (threads > 1 && prefixes.size() > 1 && pool_ == nullptr) {
-    // Sized to the knob, not this call's prefix count: later steps may carry
-    // more prefixes than the call that first triggers creation.
-    pool_ = std::make_unique<util::ThreadPool>(threads);
+  // for every thread count (propagation.h "Concurrency model").  The
+  // executor is either shared by the caller (set_executor) or created once
+  // here and reused across steps.
+  const util::Executor* executor = executor_;
+  if (executor == nullptr) {
+    const std::size_t threads =
+        util::resolve_threads(params_.propagation.threads);
+    if (threads > 1 && prefixes.size() > 1 && owned_executor_ == nullptr) {
+      // Sized to the knob, not this call's prefix count: later steps may
+      // carry more prefixes than the call that first triggers creation.
+      owned_executor_ = std::make_unique<util::Executor>(threads);
+    }
+    executor = owned_executor_.get();
   }
   util::shard_and_merge(
-      pool_.get(), prefixes.size(),
+      executor == nullptr ? nullptr : executor->pool(), prefixes.size(),
       [&](std::size_t i) {
         const auto it = by_prefix_.find(prefixes[i]);
         util::ensure(it != by_prefix_.end(), "churn: unknown prefix");

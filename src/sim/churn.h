@@ -52,6 +52,13 @@ class ChurnSimulator {
   [[nodiscard]] const std::unordered_map<bgp::Prefix, bgp::Route>& watched(
       AsNumber as) const;
 
+  /// Borrows a long-lived executor for re-propagation instead of the
+  /// simulator lazily creating its own (run_persistence_study shares one
+  /// executor between churn stepping and the snapshot analyses).  The
+  /// executor must outlive the simulator; pass nullptr to revert to the
+  /// internal one.  Worker count never changes results (propagation.h).
+  void set_executor(const util::Executor* executor) { executor_ = executor; }
+
   [[nodiscard]] const GroundTruth& truth() const { return truth_; }
   [[nodiscard]] std::size_t origination_count() const {
     return originations_.size();
@@ -76,9 +83,11 @@ class ChurnSimulator {
       watched_;
   util::Rng rng_;
   ChurnParams params_;
-  /// Lazily created on the first multi-prefix repropagation when
-  /// params.propagation.threads resolves above 1; reused across steps.
-  std::unique_ptr<util::ThreadPool> pool_;
+  /// Externally shared executor (set_executor), else lazily created from
+  /// params.propagation.threads on the first multi-prefix repropagation and
+  /// reused across steps.
+  const util::Executor* executor_ = nullptr;
+  std::unique_ptr<util::Executor> owned_executor_;
   bool initialized_ = false;
 };
 

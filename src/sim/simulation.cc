@@ -37,7 +37,8 @@ void record_prefix(const PropagationEngine& engine, const PrefixRouting& state,
 SimResult run_simulation(const topo::AsGraph& graph, const PolicySet& policies,
                          std::span<const Origination> originations,
                          const VantageSpec& spec,
-                         const PropagationOptions& options) {
+                         const PropagationOptions& options,
+                         const util::Executor* executor) {
   PropagationEngine engine(graph, policies);
   SimResult result;
   result.collector = bgp::BgpTable(spec.collector_as);
@@ -59,8 +60,11 @@ SimResult run_simulation(const topo::AsGraph& graph, const PolicySet& policies,
   // slots which the calling thread merges in origination order, so every
   // table and counter is byte-identical to the sequential run (see
   // util::shard_and_merge).
+  std::unique_ptr<util::Executor> owned;
+  const util::Executor& exec =
+      util::executor_or(executor, options.threads, originations.size(), owned);
   util::shard_and_merge(
-      options.threads, originations.size(),
+      exec, originations.size(),
       [&](std::size_t i) {
         return compute_prefix(graph, policies, originations[i], nullptr,
                               options);

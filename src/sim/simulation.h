@@ -20,6 +20,7 @@
 #include "sim/policy.h"
 #include "sim/propagation.h"
 #include "topology/as_graph.h"
+#include "util/parallel.h"
 
 namespace bgpolicy::sim {
 
@@ -45,12 +46,15 @@ struct SimResult {
 /// `options.threads` workers (0 = hardware concurrency, 1 = sequential
 /// seed behavior); per-prefix results are merged on the calling thread in
 /// origination order, so the output — tables and counters — is
-/// byte-identical for every thread count.
+/// byte-identical for every thread count.  When `executor` is given it
+/// supplies the (long-lived, shared) worker pool and `options.threads` is
+/// ignored; otherwise a one-shot pool sized from the knob is used.
 [[nodiscard]] SimResult run_simulation(const topo::AsGraph& graph,
                                        const PolicySet& policies,
                                        std::span<const Origination> originations,
                                        const VantageSpec& spec,
-                                       const PropagationOptions& options = {});
+                                       const PropagationOptions& options = {},
+                                       const util::Executor* executor = nullptr);
 
 /// Records one converged prefix into the vantage tables (exposed for the
 /// churn engine, which re-records single prefixes after policy flips).

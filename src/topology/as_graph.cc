@@ -40,6 +40,7 @@ void AsGraph::add_edge(AsNumber a, AsNumber b, RelKind b_is_to_a) {
   node_a.by_as.emplace(b, b_is_to_a);
   node_b.neighbors.push_back({a, invert(b_is_to_a)});
   node_b.by_as.emplace(a, invert(b_is_to_a));
+  edges_.push_back({a, b, b_is_to_a});
   ++edge_count_;
 }
 

@@ -40,6 +40,20 @@ struct Neighbor {
   friend bool operator==(const Neighbor&, const Neighbor&) = default;
 };
 
+/// One edge in creation order: `b_is_to_a` is kCustomer for a
+/// provider(a)->customer(b) edge and kPeer for a peer-peer edge — exactly
+/// the argument shapes of add_provider_customer(a, b) / add_peer_peer(a, b),
+/// so replaying the records reconstructs a graph with identical per-node
+/// neighbor ordering (which DFS-order-sensitive consumers and the
+/// propagation engine's event order depend on).  The serialization hook for
+/// io/artifact_codec.
+struct EdgeRecord {
+  AsNumber a;
+  AsNumber b;
+  RelKind b_is_to_a;
+  friend bool operator==(const EdgeRecord&, const EdgeRecord&) = default;
+};
+
 class AsGraph {
  public:
   /// Adds an AS; idempotent.
@@ -58,6 +72,9 @@ class AsGraph {
 
   /// All ASes in insertion order.
   [[nodiscard]] std::span<const AsNumber> ases() const { return order_; }
+
+  /// All edges in creation order (see EdgeRecord).
+  [[nodiscard]] std::span<const EdgeRecord> edges() const { return edges_; }
 
   /// Neighbors of `as` with their relationship from `as`'s perspective.
   [[nodiscard]] std::span<const Neighbor> neighbors(AsNumber as) const;
@@ -106,6 +123,7 @@ class AsGraph {
 
   std::unordered_map<AsNumber, Node> nodes_;
   std::vector<AsNumber> order_;
+  std::vector<EdgeRecord> edges_;
   std::size_t edge_count_ = 0;
 };
 

@@ -146,4 +146,15 @@ void parallel_for(std::size_t threads, std::size_t n,
   pool.parallel_for(n, fn, grain);
 }
 
+void parallel_for(const Executor& executor, std::size_t n,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  ThreadPool* pool = executor.pool();
+  if (pool == nullptr || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->parallel_for(n, fn, grain);
+}
+
 }  // namespace bgpolicy::util

@@ -16,12 +16,14 @@
 //   threads >= 2  ->  threads-1 workers plus the calling thread
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -95,6 +97,47 @@ void parallel_for(std::size_t threads, std::size_t n,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t grain = 1);
 
+/// A long-lived execution context for the shared `threads` knob: resolves
+/// the knob once (0 = hardware concurrency) and — when that leaves more
+/// than one thread — owns a ThreadPool that stays alive across every stage
+/// that shards on it.  This is how one `Experiment` (or one `sweep`)
+/// creates its workers exactly once instead of every `shard_and_merge`
+/// call site spinning a private pool.
+///
+/// `threads() == 1` means strictly sequential: `pool()` is nullptr and the
+/// Executor overloads below run inline, byte-for-byte the seed program.
+/// The underlying ThreadPool is not reentrant, so never hand an Executor
+/// to work that itself runs *on* that Executor's pool (sweep therefore
+/// forces variant-internal stages to a sequential Executor).
+class Executor {
+ public:
+  /// Sequential executor: no workers, every loop runs inline.
+  Executor() = default;
+  /// Resolves the shared knob (0 = hardware concurrency) and spawns the
+  /// worker pool once when the result exceeds 1.
+  explicit Executor(std::size_t threads) : threads_(resolve_threads(threads)) {
+    if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+  }
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Total concurrency this executor provides (>= 1).
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+  /// The shared pool, or nullptr when sequential.
+  [[nodiscard]] ThreadPool* pool() const { return pool_.get(); }
+
+ private:
+  std::size_t threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// Runs fn(i) for i in [0, n) on the executor's shared pool (inline when
+/// the executor is sequential or the loop is trivially small).
+void parallel_for(const Executor& executor, std::size_t n,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1);
+
 /// Batched shard-and-merge, the canonical deterministic-parallel pattern of
 /// the simulation stack: computes `compute(index)` into index-addressed
 /// slots (on `pool` when given and the batch has work for more than one
@@ -133,7 +176,7 @@ void shard_and_merge(ThreadPool* pool, std::size_t n, Compute&& compute,
 /// Convenience overload owning a one-shot pool: resolves the `threads` knob
 /// (0 = hardware concurrency), clamps it to the work available, and runs
 /// inline when that leaves a single thread.  Callers that shard repeatedly
-/// should keep their own ThreadPool and use the pointer overload.
+/// should keep a long-lived Executor and use the Executor overload.
 template <typename Compute, typename Merge>
 void shard_and_merge(std::size_t threads, std::size_t n, Compute&& compute,
                      Merge&& merge) {
@@ -145,6 +188,31 @@ void shard_and_merge(std::size_t threads, std::size_t n, Compute&& compute,
   } else {
     shard_and_merge(static_cast<ThreadPool*>(nullptr), n, compute, merge);
   }
+}
+
+/// Shard-and-merge on a long-lived Executor: uses the executor's shared
+/// pool (sequential inline when the executor is sequential or the batch is
+/// single-item — see the pointer overload).  Identical determinism
+/// contract; only pool ownership differs.
+template <typename Compute, typename Merge>
+void shard_and_merge(const Executor& executor, std::size_t n,
+                     Compute&& compute, Merge&& merge) {
+  shard_and_merge(n > 1 ? executor.pool() : nullptr, n, compute, merge);
+}
+
+/// The canonical "optional shared executor" resolution used by every stage
+/// entry point that still exposes a bare `threads` knob: when the caller
+/// supplied a long-lived executor it wins, otherwise `make_owned` is filled
+/// with a one-shot executor sized from `threads` (clamped to the `work`
+/// item count so tiny runs never spawn idle workers) and returned.  Keeps
+/// the compatibility knob and the shared-pool path on one code route.
+inline const Executor& executor_or(const Executor* executor,
+                                   std::size_t threads, std::size_t work,
+                                   std::unique_ptr<Executor>& make_owned) {
+  if (executor != nullptr) return *executor;
+  const std::size_t resolved = std::min(resolve_threads(threads), work);
+  make_owned = std::make_unique<Executor>(resolved > 1 ? resolved : 1);
+  return *make_owned;
 }
 
 }  // namespace bgpolicy::util

@@ -1,0 +1,345 @@
+// The artifact store + resume contract (ISSUE 4): stage artifacts persist
+// across Experiment instances (the cross-process cache, exercised here via
+// fresh in-process experiments over one store), corrupted entries degrade
+// to recomputation with identical products, thread knobs never change
+// cache identity, and a killed-and-restarted sweep recomputes only the
+// missing variants — verified by the stage-run/load ledgers — while
+// producing byte-identical products.
+#include "core/artifact_store.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "asrel/relationships.h"
+#include "asrel/tier_classify.h"
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "io/artifact_codec.h"
+
+namespace bgpolicy::core {
+namespace {
+
+using util::AsNumber;
+
+/// A store rooted in a fresh temp directory, removed on destruction.
+class ScopedStore {
+ public:
+  ScopedStore() {
+    static int counter = 0;
+    root_ = std::filesystem::temp_directory_path() /
+            ("bgpolicy-store-test-" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "-" + std::to_string(counter++));
+    std::filesystem::remove_all(root_);
+    store_ = std::make_unique<ArtifactStore>(root_);
+  }
+  ~ScopedStore() {
+    store_.reset();
+    std::error_code ignored;
+    std::filesystem::remove_all(root_, ignored);
+  }
+
+  ArtifactStore& operator*() { return *store_; }
+  ArtifactStore* operator->() { return store_.get(); }
+  ArtifactStore* get() { return store_.get(); }
+
+ private:
+  std::filesystem::path root_;
+  std::unique_ptr<ArtifactStore> store_;
+};
+
+std::string products_digest(const InferenceProducts& inference,
+                            const AnalysisSuite& analyses) {
+  return asrel::canonical_serialize(inference.inferred) +
+         asrel::canonical_serialize(inference.tiers) +
+         canonical_serialize(analyses);
+}
+
+TEST(ArtifactStore, PutLoadContainsErase) {
+  ScopedStore store;
+  const std::vector<std::uint8_t> bytes = {1, 2, 3, 250, 0, 7};
+
+  EXPECT_FALSE(store->contains("some-key"));
+  EXPECT_FALSE(store->load("some-key").has_value());
+
+  EXPECT_TRUE(store->put("some-key", bytes));
+  EXPECT_TRUE(store->contains("some-key"));
+  EXPECT_EQ(store->load("some-key"), bytes);
+  EXPECT_EQ(store->size(), 1u);
+
+  // Same key, new content: replaced atomically.
+  const std::vector<std::uint8_t> updated = {9, 9};
+  EXPECT_TRUE(store->put("some-key", updated));
+  EXPECT_EQ(store->load("some-key"), updated);
+  EXPECT_EQ(store->size(), 1u);
+
+  EXPECT_TRUE(store->erase("some-key"));
+  EXPECT_FALSE(store->contains("some-key"));
+  EXPECT_FALSE(store->erase("some-key"));
+}
+
+TEST(ArtifactStore, DigestIsStableAndContentSensitive) {
+  const std::string a = stable_digest_hex(std::string_view("hello"));
+  EXPECT_EQ(a.size(), 32u);
+  EXPECT_EQ(a, stable_digest_hex(std::string_view("hello")));
+  EXPECT_NE(a, stable_digest_hex(std::string_view("hellp")));
+  EXPECT_NE(a, stable_digest_hex(std::string_view("")));
+}
+
+TEST(ArtifactStore, SecondExperimentLoadsEveryStage) {
+  ScopedStore store;
+  RunOptions options;
+  options.threads = 1;
+  options.store = store.get();
+
+  Experiment first(Scenario::small(33), options);
+  first.run();
+  EXPECT_EQ(first.counters().synthesize, 1u);
+  EXPECT_EQ(first.counters().analyze, 1u);
+  EXPECT_EQ(first.loads().synthesize, 0u);
+  EXPECT_EQ(store->size(), 5u);  // one artifact per stage
+
+  // A fresh experiment over the same store: zero stage executions, five
+  // loads, byte-identical products.
+  Experiment second(Scenario::small(33), options);
+  second.run();
+  EXPECT_EQ(second.counters().synthesize, 0u);
+  EXPECT_EQ(second.counters().simulate, 0u);
+  EXPECT_EQ(second.counters().observe, 0u);
+  EXPECT_EQ(second.counters().infer, 0u);
+  EXPECT_EQ(second.counters().analyze, 0u);
+  EXPECT_EQ(second.loads().synthesize, 1u);
+  EXPECT_EQ(second.loads().simulate, 1u);
+  EXPECT_EQ(second.loads().observe, 1u);
+  EXPECT_EQ(second.loads().infer, 1u);
+  EXPECT_EQ(second.loads().analyze, 1u);
+
+  EXPECT_EQ(io::encode(second.sim()), io::encode(first.sim()));
+  EXPECT_EQ(products_digest(second.inference(), second.analyses()),
+            products_digest(first.inference(), first.analyses()));
+
+  // A no-store run of the same scenario computes the same products — the
+  // store never changes bytes, only who computes them.
+  RunOptions plain;
+  plain.threads = 1;
+  Experiment reference(Scenario::small(33), plain);
+  reference.run();
+  EXPECT_EQ(products_digest(reference.inference(), reference.analyses()),
+            products_digest(first.inference(), first.analyses()));
+}
+
+TEST(ArtifactStore, ThreadKnobsShareCacheEntries) {
+  ScopedStore store;
+  RunOptions sequential;
+  sequential.threads = 1;
+  sequential.store = store.get();
+  Experiment first(Scenario::small(12), sequential);
+  first.run(Stage::kInfer);
+  const std::size_t populated = store->size();
+
+  // A different worker count must hit the same keys (thread knobs are
+  // excluded from cache identity) — all loads, no new entries.
+  RunOptions threaded;
+  threaded.threads = 3;
+  threaded.store = store.get();
+  Experiment second(Scenario::small(12), threaded);
+  second.run(Stage::kInfer);
+  EXPECT_EQ(second.counters().simulate, 0u);
+  EXPECT_EQ(second.loads().simulate, 1u);
+  EXPECT_EQ(second.loads().infer, 1u);
+  EXPECT_EQ(store->size(), populated);
+}
+
+TEST(ArtifactStore, CorruptedEntryIsAMissAndHealsItself) {
+  ScopedStore store;
+  RunOptions options;
+  options.threads = 1;
+  options.store = store.get();
+  Experiment first(Scenario::small(33), options);
+  first.run();
+
+  // Vandalize the synthesize artifact on disk.
+  const std::string truth_key =
+      [&] {
+        // Recover the key by probing: the store file for synthesize is the
+        // one whose bytes decode as GroundTruth.
+        for (const auto& entry :
+             std::filesystem::directory_iterator(store->root())) {
+          std::ifstream in(entry.path(), std::ios::binary);
+          std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+          std::span<const std::uint8_t> bytes(
+              reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size());
+          try {
+            (void)io::decode_ground_truth(bytes);
+            std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+            out << "vandalized beyond recognition";
+            return entry.path().filename().string();
+          } catch (const std::invalid_argument&) {
+          }
+        }
+        return std::string();
+      }();
+  ASSERT_FALSE(truth_key.empty()) << "no ground-truth artifact found";
+
+  // The next experiment recomputes Synthesize (corrupt = miss), re-stores
+  // it, and — because the recomputed bytes digest identically — still
+  // loads every downstream stage.
+  Experiment healed(Scenario::small(33), options);
+  healed.run();
+  EXPECT_EQ(healed.counters().synthesize, 1u);
+  EXPECT_EQ(healed.loads().synthesize, 0u);
+  EXPECT_EQ(healed.counters().simulate, 0u);
+  EXPECT_EQ(healed.loads().simulate, 1u);
+  EXPECT_EQ(healed.loads().analyze, 1u);
+  EXPECT_EQ(products_digest(healed.inference(), healed.analyses()),
+            products_digest(first.inference(), first.analyses()));
+
+  // And the store is healed: one more run loads everything again.
+  Experiment third(Scenario::small(33), options);
+  third.run();
+  EXPECT_EQ(third.counters().synthesize, 0u);
+  EXPECT_EQ(third.loads().synthesize, 1u);
+}
+
+std::vector<SweepVariant> resume_variants() {
+  SweepVariant base;
+  base.label = "base";
+  base.scenario = Scenario::small(5);
+
+  SweepVariant no_peers = base;
+  no_peers.label = "no-peers";
+  no_peers.options.gao = asrel::GaoParams{};
+  no_peers.options.gao->detect_peers = false;
+
+  SweepVariant other_seed;
+  other_seed.label = "seed9";
+  other_seed.scenario = Scenario::small(9);
+
+  return {base, no_peers, other_seed};
+}
+
+std::string sweep_digest(const SweepReport& report) {
+  std::string out;
+  for (const SweepRun& run : report.runs) {
+    out += run.label + "\n" + products_digest(run.inference, run.analyses);
+  }
+  return out;
+}
+
+TEST(SweepResume, SecondRunLoadsEverythingAndMatchesByteForByte) {
+  ScopedStore store;
+  const std::vector<SweepVariant> variants = resume_variants();
+
+  const SweepReport first = sweep(variants, 1, store.get());
+  EXPECT_EQ(first.counters.synthesize, 2u);  // two distinct scenarios
+  EXPECT_EQ(first.counters.infer, 3u);
+  EXPECT_EQ(first.counters.analyze, 3u);
+  EXPECT_EQ(first.loads.infer, 0u);
+  for (const SweepRun& run : first.runs) {
+    EXPECT_FALSE(run.store_infer_key.empty());
+    EXPECT_FALSE(run.loaded_from_store());
+  }
+
+  const SweepReport second = sweep(variants, 1, store.get());
+  EXPECT_EQ(second.counters.synthesize, 0u);
+  EXPECT_EQ(second.counters.simulate, 0u);
+  EXPECT_EQ(second.counters.observe, 0u);
+  EXPECT_EQ(second.counters.infer, 0u);
+  EXPECT_EQ(second.counters.analyze, 0u);
+  EXPECT_EQ(second.loads.synthesize, 2u);
+  EXPECT_EQ(second.loads.simulate, 2u);
+  EXPECT_EQ(second.loads.observe, 2u);
+  EXPECT_EQ(second.loads.infer, 3u);
+  EXPECT_EQ(second.loads.analyze, 3u);
+  EXPECT_EQ(sweep_digest(second), sweep_digest(first));
+
+  // A storeless sweep computes identical products: resume never changes
+  // bytes.
+  const SweepReport reference = sweep(variants, 1);
+  EXPECT_EQ(sweep_digest(reference), sweep_digest(first));
+}
+
+TEST(SweepResume, OnlyTheMissingVariantRecomputes) {
+  ScopedStore store;
+  const std::vector<SweepVariant> variants = resume_variants();
+  const SweepReport first = sweep(variants, 1, store.get());
+
+  // Delete exactly one variant's artifacts — the "killed before this
+  // variant finished" state.
+  ASSERT_TRUE(store->erase(first.runs[1].store_infer_key));
+  ASSERT_TRUE(store->erase(first.runs[1].store_analyze_key));
+
+  const SweepReport resumed = sweep(variants, 1, store.get());
+  EXPECT_EQ(resumed.counters.synthesize, 0u);
+  EXPECT_EQ(resumed.counters.simulate, 0u);
+  EXPECT_EQ(resumed.counters.infer, 1u);  // just the erased variant
+  EXPECT_EQ(resumed.counters.analyze, 1u);
+  EXPECT_EQ(resumed.loads.infer, 2u);
+  EXPECT_EQ(resumed.loads.analyze, 2u);
+  EXPECT_TRUE(resumed.runs[0].loaded_from_store());
+  EXPECT_FALSE(resumed.runs[1].loaded_from_store());
+  EXPECT_TRUE(resumed.runs[2].loaded_from_store());
+  EXPECT_EQ(sweep_digest(resumed), sweep_digest(first));
+}
+
+TEST(SweepResume, ErasedAnalyzeEntryReusesCachedInference) {
+  ScopedStore store;
+  const std::vector<SweepVariant> variants = resume_variants();
+  const SweepReport first = sweep(variants, 1, store.get());
+
+  // Lose only one variant's Analyze artifact: the variant keys are
+  // per-stage, so the resumed run reuses the cached inference and
+  // recomputes Analyze alone.
+  ASSERT_TRUE(store->erase(first.runs[2].store_analyze_key));
+  const SweepReport resumed = sweep(variants, 1, store.get());
+  EXPECT_EQ(resumed.counters.infer, 0u);
+  EXPECT_EQ(resumed.counters.analyze, 1u);
+  EXPECT_EQ(resumed.loads.infer, 3u);
+  EXPECT_EQ(resumed.loads.analyze, 2u);
+  EXPECT_TRUE(resumed.runs[2].inference_loaded);
+  EXPECT_FALSE(resumed.runs[2].analyses_loaded);
+  EXPECT_EQ(sweep_digest(resumed), sweep_digest(first));
+}
+
+TEST(SweepResume, KilledSweepResumesAcrossVariantSubsets) {
+  ScopedStore store;
+  const std::vector<SweepVariant> variants = resume_variants();
+
+  // "Kill" the sweep after the first two variants by only requesting them.
+  const std::vector<SweepVariant> prefix(variants.begin(),
+                                         variants.begin() + 2);
+  const SweepReport partial = sweep(prefix, 1, store.get());
+  EXPECT_EQ(partial.counters.infer, 2u);
+  EXPECT_EQ(partial.counters.synthesize, 1u);  // prefix shares one scenario
+
+  // The restarted full sweep loads the finished variants and computes only
+  // the one that never ran (plus the second scenario's upstream).
+  const SweepReport resumed = sweep(variants, 1, store.get());
+  EXPECT_EQ(resumed.loads.infer, 2u);
+  EXPECT_EQ(resumed.counters.infer, 1u);
+  EXPECT_EQ(resumed.counters.synthesize, 1u);  // only seed9's upstream
+  EXPECT_EQ(resumed.loads.synthesize, 1u);
+
+  // Byte-identical to a sweep that was never killed.
+  const SweepReport uninterrupted = sweep(variants, 1);
+  EXPECT_EQ(sweep_digest(resumed), sweep_digest(uninterrupted));
+}
+
+TEST(SweepResume, SweepWithStoreIsThreadCountIndependent) {
+  ScopedStore store_a;
+  ScopedStore store_b;
+  const std::vector<SweepVariant> variants = resume_variants();
+  const SweepReport sequential = sweep(variants, 1, store_a.get());
+  const SweepReport sharded = sweep(variants, 4, store_b.get());
+  EXPECT_EQ(sweep_digest(sequential), sweep_digest(sharded));
+}
+
+}  // namespace
+}  // namespace bgpolicy::core

@@ -120,5 +120,43 @@ TEST(RpslParser, HandlesCrLfAndTrailingJunk) {
   EXPECT_EQ(aut_num->as, AsNumber(9));
 }
 
+TEST(RpslParser, ShardedParseIsByteIdenticalAtAnyThreadCount) {
+  // A messy dump: comments between objects, CRLF, continuation lines,
+  // malformed stretches, a non-aut-num object — everything the sequential
+  // parser tolerates, so the sharded split must tolerate it identically.
+  std::string dump = "# header comment\n\n";
+  for (int i = 1; i <= 200; ++i) {
+    dump += "aut-num: AS" + std::to_string(i) + "\n";
+    dump += "as-name: NET-" + std::to_string(i) + "\n";
+    dump += "import: from AS" + std::to_string(i + 1) +
+            " action pref = 10; accept ANY\n";
+    dump += "import: from AS" + std::to_string(i + 2) + "\n";
+    dump += "+ action pref = 20; accept ANY\n";  // continuation
+    dump += "export: to AS" + std::to_string(i + 1) + " announce AS" +
+            std::to_string(i) + "\n";
+    dump += "changed: noc@example.net 2002101" + std::to_string(i % 10) + "\n";
+    if (i % 7 == 0) dump += "% interleaved comment\n";
+    dump += "\n";
+    if (i % 13 == 0) dump += "route: 10.0.0.0/8\norigin: AS1\n\n";
+    if (i % 17 == 0) dump += "malformed line without colon\n\n";
+  }
+
+  const std::vector<AutNum> sequential = parse_aut_nums(dump);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{8}}) {
+    const std::vector<AutNum> sharded = parse_aut_nums(dump, threads);
+    ASSERT_EQ(sharded.size(), sequential.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < sequential.size(); ++i) {
+      EXPECT_EQ(sharded[i], sequential[i])
+          << "object " << i << " differs at threads=" << threads;
+    }
+  }
+
+  // A caller-supplied executor takes the same path.
+  const util::Executor executor(4);
+  const std::vector<AutNum> via_executor = parse_aut_nums(dump, 0, &executor);
+  EXPECT_EQ(via_executor, sequential);
+}
+
 }  // namespace
 }  // namespace bgpolicy::rpsl

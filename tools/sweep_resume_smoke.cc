@@ -1,0 +1,119 @@
+// CI smoke test for cross-process sweep resume (ISSUE 4): runs the same
+// sweep twice against one artifact store and asserts the second run
+// executes ZERO Simulate stages (every artifact is served from disk) while
+// producing byte-identical products.  Exits non-zero with a diagnostic on
+// any violation, so a broken cache key, codec, or store shows up as a red
+// CI step, not a silent full recompute.
+//
+// Usage: sweep_resume_smoke [store-dir]
+// (store-dir defaults to a fresh directory under the system temp path; an
+// existing populated store is fine — the first run then loads too.)
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "asrel/relationships.h"
+#include "asrel/tier_classify.h"
+#include "core/artifact_store.h"
+#include "core/experiment.h"
+#include "core/scenario.h"
+
+using namespace bgpolicy;
+
+namespace {
+
+std::vector<core::SweepVariant> make_variants() {
+  // Two distinct worlds plus an inference-knob variant: exercises both the
+  // shared-upstream path and the per-variant artifacts.
+  core::SweepVariant base;
+  base.label = "base";
+  base.scenario = core::Scenario::small(31);
+
+  core::SweepVariant no_peers = base;
+  no_peers.label = "no-peers";
+  no_peers.options.gao = asrel::GaoParams{};
+  no_peers.options.gao->detect_peers = false;
+
+  core::SweepVariant other;
+  other.label = "seed32";
+  other.scenario = core::Scenario::small(32);
+
+  return {base, no_peers, other};
+}
+
+std::string report_digest(const core::SweepReport& report) {
+  std::string out;
+  for (const core::SweepRun& run : report.runs) {
+    out += run.label + "\n";
+    out += asrel::canonical_serialize(run.inference.inferred);
+    out += asrel::canonical_serialize(run.inference.tiers);
+    out += core::canonical_serialize(run.analyses);
+  }
+  return out;
+}
+
+void print_ledger(const char* label, const core::SweepReport& report) {
+  const auto& c = report.counters;
+  const auto& l = report.loads;
+  std::cout << label << ": executed"
+            << " synthesize=" << c.synthesize << " simulate=" << c.simulate
+            << " observe=" << c.observe << " infer=" << c.infer
+            << " analyze=" << c.analyze << " | loaded"
+            << " synthesize=" << l.synthesize << " simulate=" << l.simulate
+            << " observe=" << l.observe << " infer=" << l.infer
+            << " analyze=" << l.analyze << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path store_dir;
+  if (argc > 1) {
+    store_dir = argv[1];
+  } else {
+    store_dir = std::filesystem::temp_directory_path() /
+                "bgpolicy-sweep-resume-smoke";
+    std::filesystem::remove_all(store_dir);
+  }
+  core::ArtifactStore store(store_dir);
+  std::cout << "artifact store: " << store.root().string() << "\n";
+
+  const std::vector<core::SweepVariant> variants = make_variants();
+
+  const core::SweepReport first = core::sweep(variants, 0, &store);
+  print_ledger("first run ", first);
+
+  const core::SweepReport second = core::sweep(variants, 0, &store);
+  print_ledger("second run", second);
+
+  int failures = 0;
+  const auto expect = [&](bool ok, const std::string& what) {
+    if (!ok) {
+      std::cerr << "FAIL: " << what << "\n";
+      ++failures;
+    }
+  };
+
+  expect(second.counters.simulate == 0,
+         "second run executed " + std::to_string(second.counters.simulate) +
+             " Simulate stages (want 0: every artifact served from the store)");
+  expect(second.counters.synthesize == 0 && second.counters.observe == 0,
+         "second run re-executed upstream stages");
+  expect(second.counters.infer == 0 && second.counters.analyze == 0,
+         "second run re-executed variant stages");
+  expect(second.loads.simulate == first.counters.simulate +
+                                      first.loads.simulate,
+         "second-run Simulate loads do not cover every upstream scenario");
+  expect(report_digest(first) == report_digest(second),
+         "products differ between the computing run and the resumed run");
+
+  if (failures == 0) {
+    std::cout << "OK: resumed sweep executed zero stages and reproduced "
+                 "byte-identical products ("
+              << store.size() << " artifacts on disk)\n";
+    return EXIT_SUCCESS;
+  }
+  return EXIT_FAILURE;
+}
