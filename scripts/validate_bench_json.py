@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Validates a bgpolicy bench-trajectory record (scripts/bench.sh output).
 
-Accepts bgpolicy-bench/v4 (current: adds the artifact_store section with
-per-artifact codec + load-vs-recompute timings), v3 (adds the
-pipeline_stages section with per-stage wall-clock timings), and v2
-(earlier committed trajectory points).
+Accepts bgpolicy-bench/v5 (current: pipeline_stages rows gain the
+task-graph comparison — graph_total_seconds, the irr/paths and irr/sim
+overlap windows, and the Simulate chunk count), v4 (adds the
+artifact_store section with per-artifact codec + load-vs-recompute
+timings), v3 (adds the pipeline_stages section with per-stage wall-clock
+timings), and v2 (earlier committed trajectory points).
 
 Usage: validate_bench_json.py FILE...
 Exits non-zero with a message naming the first violated requirement.
@@ -77,8 +79,8 @@ def check_file(path):
     schema = record.get("schema")
     require(path,
             schema in ("bgpolicy-bench/v2", "bgpolicy-bench/v3",
-                       "bgpolicy-bench/v4"),
-            'schema must be "bgpolicy-bench/v2".."bgpolicy-bench/v4"')
+                       "bgpolicy-bench/v4", "bgpolicy-bench/v5"),
+            'schema must be "bgpolicy-bench/v2".."bgpolicy-bench/v5"')
     require(path, "generated_utc" in record, "generated_utc missing")
 
     sim = record.get("sim_scaling")
@@ -95,16 +97,24 @@ def check_file(path):
 
     summary = (f"sim rows: {len(sim['results'])}, "
                f"inference rows: {len(inference['results'])}")
-    if schema in ("bgpolicy-bench/v3", "bgpolicy-bench/v4"):
+    if schema in ("bgpolicy-bench/v3", "bgpolicy-bench/v4",
+                  "bgpolicy-bench/v5"):
+        stage_keys = ["threads", "synthesize_seconds", "simulate_seconds",
+                      "observe_seconds", "infer_seconds", "analyze_seconds",
+                      "total_seconds", "speedup"]
+        if schema == "bgpolicy-bench/v5":
+            # The task-graph comparison: one end-to-end run with overlapped
+            # stage nodes next to the serial-stage sum, plus the overlap
+            # windows and the Simulate chunk count.
+            stage_keys += ["graph_total_seconds",
+                           "overlap_irr_paths_seconds",
+                           "overlap_irr_sim_seconds", "sim_chunks"]
         stages = record.get("pipeline_stages")
-        check_scaling(path, "pipeline_stages", stages,
-                      ("threads", "synthesize_seconds", "simulate_seconds",
-                       "observe_seconds", "infer_seconds", "analyze_seconds",
-                       "total_seconds", "speedup"))
+        check_scaling(path, "pipeline_stages", stages, tuple(stage_keys))
         require(path, stages.get("products_match") is True,
                 "pipeline_stages.products_match must be true")
         summary += f", stage rows: {len(stages['results'])}"
-    if schema == "bgpolicy-bench/v4":
+    if schema in ("bgpolicy-bench/v4", "bgpolicy-bench/v5"):
         store = record.get("artifact_store")
         check_artifact_store(path, store)
         summary += f", artifact rows: {len(store['results'])}"

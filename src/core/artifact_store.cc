@@ -1,9 +1,11 @@
 #include "core/artifact_store.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <system_error>
+#include <vector>
 
 namespace bgpolicy::core {
 
@@ -57,17 +59,26 @@ std::filesystem::path ArtifactStore::path_for(std::string_view key) const {
 
 std::optional<std::vector<std::uint8_t>> ArtifactStore::load(
     std::string_view key) const {
-  std::ifstream in(path_for(key), std::ios::binary);
-  if (!in) return std::nullopt;
+  const std::filesystem::path path = path_for(key);
   std::vector<std::uint8_t> bytes;
-  in.seekg(0, std::ios::end);
-  const std::streamoff size = in.tellg();
-  if (size < 0) return std::nullopt;
-  in.seekg(0, std::ios::beg);
-  bytes.resize(static_cast<std::size_t>(size));
-  in.read(reinterpret_cast<char*>(bytes.data()),
-          static_cast<std::streamsize>(bytes.size()));
-  if (!in) return std::nullopt;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    if (size < 0) return std::nullopt;
+    in.seekg(0, std::ios::beg);
+    bytes.resize(static_cast<std::size_t>(size));
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    if (!in) return std::nullopt;
+  }
+  // Best-effort access-time bump: gc() orders eviction by this timestamp
+  // (filesystem atime is unreliable — often mounted noatime), so a read
+  // counts as recent use.  Failure is harmless.
+  std::error_code ignored;
+  std::filesystem::last_write_time(
+      path, std::filesystem::file_time_type::clock::now(), ignored);
   return bytes;
 }
 
@@ -124,6 +135,118 @@ std::size_t ArtifactStore::size() const {
     if (it->path().extension() == ".art") ++count;
   }
   return count;
+}
+
+std::uint64_t ArtifactStore::total_bytes() const {
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(root_, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->path().extension() != ".art") continue;
+    std::error_code size_ec;
+    const std::uintmax_t size = it->file_size(size_ec);
+    if (!size_ec) total += size;
+  }
+  return total;
+}
+
+// ------------------------------------------------------------------- pins --
+
+namespace {
+
+std::filesystem::path pin_path_for(const std::filesystem::path& art_path) {
+  std::filesystem::path pin = art_path;
+  pin.replace_extension(".pin");
+  return pin;
+}
+
+}  // namespace
+
+bool ArtifactStore::pin(std::string_view key) const {
+  std::ofstream out(pin_path_for(path_for(key)),
+                    std::ios::binary | std::ios::trunc);
+  return static_cast<bool>(out);
+}
+
+bool ArtifactStore::unpin(std::string_view key) const {
+  std::error_code ec;
+  return std::filesystem::remove(pin_path_for(path_for(key)), ec);
+}
+
+bool ArtifactStore::pinned(std::string_view key) const {
+  std::error_code ec;
+  return std::filesystem::exists(pin_path_for(path_for(key)), ec);
+}
+
+std::size_t ArtifactStore::clear_stale_pins(std::chrono::seconds max_age) const {
+  const auto now = std::filesystem::file_time_type::clock::now();
+  std::size_t cleared = 0;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(root_, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->path().extension() != ".pin") continue;
+    std::error_code entry_ec;
+    const auto written = it->last_write_time(entry_ec);
+    if (entry_ec) continue;
+    if (now - written >= max_age) {
+      std::error_code remove_ec;
+      if (std::filesystem::remove(it->path(), remove_ec)) ++cleared;
+    }
+  }
+  return cleared;
+}
+
+// --------------------------------------------------------------------- gc --
+
+ArtifactStore::GcResult ArtifactStore::gc(std::uint64_t max_bytes,
+                                          std::chrono::seconds min_age) const {
+  struct Entry {
+    std::filesystem::path path;
+    std::uint64_t bytes = 0;
+    std::filesystem::file_time_type accessed;
+  };
+
+  GcResult result;
+  const auto now = std::filesystem::file_time_type::clock::now();
+  std::vector<Entry> evictable;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(root_, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->path().extension() != ".art") continue;
+    std::error_code entry_ec;
+    const std::uintmax_t bytes = it->file_size(entry_ec);
+    if (entry_ec) continue;
+    const auto accessed = it->last_write_time(entry_ec);
+    if (entry_ec) continue;
+    ++result.scanned;
+    result.bytes_before += bytes;
+    std::error_code pin_ec;
+    if (std::filesystem::exists(pin_path_for(it->path()), pin_ec)) {
+      ++result.pinned_kept;
+      continue;
+    }
+    if (now - accessed < min_age) continue;
+    evictable.push_back({it->path(), bytes, accessed});
+  }
+  result.bytes_after = result.bytes_before;
+  if (result.bytes_before <= max_bytes) return result;
+
+  // Oldest access first; file-name tie-break keeps the order stable when
+  // timestamps collide (coarse filesystem clocks).
+  std::sort(evictable.begin(), evictable.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.accessed != b.accessed) return a.accessed < b.accessed;
+              return a.path.filename() < b.path.filename();
+            });
+  for (const Entry& entry : evictable) {
+    if (result.bytes_after <= max_bytes) break;
+    std::error_code remove_ec;
+    if (std::filesystem::remove(entry.path, remove_ec)) {
+      ++result.evicted;
+      result.bytes_after -= entry.bytes;
+    }
+  }
+  return result;
 }
 
 }  // namespace bgpolicy::core

@@ -20,6 +20,7 @@
 // version-mismatched bytes as misses upstream.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <optional>
@@ -70,6 +71,44 @@ class ArtifactStore {
 
   /// Number of artifacts currently on disk (diagnostics/tests).
   [[nodiscard]] std::size_t size() const;
+
+  /// Total bytes of all artifacts currently on disk.
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+  // ---- pinning: in-progress-run protection for gc() -------------------
+  // A pin is a `<digest>.pin` sidecar next to the entry's file.  Runs pin
+  // the Simulate chunk entries they are writing (core::Experiment) and
+  // unpin when the merged stage artifact supersedes them, so a concurrent
+  // gc() — possibly in another process (tools/store_gc) — never evicts the
+  // chunks an in-progress run still needs for resume.  A killed run can
+  // leave stale pins behind; clear_stale_pins() ages them out.
+
+  /// Marks `key` as not-evictable; idempotent.  Returns false on IO error.
+  bool pin(std::string_view key) const;
+  /// Removes the pin for `key` (the entry itself is untouched).
+  bool unpin(std::string_view key) const;
+  [[nodiscard]] bool pinned(std::string_view key) const;
+  /// Removes every pin sidecar older than `max_age`; returns how many.
+  std::size_t clear_stale_pins(std::chrono::seconds max_age) const;
+
+  // ---- gc: LRU eviction ----------------------------------------------
+  struct GcResult {
+    std::size_t scanned = 0;
+    std::size_t evicted = 0;
+    std::size_t pinned_kept = 0;
+    std::uint64_t bytes_before = 0;
+    std::uint64_t bytes_after = 0;
+  };
+
+  /// Evicts least-recently-accessed artifacts until the store holds at
+  /// most `max_bytes` (load() bumps an entry's timestamp, so "accessed"
+  /// means read or written — filesystem atime is too unreliable to trust).
+  /// Never evicts pinned entries or entries younger than `min_age` (both
+  /// guards protect in-progress runs; entries are immutable files, so an
+  /// evicted entry only ever costs a recompute).  Safe to run while
+  /// writers are active and from a different process than the writers.
+  GcResult gc(std::uint64_t max_bytes,
+              std::chrono::seconds min_age = std::chrono::seconds(0)) const;
 
  private:
   std::filesystem::path root_;

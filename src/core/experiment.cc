@@ -1,9 +1,11 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 #include "core/artifact_store.h"
 #include "io/artifact_codec.h"
@@ -12,6 +14,15 @@
 #include "util/parallel.h"
 
 namespace bgpolicy::core {
+
+void StageTrace::record(std::string name,
+                        std::chrono::steady_clock::time_point start,
+                        std::chrono::steady_clock::time_point end) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  spans.push_back({std::move(name),
+                   std::chrono::duration<double>(start - origin).count(),
+                   std::chrono::duration<double>(end - origin).count()});
+}
 
 const char* to_string(Stage stage) {
   switch (stage) {
@@ -175,25 +186,84 @@ SimArtifact simulate(const Scenario& scenario, const GroundTruth& truth,
   return artifact;
 }
 
-Observations observe(const Scenario& scenario, const GroundTruth& truth,
-                     const SimArtifact& sim, std::size_t threads,
-                     const util::Executor* executor) {
-  Observations obs;
-  obs.lg_order = sorted_looking_glass(sim.sim);
+// -------------------------------------------------------------- sim chunks --
 
+namespace {
+
+/// Auto chunking aims here: enough chunks for load balance and a useful
+/// mid-stage resume grain, few enough that per-chunk encode/persist stays
+/// negligible next to the fixpoint work.
+constexpr std::size_t kAutoSimChunkTarget = 32;
+
+}  // namespace
+
+std::vector<util::IndexRange> sim_chunk_ranges(std::size_t n,
+                                               std::size_t chunk_prefixes) {
+  if (chunk_prefixes == 0) return util::split_ranges(n, kAutoSimChunkTarget);
+  std::vector<util::IndexRange> ranges;
+  ranges.reserve(n / chunk_prefixes + 1);
+  for (std::size_t begin = 0; begin < n; begin += chunk_prefixes) {
+    ranges.push_back({begin, std::min(begin + chunk_prefixes, n)});
+  }
+  return ranges;
+}
+
+std::string sim_chunk_store_key(std::string_view scenario_key,
+                                std::string_view truth_digest,
+                                util::IndexRange range, std::size_t total) {
+  std::string key = kKeyPrefix;
+  key += "sim-chunk|";
+  key += scenario_key;
+  key += '|';
+  key += truth_digest;
+  key += "|range=";
+  key += std::to_string(range.begin);
+  key += '-';
+  key += std::to_string(range.end);
+  key += '/';
+  key += std::to_string(total);
+  key += ';';
+  return key;
+}
+
+namespace {
+
+// The Observe sub-steps, shared verbatim between the monolithic observe()
+// below and the task-graph nodes Experiment::add_stage_nodes builds (so
+// the two paths can never drift).  The IRR pair consumes only the ground
+// truth; the path pair consumes only the recorded tables — the disjoint
+// halves the task graph overlaps.
+
+std::string observe_irr_text(const Scenario& scenario,
+                             const GroundTruth& truth, std::size_t threads,
+                             const util::Executor* executor) {
   rpsl::IrrGenParams irr_params = scenario.irr_params;
   irr_params.threads = threads;
-  obs.irr_text =
-      rpsl::generate_irr(truth.topo, truth.gen.policies, irr_params, executor);
-  obs.irr_objects = rpsl::parse_aut_nums(obs.irr_text, threads, executor);
+  return rpsl::generate_irr(truth.topo, truth.gen.policies, irr_params,
+                            executor);
+}
 
-  // Observed path multiset (RouteViews + LGs; a looking glass sees paths
-  // without the vantage itself, so its AS is prepended to match the
-  // collector's shape), and the path index over the same sources.
+/// Observed path multiset (RouteViews + LGs; a looking glass sees paths
+/// without the vantage itself, so its AS is prepended to match the
+/// collector's shape).  Fills lg_order and observed_paths.
+void observe_ingest_paths(Observations& obs, const SimArtifact& sim) {
+  obs.lg_order = sorted_looking_glass(sim.sim);
   obs.observed_paths.add_table_paths(sim.sim.collector);
   for (const AsNumber as : obs.lg_order) {
     obs.observed_paths.add_table_paths(sim.sim.looking_glass.at(as), as);
   }
+}
+
+}  // namespace
+
+Observations observe(const Scenario& scenario, const GroundTruth& truth,
+                     const SimArtifact& sim, std::size_t threads,
+                     const util::Executor* executor) {
+  Observations obs;
+  obs.irr_text = observe_irr_text(scenario, truth, threads, executor);
+  obs.irr_objects = rpsl::parse_aut_nums(obs.irr_text, threads, executor);
+  observe_ingest_paths(obs, sim);
+  // The path index over the same table sources.
   obs.paths.add_tables(inference_table_sources(sim.sim), threads, executor);
   return obs;
 }
@@ -285,31 +355,62 @@ std::string Experiment::stage_key_material(
 }
 
 void Experiment::run(Stage until) {
-  if (until >= Stage::kSynthesize) truth();
-  if (until >= Stage::kSimulate) sim();
-  if (until >= Stage::kObserve) observations();
+  // One task graph covers every missing upstream stage, so Observe
+  // sub-tasks overlap late Simulate chunks; Infer/Analyze keep their
+  // internal executor sharding (they are a strictly serial chain).
+  run_upstream(until < Stage::kObserve ? until : Stage::kObserve);
   if (until >= Stage::kInfer) inference();
   if (until >= Stage::kAnalyze) analyses();
 }
 
 const GroundTruth& Experiment::truth() {
-  if (!truth_) {
-    bool loaded = false;
-    truth_ = stage_artifact<GroundTruth>(
-        options_.store, stage_key_material(Stage::kSynthesize, {}),
-        digest_slot(Stage::kSynthesize), loaded,
-        [](std::span<const std::uint8_t> bytes) {
-          return io::decode_ground_truth(bytes);
-        },
-        [&] { return synthesize(scenario_); });
-    ++(loaded ? loads_ : counters_).synthesize;
-  }
+  if (!truth_) run_upstream(Stage::kSynthesize);
   return *truth_;
 }
 
 const SimArtifact& Experiment::sim() {
-  if (!sim_) {
-    truth();  // materialize upstream (and its digest) first
+  if (!sim_) run_upstream(Stage::kSimulate);
+  return *sim_;
+}
+
+const Observations& Experiment::observations() {
+  if (!observations_) run_upstream(Stage::kObserve);
+  return *observations_;
+}
+
+void Experiment::materialize_truth() {
+  bool loaded = false;
+  truth_ = stage_artifact<GroundTruth>(
+      options_.store, stage_key_material(Stage::kSynthesize, {}),
+      digest_slot(Stage::kSynthesize), loaded,
+      [](std::span<const std::uint8_t> bytes) {
+        return io::decode_ground_truth(bytes);
+      },
+      [&] { return synthesize(scenario_); });
+  ++(loaded ? loads_ : counters_).synthesize;
+}
+
+void Experiment::run_upstream(Stage until) {
+  if (until > Stage::kObserve) until = Stage::kObserve;
+  const bool need_sim = until >= Stage::kSimulate && !sim_;
+  const bool need_observe = until >= Stage::kObserve && !observations_;
+  if (truth_ && !need_sim && !need_observe) return;
+  // The exact sequential seed program: no graph, no chunking, stages run
+  // back to back with their internal sharding (inline at threads == 1).
+  // The graph path is for a real pool (overlap + chunk parallelism) or a
+  // store (per-chunk persistence is what makes mid-Simulate resume work).
+  if (executor().pool() == nullptr && options_.store == nullptr) {
+    run_upstream_serial(until);
+    return;
+  }
+  util::TaskGraph graph;
+  add_stage_nodes(graph, until);
+  graph.run(executor());
+}
+
+void Experiment::run_upstream_serial(Stage until) {
+  if (!truth_) materialize_truth();
+  if (until >= Stage::kSimulate && !sim_) {
     bool loaded = false;
     sim_ = stage_artifact<SimArtifact>(
         options_.store, stage_key_material(Stage::kSimulate, {}),
@@ -320,12 +421,7 @@ const SimArtifact& Experiment::sim() {
         [&] { return simulate(scenario_, *truth_, threads(), &executor()); });
     ++(loaded ? loads_ : counters_).simulate;
   }
-  return *sim_;
-}
-
-const Observations& Experiment::observations() {
-  if (!observations_) {
-    sim();
+  if (until >= Stage::kObserve && !observations_) {
     bool loaded = false;
     observations_ = stage_artifact<Observations>(
         options_.store, stage_key_material(Stage::kObserve, {}),
@@ -338,7 +434,304 @@ const Observations& Experiment::observations() {
         });
     ++(loaded ? loads_ : counters_).observe;
   }
-  return *observations_;
+}
+
+// ----------------------------------------------------- task-graph stages --
+
+/// Staging state shared by one graph run's nodes (kept alive by
+/// shared_ptr captures; node edges order every access).
+struct Experiment::UpstreamScratch {
+  /// Observe sub-results assembled across the irr/path nodes, moved into
+  /// observations_ by the finish node.
+  Observations obs;
+  /// Set when the whole Observations artifact was found (and decoded — a
+  /// corrupt entry is a miss, never a hit) in the store; sub-nodes that
+  /// see it skip their work and the finish node installs loaded_obs.
+  /// Atomic because the IRR nodes (unordered w.r.t. the Simulate compute
+  /// node, which may set the flag after recomputing the sim digest) read
+  /// it concurrently; a sub-node that missed the flag merely does work
+  /// the finish node discards wholesale — never a torn artifact.
+  std::atomic<bool> observe_hit{false};
+  std::optional<Observations> loaded_obs;
+  std::vector<std::uint8_t> observe_bytes;  // for the digest chain
+};
+
+template <typename Fn>
+void Experiment::traced(const char* name, Fn&& fn) {
+  if (options_.trace == nullptr) {
+    fn();
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  options_.trace->record(name, start, std::chrono::steady_clock::now());
+}
+
+void Experiment::probe_observe(UpstreamScratch& scratch) {
+  if (options_.store == nullptr ||
+      scratch.observe_hit.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (auto bytes =
+          options_.store->load(stage_key_material(Stage::kObserve, {}))) {
+    try {
+      scratch.loaded_obs =
+          io::decode_observations(std::span<const std::uint8_t>(*bytes));
+      scratch.observe_bytes = std::move(*bytes);  // kept for the digest
+      // Release so an IRR node acquiring `true` concurrently is ordered
+      // after loaded_obs/observe_bytes are fully written (nodes ordered
+      // by graph edges get this ordering from the scheduler mutex anyway).
+      scratch.observe_hit.store(true, std::memory_order_release);
+    } catch (const std::invalid_argument&) {
+      // Corrupt, truncated, or version-mismatched: a miss, never an error.
+    }
+  }
+}
+
+void Experiment::simulate_chunked(util::TaskGraph& graph) {
+  const auto vantage =
+      std::make_shared<sim::VantageSpec>(derive_vantage(scenario_, truth_->topo));
+  const std::size_t n = truth_->originations.size();
+  const std::vector<util::IndexRange> ranges =
+      sim_chunk_ranges(n, options_.sim_chunk_prefixes);
+  // Fresh ledger per chunked run (an invalidate-and-rerun would otherwise
+  // accumulate): computed + loaded always equals total afterwards.
+  sim_chunks_ = SimChunkLedger{};
+  sim_chunks_.total = ranges.size();
+
+  // Index-addressed slots: chunk tasks run in any order on any thread, the
+  // merge below replays them in range order — the shard-and-merge
+  // discipline expressed as nested graph tasks.
+  const auto slots =
+      std::make_shared<std::vector<sim::SimResult>>(ranges.size());
+  const auto loaded_flags =
+      std::make_shared<std::vector<std::uint8_t>>(ranges.size(), 0);
+  std::vector<std::string> chunk_keys(ranges.size());
+  if (options_.store != nullptr) {
+    const std::string scenario_key = scenario_cache_key(scenario_);
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      chunk_keys[i] = sim_chunk_store_key(
+          scenario_key, stage_digest(Stage::kSynthesize), ranges[i], n);
+    }
+  }
+
+  std::vector<util::TaskGraph::NodeId> chunk_nodes;
+  chunk_nodes.reserve(ranges.size());
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    chunk_nodes.push_back(graph.submit([this, vantage, slots, loaded_flags, i,
+                                        range = ranges[i], n,
+                                        key = chunk_keys[i]] {
+      traced("simulate.chunk", [&] {
+        ArtifactStore* store = options_.store;
+        if (store != nullptr) {
+          if (const auto bytes = store->load(key)) {
+            try {
+              SimChunk chunk = io::decode_sim_chunk(
+                  std::span<const std::uint8_t>(*bytes));
+              if (chunk.begin == range.begin && chunk.end == range.end &&
+                  chunk.total == n) {
+                (*slots)[i] = std::move(chunk.partial);
+                (*loaded_flags)[i] = 1;
+                return;
+              }
+            } catch (const std::invalid_argument&) {
+              // Corrupt chunk: a miss, recompute below.
+            }
+          }
+        }
+        (*slots)[i] = sim::simulate_chunk(
+            truth_->topo.graph, truth_->gen.policies, truth_->originations,
+            *vantage, scenario_.propagation, range);
+        if (store != nullptr) {
+          // Persist-and-pin as each chunk completes: a kill from here on
+          // resumes mid-Simulate, and a concurrent gc() cannot evict what
+          // this run still needs (the pin falls with the merged artifact).
+          SimChunk chunk;
+          chunk.begin = range.begin;
+          chunk.end = range.end;
+          chunk.total = n;
+          chunk.partial = std::move((*slots)[i]);
+          // Pin first: a pin needs no entry behind it, and pinning after
+          // the put would leave a window where a concurrent gc() evicts
+          // the just-persisted chunk this run still needs.
+          store->pin(key);
+          store->put(key, io::encode(chunk));
+          (*slots)[i] = std::move(chunk.partial);
+        }
+      });
+    }));
+  }
+  graph.wait(chunk_nodes);
+
+  traced("simulate.merge", [&] {
+    SimArtifact artifact;
+    artifact.vantage = std::move(*vantage);
+    artifact.sim = sim::init_sim_result(artifact.vantage);
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      sim::merge_sim_chunk(artifact.sim, (*slots)[i]);
+      ++((*loaded_flags)[i] != 0 ? sim_chunks_.loaded : sim_chunks_.computed);
+      (*slots)[i] = sim::SimResult{};  // bound peak memory
+    }
+    sim_ = std::move(artifact);
+    ++counters_.simulate;
+    if (options_.store != nullptr) {
+      const std::vector<std::uint8_t> bytes = io::encode(*sim_);
+      digest_slot(Stage::kSimulate) =
+          stable_digest_hex(std::span<const std::uint8_t>(bytes));
+      options_.store->put(stage_key_material(Stage::kSimulate, {}), bytes);
+      // The merged artifact supersedes its chunks: erase them so
+      // long-lived stores do not carry both representations, and drop the
+      // gc pins with them.
+      for (const std::string& key : chunk_keys) {
+        options_.store->unpin(key);
+        options_.store->erase(key);
+      }
+    } else {
+      digest_slot(Stage::kSimulate).clear();
+    }
+  });
+}
+
+Experiment::UpstreamNodes Experiment::add_stage_nodes(util::TaskGraph& graph,
+                                                      Stage until) {
+  if (until > Stage::kObserve) until = Stage::kObserve;
+  UpstreamNodes handles;
+  const bool need_truth = !truth_;
+  const bool need_sim = until >= Stage::kSimulate && !sim_;
+  const bool need_observe = until >= Stage::kObserve && !observations_;
+  if (!need_truth && !need_sim && !need_observe) return handles;
+
+  using NodeId = util::TaskGraph::NodeId;
+  const auto deps_of = [](std::initializer_list<std::optional<NodeId>> ids) {
+    std::vector<NodeId> deps;
+    for (const auto& id : ids) {
+      if (id) deps.push_back(*id);
+    }
+    return deps;
+  };
+
+  auto scratch = std::make_shared<UpstreamScratch>();
+  util::TaskGraph* graph_ptr = &graph;
+
+  std::optional<NodeId> n_synth;
+  if (need_truth) {
+    n_synth = graph.add(
+        [this] { traced("synthesize", [&] { materialize_truth(); }); });
+  }
+
+  std::optional<NodeId> n_sim_probe;
+  std::optional<NodeId> n_sim;
+  if (need_sim) {
+    // Probe first (cheap): a full-artifact hit short-circuits the chunk
+    // fan-out and lets the Observe sub-nodes discover a whole-Observations
+    // hit before doing any work.
+    n_sim_probe = graph.add(
+        [this, scratch, need_observe] {
+          traced("simulate.probe", [&] {
+            if (options_.store == nullptr) return;
+            if (const auto bytes = options_.store->load(
+                    stage_key_material(Stage::kSimulate, {}))) {
+              try {
+                SimArtifact artifact = io::decode_sim_artifact(
+                    std::span<const std::uint8_t>(*bytes));
+                digest_slot(Stage::kSimulate) =
+                    stable_digest_hex(std::span<const std::uint8_t>(*bytes));
+                sim_ = std::move(artifact);
+                ++loads_.simulate;
+              } catch (const std::invalid_argument&) {
+                // Corrupt: a miss; the compute node fans out chunks.
+              }
+            }
+            if (sim_ && need_observe) probe_observe(*scratch);
+          });
+        },
+        deps_of({n_synth}));
+    n_sim = graph.add(
+        [this, scratch, graph_ptr, need_observe] {
+          if (sim_) return;  // probe hit
+          simulate_chunked(*graph_ptr);
+          // The recomputed digest matches what a previous run persisted,
+          // so the whole Observations artifact may still be on disk even
+          // though the sim entry was lost (gc, corruption).  Probing here
+          // lets the path nodes (edge-ordered after this one) and the
+          // finish node reuse it; IRR nodes racing ahead merely did work
+          // the finish node discards.
+          if (need_observe) probe_observe(*scratch);
+        },
+        deps_of({n_sim_probe}));
+    handles.sim_done = n_sim;
+  } else if (need_observe && options_.store != nullptr) {
+    // Simulate (and its digest) already materialized before this graph:
+    // the Observations store entry is probeable right now.
+    probe_observe(*scratch);
+  }
+
+  if (need_observe) {
+    // The IRR pair consumes only ground truth, so it runs concurrently
+    // with every Simulate chunk; ordering it after the cheap store probe
+    // only lets a fully store-served run skip the work.
+    const auto n_irr_gen = graph.add(
+        [this, scratch] {
+          traced("observe.irr_gen", [&] {
+            if (scratch->observe_hit.load(std::memory_order_acquire)) return;
+            scratch->obs.irr_text =
+                observe_irr_text(scenario_, *truth_, 1, nullptr);
+          });
+        },
+        deps_of({n_synth, n_sim_probe}));
+    const auto n_irr_parse = graph.add(
+        [this, scratch] {
+          traced("observe.irr_parse", [&] {
+            if (scratch->observe_hit.load(std::memory_order_acquire)) return;
+            scratch->obs.irr_objects =
+                rpsl::parse_aut_nums(scratch->obs.irr_text, 1, nullptr);
+          });
+        },
+        {n_irr_gen});
+    const auto n_ingest = graph.add(
+        [this, scratch] {
+          traced("observe.path_ingest", [&] {
+            if (scratch->observe_hit.load(std::memory_order_acquire)) return;
+            observe_ingest_paths(scratch->obs, *sim_);
+          });
+        },
+        deps_of({n_sim}));
+    const auto n_index = graph.add(
+        [this, scratch] {
+          traced("observe.path_index", [&] {
+            if (scratch->observe_hit.load(std::memory_order_acquire)) return;
+            scratch->obs.paths.add_tables(inference_table_sources(sim_->sim),
+                                          1, nullptr);
+          });
+        },
+        deps_of({n_sim}));
+    handles.observe_done = graph.add(
+        [this, scratch] {
+          traced("observe.finish", [&] {
+            if (scratch->observe_hit.load(std::memory_order_acquire)) {
+              observations_ = std::move(*scratch->loaded_obs);
+              digest_slot(Stage::kObserve) = stable_digest_hex(
+                  std::span<const std::uint8_t>(scratch->observe_bytes));
+              ++loads_.observe;
+              return;
+            }
+            observations_ = std::move(scratch->obs);
+            ++counters_.observe;
+            if (options_.store != nullptr) {
+              const std::vector<std::uint8_t> bytes =
+                  io::encode(*observations_);
+              digest_slot(Stage::kObserve) =
+                  stable_digest_hex(std::span<const std::uint8_t>(bytes));
+              options_.store->put(stage_key_material(Stage::kObserve, {}),
+                                  bytes);
+            } else {
+              digest_slot(Stage::kObserve).clear();
+            }
+          });
+        },
+        {n_irr_parse, n_ingest, n_index});
+  }
+  return handles;
 }
 
 const InferenceProducts& Experiment::inference() {
@@ -457,6 +850,9 @@ void Experiment::invalidate(Stage from) {
     case Stage::kSimulate:
       sim_.reset();
       digest_slot(Stage::kSimulate).clear();
+      // The chunk ledger describes the dropped artifact's materialization;
+      // a rerun served whole from the store must report all-zero again.
+      sim_chunks_ = SimChunkLedger{};
       [[fallthrough]];
     case Stage::kObserve:
       observations_.reset();
@@ -607,9 +1003,14 @@ SweepReport sweep(std::span<const SweepVariant> variants, std::size_t threads,
   SweepReport report;
   if (variants.empty()) return report;
 
-  // One long-lived executor drives both sweep phases (and nothing else:
-  // variant-internal stages run sequentially on whichever worker owns
-  // them, so the shared pool is never entered reentrantly).
+  // One long-lived executor drives one task graph holding *every*
+  // variant's stages: upstream scenarios build concurrently with sub-stage
+  // granularity (Simulate chunk tasks, overlapped Observe nodes), and each
+  // variant's Infer/Analyze nodes fire the moment their group's upstream
+  // nodes finish — cross-variant work interleaves instead of barriering
+  // per phase, and results stream into request-order slots as they
+  // complete.  Stage internals stay sequential inside their nodes (the
+  // graph is the unit of parallelism), which never changes artifact bytes.
   const util::Executor executor(threads);
 
   // 1. Distinct upstream scenarios, in first-appearance order.
@@ -629,119 +1030,142 @@ SweepReport sweep(std::span<const SweepVariant> variants, std::size_t threads,
   }
   report.distinct_scenarios = keys.size();
 
-  // 2. Upstream artifacts: one Experiment per distinct scenario, built
-  //    once and shared by every variant in the group.  Sharded across the
-  //    executor; stage-internal threading is forced to 1 (the sweep worker
-  //    is the unit of parallelism), which never changes artifact bytes.
-  //    With a store, each upstream experiment probes it stage by stage —
-  //    the cross-process half of sweep resume.
+  // 2. Upstream stage nodes: one Experiment per distinct scenario, its
+  //    Synthesize/Simulate/Observe appended to the shared graph.  With a
+  //    store, each stage probes before computing — the cross-process half
+  //    of sweep resume, now at chunk granularity inside Simulate.
+  util::TaskGraph graph;
   report.upstream.resize(keys.size());
-  util::shard_and_merge(
-      executor, keys.size(),
-      [&](std::size_t group) {
-        RunOptions options;
-        options.threads = 1;
-        options.until = Stage::kObserve;
-        options.store = store;
-        auto experiment = std::make_unique<Experiment>(
-            variants[representative[group]].scenario, options);
-        experiment->run();
-        return experiment;
-      },
-      [&](std::size_t group, std::unique_ptr<Experiment>& built) {
-        report.upstream[group] = std::move(built);
-        const StageCounters& c = report.upstream[group]->counters();
-        report.counters.synthesize += c.synthesize;
-        report.counters.simulate += c.simulate;
-        report.counters.observe += c.observe;
-        const StageCounters& l = report.upstream[group]->loads();
-        report.loads.synthesize += l.synthesize;
-        report.loads.simulate += l.simulate;
-        report.loads.observe += l.observe;
-      });
+  std::vector<Experiment::UpstreamNodes> upstream_nodes(keys.size());
+  for (std::size_t group = 0; group < keys.size(); ++group) {
+    RunOptions options;
+    options.threads = 1;  // the graph parallelizes; bytes never change
+    options.until = Stage::kObserve;
+    options.store = store;
+    report.upstream[group] = std::make_unique<Experiment>(
+        variants[representative[group]].scenario, options);
+    upstream_nodes[group] =
+        report.upstream[group]->add_stage_nodes(graph, Stage::kObserve);
+  }
 
-  // 3. Per-variant Infer + Analyze against the shared (now immutable)
-  //    upstream artifacts, sharded over variants, merged in request order.
-  //    With a store, a variant whose artifacts are both present loads them
-  //    instead of computing — the per-variant half of sweep resume.
+  // 3. Per-variant Infer + Analyze nodes against the shared (immutable
+  //    once their nodes ran) upstream artifacts.  Each variant's results
+  //    land in its request-order slot; completion_index records the order
+  //    they actually streamed in.  With a store, each artifact probes
+  //    independently: a variant whose Analyze entry was lost recomputes
+  //    only Analyze.
+  std::vector<SweepRun> runs(variants.size());
+  std::atomic<std::size_t> completion{0};
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const std::size_t group = group_of_variant[i];
+    const Experiment* up = report.upstream[group].get();
+    SweepRun& run = runs[i];
+
+    std::vector<util::TaskGraph::NodeId> infer_deps;
+    if (upstream_nodes[group].observe_done) {
+      infer_deps.push_back(*upstream_nodes[group].observe_done);
+    }
+    const auto infer_node = graph.add(
+        [&run, up, store, &variants, &keys, group, i] {
+          const SweepVariant& variant = variants[i];
+          run.label = variant.label;
+          run.scenario_key = keys[group];
+          run.scenario_index = group;
+          asrel::GaoParams gao =
+              variant.options.gao.value_or(asrel::GaoParams{});
+          gao.threads = 1;  // see SweepVariant: the graph parallelizes
+
+          if (store != nullptr) {
+            // Variant artifact keys chain on the upstream artifact digests
+            // (stage parameters included, thread knobs excluded) — the
+            // same per-stage granularity as Experiment's keys: inference
+            // depends only on the observations and the Gao knobs, so
+            // variants differing in vantages (and the Analyze entry)
+            // reuse it.
+            std::string infer_key = kKeyPrefix;
+            infer_key += "sweep-variant|";
+            infer_key += up->stage_digest(Stage::kObserve);
+            infer_key += '|';
+            infer_key += gao_params_key(gao);
+            std::string analyze_key = infer_key;
+            analyze_key += '|';
+            analyze_key += up->stage_digest(Stage::kSimulate);
+            analyze_key += '|';
+            vantage_field(analyze_key, variant.options.analysis_vantages);
+            run.store_infer_key = infer_key + "|infer";
+            run.store_analyze_key = analyze_key + "|analyze";
+
+            if (const auto bytes = store->load(run.store_infer_key)) {
+              try {
+                run.inference = io::decode_inference(
+                    std::span<const std::uint8_t>(*bytes));
+                run.inference_loaded = true;
+              } catch (const std::invalid_argument&) {
+                run.inference = InferenceProducts{};
+              }
+            }
+          }
+          if (!run.inference_loaded) {
+            run.inference = infer_relationships(up->observations(), gao);
+            if (store != nullptr) {
+              store->put(run.store_infer_key, io::encode(run.inference));
+            }
+          }
+        },
+        infer_deps);
+
+    // Analyze depends on the variant's inference and (transitively through
+    // the observe node) the group's Simulate artifact.
+    graph.add(
+        [&run, up, store, &variants, &completion, i] {
+          const SweepVariant& variant = variants[i];
+          if (store != nullptr) {
+            if (const auto bytes = store->load(run.store_analyze_key)) {
+              try {
+                run.analyses = io::decode_analysis_suite(
+                    std::span<const std::uint8_t>(*bytes));
+                run.analyses_loaded = true;
+              } catch (const std::invalid_argument&) {
+                run.analyses = AnalysisSuite{};
+              }
+            }
+          }
+          if (!run.analyses_loaded) {
+            const ExperimentView view =
+                make_view(up->sim(), up->observations(), run.inference);
+            std::vector<AsNumber> vantages = variant.options.analysis_vantages;
+            if (vantages.empty()) vantages = recorded_vantages(up->sim().sim);
+            run.analyses = run_analysis_suite(view, vantages, 1);
+            if (store != nullptr) {
+              store->put(run.store_analyze_key, io::encode(run.analyses));
+            }
+          }
+          run.completion_index = completion.fetch_add(1);
+        },
+        {infer_node});
+  }
+
+  graph.run(executor);
+
+  // 4. Deterministic ledgers and the request-order merge, after the graph
+  //    drained: upstream stage counts in group order, variant counts in
+  //    request order — byte-identical at any thread count.
+  for (const auto& up : report.upstream) {
+    const StageCounters& c = up->counters();
+    report.counters.synthesize += c.synthesize;
+    report.counters.simulate += c.simulate;
+    report.counters.observe += c.observe;
+    const StageCounters& l = up->loads();
+    report.loads.synthesize += l.synthesize;
+    report.loads.simulate += l.simulate;
+    report.loads.observe += l.observe;
+  }
   report.runs.reserve(variants.size());
-  util::shard_and_merge(
-      executor, variants.size(),
-      [&](std::size_t i) {
-        const SweepVariant& variant = variants[i];
-        const Experiment& up = *report.upstream[group_of_variant[i]];
-        SweepRun run;
-        run.label = variant.label;
-        run.scenario_key = keys[group_of_variant[i]];
-        run.scenario_index = group_of_variant[i];
-        asrel::GaoParams gao =
-            variant.options.gao.value_or(asrel::GaoParams{});
-        gao.threads = 1;  // see SweepVariant: the sweep worker parallelizes
-
-        if (store != nullptr) {
-          // Variant artifact keys chain on the upstream artifact digests
-          // (stage parameters included, thread knobs excluded) — the same
-          // per-stage granularity as Experiment's keys: inference depends
-          // only on the observations and the Gao knobs, so variants
-          // differing in vantages (and the Analyze entry) reuse it.
-          std::string infer_key = kKeyPrefix;
-          infer_key += "sweep-variant|";
-          infer_key += up.stage_digest(Stage::kObserve);
-          infer_key += '|';
-          infer_key += gao_params_key(gao);
-          std::string analyze_key = infer_key;
-          analyze_key += '|';
-          analyze_key += up.stage_digest(Stage::kSimulate);
-          analyze_key += '|';
-          vantage_field(analyze_key, variant.options.analysis_vantages);
-          run.store_infer_key = infer_key + "|infer";
-          run.store_analyze_key = analyze_key + "|analyze";
-
-          // Each artifact probes independently: a variant whose Analyze
-          // entry was lost recomputes only Analyze.
-          if (const auto bytes = store->load(run.store_infer_key)) {
-            try {
-              run.inference = io::decode_inference(
-                  std::span<const std::uint8_t>(*bytes));
-              run.inference_loaded = true;
-            } catch (const std::invalid_argument&) {
-              run.inference = InferenceProducts{};
-            }
-          }
-          if (const auto bytes = store->load(run.store_analyze_key)) {
-            try {
-              run.analyses = io::decode_analysis_suite(
-                  std::span<const std::uint8_t>(*bytes));
-              run.analyses_loaded = true;
-            } catch (const std::invalid_argument&) {
-              run.analyses = AnalysisSuite{};
-            }
-          }
-        }
-
-        if (!run.inference_loaded) {
-          run.inference = infer_relationships(up.observations(), gao);
-          if (store != nullptr) {
-            store->put(run.store_infer_key, io::encode(run.inference));
-          }
-        }
-        if (!run.analyses_loaded) {
-          const ExperimentView view =
-              make_view(up.sim(), up.observations(), run.inference);
-          std::vector<AsNumber> vantages = variant.options.analysis_vantages;
-          if (vantages.empty()) vantages = recorded_vantages(up.sim().sim);
-          run.analyses = run_analysis_suite(view, vantages, 1);
-          if (store != nullptr) {
-            store->put(run.store_analyze_key, io::encode(run.analyses));
-          }
-        }
-        return run;
-      },
-      [&](std::size_t, SweepRun& run) {
-        ++(run.inference_loaded ? report.loads : report.counters).infer;
-        ++(run.analyses_loaded ? report.loads : report.counters).analyze;
-        report.runs.push_back(std::move(run));
-      });
+  for (SweepRun& run : runs) {
+    ++(run.inference_loaded ? report.loads : report.counters).infer;
+    ++(run.analyses_loaded ? report.loads : report.counters).analyze;
+    report.runs.push_back(std::move(run));
+  }
   return report;
 }
 

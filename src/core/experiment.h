@@ -23,11 +23,14 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/analysis_suite.h"
@@ -49,6 +52,28 @@ enum class Stage : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(Stage stage);
+
+/// One span of a task-graph node's execution — bench/diagnostic
+/// instrumentation (bench_pipeline_stages computes stage-overlap windows
+/// from these).  Times are seconds since StageTrace::origin.
+struct TraceSpan {
+  std::string name;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+};
+
+/// Thread-safe trace sink an Experiment writes node spans into when
+/// RunOptions::trace points at one.  Purely diagnostic: wall-clock spans
+/// are (like all timings) outside the determinism contract.
+struct StageTrace {
+  std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  std::mutex mutex;
+  std::vector<TraceSpan> spans;
+
+  void record(std::string name, std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end);
+};
 
 /// Unifies the knobs every stage runner takes: the worker-thread count and
 /// how far down the stage chain to run.
@@ -72,6 +97,15 @@ struct RunOptions {
   /// so a second process over the same store resumes instead of re-running
   /// (docs/ARCHITECTURE.md "Artifact store").
   ArtifactStore* store = nullptr;
+  /// Originations per Simulate chunk task on the task-graph path
+  /// (0 = auto, aiming at ~32 near-equal chunks).  Chunk boundaries
+  /// are deterministic in (origination count, this knob) alone — never in
+  /// thread counts — so a killed run resumes mid-Simulate at any thread
+  /// setting; the merged SimArtifact is byte-identical at every value.
+  std::size_t sim_chunk_prefixes = 0;
+  /// Optional node-span trace sink (non-owning; must outlive the
+  /// experiment).  See StageTrace.
+  StageTrace* trace = nullptr;
 };
 
 // -------------------------------------------------------------- artifacts --
@@ -89,6 +123,37 @@ struct SimArtifact {
   sim::VantageSpec vantage;
   sim::SimResult sim;
 };
+
+/// One persisted slice of the Simulate stage: the vantage recordings of
+/// originations [begin, end) out of `total`.  Chunks are the unit the
+/// staged task graph schedules in parallel and the artifact store persists
+/// individually, so a killed run resumes *mid-Simulate* — a restarted
+/// process recomputes only the chunks that never hit disk
+/// (sim::simulate_chunk computes one, sim::merge_sim_chunk replays them in
+/// range order into a byte-identical SimResult).
+struct SimChunk {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t total = 0;
+  sim::SimResult partial;
+};
+
+/// Deterministic Simulate chunk boundaries for `n` originations:
+/// contiguous ranges of `chunk_prefixes` originations each (0 = auto: n
+/// split toward ~32 near-equal chunks).  Depends only on (n,
+/// chunk_prefixes) — never on thread counts — so chunk store keys are
+/// stable across resume runs at any threading.
+[[nodiscard]] std::vector<util::IndexRange> sim_chunk_ranges(
+    std::size_t n, std::size_t chunk_prefixes);
+
+/// Store key of one Simulate chunk: scenario identity + GroundTruth
+/// digest + the chunk's range within the origination list.  Exposed so
+/// tests and tools can reconstruct (or erase) the exact mid-stage resume
+/// state an interrupted run leaves behind.
+[[nodiscard]] std::string sim_chunk_store_key(std::string_view scenario_key,
+                                              std::string_view truth_digest,
+                                              util::IndexRange range,
+                                              std::size_t total);
 
 /// Observe: everything the paper *had* — the observed path set (cleaned
 /// and ready for relationship inference), the path index over it, and the
@@ -164,6 +229,17 @@ struct StageCounters {
   std::size_t analyze = 0;
 };
 
+/// The Simulate-chunk ledger of one Experiment: how many chunk tasks the
+/// task-graph path scheduled, and of those how many were computed vs.
+/// served from the store — the mid-Simulate resume assertion hook
+/// (tests/core/artifact_store_test.cc).  All zero when Simulate was served
+/// whole (full-artifact store hit) or ran on the sequential seed path.
+struct SimChunkLedger {
+  std::size_t total = 0;
+  std::size_t computed = 0;
+  std::size_t loaded = 0;
+};
+
 /// Lazily-staged experiment with memoized artifacts.  Accessors run the
 /// requested stage (and everything upstream of it) on first use; re-running
 /// a downstream stage with new parameters reuses every cached upstream
@@ -204,9 +280,36 @@ class Experiment {
   /// accessor re-runs them.
   void invalidate(Stage from);
 
+  /// Handles into a task graph the upstream stages were appended to:
+  /// `sim_done` / `observe_done` are the nodes after which sim() /
+  /// observations() are materialized (empty when the artifact already
+  /// existed, so nothing was appended for it).
+  struct UpstreamNodes {
+    std::optional<util::TaskGraph::NodeId> sim_done;
+    std::optional<util::TaskGraph::NodeId> observe_done;
+  };
+
+  /// Appends this experiment's not-yet-materialized upstream stages
+  /// (Synthesize/Simulate/Observe, clamped by `until`) to `graph` as task
+  /// nodes with sub-stage granularity: Simulate fans out into per-
+  /// prefix-shard chunk tasks (individually persisted when a store is
+  /// attached — the mid-Simulate resume unit), and Observe splits into
+  /// IRR-generation → IRR-parsing and path-ingest / path-index nodes that
+  /// overlap with each other and with late Simulate chunks.  Stage
+  /// internals run sequentially inside their nodes (the graph is the
+  /// parallelism), which never changes artifact bytes.  The orchestration
+  /// hook `core::sweep` uses to interleave many experiments' graphs on one
+  /// executor; `this` must outlive the graph run, and the graph must run
+  /// to completion before any artifact accessor is used.
+  UpstreamNodes add_stage_nodes(util::TaskGraph& graph, Stage until);
+
   [[nodiscard]] const Scenario& scenario() const { return scenario_; }
   [[nodiscard]] const RunOptions& options() const { return options_; }
   [[nodiscard]] const StageCounters& counters() const { return counters_; }
+  /// The Simulate-chunk ledger of the task-graph path (see SimChunkLedger).
+  [[nodiscard]] const SimChunkLedger& sim_chunks() const {
+    return sim_chunks_;
+  }
   /// How many times each stage's artifact was loaded from the store
   /// instead of computed (always zero without a store).  counters() +
   /// loads() together account for every stage materialization.
@@ -235,10 +338,13 @@ class Experiment {
   [[nodiscard]] Pipeline into_pipeline() &&;
 
  private:
+  struct UpstreamScratch;  // per-graph-run staging state (experiment.cc)
+
   [[nodiscard]] asrel::GaoParams effective_gao_params() const;
-  /// The experiment's long-lived worker pool, created once (lazily, so a
-  /// fully store-served run never spawns workers) and shared by every
-  /// stage — stage internals no longer spin private pools.
+  /// The experiment's long-lived worker pool, created once (lazily) and
+  /// shared by every stage — the task graph schedules on it and Infer/
+  /// Analyze shard their internals over it; stage internals never spin
+  /// private pools.
   [[nodiscard]] const util::Executor& executor();
   /// Store-key material for a stage (empty store handled by callers); see
   /// RunOptions::store for the key discipline.
@@ -247,11 +353,30 @@ class Experiment {
   [[nodiscard]] std::string& digest_slot(Stage stage) {
     return digests_[static_cast<std::size_t>(stage)];
   }
+  /// Materializes upstream stages (≤ kObserve) through a task graph on
+  /// this experiment's executor; with a sequential executor and no store,
+  /// falls back to the direct stage calls (the exact seed program).
+  void run_upstream(Stage until);
+  /// The direct (pre-task-graph) stage path; byte-identical to the graph.
+  void run_upstream_serial(Stage until);
+  /// The Synthesize probe-or-compute-and-persist body (shared by both
+  /// paths; Synthesize has no internal parallelism to lose).
+  void materialize_truth();
+  /// Probes the store for the whole Observations artifact (decoding it, so
+  /// corruption stays a miss); requires upstream digests to be known.
+  void probe_observe(UpstreamScratch& scratch);
+  /// The Simulate task-graph body: probe/compute/persist chunk tasks
+  /// nested-submitted into `graph`, merged in range order.
+  void simulate_chunked(util::TaskGraph& graph);
+  /// Wraps a node body with StageTrace recording when enabled.
+  template <typename Fn>
+  void traced(const char* name, Fn&& fn);
 
   Scenario scenario_;
   RunOptions options_;
   StageCounters counters_;
   StageCounters loads_;
+  SimChunkLedger sim_chunks_;
   std::array<std::string, 5> digests_;
   std::unique_ptr<util::Executor> executor_;
   std::optional<GroundTruth> truth_;
@@ -301,6 +426,13 @@ struct SweepRun {
   [[nodiscard]] bool loaded_from_store() const {
     return inference_loaded && analyses_loaded;
   }
+  /// Position in the sweep's *completion* stream: variant results finish
+  /// as their graph nodes complete (no all-variants barrier), and this
+  /// records the order they streamed in.  Diagnostic only — like
+  /// wall-clock it is outside the determinism contract (at threads == 1
+  /// it equals the request order; under parallelism it varies run to
+  /// run).  The report itself is still merged in request order.
+  std::size_t completion_index = 0;
 };
 
 struct SweepReport {
@@ -330,9 +462,14 @@ struct SweepReport {
 
 /// Runs every variant's full stage chain with upstream artifacts built
 /// once per distinct scenario_cache_key and shared across variants.
-/// Variant execution is sharded across `threads` workers (0 = hardware
-/// concurrency) with results merged in request order — the report is
-/// byte-identical at any thread count.
+/// Every variant's stages are submitted into **one task graph on one
+/// executor** (util::TaskGraph): upstream scenarios build concurrently
+/// with sub-stage granularity (Simulate chunk tasks, overlapped Observe
+/// nodes), each variant's Infer/Analyze nodes start the moment their
+/// group's upstream nodes finish (no per-variant or per-phase barrier),
+/// and results stream into their request-order slots as they complete
+/// (SweepRun::completion_index records the streaming order).  The merged
+/// report is byte-identical at any `threads` (0 = hardware concurrency).
 ///
 /// With a `store`, the sweep resumes across processes: upstream stages and
 /// per-variant Infer/Analyze artifacts are probed before computing and

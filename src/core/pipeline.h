@@ -130,10 +130,12 @@ struct Pipeline {
 ///
 /// Compatibility wrapper: since the staged-experiment redesign this is a
 /// thin assembly over core::Experiment (experiment.h) — it runs the
-/// Synthesize → Simulate → Observe → Infer stages and moves their
-/// artifacts into the flat Pipeline struct, byte-identical to the
-/// pre-staging monolithic run.  New code that wants artifact reuse or
-/// scenario sweeps should use Experiment directly.
+/// Synthesize → Simulate → Observe → Infer stages (as overlapped
+/// util::TaskGraph nodes at threads >= 2, as the exact sequential seed
+/// program at threads == 1) and moves their artifacts into the flat
+/// Pipeline struct, byte-identical to the pre-staging monolithic run.
+/// New code that wants artifact reuse, mid-stage resume, or scenario
+/// sweeps should use Experiment directly.
 ///
 /// The per-table analyses of Sections 4-5 are NOT part of the pipeline
 /// run; they execute over a finished Pipeline via core::run_analysis_suite

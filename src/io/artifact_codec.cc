@@ -531,28 +531,51 @@ core::GroundTruth get_ground_truth(Reader& r) {
 
 // ------------------------------------------------------------ sim artifact --
 
-void put_sim_artifact(Writer& w, const core::SimArtifact& artifact) {
-  put_as(w, artifact.vantage.collector_as);
-  put_as_vector(w, artifact.vantage.collector_peers);
-  put_as_vector(w, artifact.vantage.looking_glass);
-  put_as_vector(w, artifact.vantage.best_only);
-
-  put_table(w, artifact.sim.collector);
-  const auto looking_glass = sorted_entries(artifact.sim.looking_glass);
+void put_sim_result(Writer& w, const sim::SimResult& sim) {
+  put_table(w, sim.collector);
+  const auto looking_glass = sorted_entries(sim.looking_glass);
   w.put(static_cast<std::uint64_t>(looking_glass.size()));
   for (const auto* entry : looking_glass) {
     put_as(w, entry->first);
     put_table(w, entry->second);
   }
-  const auto best_only = sorted_entries(artifact.sim.best_only);
+  const auto best_only = sorted_entries(sim.best_only);
   w.put(static_cast<std::uint64_t>(best_only.size()));
   for (const auto* entry : best_only) {
     put_as(w, entry->first);
     put_table(w, entry->second);
   }
-  w.put(static_cast<std::uint64_t>(artifact.sim.origination_count));
-  w.put(static_cast<std::uint64_t>(artifact.sim.unconverged_prefixes));
-  w.put(static_cast<std::uint64_t>(artifact.sim.process_events));
+  w.put(static_cast<std::uint64_t>(sim.origination_count));
+  w.put(static_cast<std::uint64_t>(sim.unconverged_prefixes));
+  w.put(static_cast<std::uint64_t>(sim.process_events));
+}
+
+sim::SimResult get_sim_result(Reader& r) {
+  sim::SimResult sim;
+  sim.collector = get_table(r);
+  const std::size_t looking_glass = r.get_count(12);
+  for (std::size_t i = 0; i < looking_glass; ++i) {
+    const util::AsNumber as = get_as(r);
+    sim.looking_glass.emplace(as, get_table(r));
+  }
+  const std::size_t best_only = r.get_count(12);
+  for (std::size_t i = 0; i < best_only; ++i) {
+    const util::AsNumber as = get_as(r);
+    sim.best_only.emplace(as, get_table(r));
+  }
+  sim.origination_count = static_cast<std::size_t>(r.get<std::uint64_t>());
+  sim.unconverged_prefixes =
+      static_cast<std::size_t>(r.get<std::uint64_t>());
+  sim.process_events = static_cast<std::size_t>(r.get<std::uint64_t>());
+  return sim;
+}
+
+void put_sim_artifact(Writer& w, const core::SimArtifact& artifact) {
+  put_as(w, artifact.vantage.collector_as);
+  put_as_vector(w, artifact.vantage.collector_peers);
+  put_as_vector(w, artifact.vantage.looking_glass);
+  put_as_vector(w, artifact.vantage.best_only);
+  put_sim_result(w, artifact.sim);
 }
 
 core::SimArtifact get_sim_artifact(Reader& r) {
@@ -561,25 +584,29 @@ core::SimArtifact get_sim_artifact(Reader& r) {
   artifact.vantage.collector_peers = get_as_vector(r);
   artifact.vantage.looking_glass = get_as_vector(r);
   artifact.vantage.best_only = get_as_vector(r);
-
-  artifact.sim.collector = get_table(r);
-  const std::size_t looking_glass = r.get_count(12);
-  for (std::size_t i = 0; i < looking_glass; ++i) {
-    const util::AsNumber as = get_as(r);
-    artifact.sim.looking_glass.emplace(as, get_table(r));
-  }
-  const std::size_t best_only = r.get_count(12);
-  for (std::size_t i = 0; i < best_only; ++i) {
-    const util::AsNumber as = get_as(r);
-    artifact.sim.best_only.emplace(as, get_table(r));
-  }
-  artifact.sim.origination_count =
-      static_cast<std::size_t>(r.get<std::uint64_t>());
-  artifact.sim.unconverged_prefixes =
-      static_cast<std::size_t>(r.get<std::uint64_t>());
-  artifact.sim.process_events =
-      static_cast<std::size_t>(r.get<std::uint64_t>());
+  artifact.sim = get_sim_result(r);
   return artifact;
+}
+
+// -------------------------------------------------------------- sim chunk --
+
+void put_sim_chunk(Writer& w, const core::SimChunk& chunk) {
+  w.put(chunk.begin);
+  w.put(chunk.end);
+  w.put(chunk.total);
+  put_sim_result(w, chunk.partial);
+}
+
+core::SimChunk get_sim_chunk(Reader& r) {
+  core::SimChunk chunk;
+  chunk.begin = r.get<std::uint64_t>();
+  chunk.end = r.get<std::uint64_t>();
+  chunk.total = r.get<std::uint64_t>();
+  if (chunk.begin > chunk.end || chunk.end > chunk.total) {
+    throw std::invalid_argument("artifact: bad sim chunk range");
+  }
+  chunk.partial = get_sim_result(r);
+  return chunk;
 }
 
 // ------------------------------------------------------------ observations --
@@ -978,6 +1005,7 @@ const char* to_string(ArtifactKind kind) {
     case ArtifactKind::kObservations: return "observations";
     case ArtifactKind::kInferenceProducts: return "inference_products";
     case ArtifactKind::kAnalysisSuite: return "analysis_suite";
+    case ArtifactKind::kSimChunk: return "sim_chunk";
   }
   return "?";
 }
@@ -1041,6 +1069,18 @@ core::AnalysisSuite decode_analysis_suite(
     std::span<const std::uint8_t> bytes) {
   return decode_payload(ArtifactKind::kAnalysisSuite, bytes,
                         [](Reader& r) { return get_analysis_suite(r); });
+}
+
+std::vector<std::uint8_t> encode(const core::SimChunk& chunk) {
+  std::vector<std::uint8_t> payload;
+  Writer w(payload);
+  put_sim_chunk(w, chunk);
+  return frame(ArtifactKind::kSimChunk, std::move(payload));
+}
+
+core::SimChunk decode_sim_chunk(std::span<const std::uint8_t> bytes) {
+  return decode_payload(ArtifactKind::kSimChunk, bytes,
+                        [](Reader& r) { return get_sim_chunk(r); });
 }
 
 }  // namespace bgpolicy::io

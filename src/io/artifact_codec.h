@@ -39,6 +39,11 @@ enum class ArtifactKind : std::uint16_t {
   kObservations = 3,
   kInferenceProducts = 4,
   kAnalysisSuite = 5,
+  /// One Simulate chunk (core::SimChunk): the per-prefix-shard slice the
+  /// staged task graph persists individually so a killed run resumes
+  /// mid-Simulate.  Same framing as every other kind; a full SimArtifact
+  /// entry supersedes its chunks once the merged stage persists.
+  kSimChunk = 6,
 };
 
 [[nodiscard]] const char* to_string(ArtifactKind kind);
@@ -50,6 +55,7 @@ enum class ArtifactKind : std::uint16_t {
 [[nodiscard]] std::vector<std::uint8_t> encode(
     const core::InferenceProducts& inference);
 [[nodiscard]] std::vector<std::uint8_t> encode(const core::AnalysisSuite& suite);
+[[nodiscard]] std::vector<std::uint8_t> encode(const core::SimChunk& chunk);
 
 // Decoders throw std::invalid_argument on truncated, corrupted,
 // wrong-kind, or version-mismatched input.
@@ -62,6 +68,8 @@ enum class ArtifactKind : std::uint16_t {
 [[nodiscard]] core::InferenceProducts decode_inference(
     std::span<const std::uint8_t> bytes);
 [[nodiscard]] core::AnalysisSuite decode_analysis_suite(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] core::SimChunk decode_sim_chunk(
     std::span<const std::uint8_t> bytes);
 
 }  // namespace bgpolicy::io

@@ -34,12 +34,7 @@ void record_prefix(const PropagationEngine& engine, const PrefixRouting& state,
   }
 }
 
-SimResult run_simulation(const topo::AsGraph& graph, const PolicySet& policies,
-                         std::span<const Origination> originations,
-                         const VantageSpec& spec,
-                         const PropagationOptions& options,
-                         const util::Executor* executor) {
-  PropagationEngine engine(graph, policies);
+SimResult init_sim_result(const VantageSpec& spec) {
   SimResult result;
   result.collector = bgp::BgpTable(spec.collector_as);
   for (const AsNumber lg : spec.looking_glass) {
@@ -48,6 +43,62 @@ SimResult run_simulation(const topo::AsGraph& graph, const PolicySet& policies,
   for (const AsNumber as : spec.best_only) {
     result.best_only.emplace(as, bgp::BgpTable(as));
   }
+  return result;
+}
+
+SimResult simulate_chunk(const topo::AsGraph& graph, const PolicySet& policies,
+                         std::span<const Origination> originations,
+                         const VantageSpec& spec,
+                         const PropagationOptions& options,
+                         util::IndexRange range) {
+  PropagationEngine engine(graph, policies);
+  SimResult result = init_sim_result(spec);
+  for (std::size_t i = range.begin; i < range.end; ++i) {
+    const PrefixRouting state =
+        compute_prefix(graph, policies, originations[i], nullptr, options);
+    if (!state.converged) ++result.unconverged_prefixes;
+    result.process_events += state.process_events;
+    record_prefix(engine, state, spec, result);
+    ++result.origination_count;
+  }
+  return result;
+}
+
+namespace {
+
+/// Replays every route of `from` into `to` in first-insertion prefix order
+/// (routes in stored order within a prefix) — the add-sequence of the
+/// sequential program restricted to the chunk's originations.
+void replay_table(bgp::BgpTable& to, const bgp::BgpTable& from) {
+  from.for_each([&](const bgp::Prefix&, std::span<const bgp::Route> routes) {
+    for (const bgp::Route& route : routes) to.add(route);
+  });
+}
+
+}  // namespace
+
+void merge_sim_chunk(SimResult& into, const SimResult& chunk) {
+  replay_table(into.collector, chunk.collector);
+  for (auto& [as, table] : into.looking_glass) {
+    const auto it = chunk.looking_glass.find(as);
+    if (it != chunk.looking_glass.end()) replay_table(table, it->second);
+  }
+  for (auto& [as, table] : into.best_only) {
+    const auto it = chunk.best_only.find(as);
+    if (it != chunk.best_only.end()) replay_table(table, it->second);
+  }
+  into.origination_count += chunk.origination_count;
+  into.unconverged_prefixes += chunk.unconverged_prefixes;
+  into.process_events += chunk.process_events;
+}
+
+SimResult run_simulation(const topo::AsGraph& graph, const PolicySet& policies,
+                         std::span<const Origination> originations,
+                         const VantageSpec& spec,
+                         const PropagationOptions& options,
+                         const util::Executor* executor) {
+  PropagationEngine engine(graph, policies);
+  SimResult result = init_sim_result(spec);
 
   const auto record = [&](const PrefixRouting& state) {
     if (!state.converged) ++result.unconverged_prefixes;

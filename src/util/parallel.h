@@ -23,8 +23,11 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <initializer_list>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -199,6 +202,121 @@ void shard_and_merge(const Executor& executor, std::size_t n,
                      Compute&& compute, Merge&& merge) {
   shard_and_merge(n > 1 ? executor.pool() : nullptr, n, compute, merge);
 }
+
+// -------------------------------------------------------------- task graph --
+
+/// A small deterministic-task dependency graph scheduled on an Executor —
+/// the future/continuation layer the staged experiment pipeline runs on
+/// (core::Experiment recasts its stages as nodes; core::sweep submits every
+/// variant's nodes into one graph so cross-variant work interleaves).
+///
+/// Nodes are `void()` tasks; edges say "this node runs only after those".
+/// Tasks must be deterministic pure-ish functions writing results into
+/// their own slots: edges establish happens-before (all state transitions
+/// go through one mutex), so a dependent reads its inputs race-free, and
+/// which thread ran which node can never influence any output.
+///
+/// Execution model:
+///   * `run(executor)` drives the graph to completion on the executor's
+///     pool (the calling thread participates).  A sequential executor runs
+///     every node inline on the calling thread in deterministic order —
+///     ready nodes execute lowest-id first, so `threads == 1` is the exact
+///     program order of the `add` calls (topologically).
+///   * **Worker-loan nested submission:** a running task may `submit` new
+///     nodes and `wait` on them.  The waiting worker loans itself back to
+///     the scheduler and executes other ready nodes instead of blocking,
+///     so nested fan-out (e.g. Simulate's per-prefix-shard chunk tasks)
+///     can never deadlock the pool, even at `threads == 1`.
+///   * **Failure propagation:** the first exception wins; every node not
+///     yet started is skipped (its fn never runs), `wait` calls inside
+///     running tasks throw, and `run` rethrows the first exception after
+///     the graph drains.  A cycle (or a `wait` that can never be
+///     satisfied) is detected — when no node is ready and every in-flight
+///     task is itself blocked waiting — and reported as std::logic_error.
+///
+/// A TaskGraph instance is single-run: build with `add`, call `run` once.
+/// `add` is not thread-safe; `submit`/`wait` may only be called from
+/// inside a running task (they are thread-safe).
+class TaskGraph {
+ public:
+  using NodeId = std::size_t;
+
+  TaskGraph() = default;
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Adds a node that runs after every node in `deps` (ids from earlier
+  /// add/submit calls).  Build-time only (before run).
+  NodeId add(std::function<void()> fn, std::span<const NodeId> deps = {});
+  NodeId add(std::function<void()> fn, std::initializer_list<NodeId> deps);
+
+  /// Runs every node and blocks until the graph drains.  Rethrows the
+  /// first task exception.  Uses the executor's shared pool; a sequential
+  /// executor runs everything inline in deterministic lowest-id order.
+  void run(const Executor& executor);
+
+  /// Thread-safe add for use from *inside* a running task (nested
+  /// submission).  Dependencies may include already-finished nodes.
+  NodeId submit(std::function<void()> fn, std::span<const NodeId> deps = {});
+  NodeId submit(std::function<void()> fn, std::initializer_list<NodeId> deps);
+
+  /// Blocks the calling *task* until every node in `ids` finished, loaning
+  /// the worker to other ready nodes meanwhile (see class comment).
+  /// Throws std::runtime_error when the graph was cancelled by another
+  /// task's failure and std::logic_error on a wait that can never be
+  /// satisfied.  Only valid from inside a running task.
+  void wait(std::span<const NodeId> ids);
+  void wait(std::initializer_list<NodeId> ids);
+
+  /// Number of nodes added so far (diagnostics/tests).
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+ private:
+  enum class NodeState : std::uint8_t { kWaiting, kReady, kRunning, kDone };
+
+  struct Node {
+    std::function<void()> fn;
+    NodeState state = NodeState::kWaiting;
+    std::size_t pending = 0;  // unfinished dependencies
+    std::vector<NodeId> dependents;
+  };
+
+  /// A task blocked inside wait(), registered so the deadlock check can
+  /// tell "stalled but about to be woken" from "can never progress".
+  struct Waiter {
+    const NodeId* ids;
+    std::size_t count;
+  };
+
+  NodeId add_locked(std::function<void()>&& fn, std::span<const NodeId> deps);
+  /// Pops and executes `id` (must be ready); called with `lock` held,
+  /// releases it around the task body, reacquires to finish.
+  void execute(NodeId id, std::unique_lock<std::mutex>& lock);
+  /// One scheduler instance: executes ready nodes until the graph drains.
+  void scheduler_loop();
+  [[nodiscard]] bool finished_locked() const {
+    return done_ == nodes_.size();
+  }
+  [[nodiscard]] bool satisfied_locked(const Waiter& waiter) const;
+  /// True when the graph can never progress again: nothing ready, every
+  /// in-flight task blocked in wait(), and no blocked waiter's targets are
+  /// all done (a satisfied waiter is merely pending its wakeup).
+  [[nodiscard]] bool deadlocked_locked() const;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Node> nodes_;   // guarded by mutex_ once run() starts
+  std::set<NodeId> ready_;    // lowest id first: the deterministic pop order
+  std::vector<const Waiter*> waiters_;  // guarded by mutex_
+  std::size_t done_ = 0;      // nodes finished (run or skipped)
+  std::size_t executing_ = 0; // task frames on a thread (incl. waiters)
+  std::size_t stalled_ = 0;   // tasks blocked inside wait()
+  std::size_t loaning_ = 0;   // wait() frames currently running a loaned
+                              // node: ancestors of another counted frame,
+                              // not independently progressing
+  bool bail_ = false;         // cycle detected: schedulers must exit
+  std::exception_ptr error_;  // first failure wins
+};
 
 /// The canonical "optional shared executor" resolution used by every stage
 /// entry point that still exposes a bare `threads` knob: when the caller

@@ -5,13 +5,21 @@
 // cache identity, and a killed-and-restarted sweep recomputes only the
 // missing variants — verified by the stage-run/load ledgers — while
 // producing byte-identical products.
+//
+// ISSUE 5 extends the contract to chunk granularity and bounded stores: a
+// run killed *mid-Simulate* leaves its finished chunk artifacts behind and
+// a restarted run recomputes only the missing chunks (byte-identical
+// merged products), and gc() evicts least-recently-accessed entries while
+// never touching pins (in-progress chunk protection) or fresh files.
 #include "core/artifact_store.h"
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -21,6 +29,7 @@
 #include "core/experiment.h"
 #include "core/scenario.h"
 #include "io/artifact_codec.h"
+#include "sim/simulation.h"
 
 namespace bgpolicy::core {
 namespace {
@@ -206,6 +215,207 @@ TEST(ArtifactStore, CorruptedEntryIsAMissAndHealsItself) {
   third.run();
   EXPECT_EQ(third.counters().synthesize, 0u);
   EXPECT_EQ(third.loads().synthesize, 1u);
+}
+
+TEST(ArtifactStore, EvictedSimEntryStillReusesCachedObservations) {
+  ScopedStore store;
+  RunOptions options;
+  options.threads = 1;
+  options.store = store.get();
+  Experiment first(Scenario::small(33), options);
+  first.run(Stage::kObserve);
+
+  // Lose only the Simulate entry (a gc eviction of the biggest artifact).
+  bool erased = false;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(store->root())) {
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+    const std::span<const std::uint8_t> bytes(
+        reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size());
+    try {
+      (void)io::decode_sim_artifact(bytes);
+      in.close();
+      std::filesystem::remove(entry.path());
+      erased = true;
+      break;
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  ASSERT_TRUE(erased) << "no sim artifact found to evict";
+
+  // The next run must recompute Simulate (identical digest) but still
+  // serve Observations from the store instead of redoing path indexing.
+  Experiment second(Scenario::small(33), options);
+  second.run(Stage::kObserve);
+  EXPECT_EQ(second.counters().simulate, 1u);
+  EXPECT_EQ(second.loads().simulate, 0u);
+  EXPECT_EQ(second.counters().observe, 0u);
+  EXPECT_EQ(second.loads().observe, 1u);
+  EXPECT_EQ(io::encode(second.observations()), io::encode(first.observations()));
+}
+
+TEST(SimChunkCodec, RoundtripIsBytePure) {
+  RunOptions options;
+  options.threads = 1;
+  Experiment experiment(Scenario::small(3), options);
+  experiment.run(Stage::kSimulate);
+  const GroundTruth& truth = experiment.truth();
+  const sim::VantageSpec vantage =
+      derive_vantage(experiment.scenario(), truth.topo);
+
+  SimChunk chunk;
+  chunk.begin = 0;
+  chunk.end = std::min<std::size_t>(4, truth.originations.size());
+  chunk.total = truth.originations.size();
+  chunk.partial = sim::simulate_chunk(
+      truth.topo.graph, truth.gen.policies, truth.originations, vantage,
+      experiment.scenario().propagation,
+      {0, static_cast<std::size_t>(chunk.end)});
+
+  const std::vector<std::uint8_t> bytes = io::encode(chunk);
+  const SimChunk decoded = io::decode_sim_chunk(bytes);
+  EXPECT_EQ(decoded.begin, chunk.begin);
+  EXPECT_EQ(decoded.end, chunk.end);
+  EXPECT_EQ(decoded.total, chunk.total);
+  EXPECT_EQ(io::encode(decoded), bytes);  // content-pure re-encode
+
+  // Wrong-kind decode is rejected like every other artifact.
+  EXPECT_THROW((void)io::decode_sim_artifact(bytes), std::invalid_argument);
+}
+
+TEST(SimChunkResume, KilledMidSimulateRecomputesOnlyMissingChunks) {
+  const Scenario scenario = Scenario::small(21);
+  RunOptions options;
+  options.threads = 1;
+  options.sim_chunk_prefixes = 4;
+
+  // Reference: a complete run over its own store.
+  ScopedStore full_store;
+  RunOptions full_options = options;
+  full_options.store = full_store.get();
+  Experiment reference(scenario, full_options);
+  reference.run(Stage::kSimulate);
+  ASSERT_GT(reference.sim_chunks().total, 2u);
+  EXPECT_EQ(reference.sim_chunks().computed, reference.sim_chunks().total);
+  EXPECT_EQ(reference.sim_chunks().loaded, 0u);
+
+  // Reconstruct the killed-mid-Simulate state in a second store:
+  // Synthesize persisted, the leading chunks persisted (what a run flushes
+  // as each chunk task completes), the trailing chunks and the merged
+  // artifact lost with the process.
+  ScopedStore store;
+  options.store = store.get();
+  Experiment setup(scenario, options);
+  setup.run(Stage::kSynthesize);
+  const GroundTruth& truth = setup.truth();
+  const std::vector<util::IndexRange> ranges =
+      sim_chunk_ranges(truth.originations.size(), 4);
+  ASSERT_EQ(ranges.size(), reference.sim_chunks().total);
+  const std::size_t persisted = ranges.size() / 2;
+  const sim::VantageSpec vantage = derive_vantage(scenario, truth.topo);
+  const std::string scenario_key = scenario_cache_key(scenario);
+  for (std::size_t i = 0; i < persisted; ++i) {
+    SimChunk chunk;
+    chunk.begin = ranges[i].begin;
+    chunk.end = ranges[i].end;
+    chunk.total = truth.originations.size();
+    chunk.partial = sim::simulate_chunk(truth.topo.graph, truth.gen.policies,
+                                        truth.originations, vantage,
+                                        scenario.propagation, ranges[i]);
+    store->put(
+        sim_chunk_store_key(scenario_key,
+                            setup.stage_digest(Stage::kSynthesize), ranges[i],
+                            truth.originations.size()),
+        io::encode(chunk));
+  }
+
+  // Resume: the restarted run loads every persisted chunk and computes
+  // only the missing ones — mid-stage resume, not per-variant resume.
+  Experiment resumed(scenario, options);
+  resumed.run(Stage::kSimulate);
+  EXPECT_EQ(resumed.loads().synthesize, 1u);
+  EXPECT_EQ(resumed.loads().simulate, 0u);  // no merged artifact yet
+  EXPECT_EQ(resumed.counters().simulate, 1u);
+  EXPECT_EQ(resumed.sim_chunks().total, ranges.size());
+  EXPECT_EQ(resumed.sim_chunks().loaded, persisted);
+  EXPECT_EQ(resumed.sim_chunks().computed, ranges.size() - persisted);
+
+  // The merged product is byte-identical to the uninterrupted run's.
+  EXPECT_EQ(io::encode(resumed.sim()), io::encode(reference.sim()));
+
+  // The merged artifact superseded its chunks: a third run loads it whole
+  // and schedules no chunk tasks at all.
+  Experiment third(scenario, options);
+  third.run(Stage::kSimulate);
+  EXPECT_EQ(third.loads().simulate, 1u);
+  EXPECT_EQ(third.counters().simulate, 0u);
+  EXPECT_EQ(third.sim_chunks().total, 0u);
+}
+
+TEST(ArtifactStoreGc, EvictsLeastRecentlyAccessedFirst) {
+  ScopedStore store;
+  const std::vector<std::uint8_t> blob(100, 7);
+  // Distinct timestamps even on coarse filesystem clocks.
+  store->put("a", blob);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  store->put("b", blob);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  store->put("c", blob);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  (void)store->load("a");  // a read counts as access: "a" is now newest
+
+  EXPECT_EQ(store->total_bytes(), 300u);
+  const auto result = store->gc(250, std::chrono::seconds(0));
+  EXPECT_EQ(result.scanned, 3u);
+  EXPECT_EQ(result.evicted, 1u);
+  EXPECT_EQ(result.bytes_after, 200u);
+  EXPECT_FALSE(store->contains("b"));  // oldest access evicted first
+  EXPECT_TRUE(store->contains("a"));
+  EXPECT_TRUE(store->contains("c"));
+
+  // Already under target: a no-op.
+  const auto idle = store->gc(250, std::chrono::seconds(0));
+  EXPECT_EQ(idle.evicted, 0u);
+}
+
+TEST(ArtifactStoreGc, PinnedEntriesAndFreshEntriesSurvive) {
+  ScopedStore store;
+  const std::vector<std::uint8_t> blob(50, 1);
+  store->put("pinned", blob);
+  store->put("loose", blob);
+  EXPECT_TRUE(store->pin("pinned"));
+  EXPECT_TRUE(store->pinned("pinned"));
+
+  // Fresh entries survive a min-age guard even unpinned.
+  const auto guarded = store->gc(0, std::chrono::hours(1));
+  EXPECT_EQ(guarded.evicted, 0u);
+
+  // Without the age guard, only the pin protects.
+  const auto result = store->gc(0, std::chrono::seconds(0));
+  EXPECT_EQ(result.evicted, 1u);
+  EXPECT_EQ(result.pinned_kept, 1u);
+  EXPECT_TRUE(store->contains("pinned"));
+  EXPECT_FALSE(store->contains("loose"));
+
+  // Unpin (as the merge step does once the full artifact persists) and
+  // the entry becomes evictable.
+  EXPECT_TRUE(store->unpin("pinned"));
+  EXPECT_FALSE(store->pinned("pinned"));
+  EXPECT_EQ(store->gc(0, std::chrono::seconds(0)).evicted, 1u);
+  EXPECT_EQ(store->size(), 0u);
+}
+
+TEST(ArtifactStoreGc, StalePinsAgeOut) {
+  ScopedStore store;
+  const std::vector<std::uint8_t> blob(10, 2);
+  store->put("orphan", blob);
+  store->pin("orphan");  // a killed run leaks this pin
+
+  EXPECT_EQ(store->clear_stale_pins(std::chrono::hours(1)), 0u);  // too young
+  EXPECT_EQ(store->clear_stale_pins(std::chrono::seconds(0)), 1u);
+  EXPECT_FALSE(store->pinned("orphan"));
 }
 
 std::vector<SweepVariant> resume_variants() {

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "io/artifact_codec.h"
 #include "io/binary_table.h"
 
 namespace bgpolicy::core {
@@ -194,6 +195,72 @@ TEST(Sweep, ReusesUpstreamArtifactsPerDistinctScenario) {
             asrel::canonical_serialize(report.runs[1].inference.inferred));
   EXPECT_NE(asrel::canonical_serialize(report.runs[0].inference.inferred),
             asrel::canonical_serialize(report.runs[2].inference.inferred));
+}
+
+TEST(Experiment, ChunkSizeAndThreadsNeverChangeArtifacts) {
+  // The task-graph Simulate path (forced by threads >= 2) must produce
+  // byte-identical artifacts at every chunk size, all equal to the
+  // sequential seed program's.
+  RunOptions reference_options;
+  reference_options.threads = 1;
+  Experiment reference(Scenario::small(17), reference_options);
+  reference.run(Stage::kObserve);
+  const std::string reference_sim(
+      [](const std::vector<std::uint8_t>& b) {
+        return std::string(b.begin(), b.end());
+      }(io::encode(reference.sim())));
+  const std::string reference_obs(
+      [](const std::vector<std::uint8_t>& b) {
+        return std::string(b.begin(), b.end());
+      }(io::encode(reference.observations())));
+
+  for (const std::size_t chunk : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{5}, std::size_t{100000}}) {
+    RunOptions options;
+    options.threads = 3;
+    options.sim_chunk_prefixes = chunk;
+    Experiment experiment(Scenario::small(17), options);
+    experiment.run(Stage::kObserve);
+    const std::vector<std::uint8_t> sim_bytes = io::encode(experiment.sim());
+    const std::vector<std::uint8_t> obs_bytes =
+        io::encode(experiment.observations());
+    EXPECT_EQ(std::string(sim_bytes.begin(), sim_bytes.end()), reference_sim)
+        << "SimArtifact differs at chunk size " << chunk;
+    EXPECT_EQ(std::string(obs_bytes.begin(), obs_bytes.end()), reference_obs)
+        << "Observations differ at chunk size " << chunk;
+    EXPECT_EQ(experiment.sim_chunks().computed, experiment.sim_chunks().total);
+
+    // Invalidate-and-rerun starts a fresh chunk ledger (computed + loaded
+    // always equals total) and reproduces the same bytes.
+    experiment.invalidate(Stage::kSimulate);
+    experiment.run(Stage::kSimulate);
+    EXPECT_EQ(experiment.sim_chunks().computed, experiment.sim_chunks().total);
+    EXPECT_EQ(experiment.sim_chunks().loaded, 0u);
+    const std::vector<std::uint8_t> again = io::encode(experiment.sim());
+    EXPECT_EQ(std::string(again.begin(), again.end()), reference_sim);
+  }
+}
+
+TEST(Sweep, StreamsCompletionsWhileMergingInRequestOrder) {
+  const std::vector<SweepVariant> variants = sweep_variants();
+
+  // Sequential execution completes variants in request order — the
+  // deterministic anchor for completion_index.
+  const SweepReport sequential = sweep(variants, 1);
+  for (std::size_t i = 0; i < sequential.runs.size(); ++i) {
+    EXPECT_EQ(sequential.runs[i].completion_index, i);
+  }
+
+  // Parallel execution streams in some order (a permutation), but the
+  // report still merges in request order with identical products.
+  const SweepReport sharded = sweep(variants, 4);
+  std::vector<std::size_t> seen(sharded.runs.size(), 0);
+  for (std::size_t i = 0; i < sharded.runs.size(); ++i) {
+    EXPECT_EQ(sharded.runs[i].label, variants[i].label);
+    ASSERT_LT(sharded.runs[i].completion_index, seen.size());
+    ++seen[sharded.runs[i].completion_index];
+  }
+  for (const std::size_t count : seen) EXPECT_EQ(count, 1u);
 }
 
 TEST(Sweep, OutputIndependentOfThreadCount) {

@@ -1,0 +1,111 @@
+// store_gc: LRU garbage collection for a long-lived artifact store
+// (core::ArtifactStore) — keeps shared stores from PR 4's cross-process
+// resume workflow from growing without bound.
+//
+// Eviction is least-recently-accessed first (the store bumps an entry's
+// timestamp on every load, so "accessed" means read or written; filesystem
+// atime is not trusted).  Entries pinned by an in-progress run (Simulate
+// chunk artifacts mid-stage) and entries younger than --min-age-seconds
+// are never evicted; entries are immutable files, so an eviction only ever
+// costs a future recompute.
+//
+// Usage:
+//   store_gc STORE_DIR --max-bytes N [--min-age-seconds S]
+//            [--clear-stale-pins S]
+//
+//   --max-bytes N         target store size; evicts oldest-accessed
+//                         artifacts until total .art bytes <= N
+//   --min-age-seconds S   never evict entries accessed within the last S
+//                         seconds (default 3600 — a generous in-progress
+//                         window on top of pinning)
+//   --clear-stale-pins S  first remove pin markers older than S seconds
+//                         (a killed run leaks its pins; age them out
+//                         before collecting)
+#include <charconv>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/artifact_store.h"
+
+namespace {
+
+std::optional<std::uint64_t> parse_u64(const char* text) {
+  std::uint64_t value = 0;
+  const char* end = text + std::strlen(text);
+  const auto [ptr, ec] = std::from_chars(text, end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+int usage() {
+  std::cerr << "usage: store_gc STORE_DIR --max-bytes N"
+               " [--min-age-seconds S] [--clear-stale-pins S]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* store_dir = nullptr;
+  std::optional<std::uint64_t> max_bytes;
+  std::uint64_t min_age_seconds = 3600;
+  std::optional<std::uint64_t> clear_stale_pins_seconds;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto flag_value = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) != 0) return nullptr;
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (const char* value = flag_value("--max-bytes")) {
+      max_bytes = parse_u64(value);
+      if (!max_bytes) return usage();
+    } else if (const char* value = flag_value("--min-age-seconds")) {
+      const auto parsed = parse_u64(value);
+      if (!parsed) return usage();
+      min_age_seconds = *parsed;
+    } else if (const char* value = flag_value("--clear-stale-pins")) {
+      clear_stale_pins_seconds = parse_u64(value);
+      if (!clear_stale_pins_seconds) return usage();
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else if (store_dir == nullptr) {
+      store_dir = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (store_dir == nullptr || !max_bytes) return usage();
+
+  try {
+    const bgpolicy::core::ArtifactStore store(store_dir);
+    if (clear_stale_pins_seconds) {
+      const std::size_t cleared = store.clear_stale_pins(
+          std::chrono::seconds(*clear_stale_pins_seconds));
+      std::cout << "cleared " << cleared << " stale pin(s)\n";
+    }
+    const auto result =
+        store.gc(*max_bytes, std::chrono::seconds(min_age_seconds));
+    std::cout << "scanned " << result.scanned << " artifact(s), "
+              << result.bytes_before << " bytes; evicted " << result.evicted
+              << " (" << (result.bytes_before - result.bytes_after)
+              << " bytes), kept " << result.pinned_kept
+              << " pinned; store now " << result.bytes_after << " bytes\n";
+    // Partial success is success: the store is a cache and gc is
+    // best-effort, but report when the target was unreachable (everything
+    // left is pinned or too young).
+    if (result.bytes_after > *max_bytes) {
+      std::cout << "note: target " << *max_bytes
+                << " bytes not reached (remaining entries are pinned or "
+                   "younger than --min-age-seconds)\n";
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "store_gc: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
