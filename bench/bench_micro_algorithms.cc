@@ -15,6 +15,7 @@
 #include "io/binary_table.h"
 #include "rpsl/generator.h"
 #include "rpsl/parser.h"
+#include "sim/flat_engine.h"
 #include "sim/policy_gen.h"
 #include "sim/simulation.h"
 #include "util/rng.h"
@@ -69,6 +70,57 @@ void BM_PropagateOnePrefix(benchmark::State& state) {
                           static_cast<std::int64_t>(w.topo.graph.as_count()));
 }
 BENCHMARK(BM_PropagateOnePrefix)->Arg(200)->Arg(600)->Arg(1200);
+
+// The flat-core before/after pair: identical per-prefix fixpoints through
+// the dense-id engine (warmed context + scratch, the production shape) and
+// the seed per-event program it replaced.  Throughput counters report
+// process events and materialized routes per second; the flat row also
+// reports its scratch high-water mark.
+void BM_ComputePrefixFlat(benchmark::State& state) {
+  const World& w = world(static_cast<std::size_t>(state.range(0)));
+  const sim::FlatSimContext context(w.topo.graph, w.gen.policies);
+  sim::FlatScratch scratch;
+  std::size_t i = 0;
+  std::int64_t events = 0;
+  std::int64_t routes = 0;
+  for (auto _ : state) {
+    const auto& origination = w.originations[i++ % w.originations.size()];
+    const auto routing =
+        sim::compute_prefix_flat(context, origination, nullptr, {}, scratch);
+    events += static_cast<std::int64_t>(routing.process_events);
+    routes += static_cast<std::int64_t>(routing.best.size());
+    benchmark::DoNotOptimize(routing);
+  }
+  state.counters["process_events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["routes_per_sec"] = benchmark::Counter(
+      static_cast<double>(routes), benchmark::Counter::kIsRate);
+  state.counters["peak_scratch_bytes"] =
+      static_cast<double>(scratch.peak_bytes());
+  state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_ComputePrefixFlat)->Arg(200)->Arg(600)->Arg(1200);
+
+void BM_ComputePrefixReference(benchmark::State& state) {
+  const World& w = world(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  std::int64_t events = 0;
+  std::int64_t routes = 0;
+  for (auto _ : state) {
+    const auto& origination = w.originations[i++ % w.originations.size()];
+    const auto routing = sim::compute_prefix_reference(
+        w.topo.graph, w.gen.policies, origination, nullptr, {});
+    events += static_cast<std::int64_t>(routing.process_events);
+    routes += static_cast<std::int64_t>(routing.best.size());
+    benchmark::DoNotOptimize(routing);
+  }
+  state.counters["process_events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["routes_per_sec"] = benchmark::Counter(
+      static_cast<double>(routes), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_ComputePrefixReference)->Arg(200)->Arg(600)->Arg(1200);
 
 void BM_SaInference_BestRoutes(benchmark::State& state) {
   const auto& pipe = small_pipeline();

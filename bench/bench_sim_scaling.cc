@@ -6,6 +6,12 @@
 // guarantees byte-identical output at any thread count; the counters are a
 // cheap proxy asserted here on every row).
 //
+// Also times the seed per-event engine (`compute_prefix_reference`, the
+// sequential program run_simulation executed before the flat core landed)
+// over the same originations: `reference_seconds` and `flat_speedup` are
+// the committed before/after trajectory of the flat-core rewrite, and the
+// reference run's counters are asserted against the flat rows.
+//
 // Flags:
 //   --small   use the `small` scenario (CI-sized, seconds not minutes)
 //   --json    emit a single JSON object on stdout (for scripts/bench.sh)
@@ -50,6 +56,25 @@ struct Row {
   std::size_t unconverged;
 };
 
+/// The seed sequential program: reference fixpoints recorded in
+/// origination order — byte-identical to what run_simulation(threads=1)
+/// produced before the flat core.
+sim::SimResult reference_simulation(const World& w) {
+  const sim::PropagationEngine engine(w.truth.topo.graph,
+                                      w.truth.gen.policies);
+  sim::SimResult result = sim::init_sim_result(w.vantage);
+  for (const auto& origination : w.truth.originations) {
+    const sim::PrefixRouting state = sim::compute_prefix_reference(
+        w.truth.topo.graph, w.truth.gen.policies, origination, nullptr,
+        w.options);
+    if (!state.converged) ++result.unconverged_prefixes;
+    result.process_events += state.process_events;
+    sim::record_prefix(engine, state, w.vantage, result);
+    ++result.origination_count;
+  }
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -88,21 +113,38 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The before/after point: the seed engine over the same originations,
+  // verified to agree with the flat rows on the convergence counters.
+  const auto ref_start = std::chrono::steady_clock::now();
+  const sim::SimResult reference = reference_simulation(w);
+  const auto ref_stop = std::chrono::steady_clock::now();
+  const double reference_seconds =
+      std::chrono::duration<double>(ref_stop - ref_start).count();
+  const double flat_speedup = reference_seconds / base_seconds;
+  const bool reference_match =
+      reference.process_events == rows.front().process_events &&
+      reference.unconverged_prefixes == rows.front().unconverged;
+  const bool ok = counters_match && reference_match;
+
   const unsigned hw = std::thread::hardware_concurrency();
   if (json) {
     std::cout << "{\"bench\":\"sim_scaling\",\"scenario\":\"" << scenario.name
               << "\",\"hardware_concurrency\":" << hw
               << ",\"originations\":" << w.truth.originations.size()
               << ",\"counters_match\":" << (counters_match ? "true" : "false")
+              << ",\"reference_seconds\":" << reference_seconds
+              << ",\"flat_speedup\":" << flat_speedup
+              << ",\"reference_match\":" << (reference_match ? "true" : "false")
               << ",\"results\":[";
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
       std::cout << (i == 0 ? "" : ",") << "{\"threads\":" << r.threads
                 << ",\"seconds\":" << r.seconds
-                << ",\"speedup\":" << r.speedup << "}";
+                << ",\"speedup\":" << r.speedup << ",\"events_per_sec\":"
+                << static_cast<double>(r.process_events) / r.seconds << "}";
     }
     std::cout << "]}" << std::endl;
-    return counters_match ? 0 : 1;
+    return ok ? 0 : 1;
   }
 
   std::cout << "== sim scaling · prefix-sharded run_simulation ==\n"
@@ -121,11 +163,17 @@ int main(int argc, char** argv) {
             << "\n"
             << (counters_match
                     ? "counters identical across all thread counts\n"
-                    : "COUNTER MISMATCH ACROSS THREAD COUNTS\n");
+                    : "COUNTER MISMATCH ACROSS THREAD COUNTS\n")
+            << "seed per-event engine (compute_prefix_reference): "
+            << util::fmt(reference_seconds, 3) << "s -> flat core "
+            << util::fmt(base_seconds, 3) << "s at threads=1 ("
+            << util::fmt(flat_speedup, 2) << "x)"
+            << (reference_match ? "\n"
+                                : " — REFERENCE COUNTER MISMATCH\n");
   if (hw < 4) {
     std::cout << "note: only " << hw
               << " hardware thread(s) available; speedup is bounded by the "
                  "host, not the engine\n";
   }
-  return counters_match ? 0 : 1;
+  return ok ? 0 : 1;
 }

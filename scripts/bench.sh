@@ -28,5 +28,5 @@ inference_json=$("$build_dir/bench_inference_scaling" --json "$@")
 stages_json=$("$build_dir/bench_pipeline_stages" --json "$@")
 artifact_json=$("$build_dir/bench_artifact_store" --json "$@")
 
-printf '{"schema":"bgpolicy-bench/v5","generated_utc":"%s","sim_scaling":%s,"inference_scaling":%s,"pipeline_stages":%s,"artifact_store":%s}\n' \
+printf '{"schema":"bgpolicy-bench/v6","generated_utc":"%s","sim_scaling":%s,"inference_scaling":%s,"pipeline_stages":%s,"artifact_store":%s}\n' \
   "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$sim_json" "$inference_json" "$stages_json" "$artifact_json"

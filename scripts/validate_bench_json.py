@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
 """Validates a bgpolicy bench-trajectory record (scripts/bench.sh output).
 
-Accepts bgpolicy-bench/v5 (current: pipeline_stages rows gain the
-task-graph comparison — graph_total_seconds, the irr/paths and irr/sim
-overlap windows, and the Simulate chunk count), v4 (adds the
+Accepts bgpolicy-bench/v6 (current: sim_scaling carries the flat-core
+before/after — reference_seconds for the seed per-event engine,
+flat_speedup over the threads=1 flat run, a reference_match counter
+cross-check, and per-row events_per_sec), v5 (pipeline_stages rows gain
+the task-graph comparison — graph_total_seconds, the irr/paths and
+irr/sim overlap windows, and the Simulate chunk count), v4 (adds the
 artifact_store section with per-artifact codec + load-vs-recompute
 timings), v3 (adds the pipeline_stages section with per-stage wall-clock
 timings), and v2 (earlier committed trajectory points).
@@ -79,14 +82,26 @@ def check_file(path):
     schema = record.get("schema")
     require(path,
             schema in ("bgpolicy-bench/v2", "bgpolicy-bench/v3",
-                       "bgpolicy-bench/v4", "bgpolicy-bench/v5"),
-            'schema must be "bgpolicy-bench/v2".."bgpolicy-bench/v5"')
+                       "bgpolicy-bench/v4", "bgpolicy-bench/v5",
+                       "bgpolicy-bench/v6"),
+            'schema must be "bgpolicy-bench/v2".."bgpolicy-bench/v6"')
     require(path, "generated_utc" in record, "generated_utc missing")
 
+    sim_keys = ["threads", "seconds", "speedup"]
+    if schema == "bgpolicy-bench/v6":
+        sim_keys.append("events_per_sec")
     sim = record.get("sim_scaling")
-    check_scaling(path, "sim_scaling", sim, ("threads", "seconds", "speedup"))
+    check_scaling(path, "sim_scaling", sim, tuple(sim_keys))
     require(path, sim.get("counters_match") is True,
             "sim_scaling.counters_match must be true")
+    if schema == "bgpolicy-bench/v6":
+        # The flat-core before/after: the seed per-event engine timed over
+        # the same originations, counter-checked against the flat rows.
+        for key in ("reference_seconds", "flat_speedup"):
+            require(path, isinstance(sim.get(key), (int, float)),
+                    f"sim_scaling.{key} must be a number")
+        require(path, sim.get("reference_match") is True,
+                "sim_scaling.reference_match must be true")
 
     inference = record.get("inference_scaling")
     check_scaling(path, "inference_scaling", inference,
@@ -97,12 +112,11 @@ def check_file(path):
 
     summary = (f"sim rows: {len(sim['results'])}, "
                f"inference rows: {len(inference['results'])}")
-    if schema in ("bgpolicy-bench/v3", "bgpolicy-bench/v4",
-                  "bgpolicy-bench/v5"):
+    if schema != "bgpolicy-bench/v2":
         stage_keys = ["threads", "synthesize_seconds", "simulate_seconds",
                       "observe_seconds", "infer_seconds", "analyze_seconds",
                       "total_seconds", "speedup"]
-        if schema == "bgpolicy-bench/v5":
+        if schema in ("bgpolicy-bench/v5", "bgpolicy-bench/v6"):
             # The task-graph comparison: one end-to-end run with overlapped
             # stage nodes next to the serial-stage sum, plus the overlap
             # windows and the Simulate chunk count.
@@ -114,7 +128,8 @@ def check_file(path):
         require(path, stages.get("products_match") is True,
                 "pipeline_stages.products_match must be true")
         summary += f", stage rows: {len(stages['results'])}"
-    if schema in ("bgpolicy-bench/v4", "bgpolicy-bench/v5"):
+    if schema in ("bgpolicy-bench/v4", "bgpolicy-bench/v5",
+                  "bgpolicy-bench/v6"):
         store = record.get("artifact_store")
         check_artifact_store(path, store)
         summary += f", artifact rows: {len(store['results'])}"

@@ -43,13 +43,17 @@ void ChurnSimulator::repropagate(std::span<const bgp::Prefix> prefixes) {
     }
     executor = owned_executor_.get();
   }
+  // Fresh context per call (step() just mutated policies_); the scratch pool
+  // keeps warmed propagation workspaces across steps.
+  const FlatSimContext context(*graph_, policies_);
   util::shard_and_merge(
       executor == nullptr ? nullptr : executor->pool(), prefixes.size(),
       [&](std::size_t i) {
         const auto it = by_prefix_.find(prefixes[i]);
         util::ensure(it != by_prefix_.end(), "churn: unknown prefix");
-        return compute_prefix(*graph_, policies_, it->second, nullptr,
-                              params_.propagation);
+        const auto lease = scratches_->acquire();
+        return compute_prefix_flat(context, it->second, nullptr,
+                                   params_.propagation, *lease);
       },
       [&](std::size_t i, const PrefixRouting& state) {
         for (const AsNumber as : watch_) {

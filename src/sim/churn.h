@@ -16,6 +16,7 @@
 
 #include "bgp/prefix.h"
 #include "bgp/route.h"
+#include "sim/flat_engine.h"
 #include "sim/policy_gen.h"
 #include "sim/propagation.h"
 #include "util/parallel.h"
@@ -88,6 +89,12 @@ class ChurnSimulator {
   /// reused across steps.
   const util::Executor* executor_ = nullptr;
   std::unique_ptr<util::Executor> owned_executor_;
+  /// Warmed propagation scratches reused across steps.  The flat context is
+  /// rebuilt per repropagate() call because step() mutates policies_.
+  /// Behind a unique_ptr so the simulator stays movable (the pool holds a
+  /// mutex).
+  std::unique_ptr<FlatScratchPool> scratches_ =
+      std::make_unique<FlatScratchPool>();
   bool initialized_ = false;
 };
 

@@ -1,0 +1,565 @@
+#include "sim/flat_engine.h"
+
+#include <algorithm>
+
+#include "bgp/decision.h"
+#include "util/ensure.h"
+
+namespace bgpolicy::sim {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mixing for the open-addressed maps.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// FNV-1a over a community set's raw values — the content hash the
+/// CommunityTable dedup chains key on (collisions are resolved by a full
+/// compare, never by trusting the hash).
+[[nodiscard]] std::uint64_t content_hash(std::span<const bgp::Community> set) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const bgp::Community c : set) {
+    h ^= c.raw();
+    h *= 0x100000001b3ULL;
+  }
+  // Sets are never empty here (id 0 short-circuits), but keep the hash off
+  // the map's empty-key sentinel for any input.
+  h = mix64(h ^ set.size());
+  return h == FlatMap64::kEmptyKey ? 0 : h;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- FlatMap64
+
+void FlatMap64::clear() {
+  std::fill(keys_.begin(), keys_.end(), kEmptyKey);
+  size_ = 0;
+}
+
+std::size_t FlatMap64::slot_of(std::uint64_t key) const {
+  const std::size_t mask = keys_.size() - 1;
+  std::size_t slot = mix64(key) & mask;
+  while (keys_[slot] != kEmptyKey && keys_[slot] != key) {
+    slot = (slot + 1) & mask;
+  }
+  return slot;
+}
+
+std::uint32_t* FlatMap64::find(std::uint64_t key) {
+  if (keys_.empty()) return nullptr;
+  const std::size_t slot = slot_of(key);
+  return keys_[slot] == key ? &values_[slot] : nullptr;
+}
+
+const std::uint32_t* FlatMap64::find(std::uint64_t key) const {
+  return const_cast<FlatMap64*>(this)->find(key);
+}
+
+void FlatMap64::insert(std::uint64_t key, std::uint32_t value) {
+  if (keys_.empty() || (size_ + 1) * 4 > keys_.size() * 3) grow();
+  const std::size_t slot = slot_of(key);
+  keys_[slot] = key;
+  values_[slot] = value;
+  ++size_;
+}
+
+void FlatMap64::grow() {
+  std::vector<std::uint64_t> old_keys = std::move(keys_);
+  std::vector<std::uint32_t> old_values = std::move(values_);
+  const std::size_t capacity = old_keys.empty() ? 64 : old_keys.size() * 2;
+  keys_.assign(capacity, kEmptyKey);
+  values_.assign(capacity, 0);
+  for (std::size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_keys[i] == kEmptyKey) continue;
+    const std::size_t slot = slot_of(old_keys[i]);
+    keys_[slot] = old_keys[i];
+    values_[slot] = old_values[i];
+  }
+}
+
+// ----------------------------------------------------------------- PathTable
+
+void PathTable::clear() {
+  front_.clear();
+  parent_.clear();
+  length_.clear();
+  origin_.clear();
+  // Slot 0: the empty path (length 0; front/origin are never read for it).
+  front_.push_back(0);
+  parent_.push_back(kEmptyPath);
+  length_.push_back(0);
+  origin_.push_back(0);
+  intern_.clear();
+}
+
+std::uint32_t PathTable::prepend(std::uint32_t parent, AsNumber front) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(parent) << 32) | front.value();
+  if (const std::uint32_t* hit = intern_.find(key)) return *hit;
+  const auto id = static_cast<std::uint32_t>(front_.size());
+  front_.push_back(front.value());
+  parent_.push_back(parent);
+  length_.push_back(length_[parent] + 1);
+  origin_.push_back(parent == kEmptyPath ? front.value() : origin_[parent]);
+  intern_.insert(key, id);
+  return id;
+}
+
+bool PathTable::contains(std::uint32_t path, AsNumber as) const {
+  for (std::uint32_t node = path; node != kEmptyPath; node = parent_[node]) {
+    if (front_[node] == as.value()) return true;
+  }
+  return false;
+}
+
+bgp::AsPath PathTable::materialize(std::uint32_t path) const {
+  std::vector<AsNumber> hops;
+  hops.reserve(length_[path]);
+  for (std::uint32_t node = path; node != kEmptyPath; node = parent_[node]) {
+    hops.emplace_back(front_[node]);
+  }
+  return bgp::AsPath(std::move(hops));
+}
+
+// ------------------------------------------------------------ CommunityTable
+
+void CommunityTable::clear() {
+  data_.clear();
+  size_.clear();
+  next_same_hash_.clear();
+  data_.push_back(nullptr);  // slot 0: the empty set
+  size_.push_back(0);
+  next_same_hash_.push_back(0);
+  memo_.clear();
+  by_content_.clear();
+}
+
+bool CommunityTable::contains(std::uint32_t set,
+                              bgp::Community community) const {
+  const auto span = members(set);
+  return std::binary_search(span.begin(), span.end(), community);
+}
+
+std::uint32_t CommunityTable::intern(std::span<const bgp::Community> set) {
+  const std::uint64_t hash = content_hash(set);
+  std::uint32_t* head = by_content_.find(hash);
+  if (head != nullptr) {
+    for (std::uint32_t id = *head; id != 0; id = next_same_hash_[id]) {
+      const auto have = members(id);
+      if (std::equal(have.begin(), have.end(), set.begin(), set.end())) {
+        return id;
+      }
+    }
+  }
+  const auto id = static_cast<std::uint32_t>(data_.size());
+  bgp::Community* storage = arena_->allocate<bgp::Community>(set.size());
+  std::copy(set.begin(), set.end(), storage);
+  data_.push_back(storage);
+  size_.push_back(static_cast<std::uint32_t>(set.size()));
+  if (head != nullptr) {
+    next_same_hash_.push_back(*head);
+    *head = id;
+  } else {
+    next_same_hash_.push_back(0);
+    by_content_.insert(hash, id);
+  }
+  return id;
+}
+
+std::uint32_t CommunityTable::add(std::uint32_t set, bgp::Community community) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(set) << 32) | community.raw();
+  if (const std::uint32_t* hit = memo_.find(key)) return *hit;
+
+  // Sorted insert with dedup — exactly Route::add_community.
+  const auto have = members(set);
+  std::uint32_t result;
+  if (std::binary_search(have.begin(), have.end(), community)) {
+    result = set;
+  } else {
+    scratch_.clear();
+    const auto split =
+        std::lower_bound(have.begin(), have.end(), community);
+    scratch_.insert(scratch_.end(), have.begin(), split);
+    scratch_.push_back(community);
+    scratch_.insert(scratch_.end(), split, have.end());
+    result = intern(scratch_);
+  }
+  memo_.insert(key, result);
+  return result;
+}
+
+// ------------------------------------------------------------ FlatSimContext
+
+FlatSimContext::FlatSimContext(const topo::AsGraph& graph,
+                               const PolicySet& policies)
+    : view_(graph), policies_(&policies) {
+  policy_.assign(view_.size(), nullptr);
+  for (std::uint32_t id = 0; id < view_.size(); ++id) {
+    const auto it = policies.by_as.find(view_.as_of(id));
+    if (it != policies.by_as.end()) policy_[id] = &it->second;
+  }
+}
+
+// --------------------------------------------------------------- FlatScratch
+
+void FlatScratch::reset(std::size_t n) {
+  note_peak();
+  arena_.reset();
+  paths_.clear();
+  comms_.clear();
+  has_best_.assign(n, 0);
+  best_rel_.assign(n, 0);
+  best_path_.assign(n, 0);
+  best_learned_.assign(n, 0);
+  best_lp_.assign(n, 0);
+  best_router_.assign(n, 0);
+  best_comms_.assign(n, 0);
+  in_queue_.assign(n, 0);
+  processed_.assign(n, 0);
+  queue_.assign(n + 1, 0);
+  q_head_ = 0;
+  q_tail_ = 0;
+}
+
+void FlatScratch::note_peak() {
+  const std::size_t vectors =
+      has_best_.capacity() + best_rel_.capacity() + in_queue_.capacity() +
+      cand_origin_.capacity() + cand_ebgp_.capacity() + cand_rel_.capacity() +
+      sizeof(std::uint32_t) *
+          (best_path_.capacity() + best_learned_.capacity() +
+           best_lp_.capacity() + best_router_.capacity() +
+           best_comms_.capacity() + processed_.capacity() +
+           queue_.capacity() + cand_lp_.capacity() + cand_plen_.capacity() +
+           cand_nh_.capacity() + cand_med_.capacity() + cand_igp_.capacity() +
+           cand_router_.capacity() + cand_path_.capacity() +
+           cand_comms_.capacity() + cand_sender_.capacity());
+  const std::size_t total =
+      vectors + arena_.bytes_reserved() + paths_.bytes() + comms_.bytes();
+  if (total > peak_bytes_) peak_bytes_ = total;
+}
+
+// --------------------------------------------------------- the flat fixpoint
+
+PrefixRouting compute_prefix_flat(const FlatSimContext& context,
+                                  const Origination& origination,
+                                  const FailedEdges* failed,
+                                  const PropagationOptions& options,
+                                  FlatScratch& s) {
+  using Id = topo::GraphView::Id;
+  const topo::GraphView& view = context.view();
+  const Id origin_id = view.id_of(origination.origin);
+  util::ensure(origin_id != topo::GraphView::kInvalidId,
+               "propagation: origin AS not in graph");
+
+  const std::size_t n = view.size();
+  s.reset(n);
+  const std::size_t q_cap = n + 1;
+
+  const auto enqueue = [&](Id id) {
+    if (s.in_queue_[id] != 0) return;
+    s.in_queue_[id] = 1;
+    s.queue_[s.q_tail_] = id;
+    s.q_tail_ = (s.q_tail_ + 1) % q_cap;
+  };
+
+  // The origin installs its self route (kSelfLocalPref, empty path).
+  s.has_best_[origin_id] = 1;
+  s.best_path_[origin_id] = PathTable::kEmptyPath;
+  s.best_learned_[origin_id] = origin_id;
+  s.best_lp_[origin_id] = kSelfLocalPref;
+  s.best_router_[origin_id] = origination.origin.value();
+  s.best_comms_[origin_id] = CommunityTable::kEmptySet;
+
+  for (std::uint32_t slot = view.arcs_begin(origin_id);
+       slot < view.arcs_end(origin_id); ++slot) {
+    enqueue(view.arc_to(slot));
+  }
+
+  const bool check_failures = failed != nullptr && !failed->empty();
+  std::size_t process_events = 0;
+  bool converged = true;
+
+  while (s.q_head_ != s.q_tail_) {
+    const Id current = s.queue_[s.q_head_];
+    s.q_head_ = (s.q_head_ + 1) % q_cap;
+    s.in_queue_[current] = 0;
+
+    // The origin's self route always wins (kSelfLocalPref dominates);
+    // skipping it keeps the withdraw logic below simple.
+    if (current == origin_id) continue;
+
+    if (s.processed_[current] >= options.max_process_per_as) {
+      converged = false;
+      continue;
+    }
+    ++s.processed_[current];
+    ++process_events;
+
+    const AsNumber receiver_as = view.as_of(current);
+    const AsPolicy* receiver_policy = nullptr;  // fetched on first candidate
+
+    // Pull candidates from every neighbor's current best into the SoA
+    // scratch columns — the flat mirror of route_as_received.
+    s.cand_lp_.clear();
+    s.cand_plen_.clear();
+    s.cand_origin_.clear();
+    s.cand_nh_.clear();
+    s.cand_med_.clear();
+    s.cand_ebgp_.clear();
+    s.cand_igp_.clear();
+    s.cand_router_.clear();
+    s.cand_path_.clear();
+    s.cand_comms_.clear();
+    s.cand_sender_.clear();
+    s.cand_rel_.clear();
+
+    for (std::uint32_t slot = view.arcs_begin(current);
+         slot < view.arcs_end(current); ++slot) {
+      const Id sender = view.arc_to(slot);
+      if (s.has_best_[sender] == 0) continue;
+      // One CSR read yields both perspectives of the adjacency.
+      const RelKind sender_rel = view.arc_rel(slot);  // sender, to receiver
+      const RelKind receiver_rel = topo::invert(sender_rel);
+      const AsNumber sender_as = view.as_of(sender);
+
+      if (check_failures && failed->is_failed(sender_as, receiver_as)) {
+        continue;  // session down
+      }
+
+      const std::uint32_t sender_path = s.best_path_[sender];
+      const bool self_originated = sender_path == PathTable::kEmptyPath;
+
+      // Gao-Rexford relationship rules: self-originated and
+      // customer-learned routes go to everyone; peer- and provider-learned
+      // routes go to customers only.
+      if (!self_originated) {
+        const auto learned_rel = static_cast<RelKind>(s.best_rel_[sender]);
+        if (learned_rel != RelKind::kCustomer &&
+            receiver_rel != RelKind::kCustomer) {
+          continue;
+        }
+      }
+
+      const AsPolicy& sender_policy = context.policy(sender);
+
+      // Conditional advertisement: the backup announcement stays
+      // suppressed while the watched session is healthy.
+      if (self_originated) {
+        bool suppressed = false;
+        for (const auto& cond : sender_policy.conditional) {
+          if (cond.prefix != origination.prefix ||
+              cond.advertise_to != receiver_as) {
+            continue;
+          }
+          const bool watch_down =
+              failed != nullptr &&
+              failed->is_failed(sender_as, cond.watch_provider);
+          if (!watch_down) {
+            suppressed = true;
+            break;
+          }
+        }
+        if (suppressed) continue;
+      }
+
+      // Community instructions attached upstream and addressed to sender.
+      const std::uint32_t sender_comms = s.best_comms_[sender];
+      const auto sender_asn = static_cast<std::uint16_t>(sender_as.value());
+      if (sender_comms != CommunityTable::kEmptySet) {
+        if (s.comms_.contains(sender_comms, bgp::kNoExport)) continue;
+        if (receiver_rel == RelKind::kProvider &&
+            s.comms_.contains(sender_comms,
+                              bgp::Community(sender_asn,
+                                             kNoExportUpstreamValue))) {
+          continue;
+        }
+        bool no_export_to = false;
+        for (std::size_t t = 0; t < sender_policy.no_export_targets.size();
+             ++t) {
+          if (sender_policy.no_export_targets[t] != receiver_as) continue;
+          const auto value = static_cast<std::uint16_t>(kNoExportToBase + t);
+          if (s.comms_.contains(sender_comms,
+                                bgp::Community(sender_asn, value))) {
+            no_export_to = true;
+            break;
+          }
+        }
+        if (no_export_to) continue;
+      }
+
+      // Configured export rules (selective announcement & friends).
+      const AsNumber route_origin =
+          self_originated ? sender_as : s.paths_.origin(sender_path);
+      const ExportRule* rule = sender_policy.export_.match(
+          receiver_as, origination.prefix, route_origin);
+
+      std::uint32_t wire_comms = sender_comms;
+      std::size_t extra_prepends = 0;
+      if (rule != nullptr) {
+        switch (rule->action) {
+          case ExportAction::kDeny:
+            continue;  // of the neighbor loop: not announced at all
+          case ExportAction::kPrepend:
+            extra_prepends = rule->prepend_times;
+            break;
+          case ExportAction::kTagNoExportUpstream:
+            wire_comms = s.comms_.add(
+                wire_comms,
+                bgp::Community(static_cast<std::uint16_t>(receiver_as.value()),
+                               kNoExportUpstreamValue));
+            break;
+          case ExportAction::kTagNoExportTo: {
+            // The receiver owns the slot namespace; policy generation has
+            // already registered the slot, so look it up read-only.
+            if (receiver_policy == nullptr) {
+              receiver_policy = &context.policy(current);
+            }
+            for (std::size_t t = 0;
+                 t < receiver_policy->no_export_targets.size(); ++t) {
+              if (receiver_policy->no_export_targets[t] != rule->target) {
+                continue;
+              }
+              wire_comms = s.comms_.add(
+                  wire_comms,
+                  bgp::Community(
+                      static_cast<std::uint16_t>(receiver_as.value()),
+                      static_cast<std::uint16_t>(kNoExportToBase + t)));
+              break;
+            }
+            break;
+          }
+        }
+      }
+
+      // The wire path: sender prepends itself (possibly extra times).
+      std::uint32_t wire_path = sender_path;
+      for (std::size_t k = 0; k < 1 + extra_prepends; ++k) {
+        wire_path = s.paths_.prepend(wire_path, sender_as);
+      }
+
+      // Receiver-side: AS-path loop check.
+      if (s.paths_.contains(wire_path, receiver_as)) continue;
+
+      // Receiver import policy: local preference + relationship tagging.
+      if (receiver_policy == nullptr) {
+        receiver_policy = &context.policy(current);
+      }
+      const std::uint32_t lp = receiver_policy->import.preference(
+          sender_as, sender_rel, origination.prefix);
+      if (receiver_policy->community.enabled) {
+        wire_comms = s.comms_.add(
+            wire_comms,
+            receiver_policy->community.tag(receiver_as, sender_as,
+                                           sender_rel));
+      }
+
+      s.cand_lp_.push_back(lp);
+      s.cand_plen_.push_back(s.paths_.length(wire_path));
+      s.cand_origin_.push_back(
+          static_cast<std::uint8_t>(bgp::Origin::kIgp));
+      s.cand_nh_.push_back(sender_as.value());  // wire path front == sender
+      s.cand_med_.push_back(0);
+      s.cand_ebgp_.push_back(1);
+      s.cand_igp_.push_back(0);
+      s.cand_router_.push_back(sender_as.value());
+      s.cand_path_.push_back(wire_path);
+      s.cand_comms_.push_back(wire_comms);
+      s.cand_sender_.push_back(sender);
+      s.cand_rel_.push_back(static_cast<std::uint8_t>(sender_rel));
+    }
+
+    const bgp::RouteColumns columns{
+        s.cand_lp_,  s.cand_plen_, s.cand_origin_, s.cand_nh_,
+        s.cand_med_, s.cand_ebgp_, s.cand_igp_,    s.cand_router_};
+    const auto best_index = bgp::select_best(columns);
+
+    bool changed = false;
+    if (!best_index) {
+      if (s.has_best_[current] != 0) {
+        s.has_best_[current] = 0;
+        changed = true;
+      }
+    } else {
+      const std::size_t w = *best_index;
+      // Interned path/community ids make id equality value equality, so
+      // this is exactly the seed's Route value comparison.
+      if (s.has_best_[current] == 0 ||
+          s.best_path_[current] != s.cand_path_[w] ||
+          s.best_lp_[current] != s.cand_lp_[w] ||
+          s.best_learned_[current] != s.cand_sender_[w] ||
+          s.best_router_[current] != s.cand_router_[w] ||
+          s.best_comms_[current] != s.cand_comms_[w]) {
+        s.has_best_[current] = 1;
+        s.best_path_[current] = s.cand_path_[w];
+        s.best_lp_[current] = s.cand_lp_[w];
+        s.best_learned_[current] = s.cand_sender_[w];
+        s.best_router_[current] = s.cand_router_[w];
+        s.best_comms_[current] = s.cand_comms_[w];
+        s.best_rel_[current] = s.cand_rel_[w];
+        changed = true;
+      }
+    }
+
+    if (changed) {
+      for (std::uint32_t slot = view.arcs_begin(current);
+           slot < view.arcs_end(current); ++slot) {
+        enqueue(view.arc_to(slot));
+      }
+    }
+  }
+
+  // Materialize the public value-typed result.
+  PrefixRouting out;
+  out.origination = origination;
+  out.converged = converged;
+  out.process_events = process_events;
+  for (std::size_t id = 0; id < n; ++id) {
+    if (s.has_best_[id] == 0) continue;
+    bgp::Route route;
+    route.prefix = origination.prefix;
+    route.path = s.paths_.materialize(s.best_path_[id]);
+    route.learned_from = view.as_of(static_cast<Id>(s.best_learned_[id]));
+    route.local_pref = s.best_lp_[id];
+    route.router_id = s.best_router_[id];
+    const auto comms = s.comms_.members(s.best_comms_[id]);
+    route.communities.assign(comms.begin(), comms.end());
+    out.best.emplace(view.as_of(static_cast<Id>(id)), std::move(route));
+  }
+  s.note_peak();
+  return out;
+}
+
+// ----------------------------------------------------------- FlatScratchPool
+
+FlatScratchPool::Lease FlatScratchPool::acquire() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      std::unique_ptr<FlatScratch> scratch = std::move(free_.back());
+      free_.pop_back();
+      return {this, std::move(scratch)};
+    }
+  }
+  return {this, std::make_unique<FlatScratch>()};
+}
+
+void FlatScratchPool::release(std::unique_ptr<FlatScratch> scratch) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (scratch->peak_bytes() > peak_bytes_) peak_bytes_ = scratch->peak_bytes();
+  free_.push_back(std::move(scratch));
+}
+
+std::size_t FlatScratchPool::peak_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return peak_bytes_;
+}
+
+}  // namespace bgpolicy::sim

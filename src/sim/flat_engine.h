@@ -1,0 +1,303 @@
+// The flat propagation core: dense-id state, interned AS paths, and
+// arena-backed scratch for `sim::compute_prefix`.
+//
+// The seed fixpoint (kept verbatim as `compute_prefix_reference`) spends
+// its time in hash probes and allocations: every candidate pays
+// `unordered_map` lookups for relationships and policies, an AS-path
+// vector copy for the prepend, and a `bgp::Route` construction that is
+// immediately torn down when the candidate loses.  This engine removes all
+// of that while preserving the byte-identical determinism contract:
+//
+//   * `FlatSimContext` — built once per (graph, policies) pair — holds a
+//     `topo::GraphView` (dense AS ids + CSR adjacency, one array read per
+//     relationship probe) and a dense policy-pointer table.
+//   * `PathTable` hash-conses AS paths: a path is a `u32` id whose node
+//     stores (front AS, parent id, length, origin AS), so prepend is an
+//     O(1) intern, path equality is id equality, and the loop check walks
+//     the parent chain.  Equal path *values* always intern to the same id,
+//     which is what keeps the flat engine's change detection exactly the
+//     seed's value comparison.
+//   * `CommunityTable` interns community *sets* by content (sorted,
+//     deduplicated — Route::add_community semantics), with member storage
+//     bump-allocated from a `util::MonotonicArena`; set-id equality is
+//     value equality for the same reason.
+//   * Routing state is struct-of-arrays indexed by dense id, and the
+//     decision-process candidates are reusable SoA columns scanned by the
+//     column overload of `bgp::select_best` — no `bgp::Route` objects
+//     exist until the converged state is materialized into the public
+//     value-typed `PrefixRouting` at the very end.
+//
+// `FlatScratch` owns every per-propagation structure and is reset (not
+// freed) between prefixes, so a warmed scratch runs a whole fixpoint
+// without touching the global allocator.  One scratch serves one
+// propagation at a time; parallel callers lease per-worker scratches from
+// a `FlatScratchPool`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "bgp/community.h"
+#include "sim/policy.h"
+#include "sim/propagation.h"
+#include "topology/graph_view.h"
+#include "util/arena.h"
+
+namespace bgpolicy::sim {
+
+/// Open-addressed u64 -> u32 hash map (linear probing, power-of-two
+/// capacity) for the interning tables: one cache line per probe instead of
+/// the node allocations of `unordered_map`.  Keys must never equal
+/// kEmptyKey; `clear()` keeps capacity.
+class FlatMap64 {
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+  void clear();
+  [[nodiscard]] std::uint32_t* find(std::uint64_t key);
+  [[nodiscard]] const std::uint32_t* find(std::uint64_t key) const;
+  /// `key` must be absent.
+  void insert(std::uint64_t key, std::uint32_t value);
+  [[nodiscard]] std::size_t bytes() const {
+    return keys_.capacity() * sizeof(std::uint64_t) +
+           values_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  [[nodiscard]] std::size_t slot_of(std::uint64_t key) const;
+  void grow();
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint32_t> values_;
+  std::size_t size_ = 0;
+};
+
+/// Hash-consed AS paths with parent-pointer prepend.  Id 0 is the empty
+/// path; every other id names an interned (front AS, parent) node.  Only
+/// valid between `clear()` calls of the owning scratch.
+class PathTable {
+ public:
+  static constexpr std::uint32_t kEmptyPath = 0;
+
+  PathTable() { clear(); }
+
+  void clear();
+
+  /// The interned path `front . parent` (prepend).  Interning by content
+  /// means any two equal path values share an id.
+  [[nodiscard]] std::uint32_t prepend(std::uint32_t parent, AsNumber front);
+
+  [[nodiscard]] std::uint32_t length(std::uint32_t path) const {
+    return length_[path];
+  }
+  /// Front (next-hop) AS; `path` must not be empty.
+  [[nodiscard]] AsNumber front(std::uint32_t path) const {
+    return AsNumber(front_[path]);
+  }
+  /// Origin (rightmost) AS; `path` must not be empty.
+  [[nodiscard]] AsNumber origin(std::uint32_t path) const {
+    return AsNumber(origin_[path]);
+  }
+  /// BGP loop detection: walks the parent chain.
+  [[nodiscard]] bool contains(std::uint32_t path, AsNumber as) const;
+  /// Rebuilds the value-typed AsPath (front first).
+  [[nodiscard]] bgp::AsPath materialize(std::uint32_t path) const;
+
+  [[nodiscard]] std::size_t node_count() const { return front_.size(); }
+  [[nodiscard]] std::size_t bytes() const {
+    return (front_.capacity() + parent_.capacity() + length_.capacity() +
+            origin_.capacity()) *
+               sizeof(std::uint32_t) +
+           intern_.bytes();
+  }
+
+ private:
+  // Column `i` describes node id `i`; slot 0 is the empty-path dummy.
+  std::vector<std::uint32_t> front_;
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> length_;
+  std::vector<std::uint32_t> origin_;
+  FlatMap64 intern_;  // (parent << 32 | front) -> id, exact key
+};
+
+/// Community sets interned by content with Route::add_community semantics
+/// (sorted, deduplicated).  Id 0 is the empty set.  Member arrays live in
+/// the owning scratch's arena; `add` results are memoized per (set,
+/// community) so repeated tagging along a propagation wave is one probe.
+class CommunityTable {
+ public:
+  static constexpr std::uint32_t kEmptySet = 0;
+
+  explicit CommunityTable(util::MonotonicArena& arena) : arena_(&arena) {
+    clear();
+  }
+
+  void clear();
+
+  /// The interned set `set + {community}`.
+  [[nodiscard]] std::uint32_t add(std::uint32_t set, bgp::Community community);
+
+  [[nodiscard]] bool contains(std::uint32_t set,
+                              bgp::Community community) const;
+  [[nodiscard]] std::span<const bgp::Community> members(
+      std::uint32_t set) const {
+    return {data_[set], size_[set]};
+  }
+
+  [[nodiscard]] std::size_t bytes() const {
+    return (data_.capacity() * sizeof(const bgp::Community*)) +
+           (size_.capacity() + next_same_hash_.capacity()) *
+               sizeof(std::uint32_t) +
+           memo_.bytes() + by_content_.bytes();
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t intern(std::span<const bgp::Community> set);
+
+  util::MonotonicArena* arena_;
+  std::vector<const bgp::Community*> data_;  // per set id; slot 0 empty
+  std::vector<std::uint32_t> size_;
+  std::vector<std::uint32_t> next_same_hash_;  // content-hash chain
+  FlatMap64 memo_;        // (set << 32 | community raw) -> result id
+  FlatMap64 by_content_;  // content hash -> chain head (compared on walk)
+  std::vector<bgp::Community> scratch_;
+};
+
+/// Everything `compute_prefix_flat` needs that depends only on the
+/// (graph, policies) pair: the dense-id CSR view and per-id policy
+/// pointers.  Build once per scenario (or per policy mutation) and share
+/// across any number of concurrent propagations — strictly read-only.
+/// Both references must outlive the context.
+class FlatSimContext {
+ public:
+  FlatSimContext(const topo::AsGraph& graph, const PolicySet& policies);
+
+  [[nodiscard]] const topo::GraphView& view() const { return view_; }
+
+  /// Policy of the AS with dense id `id`; throws exactly like
+  /// `PolicySet::at` when the AS has no policy (resolved lazily so ASes
+  /// that never touch a route keep the seed's don't-ask-don't-throw
+  /// behavior).
+  [[nodiscard]] const AsPolicy& policy(topo::GraphView::Id id) const {
+    const AsPolicy* p = policy_[id];
+    return p != nullptr ? *p : policies_->at(view_.as_of(id));
+  }
+
+ private:
+  topo::GraphView view_;
+  std::vector<const AsPolicy*> policy_;
+  const PolicySet* policies_;
+};
+
+/// The reusable per-propagation workspace: interning tables, SoA routing
+/// state, the event queue, candidate columns, and the arena.  Reset (never
+/// freed) between prefixes.  Not thread-safe; one propagation at a time.
+class FlatScratch {
+ public:
+  FlatScratch() : comms_(arena_) {}
+
+  /// High-water mark of scratch memory across this scratch's lifetime.
+  [[nodiscard]] std::size_t peak_bytes() const { return peak_bytes_; }
+
+ private:
+  friend PrefixRouting compute_prefix_flat(const FlatSimContext& context,
+                                           const Origination& origination,
+                                           const FailedEdges* failed,
+                                           const PropagationOptions& options,
+                                           FlatScratch& scratch);
+
+  void reset(std::size_t n);
+  void note_peak();
+
+  util::MonotonicArena arena_;
+  PathTable paths_;
+  CommunityTable comms_;
+
+  // Routing state, indexed by dense AS id.
+  std::vector<std::uint8_t> has_best_;
+  std::vector<std::uint8_t> best_rel_;  // RelKind: learned_from as seen by
+                                        // the owning AS; valid when the
+                                        // best route is not self-originated
+  std::vector<std::uint32_t> best_path_;
+  std::vector<std::uint32_t> best_learned_;  // dense id of learned_from
+  std::vector<std::uint32_t> best_lp_;
+  std::vector<std::uint32_t> best_router_;
+  std::vector<std::uint32_t> best_comms_;
+
+  // Fixpoint bookkeeping.
+  std::vector<std::uint8_t> in_queue_;
+  std::vector<std::uint32_t> processed_;
+  std::vector<std::uint32_t> queue_;  // ring buffer, capacity n + 1
+  std::size_t q_head_ = 0;
+  std::size_t q_tail_ = 0;
+
+  // Decision-process candidate columns (reused per event).
+  std::vector<std::uint32_t> cand_lp_;
+  std::vector<std::uint32_t> cand_plen_;
+  std::vector<std::uint8_t> cand_origin_;
+  std::vector<std::uint32_t> cand_nh_;
+  std::vector<std::uint32_t> cand_med_;
+  std::vector<std::uint8_t> cand_ebgp_;
+  std::vector<std::uint32_t> cand_igp_;
+  std::vector<std::uint32_t> cand_router_;
+  std::vector<std::uint32_t> cand_path_;
+  std::vector<std::uint32_t> cand_comms_;
+  std::vector<std::uint32_t> cand_sender_;  // dense id
+  std::vector<std::uint8_t> cand_rel_;      // RelKind: sender as seen by
+                                            // the receiving AS
+
+  std::size_t peak_bytes_ = 0;
+};
+
+/// The flat fixpoint: byte-identical results to `compute_prefix_reference`
+/// for every input (golden-tested in tests/sim/flat_equivalence_test.cc).
+/// Reentrant across distinct scratches: the context is read-only, so any
+/// number of concurrent calls may share it.
+[[nodiscard]] PrefixRouting compute_prefix_flat(
+    const FlatSimContext& context, const Origination& origination,
+    const FailedEdges* failed, const PropagationOptions& options,
+    FlatScratch& scratch);
+
+/// A mutex-guarded free list of FlatScratch instances for parallel
+/// shard-and-merge callers: workers lease a warmed scratch per prefix
+/// (acquisition cost is negligible against a fixpoint) so scratch memory
+/// scales with worker count, not prefix count, and nothing leaks into
+/// thread-locals on long-lived pool threads.
+class FlatScratchPool {
+ public:
+  class Lease {
+   public:
+    Lease(FlatScratchPool* pool, std::unique_ptr<FlatScratch> scratch)
+        : pool_(pool), scratch_(std::move(scratch)) {}
+    ~Lease() {
+      if (scratch_ != nullptr) pool_->release(std::move(scratch_));
+    }
+    Lease(Lease&&) = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+
+    [[nodiscard]] FlatScratch& operator*() const { return *scratch_; }
+
+   private:
+    FlatScratchPool* pool_;
+    std::unique_ptr<FlatScratch> scratch_;
+  };
+
+  [[nodiscard]] Lease acquire();
+
+  /// Max peak_bytes() across every scratch ever leased from this pool.
+  [[nodiscard]] std::size_t peak_bytes() const;
+
+ private:
+  void release(std::unique_ptr<FlatScratch> scratch);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<FlatScratch>> free_;
+  std::size_t peak_bytes_ = 0;
+};
+
+}  // namespace bgpolicy::sim

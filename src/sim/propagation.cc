@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "bgp/decision.h"
+#include "sim/flat_engine.h"
 #include "util/ensure.h"
 
 namespace bgpolicy::sim {
@@ -37,9 +38,8 @@ bgp::Route PropagationEngine::self_route(
 
 std::optional<bgp::Route> PropagationEngine::exported_route(
     AsNumber sender, const bgp::Route& sender_best,
-    const Origination& origination, AsNumber receiver) const {
-  const auto receiver_rel = graph_->relationship(sender, receiver);
-  if (!receiver_rel) return std::nullopt;  // not adjacent
+    const Origination& origination, AsNumber receiver,
+    RelKind receiver_rel) const {
   if (failures_ != nullptr && failures_->is_failed(sender, receiver)) {
     return std::nullopt;  // session down
   }
@@ -53,7 +53,7 @@ std::optional<bgp::Route> PropagationEngine::exported_route(
     util::ensure_state(learned_rel.has_value(),
                        "propagation: best route from non-neighbor");
     if (*learned_rel != RelKind::kCustomer &&
-        *receiver_rel != RelKind::kCustomer) {
+        receiver_rel != RelKind::kCustomer) {
       return std::nullopt;
     }
   }
@@ -80,7 +80,7 @@ std::optional<bgp::Route> PropagationEngine::exported_route(
   const auto sender_asn = static_cast<std::uint16_t>(sender.value());
   if (sender_best.has_community(
           bgp::Community(sender_asn, kNoExportUpstreamValue)) &&
-      *receiver_rel == RelKind::kProvider) {
+      receiver_rel == RelKind::kProvider) {
     return std::nullopt;
   }
   for (std::size_t slot = 0; slot < sender_policy.no_export_targets.size();
@@ -141,15 +141,18 @@ std::optional<bgp::Route> PropagationEngine::route_as_received(
     AsNumber sender, const bgp::Route* sender_best,
     const Origination& origination, AsNumber receiver) const {
   if (sender_best == nullptr) return std::nullopt;
-  auto wire = exported_route(sender, *sender_best, origination, receiver);
+  // One relationship resolution serves both perspectives: receiver-side
+  // import sees what sender is to receiver, sender-side export sees the
+  // inverse — re-probing the adjacency map per direction was pure waste.
+  const auto sender_rel = graph_->relationship(receiver, sender);
+  if (!sender_rel) return std::nullopt;  // not adjacent
+
+  auto wire = exported_route(sender, *sender_best, origination, receiver,
+                             topo::invert(*sender_rel));
   if (!wire) return std::nullopt;
 
   // Receiver-side: AS-path loop check (Section 2.2.1).
   if (wire->path.contains(receiver)) return std::nullopt;
-
-  const auto sender_rel = graph_->relationship(receiver, sender);
-  util::ensure_state(sender_rel.has_value(),
-                     "propagation: received from non-neighbor");
 
   const AsPolicy& receiver_policy = policies_->at(receiver);
   wire->local_pref = receiver_policy.import.preference(sender, *sender_rel,
@@ -171,6 +174,19 @@ PrefixRouting compute_prefix(const topo::AsGraph& graph,
                              const Origination& origination,
                              const FailedEdges* failed,
                              const PropagationOptions& options) {
+  // One-shot convenience: builds the flat context and scratch for a single
+  // fixpoint.  Loops over many prefixes (run_simulation, simulate_chunk,
+  // churn) build one FlatSimContext and reuse leased scratches instead.
+  const FlatSimContext context(graph, policies);
+  FlatScratch scratch;
+  return compute_prefix_flat(context, origination, failed, options, scratch);
+}
+
+PrefixRouting compute_prefix_reference(const topo::AsGraph& graph,
+                                       const PolicySet& policies,
+                                       const Origination& origination,
+                                       const FailedEdges* failed,
+                                       const PropagationOptions& options) {
   util::ensure(graph.contains(origination.origin),
                "propagation: origin AS not in graph");
 

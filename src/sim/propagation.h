@@ -113,11 +113,27 @@ class PropagationEngine;
 /// model" above).  `failed` may be nullptr for a healthy network.  This is
 /// the unit the parallel executors shard over; PropagationEngine::propagate
 /// is a thin wrapper around it.
+///
+/// Since the flat-core rewrite this runs on the dense-id/interned-path
+/// engine (sim/flat_engine.h) and its output is byte-identical to
+/// `compute_prefix_reference` for every input.  This overload builds the
+/// flat context per call; many-prefix loops build one `FlatSimContext` and
+/// call `compute_prefix_flat` with leased scratches.
 [[nodiscard]] PrefixRouting compute_prefix(const topo::AsGraph& graph,
                                            const PolicySet& policies,
                                            const Origination& origination,
                                            const FailedEdges* failed,
                                            const PropagationOptions& options = {});
+
+/// The seed per-event fixpoint, kept verbatim as the executable
+/// specification of `compute_prefix`: hash-map state, heap-allocated
+/// candidate routes, one `route_as_received` per neighbor per event.  The
+/// golden equivalence suite (tests/sim/flat_equivalence_test.cc) and the
+/// propagation-throughput benches diff the flat engine against this.
+[[nodiscard]] PrefixRouting compute_prefix_reference(
+    const topo::AsGraph& graph, const PolicySet& policies,
+    const Origination& origination, const FailedEdges* failed,
+    const PropagationOptions& options = {});
 
 class PropagationEngine {
  public:
@@ -146,20 +162,25 @@ class PropagationEngine {
   [[nodiscard]] const PolicySet& policies() const { return *policies_; }
 
  private:
-  // compute_prefix is the out-of-class fixpoint implementation; it needs
+  // compute_prefix_reference is the out-of-class seed fixpoint; it needs
   // self_route and the engine's receive path.
-  friend PrefixRouting compute_prefix(const topo::AsGraph&, const PolicySet&,
-                                      const Origination&, const FailedEdges*,
-                                      const PropagationOptions&);
+  friend PrefixRouting compute_prefix_reference(const topo::AsGraph&,
+                                                const PolicySet&,
+                                                const Origination&,
+                                                const FailedEdges*,
+                                                const PropagationOptions&);
 
   /// The self-originated route the origin AS installs.
   [[nodiscard]] bgp::Route self_route(const Origination& origination) const;
 
   /// Export-side half of route_as_received: what `sender` puts on the wire
-  /// toward `receiver` (no import transform yet).
+  /// toward `receiver` (no import transform yet).  `receiver_rel` is what
+  /// the receiver is to the sender — the caller already resolved the
+  /// adjacency once and hands down both perspectives.
   [[nodiscard]] std::optional<bgp::Route> exported_route(
       AsNumber sender, const bgp::Route& sender_best,
-      const Origination& origination, AsNumber receiver) const;
+      const Origination& origination, AsNumber receiver,
+      RelKind receiver_rel) const;
 
   const topo::AsGraph* graph_;
   const PolicySet* policies_;

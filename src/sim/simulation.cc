@@ -1,5 +1,6 @@
 #include "sim/simulation.h"
 
+#include "sim/flat_engine.h"
 #include "util/parallel.h"
 
 namespace bgpolicy::sim {
@@ -53,9 +54,13 @@ SimResult simulate_chunk(const topo::AsGraph& graph, const PolicySet& policies,
                          util::IndexRange range) {
   PropagationEngine engine(graph, policies);
   SimResult result = init_sim_result(spec);
+  // One flat context + one warmed scratch for the whole chunk: after the
+  // first prefix the fixpoints run allocation-free.
+  const FlatSimContext context(graph, policies);
+  FlatScratch scratch;
   for (std::size_t i = range.begin; i < range.end; ++i) {
-    const PrefixRouting state =
-        compute_prefix(graph, policies, originations[i], nullptr, options);
+    const PrefixRouting state = compute_prefix_flat(
+        context, originations[i], nullptr, options, scratch);
     if (!state.converged) ++result.unconverged_prefixes;
     result.process_events += state.process_events;
     record_prefix(engine, state, spec, result);
@@ -99,6 +104,10 @@ SimResult run_simulation(const topo::AsGraph& graph, const PolicySet& policies,
                          const util::Executor* executor) {
   PropagationEngine engine(graph, policies);
   SimResult result = init_sim_result(spec);
+  // One shared read-only flat context; workers lease warmed scratches from
+  // the pool per prefix, so scratch memory scales with worker count.
+  const FlatSimContext context(graph, policies);
+  FlatScratchPool scratches;
 
   const auto record = [&](const PrefixRouting& state) {
     if (!state.converged) ++result.unconverged_prefixes;
@@ -117,8 +126,9 @@ SimResult run_simulation(const topo::AsGraph& graph, const PolicySet& policies,
   util::shard_and_merge(
       exec, originations.size(),
       [&](std::size_t i) {
-        return compute_prefix(graph, policies, originations[i], nullptr,
-                              options);
+        const auto lease = scratches.acquire();
+        return compute_prefix_flat(context, originations[i], nullptr, options,
+                                   *lease);
       },
       [&](std::size_t, const PrefixRouting& state) { record(state); });
   return result;

@@ -1,0 +1,29 @@
+#include "topology/graph_view.h"
+
+#include "util/ensure.h"
+
+namespace bgpolicy::topo {
+
+GraphView::GraphView(const AsGraph& graph) {
+  const auto ases = graph.ases();
+  util::ensure(ases.size() < kInvalidId, "GraphView: AS count overflows id");
+  as_of_.assign(ases.begin(), ases.end());
+  id_of_.reserve(ases.size());
+  for (std::size_t i = 0; i < ases.size(); ++i) {
+    id_of_.emplace(ases[i], static_cast<Id>(i));
+  }
+
+  offsets_.reserve(ases.size() + 1);
+  arc_to_.reserve(graph.edge_count() * 2);
+  arc_rel_.reserve(graph.edge_count() * 2);
+  offsets_.push_back(0);
+  for (const AsNumber as : ases) {
+    for (const Neighbor& n : graph.neighbors(as)) {
+      arc_to_.push_back(id_of_.at(n.as));
+      arc_rel_.push_back(n.kind);
+    }
+    offsets_.push_back(static_cast<std::uint32_t>(arc_to_.size()));
+  }
+}
+
+}  // namespace bgpolicy::topo

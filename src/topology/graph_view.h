@@ -1,0 +1,77 @@
+// A flat, dense-id view of an AsGraph for hot-path consumers.
+//
+// AsGraph stores adjacency as per-node hash maps keyed by AsNumber — the
+// right shape for incremental construction and sparse queries, but every
+// `relationship`/`neighbors`/`degree` probe in the propagation fixpoint
+// pays a hash.  GraphView is built once per scenario from a finished graph
+// and flattens everything the engine touches:
+//
+//   * every AS gets a dense id in [0, size()) assigned in insertion order
+//     (`AsGraph::ases()` order), so per-AS state becomes a plain vector
+//     indexed by id;
+//   * adjacency is one CSR (compressed sparse row) layout: `offsets()[id]`
+//     .. `offsets()[id + 1]` index flat arc arrays holding each neighbor's
+//     dense id and relationship, preserving AsGraph's per-node neighbor
+//     order exactly (the propagation event order depends on it);
+//   * `arc_rel(slot)` is what the *neighbor* is to the node whose row the
+//     slot belongs to — the same perspective as `Neighbor::kind` — and
+//     `invert()` gives the reverse perspective without a second lookup.
+//
+// The view holds no reference to the source graph and stays valid (and
+// immutable) regardless of what happens to it afterwards.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/as_graph.h"
+
+namespace bgpolicy::topo {
+
+class GraphView {
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kInvalidId = std::numeric_limits<Id>::max();
+
+  explicit GraphView(const AsGraph& graph);
+
+  [[nodiscard]] std::size_t size() const { return as_of_.size(); }
+
+  /// Dense id of `as`, or kInvalidId when the AS is not in the graph.
+  [[nodiscard]] Id id_of(AsNumber as) const {
+    const auto it = id_of_.find(as);
+    return it == id_of_.end() ? kInvalidId : it->second;
+  }
+
+  [[nodiscard]] AsNumber as_of(Id id) const { return as_of_[id]; }
+
+  /// CSR row bounds for `id`: arcs live in [arcs_begin(id), arcs_end(id)).
+  [[nodiscard]] std::uint32_t arcs_begin(Id id) const { return offsets_[id]; }
+  [[nodiscard]] std::uint32_t arcs_end(Id id) const { return offsets_[id + 1]; }
+  [[nodiscard]] std::size_t degree(Id id) const {
+    return offsets_[id + 1] - offsets_[id];
+  }
+
+  /// Dense id of the neighbor stored at CSR `slot`.
+  [[nodiscard]] Id arc_to(std::uint32_t slot) const { return arc_to_[slot]; }
+  /// What that neighbor is to the row's node (Neighbor::kind perspective).
+  [[nodiscard]] RelKind arc_rel(std::uint32_t slot) const {
+    return arc_rel_[slot];
+  }
+
+  [[nodiscard]] std::span<const std::uint32_t> offsets() const {
+    return offsets_;
+  }
+
+ private:
+  std::vector<AsNumber> as_of_;
+  std::unordered_map<AsNumber, Id> id_of_;
+  std::vector<std::uint32_t> offsets_;  // size() + 1 entries
+  std::vector<Id> arc_to_;
+  std::vector<RelKind> arc_rel_;
+};
+
+}  // namespace bgpolicy::topo

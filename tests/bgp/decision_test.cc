@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "testing/fixtures.h"
 
 namespace bgpolicy::bgp {
@@ -96,7 +98,8 @@ TEST(Decision, IdenticalRoutesTie) {
 }
 
 TEST(Decision, SelectBestEmptyIsNull) {
-  EXPECT_FALSE(select_best({}));
+  EXPECT_FALSE(select_best(std::span<const Route>{}));
+  EXPECT_FALSE(select_best(RouteColumns{}));
 }
 
 TEST(Decision, SelectBestPicksHighestPref) {

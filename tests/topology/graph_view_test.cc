@@ -1,0 +1,57 @@
+#include "topology/graph_view.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace bgpolicy::topo {
+namespace {
+
+using namespace bgpolicy::testing;
+
+TEST(GraphView, IdsFollowInsertionOrderAndRoundTrip) {
+  const auto g = figure1_graph();
+  const GraphView view(g);
+  ASSERT_EQ(view.size(), g.ases().size());
+  for (std::size_t i = 0; i < g.ases().size(); ++i) {
+    const AsNumber as = g.ases()[i];
+    EXPECT_EQ(view.id_of(as), static_cast<GraphView::Id>(i));
+    EXPECT_EQ(view.as_of(static_cast<GraphView::Id>(i)), as);
+  }
+  EXPECT_EQ(view.id_of(AsNumber(9999)), GraphView::kInvalidId);
+}
+
+TEST(GraphView, CsrRowsMirrorNeighborOrderAndRelationships) {
+  const auto g = figure1_graph();
+  const GraphView view(g);
+  for (const AsNumber as : g.ases()) {
+    const GraphView::Id id = view.id_of(as);
+    const auto neighbors = g.neighbors(as);
+    ASSERT_EQ(view.degree(id), neighbors.size());
+    std::uint32_t slot = view.arcs_begin(id);
+    for (const Neighbor& n : neighbors) {
+      EXPECT_EQ(view.as_of(view.arc_to(slot)), n.as);
+      EXPECT_EQ(view.arc_rel(slot), n.kind);
+      // arc_rel is the Neighbor::kind perspective; invert() must agree
+      // with the reverse relationship() probe.
+      EXPECT_EQ(invert(view.arc_rel(slot)), *g.relationship(n.as, as));
+      ++slot;
+    }
+    EXPECT_EQ(slot, view.arcs_end(id));
+  }
+}
+
+TEST(GraphView, OffsetsSpanAllArcs) {
+  const auto f = figure3_graph();
+  const GraphView view(f.graph);
+  const auto offsets = view.offsets();
+  ASSERT_EQ(offsets.size(), view.size() + 1);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), f.graph.edge_count() * 2);
+  for (std::size_t i = 0; i + 1 < offsets.size(); ++i) {
+    EXPECT_LE(offsets[i], offsets[i + 1]);
+  }
+}
+
+}  // namespace
+}  // namespace bgpolicy::topo
