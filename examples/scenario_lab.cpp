@@ -4,7 +4,11 @@
 //
 //   $ scenario_lab [--seed N] [--stubs N] [--selective P] [--multihome P]
 //                  [--sweep selective|multihome|prepend|gao] [--steps N]
-//                  [--threads N] [--store DIR]
+//                  [--threads N] [--store DIR] [--spec FILE.scn|DIR]
+//
+// With --spec, each .scn scenario spec (docs/SCENARIOS.md) runs through the
+// staged pipeline, its verify block executes, and its headline stats join
+// the table — the interactive spelling of tools/scenario_check.
 //
 // With --sweep, the chosen knob is swept across `--steps` values through
 // core::sweep — variants run sharded across the thread pool, and upstream
@@ -17,6 +21,7 @@
 // the executed-vs-loaded ledger); kill a sweep halfway and the re-run
 // recomputes only the missing variants.
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -25,6 +30,8 @@
 #include "core/artifact_store.h"
 #include "core/experiment.h"
 #include "core/prepending.h"
+#include "core/scenario_spec.h"
+#include "core/spec_verify.h"
 #include "util/text_table.h"
 
 using namespace bgpolicy;
@@ -41,6 +48,7 @@ struct Options {
   std::size_t steps = 5;
   std::size_t threads = 0;
   std::string store_dir;
+  std::string spec_path;
 };
 
 Options parse_args(int argc, char** argv) {
@@ -72,11 +80,18 @@ Options parse_args(int argc, char** argv) {
       opts.threads = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--store") {
       opts.store_dir = next();
+    } else if (arg == "--spec") {
+      opts.spec_path = next();
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: scenario_lab [--seed N] [--stubs N] "
                    "[--selective P] [--multihome P] [--prepend P]\n"
                    "                    [--sweep selective|multihome|prepend|"
-                   "gao] [--steps N] [--threads N] [--store DIR]\n";
+                   "gao] [--steps N] [--threads N] [--store DIR]\n"
+                   "                    [--spec FILE.scn|DIR]\n"
+                   "With --spec, each .scn scenario spec (docs/SCENARIOS.md) "
+                   "is run through the\nstaged pipeline, its verify block is "
+                   "executed, and its headline stats join\nthe table; the "
+                   "knob flags are ignored.\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag " << arg << " (try --help)\n";
@@ -147,6 +162,49 @@ int main(int argc, char** argv) {
                    util::fmt(stats.prepended_pct, 2),
                    util::fmt(stats.accuracy, 2)});
   };
+
+  if (!base.spec_path.empty()) {
+    // Spec mode: run every .scn through the staged pipeline and execute
+    // its verify block (scenario_check is the strict CI spelling of this).
+    std::vector<core::ScenarioSpec> specs;
+    try {
+      if (std::filesystem::is_directory(base.spec_path)) {
+        specs = core::load_spec_dir(base.spec_path);
+      } else {
+        specs.push_back(core::ScenarioSpec::parse_file(base.spec_path));
+      }
+    } catch (const std::exception& error) {
+      std::cerr << error.what() << "\n";
+      return 2;
+    }
+    std::cout << "Running " << specs.size() << " scenario spec(s) from "
+              << base.spec_path << "...\n";
+    std::size_t failures = 0;
+    for (core::ScenarioSpec& spec : specs) {
+      if (base.threads != 0) spec.scenario.propagation.threads = base.threads;
+      core::RunOptions options;
+      options.store = store.get();
+      core::Experiment experiment(spec.scenario, options);
+      experiment.run();
+      add_row(spec.scenario.name,
+              stats_from(experiment.truth(), experiment.sim().sim,
+                         experiment.inference(), experiment.analyses()));
+      const core::VerifyReport report =
+          core::run_spec_checks(spec, experiment);
+      std::cout << "  " << spec.source << ": verify "
+                << report.results.size() - report.failure_count() << "/"
+                << report.results.size() << " passed\n";
+      for (const core::CheckResult& result : report.results) {
+        if (result.passed) continue;
+        std::cout << "    FAIL " << spec.source << ":" << result.check.loc.line
+                  << ": " << core::describe_check(result.check) << " — "
+                  << result.detail << "\n";
+        ++failures;
+      }
+    }
+    std::cout << table.render("scenario_lab results") << "\n";
+    return failures == 0 ? 0 : 1;
+  }
 
   if (base.sweep.empty()) {
     std::cout << "Single staged run (seed " << base.seed << ", " << base.stubs

@@ -133,12 +133,186 @@ T stage_artifact(const ArtifactStore* store, const std::string& key,
 
 // ---------------------------------------------------------- stage runners --
 
+namespace {
+
+[[noreturn]] void scenario_error(const Scenario& scenario,
+                                 const std::string& what) {
+  throw std::invalid_argument("scenario '" + scenario.name + "': " + what);
+}
+
+/// Builds the Topology for an explicit world: ASes in declaration order,
+/// edges in declaration order (AsGraph::add_* validate endpoints and
+/// duplicates), tier lists from the declared tiers.
+topo::Topology build_explicit_topology(const Scenario& scenario) {
+  const ExplicitWorld& world = *scenario.explicit_world;
+  if (world.ases.empty()) scenario_error(scenario, "explicit world has no ASes");
+  topo::Topology topo;
+  for (const ExplicitWorld::As& as : world.ases) {
+    const AsNumber number(as.number);
+    if (topo.graph.contains(number)) {
+      scenario_error(scenario,
+                     "explicit AS " + std::to_string(as.number) +
+                         " declared twice");
+    }
+    topo.graph.add_as(number);
+    topo.tier.emplace(number, as.tier);
+    switch (as.tier) {
+      case topo::Tier::kTier1: topo.tier1.push_back(number); break;
+      case topo::Tier::kTier2: topo.tier2.push_back(number); break;
+      case topo::Tier::kTier3: topo.tier3.push_back(number); break;
+      case topo::Tier::kStub: topo.stubs.push_back(number); break;
+    }
+  }
+  for (const ExplicitWorld::Link& link : world.links) {
+    for (const std::uint32_t end : {link.a, link.b}) {
+      if (!topo.graph.contains(AsNumber(end))) {
+        scenario_error(scenario, "explicit link references undeclared AS " +
+                                     std::to_string(end));
+      }
+    }
+    if (link.peer) {
+      topo.graph.add_peer_peer(AsNumber(link.a), AsNumber(link.b));
+    } else {
+      topo.graph.add_provider_customer(AsNumber(link.a), AsNumber(link.b));
+    }
+  }
+  return topo;
+}
+
+/// The PrefixPlan of an explicit world: exactly the declared originations,
+/// in declaration order (MOAS allowed: the same prefix may appear under
+/// several origins).
+topo::PrefixPlan build_explicit_plan(const Scenario& scenario,
+                                     const topo::Topology& topo) {
+  const ExplicitWorld& world = *scenario.explicit_world;
+  topo::PrefixPlan plan;
+  plan.prefixes.reserve(world.originations.size());
+  for (const ExplicitWorld::Origination& o : world.originations) {
+    const AsNumber origin(o.origin);
+    if (!topo.graph.contains(origin)) {
+      scenario_error(scenario, "origination " + o.prefix.to_string() +
+                                   " references undeclared AS " +
+                                   std::to_string(o.origin));
+    }
+    plan.by_origin[origin].push_back(plan.prefixes.size());
+    plan.prefixes.push_back({o.prefix, origin, std::nullopt});
+  }
+  return plan;
+}
+
+/// Every AS id a scenario references must exist in the synthesized
+/// topology.  Absent ids previously slipped through derive_vantage's
+/// filter and silently yielded empty observations; now they are a
+/// synthesize-time error naming the role and the id.
+void validate_scenario_ases(const Scenario& scenario,
+                            const topo::Topology& topo) {
+  const auto check = [&](const char* role, std::uint32_t as) {
+    if (!topo.graph.contains(AsNumber(as))) {
+      scenario_error(scenario, std::string(role) + " AS " +
+                                   std::to_string(as) +
+                                   " is not in the synthesized topology");
+    }
+  };
+  for (const std::uint32_t as : scenario.looking_glass) {
+    check("looking_glass", as);
+  }
+  for (const std::uint32_t as : scenario.best_only) check("best_only", as);
+  for (const std::uint32_t as : scenario.verification_ases) {
+    check("verification", as);
+  }
+  for (const PolicyOverride& o : scenario.overrides) {
+    check("override", o.as);
+    switch (o.kind) {
+      case PolicyOverride::Kind::kPreferNeighbor:
+      case PolicyOverride::Kind::kDeny:
+      case PolicyOverride::Kind::kPrepend:
+      case PolicyOverride::Kind::kNoExportUpstream:
+        check("override neighbor", o.neighbor);
+        break;
+      case PolicyOverride::Kind::kConditional:
+        check("override neighbor", o.neighbor);
+        check("override watch", o.watch);
+        break;
+      case PolicyOverride::Kind::kPreferPrefix:
+      case PolicyOverride::Kind::kTagging:
+        break;
+    }
+  }
+}
+
+/// Applies the scenario's per-AS policy edits on top of the generated
+/// policies, in declaration order.  Export overrides are inserted at the
+/// *front* of the neighbor's rule list so they take precedence over any
+/// generated rule for the same prefix.
+void apply_overrides(const Scenario& scenario, sim::PolicySet& policies) {
+  for (const PolicyOverride& o : scenario.overrides) {
+    sim::AsPolicy& policy = policies.at_mut(AsNumber(o.as));
+    const auto require_prefix = [&]() -> const bgp::Prefix& {
+      if (!o.prefix) {
+        scenario_error(scenario, "override on AS " + std::to_string(o.as) +
+                                     " requires a prefix");
+      }
+      return *o.prefix;
+    };
+    const auto front_rule = [&](sim::ExportRule rule) {
+      auto& rules = policy.export_.per_neighbor[AsNumber(o.neighbor)];
+      rules.insert(rules.begin(), std::move(rule));
+    };
+    switch (o.kind) {
+      case PolicyOverride::Kind::kPreferNeighbor:
+        policy.import.neighbor_override[AsNumber(o.neighbor)] = o.value;
+        break;
+      case PolicyOverride::Kind::kPreferPrefix:
+        policy.import.prefix_override[require_prefix()] = o.value;
+        break;
+      case PolicyOverride::Kind::kDeny: {
+        sim::ExportRule rule;
+        rule.prefix = o.prefix;
+        rule.action = sim::ExportAction::kDeny;
+        front_rule(std::move(rule));
+        break;
+      }
+      case PolicyOverride::Kind::kPrepend: {
+        sim::ExportRule rule;
+        rule.prefix = o.prefix;
+        rule.action = sim::ExportAction::kPrepend;
+        rule.prepend_times = static_cast<std::uint8_t>(o.value);
+        front_rule(std::move(rule));
+        break;
+      }
+      case PolicyOverride::Kind::kConditional:
+        policy.conditional.push_back(
+            {require_prefix(), AsNumber(o.neighbor), AsNumber(o.watch)});
+        break;
+      case PolicyOverride::Kind::kTagging:
+        policy.community.enabled = o.value != 0;
+        break;
+      case PolicyOverride::Kind::kNoExportUpstream: {
+        sim::ExportRule rule;
+        rule.prefix = o.prefix;
+        rule.action = sim::ExportAction::kTagNoExportUpstream;
+        front_rule(std::move(rule));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
 GroundTruth synthesize(const Scenario& scenario) {
   GroundTruth truth;
-  truth.topo = topo::generate_topology(scenario.topo_params);
-  truth.plan = topo::allocate_prefixes(truth.topo, scenario.alloc_params);
+  if (scenario.explicit_world) {
+    truth.topo = build_explicit_topology(scenario);
+    truth.plan = build_explicit_plan(scenario, truth.topo);
+  } else {
+    truth.topo = topo::generate_topology(scenario.topo_params);
+    truth.plan = topo::allocate_prefixes(truth.topo, scenario.alloc_params);
+  }
+  validate_scenario_ases(scenario, truth.topo);
   truth.gen =
       sim::generate_policies(truth.topo, truth.plan, scenario.policy_params);
+  apply_overrides(scenario, truth.gen.policies);
   truth.originations = sim::all_originations(truth.plan, truth.gen);
   return truth;
 }
@@ -995,6 +1169,52 @@ std::string scenario_cache_key(const Scenario& scenario) {
   field(key, "s.verify", scenario.verification_ases);
   field(key, "s.t2_peers", scenario.collector_tier2_peers);
   field(key, "s.t3_peers", scenario.collector_tier3_peers);
+
+  // Spec-language extensions (scenario_spec.h).  Appended only when
+  // present so pre-existing scenarios keep their store keys.
+  if (scenario.explicit_world) {
+    const ExplicitWorld& w = *scenario.explicit_world;
+    key += "x.ases=";
+    for (const ExplicitWorld::As& as : w.ases) {
+      key += std::to_string(as.number);
+      key += ':';
+      key += std::to_string(static_cast<int>(as.tier));
+      key += ',';
+    }
+    key += ";x.links=";
+    for (const ExplicitWorld::Link& link : w.links) {
+      key += std::to_string(link.a);
+      key += link.peer ? '~' : '>';
+      key += std::to_string(link.b);
+      key += ',';
+    }
+    key += ";x.orig=";
+    for (const ExplicitWorld::Origination& o : w.originations) {
+      key += std::to_string(o.origin);
+      key += '@';
+      key += o.prefix.to_string();
+      key += ',';
+    }
+    key += ';';
+  }
+  if (!scenario.overrides.empty()) {
+    key += "o=";
+    for (const PolicyOverride& o : scenario.overrides) {
+      key += std::to_string(static_cast<int>(o.kind));
+      key += ':';
+      key += std::to_string(o.as);
+      key += ':';
+      key += std::to_string(o.neighbor);
+      key += ':';
+      key += std::to_string(o.watch);
+      key += ':';
+      key += std::to_string(o.value);
+      key += ':';
+      if (o.prefix) key += o.prefix->to_string();
+      key += ',';
+    }
+    key += ';';
+  }
   return key;
 }
 

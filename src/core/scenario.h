@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "bgp/prefix.h"
 #include "rpsl/generator.h"
 #include "sim/policy_gen.h"
 #include "sim/propagation.h"
@@ -18,6 +20,80 @@
 #include "topology/topology_gen.h"
 
 namespace bgpolicy::core {
+
+/// One per-AS policy edit applied on top of the generated policies during
+/// Synthesize (after sim::generate_policies, before originations are
+/// flattened).  Overrides are part of the scenario's upstream cache
+/// identity (scenario_cache_key), so two scenarios differing only in an
+/// override are distinct worlds.  The spec language's `override` block
+/// (docs/SCENARIOS.md) parses into these; they can equally be pushed onto
+/// a constructor-built Scenario in code.
+struct PolicyOverride {
+  enum class Kind : std::uint8_t {
+    /// Import: `as` ranks routes from `neighbor` at local-pref `value`.
+    kPreferNeighbor = 0,
+    /// Import: `as` pins `prefix` to local-pref `value` for any neighbor.
+    kPreferPrefix = 1,
+    /// Export: `as` does not announce `prefix` (or, when absent, any
+    /// route) to `neighbor` — selective announcement.
+    kDeny = 2,
+    /// Export: `as` prepends itself `value` extra times toward `neighbor`.
+    kPrepend = 3,
+    /// `as` conditionally advertises `prefix` to `neighbor` only while its
+    /// session to `watch` is down (failover backup announcement).
+    kConditional = 4,
+    /// Enables (`value` != 0) or disables the relationship-tagging
+    /// community scheme at `as`.
+    kTagging = 5,
+    /// Export: `as` announces `prefix` (or any route when absent) to
+    /// `neighbor` tagged "do not propagate to your providers".
+    kNoExportUpstream = 6,
+  };
+
+  Kind kind = Kind::kPreferNeighbor;
+  std::uint32_t as = 0;
+  std::uint32_t neighbor = 0;
+  std::uint32_t watch = 0;
+  std::optional<bgp::Prefix> prefix;
+  std::uint32_t value = 0;
+
+  friend bool operator==(const PolicyOverride&, const PolicyOverride&) =
+      default;
+};
+
+/// A hand-written topology replacing the synthetic generator: the ASes,
+/// their relationships, and the originated prefixes are listed explicitly
+/// (the spec language's `topology { explicit ... }` mode).  Synthesize
+/// builds the Topology/PrefixPlan directly from these instead of running
+/// topo::generate_topology / topo::allocate_prefixes; policy generation
+/// still runs over the explicit graph with the scenario's policy_params.
+/// The same prefix may be originated by several ASes (anycast / MOAS —
+/// see docs/SCENARIOS.md for how verification treats it).
+struct ExplicitWorld {
+  struct As {
+    std::uint32_t number = 0;
+    topo::Tier tier = topo::Tier::kStub;
+    friend bool operator==(const As&, const As&) = default;
+  };
+  /// Provider->customer edge, or a peering when `peer` is set.
+  struct Link {
+    std::uint32_t a = 0;  ///< provider (or first peer)
+    std::uint32_t b = 0;  ///< customer (or second peer)
+    bool peer = false;
+    friend bool operator==(const Link&, const Link&) = default;
+  };
+  struct Origination {
+    std::uint32_t origin = 0;
+    bgp::Prefix prefix;
+    friend bool operator==(const Origination&, const Origination&) = default;
+  };
+
+  std::vector<As> ases;
+  std::vector<Link> links;
+  std::vector<Origination> originations;
+
+  friend bool operator==(const ExplicitWorld&, const ExplicitWorld&) = default;
+};
 
 struct Scenario {
   std::string name;
@@ -36,6 +112,15 @@ struct Scenario {
   /// Collector peering breadth beyond the Tier-1s.
   std::size_t collector_tier2_peers = 25;
   std::size_t collector_tier3_peers = 10;
+
+  /// Hand-written topology + originations replacing the generator (spec
+  /// `topology { explicit ... }`); topo_params/alloc_params are ignored
+  /// when set.
+  std::optional<ExplicitWorld> explicit_world;
+  /// Per-AS policy edits applied after policy generation, in order.
+  std::vector<PolicyOverride> overrides;
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
 
   /// The three Tier-1s the export-policy sections focus on.
   [[nodiscard]] static std::vector<std::uint32_t> focus_tier1() {

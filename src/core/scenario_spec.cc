@@ -1,0 +1,1347 @@
+#include "core/scenario_spec.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+namespace bgpolicy::core {
+
+// ------------------------------------------------------------- SpecError --
+
+namespace {
+
+std::string format_error(const std::string& source, SourceLoc loc,
+                         const std::string& message) {
+  return source + ":" + std::to_string(loc.line) + ":" +
+         std::to_string(loc.column) + ": " + message;
+}
+
+}  // namespace
+
+SpecError::SpecError(std::string source, SourceLoc loc, std::string message)
+    : std::runtime_error(format_error(source, loc, message)),
+      source_(std::move(source)),
+      loc_(loc),
+      message_(std::move(message)) {}
+
+// ------------------------------------------------------------- tokenizer --
+
+namespace {
+
+struct Tok {
+  std::string_view text;
+  SourceLoc loc;
+};
+
+/// Splits one line into whitespace-separated tokens; `{` and `}` are
+/// always standalone tokens, `#` starts a comment.  Columns are 1-based.
+std::vector<Tok> tokenize(std::string_view line, std::size_t line_no) {
+  std::vector<Tok> toks;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') break;
+    if (c == '{' || c == '}') {
+      toks.push_back({line.substr(i, 1), {line_no, i + 1}});
+      ++i;
+      continue;
+    }
+    std::size_t end = i;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t' &&
+           line[end] != '\r' && line[end] != '#' && line[end] != '{' &&
+           line[end] != '}') {
+      ++end;
+    }
+    toks.push_back({line.substr(i, end - i), {line_no, i + 1}});
+    i = end;
+  }
+  return toks;
+}
+
+/// Shortest round-trip decimal form of a double (dump uses this so
+/// parse(dump()) is lossless).
+std::string format_double(double value) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
+}
+
+void make_policy_inert(sim::PolicyGenParams& p) {
+  p.atypical_neighbor_prob = 0.0;
+  p.te_as_prob = 0.0;
+  p.te_prefix_max_rate = 0.0;
+  p.origin_selective_as_prob = 0.0;
+  p.withhold_prefix_prob = 0.0;
+  p.single_announce_prob = 0.0;
+  p.community_flavor_prob = 0.0;
+  p.community_target_prob = 0.0;
+  p.prepend_as_prob = 0.0;
+  p.intermediate_selective_prob = 0.0;
+  p.intermediate_victim_prob = 0.0;
+  p.splitting_as_prob = 0.0;
+  p.aggregation_prob = 0.0;
+  p.peer_withhold_prob = 0.0;
+  p.peer_withhold_total_prob = 0.0;
+  p.tagging_as_prob = 0.0;
+  p.publish_prob = 0.0;
+  p.force_tagging.clear();
+}
+
+// ---------------------------------------------------------------- parser --
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string source_name)
+      : text_(text), source_(std::move(source_name)) {
+    spec_.source = source_;
+  }
+
+  ScenarioSpec run() {
+    parse_lines();
+    finalize();
+    return std::move(spec_);
+  }
+
+ private:
+  using Assign = std::function<void(Scenario&)>;
+
+  [[noreturn]] void fail(SourceLoc loc, const std::string& message) const {
+    throw SpecError(source_, loc, message);
+  }
+
+  /// Location just past the final token of `toks` — where a missing
+  /// trailing value would have been.
+  static SourceLoc after(const std::vector<Tok>& toks) {
+    const Tok& last = toks.back();
+    return {last.loc.line, last.loc.column + last.text.size()};
+  }
+
+  // ---- value parsers --------------------------------------------------
+
+  std::uint64_t parse_u64(const Tok& tok) const {
+    std::uint64_t value = 0;
+    const char* begin = tok.text.data();
+    const char* end = begin + tok.text.size();
+    const auto res = std::from_chars(begin, end, value);
+    if (res.ec != std::errc{} || res.ptr != end) {
+      fail(tok.loc, "expected an unsigned integer, got '" +
+                        std::string(tok.text) + "'");
+    }
+    return value;
+  }
+
+  std::uint32_t parse_u32(const Tok& tok) const {
+    const std::uint64_t value = parse_u64(tok);
+    if (value > 0xFFFFFFFFull) {
+      fail(tok.loc, "value " + std::string(tok.text) + " out of 32-bit range");
+    }
+    return static_cast<std::uint32_t>(value);
+  }
+
+  std::uint32_t parse_as(const Tok& tok) const {
+    const std::uint32_t value = parse_u32(tok);
+    if (value == 0) fail(tok.loc, "AS number must be positive");
+    return value;
+  }
+
+  double parse_double(const Tok& tok) const {
+    double value = 0.0;
+    const char* begin = tok.text.data();
+    const char* end = begin + tok.text.size();
+    const auto res = std::from_chars(begin, end, value);
+    if (res.ec != std::errc{} || res.ptr != end) {
+      fail(tok.loc, "expected a number, got '" + std::string(tok.text) + "'");
+    }
+    return value;
+  }
+
+  double parse_prob(const Tok& tok) const {
+    const double value = parse_double(tok);
+    if (value < 0.0 || value > 1.0) {
+      fail(tok.loc,
+           "probability " + std::string(tok.text) + " outside [0, 1]");
+    }
+    return value;
+  }
+
+  double parse_pct(const Tok& tok) const {
+    const double value = parse_double(tok);
+    if (value < 0.0 || value > 100.0) {
+      fail(tok.loc, "percentage " + std::string(tok.text) +
+                        " outside [0, 100]");
+    }
+    return value;
+  }
+
+  double parse_nonneg(const Tok& tok) const {
+    const double value = parse_double(tok);
+    if (value < 0.0) {
+      fail(tok.loc, "value " + std::string(tok.text) + " must be >= 0");
+    }
+    return value;
+  }
+
+  bgp::Prefix parse_prefix(const Tok& tok) const {
+    const auto prefix = bgp::Prefix::try_parse(tok.text);
+    if (!prefix) {
+      fail(tok.loc, "malformed prefix '" + std::string(tok.text) +
+                        "' (expected a.b.c.d/len)");
+    }
+    return *prefix;
+  }
+
+  topo::Tier parse_tier(const Tok& tok) const {
+    if (tok.text == "tier1") return topo::Tier::kTier1;
+    if (tok.text == "tier2") return topo::Tier::kTier2;
+    if (tok.text == "tier3") return topo::Tier::kTier3;
+    if (tok.text == "stub") return topo::Tier::kStub;
+    fail(tok.loc, "unknown tier '" + std::string(tok.text) +
+                      "' (expected tier1|tier2|tier3|stub)");
+  }
+
+  bool parse_on_off(const Tok& tok) const {
+    if (tok.text == "on") return true;
+    if (tok.text == "off") return false;
+    fail(tok.loc,
+         "expected on|off, got '" + std::string(tok.text) + "'");
+  }
+
+  Stage parse_stage(const Tok& tok) const {
+    if (tok.text == "synthesize") return Stage::kSynthesize;
+    if (tok.text == "simulate") return Stage::kSimulate;
+    if (tok.text == "observe") return Stage::kObserve;
+    if (tok.text == "infer") return Stage::kInfer;
+    if (tok.text == "analyze") return Stage::kAnalyze;
+    fail(tok.loc, "unknown stage '" + std::string(tok.text) +
+                      "' (expected synthesize|simulate|observe|infer|analyze)");
+  }
+
+  // ---- line-shape helpers ---------------------------------------------
+
+  void need_args(const std::vector<Tok>& toks, std::size_t count) const {
+    if (toks.size() < 1 + count) {
+      fail(after(toks), "'" + std::string(toks[0].text) + "' expects " +
+                            std::to_string(count) + " argument(s)");
+    }
+    if (toks.size() > 1 + count) {
+      fail(toks[1 + count].loc, "unexpected trailing token '" +
+                                    std::string(toks[1 + count].text) + "'");
+    }
+  }
+
+  /// Marks a scalar key as seen in `block`; duplicate = error.
+  void scalar_key(const std::string& block, const Tok& key) {
+    if (!seen_keys_[block].insert(std::string(key.text)).second) {
+      fail(key.loc, "duplicate key '" + std::string(key.text) + "' in " +
+                        block + " block");
+    }
+  }
+
+  /// A generator-only key inside the topology/prefixes blocks: records the
+  /// key, errors when the topology is explicit.
+  void generator_key(const std::string& block, const Tok& key) {
+    scalar_key(block, key);
+    if (explicit_mode_) {
+      fail(key.loc, "generator knob '" + std::string(key.text) +
+                        "' is not allowed with an explicit topology");
+    }
+    generator_keys_.push_back(key.loc);
+  }
+
+  std::vector<std::uint32_t> parse_as_list(const std::vector<Tok>& toks,
+                                           const char* role) {
+    std::vector<std::uint32_t> list;
+    list.reserve(toks.size() - 1);
+    for (std::size_t i = 1; i < toks.size(); ++i) {
+      const std::uint32_t as = parse_as(toks[i]);
+      as_refs_.push_back({as, toks[i].loc, role});
+      list.push_back(as);
+    }
+    return list;
+  }
+
+  // ---- top level -------------------------------------------------------
+
+  void parse_lines() {
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= text_.size()) {
+      const std::size_t nl = text_.find('\n', pos);
+      const std::string_view line =
+          text_.substr(pos, nl == std::string_view::npos ? std::string_view::npos
+                                                         : nl - pos);
+      ++line_no;
+      pos = nl == std::string_view::npos ? text_.size() + 1 : nl + 1;
+
+      const std::vector<Tok> toks = tokenize(line, line_no);
+      if (toks.empty()) continue;
+      if (block_.empty()) {
+        top_level(toks);
+      } else {
+        block_line(toks);
+      }
+    }
+    if (!block_.empty()) {
+      fail({line_no, 1}, "unterminated " + block_ + " block (missing '}')");
+    }
+    if (!saw_scenario_) {
+      fail({1, 1}, "missing 'scenario <name>' header");
+    }
+  }
+
+  void top_level(const std::vector<Tok>& toks) {
+    const Tok& head = toks[0];
+    if (head.text == "scenario") {
+      if (saw_scenario_) fail(head.loc, "duplicate 'scenario' header");
+      if (toks.size() != 2) {
+        fail(toks.size() > 2 ? toks[2].loc : after(toks),
+             "'scenario' expects exactly one name");
+      }
+      saw_scenario_ = true;
+      name_ = std::string(toks[1].text);
+      return;
+    }
+    if (!saw_scenario_) {
+      fail(head.loc, "expected 'scenario <name>' before '" +
+                         std::string(head.text) + "'");
+    }
+    if (head.text == "base") {
+      if (saw_base_) fail(head.loc, "duplicate 'base' line");
+      if (saw_block_) fail(head.loc, "'base' must precede every block");
+      if (toks.size() < 2) fail(after(toks), "'base' expects a name");
+      if (toks.size() > 3) fail(toks[3].loc, "unexpected trailing token");
+      saw_base_ = true;
+      base_loc_ = head.loc;
+      if (toks[1].text == "default") {
+        base_ = Base::kDefault;
+        if (toks.size() == 3) {
+          fail(toks[2].loc, "'base default' takes no seed");
+        }
+      } else if (toks[1].text == "small") {
+        base_ = Base::kSmall;
+        base_seed_ = toks.size() == 3 ? parse_u64(toks[2]) : 42;
+      } else if (toks[1].text == "internet2002") {
+        base_ = Base::kInternet2002;
+        base_seed_ = toks.size() == 3 ? parse_u64(toks[2]) : 2002;
+      } else {
+        fail(toks[1].loc, "unknown base '" + std::string(toks[1].text) +
+                              "' (expected default|small|internet2002)");
+      }
+      return;
+    }
+    // A block opener: `<name> {`.
+    static const std::set<std::string_view> kBlocks = {
+        "topology", "prefixes", "policy", "vantage",
+        "override", "events",   "verify"};
+    if (!kBlocks.contains(head.text)) {
+      fail(head.loc, "unknown block or directive '" + std::string(head.text) +
+                         "'");
+    }
+    if (toks.size() != 2 || toks[1].text != "{") {
+      fail(toks.size() > 1 ? toks[1].loc : after(toks),
+           "expected '{' after '" + std::string(head.text) + "'");
+    }
+    if (!seen_blocks_.insert(std::string(head.text)).second) {
+      fail(head.loc, "duplicate " + std::string(head.text) + " block");
+    }
+    saw_block_ = true;
+    block_ = std::string(head.text);
+  }
+
+  void block_line(const std::vector<Tok>& toks) {
+    if (toks[0].text == "}") {
+      if (toks.size() > 1) {
+        fail(toks[1].loc, "unexpected token after '}'");
+      }
+      block_.clear();
+      return;
+    }
+    if (block_ == "topology") {
+      topology_line(toks);
+    } else if (block_ == "prefixes") {
+      prefixes_line(toks);
+    } else if (block_ == "policy") {
+      policy_line(toks);
+    } else if (block_ == "vantage") {
+      vantage_line(toks);
+    } else if (block_ == "override") {
+      override_line(toks);
+    } else if (block_ == "events") {
+      events_line(toks);
+    } else {
+      verify_line(toks);
+    }
+  }
+
+  // ---- blocks ----------------------------------------------------------
+
+  void topology_line(const std::vector<Tok>& toks) {
+    const Tok& key = toks[0];
+    const auto set_u64 = [&](auto member) {
+      generator_key("topology", key);
+      need_args(toks, 1);
+      const std::uint64_t v = parse_u64(toks[1]);
+      assigns_.push_back([member, v](Scenario& s) { s.topo_params.*member = v; });
+    };
+    const auto set_count = [&](std::size_t topo::GeneratorParams::* member) {
+      generator_key("topology", key);
+      need_args(toks, 1);
+      const std::uint64_t v = parse_u64(toks[1]);
+      assigns_.push_back(
+          [member, v](Scenario& s) { s.topo_params.*member = v; });
+    };
+    const auto set_prob = [&](double topo::GeneratorParams::* member) {
+      generator_key("topology", key);
+      need_args(toks, 1);
+      const double v = parse_prob(toks[1]);
+      assigns_.push_back(
+          [member, v](Scenario& s) { s.topo_params.*member = v; });
+    };
+    const auto set_nonneg = [&](double topo::GeneratorParams::* member) {
+      generator_key("topology", key);
+      need_args(toks, 1);
+      const double v = parse_nonneg(toks[1]);
+      assigns_.push_back(
+          [member, v](Scenario& s) { s.topo_params.*member = v; });
+    };
+
+    if (key.text == "seed") {
+      set_u64(&topo::GeneratorParams::seed);
+    } else if (key.text == "tier1") {
+      generator_key("topology", key);
+      need_args(toks, 1);
+      const std::uint64_t v = parse_u64(toks[1]);
+      if (v == 0) fail(toks[1].loc, "tier1 count must be >= 1");
+      assigns_.push_back([v](Scenario& s) { s.topo_params.tier1_count = v; });
+    } else if (key.text == "tier2") {
+      set_count(&topo::GeneratorParams::tier2_count);
+    } else if (key.text == "tier3") {
+      set_count(&topo::GeneratorParams::tier3_count);
+    } else if (key.text == "stubs") {
+      set_count(&topo::GeneratorParams::stub_count);
+    } else if (key.text == "stub_multihome_prob") {
+      set_prob(&topo::GeneratorParams::stub_multihome_prob);
+    } else if (key.text == "max_stub_providers") {
+      generator_key("topology", key);
+      need_args(toks, 1);
+      const std::uint64_t v = parse_u64(toks[1]);
+      if (v == 0) fail(toks[1].loc, "max_stub_providers must be >= 1");
+      assigns_.push_back(
+          [v](Scenario& s) { s.topo_params.max_stub_providers = v; });
+    } else if (key.text == "tier2_peer_mean") {
+      set_nonneg(&topo::GeneratorParams::tier2_peer_mean);
+    } else if (key.text == "tier3_peer_mean") {
+      set_nonneg(&topo::GeneratorParams::tier3_peer_mean);
+    } else if (key.text == "stub_peer_prob") {
+      set_prob(&topo::GeneratorParams::stub_peer_prob);
+    } else if (key.text == "tier3_direct_tier1_prob") {
+      set_prob(&topo::GeneratorParams::tier3_direct_tier1_prob);
+    } else if (key.text == "stub_tier1_frac") {
+      set_prob(&topo::GeneratorParams::stub_tier1_frac);
+    } else if (key.text == "stub_tier2_frac") {
+      set_prob(&topo::GeneratorParams::stub_tier2_frac);
+    } else if (key.text == "provider_popularity_skew") {
+      set_nonneg(&topo::GeneratorParams::provider_popularity_skew);
+    } else if (key.text == "max_process_per_as") {
+      scalar_key("topology", key);
+      need_args(toks, 1);
+      const std::uint64_t v = parse_u64(toks[1]);
+      if (v == 0) fail(toks[1].loc, "max_process_per_as must be >= 1");
+      assigns_.push_back(
+          [v](Scenario& s) { s.propagation.max_process_per_as = v; });
+    } else if (key.text == "threads") {
+      scalar_key("topology", key);
+      need_args(toks, 1);
+      const std::uint64_t v = parse_u64(toks[1]);
+      assigns_.push_back([v](Scenario& s) { s.propagation.threads = v; });
+    } else if (key.text == "explicit") {
+      scalar_key("topology", key);
+      need_args(toks, 0);
+      if (!generator_keys_.empty()) {
+        fail(key.loc,
+             "explicit topology cannot be combined with generator knobs");
+      }
+      explicit_mode_ = true;
+    } else if (key.text == "as") {
+      require_explicit(key);
+      need_args(toks, 2);
+      const std::uint32_t as = parse_as(toks[1]);
+      const topo::Tier tier = parse_tier(toks[2]);
+      if (!declared_.insert(as).second) {
+        fail(toks[1].loc,
+             "AS " + std::to_string(as) + " declared twice");
+      }
+      world_.ases.push_back({as, tier});
+    } else if (key.text == "provider" || key.text == "peer") {
+      require_explicit(key);
+      need_args(toks, 2);
+      const std::uint32_t a = parse_as(toks[1]);
+      const std::uint32_t b = parse_as(toks[2]);
+      as_refs_.push_back({a, toks[1].loc, "link endpoint"});
+      as_refs_.push_back({b, toks[2].loc, "link endpoint"});
+      if (a == b) fail(toks[2].loc, "link endpoints must differ");
+      world_.links.push_back({a, b, key.text == "peer"});
+    } else {
+      fail(key.loc, "unknown topology key '" + std::string(key.text) + "'");
+    }
+    (void)set_u64;
+  }
+
+  void require_explicit(const Tok& key) const {
+    if (!explicit_mode_) {
+      fail(key.loc, "'" + std::string(key.text) +
+                        "' requires 'explicit' earlier in the topology block");
+    }
+  }
+
+  void prefixes_line(const std::vector<Tok>& toks) {
+    const Tok& key = toks[0];
+    if (key.text == "seed") {
+      generator_key("prefixes", key);
+      need_args(toks, 1);
+      const std::uint64_t v = parse_u64(toks[1]);
+      assigns_.push_back([v](Scenario& s) { s.alloc_params.seed = v; });
+    } else if (key.text == "provider_space_prob") {
+      generator_key("prefixes", key);
+      need_args(toks, 1);
+      const double v = parse_prob(toks[1]);
+      assigns_.push_back(
+          [v](Scenario& s) { s.alloc_params.provider_space_prob = v; });
+    } else if (key.text == "count_alpha") {
+      generator_key("prefixes", key);
+      need_args(toks, 1);
+      const double v = parse_nonneg(toks[1]);
+      assigns_.push_back([v](Scenario& s) { s.alloc_params.count_alpha = v; });
+    } else if (key.text == "max_stub_prefixes") {
+      generator_key("prefixes", key);
+      need_args(toks, 1);
+      const std::uint64_t v = parse_u64(toks[1]);
+      if (v == 0) fail(toks[1].loc, "max_stub_prefixes must be >= 1");
+      assigns_.push_back(
+          [v](Scenario& s) { s.alloc_params.max_stub_prefixes = v; });
+    } else if (key.text == "max_transit_extra") {
+      generator_key("prefixes", key);
+      need_args(toks, 1);
+      const std::uint64_t v = parse_u64(toks[1]);
+      assigns_.push_back(
+          [v](Scenario& s) { s.alloc_params.max_transit_extra = v; });
+    } else if (key.text == "originate") {
+      if (!explicit_mode_) {
+        fail(key.loc, "'originate' requires an explicit topology");
+      }
+      need_args(toks, 2);
+      const std::uint32_t as = parse_as(toks[1]);
+      as_refs_.push_back({as, toks[1].loc, "origination origin"});
+      world_.originations.push_back({as, parse_prefix(toks[2])});
+    } else {
+      fail(key.loc, "unknown prefixes key '" + std::string(key.text) + "'");
+    }
+  }
+
+  void policy_line(const std::vector<Tok>& toks) {
+    const Tok& key = toks[0];
+    const auto set_prob = [&](double sim::PolicyGenParams::* member) {
+      scalar_key("policy", key);
+      need_args(toks, 1);
+      const double v = parse_prob(toks[1]);
+      assigns_.push_back(
+          [member, v](Scenario& s) { s.policy_params.*member = v; });
+    };
+
+    if (key.text == "seed") {
+      scalar_key("policy", key);
+      need_args(toks, 1);
+      const std::uint64_t v = parse_u64(toks[1]);
+      assigns_.push_back([v](Scenario& s) { s.policy_params.seed = v; });
+    } else if (key.text == "atypical_neighbor_prob") {
+      set_prob(&sim::PolicyGenParams::atypical_neighbor_prob);
+    } else if (key.text == "te_as_prob") {
+      set_prob(&sim::PolicyGenParams::te_as_prob);
+    } else if (key.text == "te_prefix_max_rate") {
+      set_prob(&sim::PolicyGenParams::te_prefix_max_rate);
+    } else if (key.text == "origin_selective_as_prob") {
+      set_prob(&sim::PolicyGenParams::origin_selective_as_prob);
+    } else if (key.text == "withhold_prefix_prob") {
+      set_prob(&sim::PolicyGenParams::withhold_prefix_prob);
+    } else if (key.text == "single_announce_prob") {
+      set_prob(&sim::PolicyGenParams::single_announce_prob);
+    } else if (key.text == "community_flavor_prob") {
+      set_prob(&sim::PolicyGenParams::community_flavor_prob);
+    } else if (key.text == "community_target_prob") {
+      set_prob(&sim::PolicyGenParams::community_target_prob);
+    } else if (key.text == "prepend_as_prob") {
+      set_prob(&sim::PolicyGenParams::prepend_as_prob);
+    } else if (key.text == "max_prepend") {
+      scalar_key("policy", key);
+      need_args(toks, 1);
+      const std::uint64_t v = parse_u64(toks[1]);
+      if (v > 255) fail(toks[1].loc, "max_prepend out of range (max 255)");
+      assigns_.push_back([v](Scenario& s) {
+        s.policy_params.max_prepend = static_cast<std::uint8_t>(v);
+      });
+    } else if (key.text == "intermediate_selective_prob") {
+      set_prob(&sim::PolicyGenParams::intermediate_selective_prob);
+    } else if (key.text == "intermediate_victim_prob") {
+      set_prob(&sim::PolicyGenParams::intermediate_victim_prob);
+    } else if (key.text == "splitting_as_prob") {
+      set_prob(&sim::PolicyGenParams::splitting_as_prob);
+    } else if (key.text == "aggregation_prob") {
+      set_prob(&sim::PolicyGenParams::aggregation_prob);
+    } else if (key.text == "peer_withhold_prob") {
+      set_prob(&sim::PolicyGenParams::peer_withhold_prob);
+    } else if (key.text == "peer_withhold_total_prob") {
+      set_prob(&sim::PolicyGenParams::peer_withhold_total_prob);
+    } else if (key.text == "tagging_as_prob") {
+      set_prob(&sim::PolicyGenParams::tagging_as_prob);
+    } else if (key.text == "publish_prob") {
+      set_prob(&sim::PolicyGenParams::publish_prob);
+    } else if (key.text == "force_tagging") {
+      scalar_key("policy", key);
+      force_tagging_assigned_ = true;
+      const std::vector<std::uint32_t> list =
+          parse_as_list(toks, "force_tagging");
+      assigns_.push_back([list](Scenario& s) {
+        s.policy_params.force_tagging.clear();
+        for (const std::uint32_t as : list) {
+          s.policy_params.force_tagging.emplace_back(as);
+        }
+      });
+    } else if (key.text == "irr_seed") {
+      scalar_key("policy", key);
+      need_args(toks, 1);
+      const std::uint64_t v = parse_u64(toks[1]);
+      assigns_.push_back([v](Scenario& s) { s.irr_params.seed = v; });
+    } else if (key.text == "irr_coverage") {
+      scalar_key("policy", key);
+      need_args(toks, 1);
+      const double v = parse_prob(toks[1]);
+      assigns_.push_back([v](Scenario& s) { s.irr_params.coverage = v; });
+    } else if (key.text == "irr_stale_prob") {
+      scalar_key("policy", key);
+      need_args(toks, 1);
+      const double v = parse_prob(toks[1]);
+      assigns_.push_back([v](Scenario& s) { s.irr_params.stale_prob = v; });
+    } else if (key.text == "irr_wrong_pref_prob") {
+      scalar_key("policy", key);
+      need_args(toks, 1);
+      const double v = parse_prob(toks[1]);
+      assigns_.push_back(
+          [v](Scenario& s) { s.irr_params.wrong_pref_prob = v; });
+    } else if (key.text == "irr_missing_pref_prob") {
+      scalar_key("policy", key);
+      need_args(toks, 1);
+      const double v = parse_prob(toks[1]);
+      assigns_.push_back(
+          [v](Scenario& s) { s.irr_params.missing_pref_prob = v; });
+    } else if (key.text == "irr_fresh_date") {
+      scalar_key("policy", key);
+      need_args(toks, 1);
+      const std::uint32_t v = parse_u32(toks[1]);
+      assigns_.push_back([v](Scenario& s) { s.irr_params.fresh_date = v; });
+    } else if (key.text == "irr_stale_date") {
+      scalar_key("policy", key);
+      need_args(toks, 1);
+      const std::uint32_t v = parse_u32(toks[1]);
+      assigns_.push_back([v](Scenario& s) { s.irr_params.stale_date = v; });
+    } else {
+      fail(key.loc, "unknown policy key '" + std::string(key.text) + "'");
+    }
+  }
+
+  void vantage_line(const std::vector<Tok>& toks) {
+    const Tok& key = toks[0];
+    if (key.text == "looking_glass") {
+      scalar_key("vantage", key);
+      const auto list = parse_as_list(toks, "looking_glass");
+      assigns_.push_back([list](Scenario& s) { s.looking_glass = list; });
+    } else if (key.text == "best_only") {
+      scalar_key("vantage", key);
+      const auto list = parse_as_list(toks, "best_only");
+      assigns_.push_back([list](Scenario& s) { s.best_only = list; });
+    } else if (key.text == "verification") {
+      scalar_key("vantage", key);
+      verification_assigned_ = true;
+      const auto list = parse_as_list(toks, "verification");
+      assigns_.push_back([list](Scenario& s) { s.verification_ases = list; });
+    } else if (key.text == "collector_tier2_peers") {
+      scalar_key("vantage", key);
+      need_args(toks, 1);
+      const std::uint64_t v = parse_u64(toks[1]);
+      assigns_.push_back(
+          [v](Scenario& s) { s.collector_tier2_peers = v; });
+    } else if (key.text == "collector_tier3_peers") {
+      scalar_key("vantage", key);
+      need_args(toks, 1);
+      const std::uint64_t v = parse_u64(toks[1]);
+      assigns_.push_back(
+          [v](Scenario& s) { s.collector_tier3_peers = v; });
+    } else {
+      fail(key.loc, "unknown vantage key '" + std::string(key.text) + "'");
+    }
+  }
+
+  void override_line(const std::vector<Tok>& toks) {
+    const Tok& key = toks[0];
+    PolicyOverride o;
+    if (key.text == "prefer") {
+      need_args(toks, 3);
+      o.kind = PolicyOverride::Kind::kPreferNeighbor;
+      o.as = parse_as(toks[1]);
+      o.neighbor = parse_as(toks[2]);
+      o.value = parse_u32(toks[3]);
+      as_refs_.push_back({o.as, toks[1].loc, "override"});
+      as_refs_.push_back({o.neighbor, toks[2].loc, "override neighbor"});
+    } else if (key.text == "prefer_prefix") {
+      need_args(toks, 3);
+      o.kind = PolicyOverride::Kind::kPreferPrefix;
+      o.as = parse_as(toks[1]);
+      o.prefix = parse_prefix(toks[2]);
+      o.value = parse_u32(toks[3]);
+      as_refs_.push_back({o.as, toks[1].loc, "override"});
+    } else if (key.text == "deny" || key.text == "no_export_upstream") {
+      if (toks.size() < 3 || toks.size() > 4) {
+        fail(after(toks), "'" + std::string(key.text) +
+                              "' expects <as> <neighbor> [<prefix>]");
+      }
+      o.kind = key.text == "deny" ? PolicyOverride::Kind::kDeny
+                                  : PolicyOverride::Kind::kNoExportUpstream;
+      o.as = parse_as(toks[1]);
+      o.neighbor = parse_as(toks[2]);
+      if (toks.size() == 4) o.prefix = parse_prefix(toks[3]);
+      as_refs_.push_back({o.as, toks[1].loc, "override"});
+      as_refs_.push_back({o.neighbor, toks[2].loc, "override neighbor"});
+    } else if (key.text == "prepend") {
+      need_args(toks, 3);
+      o.kind = PolicyOverride::Kind::kPrepend;
+      o.as = parse_as(toks[1]);
+      o.neighbor = parse_as(toks[2]);
+      const std::uint64_t times = parse_u64(toks[3]);
+      if (times == 0 || times > 255) {
+        fail(toks[3].loc, "prepend count must be in [1, 255]");
+      }
+      o.value = static_cast<std::uint32_t>(times);
+      as_refs_.push_back({o.as, toks[1].loc, "override"});
+      as_refs_.push_back({o.neighbor, toks[2].loc, "override neighbor"});
+    } else if (key.text == "conditional") {
+      // conditional <as> <prefix> <advertise_to> watch <provider>
+      need_args(toks, 5);
+      if (toks[4].text != "watch") {
+        fail(toks[4].loc, "expected 'watch', got '" +
+                              std::string(toks[4].text) + "'");
+      }
+      o.kind = PolicyOverride::Kind::kConditional;
+      o.as = parse_as(toks[1]);
+      o.prefix = parse_prefix(toks[2]);
+      o.neighbor = parse_as(toks[3]);
+      o.watch = parse_as(toks[5]);
+      as_refs_.push_back({o.as, toks[1].loc, "override"});
+      as_refs_.push_back({o.neighbor, toks[3].loc, "override neighbor"});
+      as_refs_.push_back({o.watch, toks[5].loc, "override watch"});
+    } else if (key.text == "tagging") {
+      need_args(toks, 2);
+      o.kind = PolicyOverride::Kind::kTagging;
+      o.as = parse_as(toks[1]);
+      o.value = parse_on_off(toks[2]) ? 1 : 0;
+      as_refs_.push_back({o.as, toks[1].loc, "override"});
+    } else {
+      fail(key.loc, "unknown override '" + std::string(key.text) + "'");
+    }
+    overrides_.push_back(std::move(o));
+  }
+
+  void events_line(const std::vector<Tok>& toks) {
+    const Tok& key = toks[0];
+    SpecEvent event;
+    event.loc = key.loc;
+    if (key.text == "withdraw" || key.text == "announce") {
+      need_args(toks, 2);
+      event.kind = key.text == "withdraw" ? SpecEvent::Kind::kWithdraw
+                                          : SpecEvent::Kind::kAnnounce;
+      event.as_a = parse_as(toks[1]);
+      event.prefix = parse_prefix(toks[2]);
+      as_refs_.push_back({event.as_a, toks[1].loc, "event origin"});
+    } else if (key.text == "fail" || key.text == "restore") {
+      need_args(toks, 2);
+      event.kind = key.text == "fail" ? SpecEvent::Kind::kFailLink
+                                      : SpecEvent::Kind::kRestoreLink;
+      event.as_a = parse_as(toks[1]);
+      event.as_b = parse_as(toks[2]);
+      if (event.as_a == event.as_b) {
+        fail(toks[2].loc, "link endpoints must differ");
+      }
+      as_refs_.push_back({event.as_a, toks[1].loc, "event endpoint"});
+      as_refs_.push_back({event.as_b, toks[2].loc, "event endpoint"});
+    } else {
+      fail(key.loc, "unknown event '" + std::string(key.text) +
+                        "' (expected withdraw|announce|fail|restore)");
+    }
+    spec_.events.push_back(std::move(event));
+  }
+
+  /// Consumes a trailing `at <k>` clause; returns SpecCheck::kAtEnd when
+  /// absent.  `next` is the index where the clause would start.
+  std::size_t parse_at_clause(const std::vector<Tok>& toks,
+                              std::size_t next) {
+    if (next == toks.size()) return SpecCheck::kAtEnd;
+    if (toks[next].text != "at") {
+      fail(toks[next].loc, "unexpected token '" +
+                               std::string(toks[next].text) +
+                               "' (expected 'at <k>' or end of line)");
+    }
+    if (next + 1 >= toks.size()) {
+      fail(after(toks), "'at' expects an event count");
+    }
+    if (next + 2 < toks.size()) {
+      fail(toks[next + 2].loc, "unexpected trailing token");
+    }
+    const std::uint64_t k = parse_u64(toks[next + 1]);
+    at_clauses_.push_back({k, toks[next + 1].loc});
+    return static_cast<std::size_t>(k);
+  }
+
+  void verify_line(const std::vector<Tok>& toks) {
+    const Tok& key = toks[0];
+    SpecCheck check;
+    check.loc = key.loc;
+    if (key.text == "converged") {
+      need_args(toks, 0);
+      check.kind = SpecCheck::Kind::kConverged;
+    } else if (key.text == "route") {
+      if (toks.size() < 5) {
+        fail(after(toks),
+             "'route' expects <vantage> <prefix> via|origin|path ...");
+      }
+      check.vantage = parse_as(toks[1]);
+      as_refs_.push_back({check.vantage, toks[1].loc, "verify vantage"});
+      check.prefix = parse_prefix(toks[2]);
+      const Tok& mode = toks[3];
+      if (mode.text == "via" || mode.text == "origin") {
+        check.kind = mode.text == "via" ? SpecCheck::Kind::kRouteVia
+                                        : SpecCheck::Kind::kRouteOrigin;
+        check.expect_as = parse_as(toks[4]);
+        check.at_event = parse_at_clause(toks, 5);
+      } else if (mode.text == "path") {
+        check.kind = SpecCheck::Kind::kRoutePath;
+        std::size_t i = 4;
+        while (i < toks.size() && toks[i].text != "at") {
+          check.expect_path.push_back(parse_as(toks[i]));
+          ++i;
+        }
+        if (check.expect_path.empty()) {
+          fail(toks[4].loc, "'path' expects at least one AS");
+        }
+        check.at_event = parse_at_clause(toks, i);
+      } else {
+        fail(mode.loc, "expected via|origin|path, got '" +
+                           std::string(mode.text) + "'");
+      }
+    } else if (key.text == "unreachable") {
+      if (toks.size() < 3) {
+        fail(after(toks), "'unreachable' expects <vantage> <prefix>");
+      }
+      check.kind = SpecCheck::Kind::kUnreachable;
+      check.vantage = parse_as(toks[1]);
+      as_refs_.push_back({check.vantage, toks[1].loc, "verify vantage"});
+      check.prefix = parse_prefix(toks[2]);
+      check.at_event = parse_at_clause(toks, 3);
+    } else if (key.text == "sa_prevalence" || key.text == "homing_multihomed" ||
+               key.text == "import_typical") {
+      need_args(toks, 3);
+      check.kind = key.text == "sa_prevalence"
+                       ? SpecCheck::Kind::kSaPrevalence
+                       : (key.text == "homing_multihomed"
+                              ? SpecCheck::Kind::kHomingMultihomed
+                              : SpecCheck::Kind::kImportTypical);
+      check.vantage = parse_as(toks[1]);
+      as_refs_.push_back({check.vantage, toks[1].loc, "verify vantage"});
+      check.lo = parse_pct(toks[2]);
+      check.hi = parse_pct(toks[3]);
+      if (check.lo > check.hi) {
+        fail(toks[3].loc, "bounds must satisfy lo <= hi");
+      }
+    } else if (key.text == "inference_accuracy") {
+      need_args(toks, 1);
+      check.kind = SpecCheck::Kind::kInferenceAccuracy;
+      check.lo = parse_pct(toks[1]);
+      check.hi = 100.0;
+    } else if (key.text == "digest") {
+      need_args(toks, 2);
+      check.kind = SpecCheck::Kind::kDigest;
+      check.stage = parse_stage(toks[1]);
+      const std::string_view hex = toks[2].text;
+      const bool valid =
+          hex.size() == 32 &&
+          std::all_of(hex.begin(), hex.end(), [](char c) {
+            return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+          });
+      if (!valid) {
+        fail(toks[2].loc, "expected a 32-character lowercase hex digest");
+      }
+      check.digest = std::string(hex);
+    } else {
+      fail(key.loc, "unknown verify assertion '" + std::string(key.text) +
+                        "'");
+    }
+    spec_.checks.push_back(std::move(check));
+  }
+
+  // ---- finalize --------------------------------------------------------
+
+  void finalize() {
+    if (explicit_mode_ && base_ != Base::kDefault) {
+      fail(base_loc_, "an explicit topology requires 'base default'");
+    }
+
+    switch (base_) {
+      case Base::kDefault: spec_.scenario = Scenario{}; break;
+      case Base::kSmall: spec_.scenario = Scenario::small(base_seed_); break;
+      case Base::kInternet2002:
+        spec_.scenario = Scenario::internet2002(base_seed_);
+        break;
+    }
+    spec_.scenario.name = name_;
+    if (explicit_mode_) {
+      // Explicit worlds start policy-silent: the generator's probabilistic
+      // knobs are zeroed so the hand-written world carries exactly the
+      // declared policies; knobs and overrides opt back in.
+      make_policy_inert(spec_.scenario.policy_params);
+      spec_.scenario.explicit_world = std::move(world_);
+    }
+    for (const Assign& assign : assigns_) assign(spec_.scenario);
+    spec_.scenario.overrides = std::move(overrides_);
+
+    // Constructor convention: verification vantages run a tagging scheme.
+    // A spec that sets `verification` inherits it unless it pins
+    // force_tagging itself.
+    if (verification_assigned_ && !force_tagging_assigned_) {
+      spec_.scenario.policy_params.force_tagging.clear();
+      for (const std::uint32_t as : spec_.scenario.verification_ases) {
+        spec_.scenario.policy_params.force_tagging.emplace_back(as);
+      }
+    }
+
+    // `at <k>` clauses must lie within the event script.
+    for (const auto& [k, loc] : at_clauses_) {
+      if (k > spec_.events.size()) {
+        fail(loc, "'at " + std::to_string(k) + "' exceeds the " +
+                      std::to_string(spec_.events.size()) +
+                      "-event script");
+      }
+    }
+
+    // In an explicit world every referenced AS must be declared; the
+    // parser knows the declared set, so undeclared ids are parse errors
+    // with positions (generated worlds resolve ids at synthesize time).
+    if (explicit_mode_) {
+      for (const AsRef& ref : as_refs_) {
+        if (!declared_.contains(ref.as)) {
+          fail(ref.loc, std::string(ref.role) + " references undeclared AS " +
+                            std::to_string(ref.as));
+        }
+      }
+    }
+  }
+
+  enum class Base : std::uint8_t { kDefault, kSmall, kInternet2002 };
+
+  struct AsRef {
+    std::uint32_t as = 0;
+    SourceLoc loc;
+    const char* role = "";
+  };
+
+  std::string_view text_;
+  std::string source_;
+  ScenarioSpec spec_;
+
+  bool saw_scenario_ = false;
+  bool saw_base_ = false;
+  bool saw_block_ = false;
+  bool explicit_mode_ = false;
+  bool verification_assigned_ = false;
+  bool force_tagging_assigned_ = false;
+  Base base_ = Base::kDefault;
+  std::uint64_t base_seed_ = 0;
+  SourceLoc base_loc_;
+  std::string name_;
+  std::string block_;
+
+  std::set<std::string> seen_blocks_;
+  std::unordered_map<std::string, std::unordered_set<std::string>> seen_keys_;
+  std::vector<SourceLoc> generator_keys_;
+  std::vector<Assign> assigns_;
+  ExplicitWorld world_;
+  std::unordered_set<std::uint32_t> declared_;
+  std::vector<PolicyOverride> overrides_;
+  std::vector<AsRef> as_refs_;
+  std::vector<std::pair<std::uint64_t, SourceLoc>> at_clauses_;
+};
+
+}  // namespace
+
+// ----------------------------------------------------------------- parse --
+
+ScenarioSpec ScenarioSpec::parse(std::string_view text,
+                                 std::string source_name) {
+  Parser parser(text, std::move(source_name));
+  return parser.run();
+}
+
+ScenarioSpec ScenarioSpec::parse_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot read scenario spec " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str(), path.string());
+}
+
+// ------------------------------------------------------------------ dump --
+
+namespace {
+
+void dump_as_list(std::string& out, const char* key,
+                  std::span<const std::uint32_t> list) {
+  out += "  ";
+  out += key;
+  for (const std::uint32_t as : list) {
+    out += ' ';
+    out += std::to_string(as);
+  }
+  out += '\n';
+}
+
+const char* tier_word(topo::Tier tier) {
+  switch (tier) {
+    case topo::Tier::kTier1: return "tier1";
+    case topo::Tier::kTier2: return "tier2";
+    case topo::Tier::kTier3: return "tier3";
+    case topo::Tier::kStub: return "stub";
+  }
+  return "stub";
+}
+
+}  // namespace
+
+std::string ScenarioSpec::dump() const {
+  const Scenario& s = scenario;
+  std::string out;
+  out.reserve(4096);
+  const auto kv = [&](const char* key, const std::string& value) {
+    out += "  ";
+    out += key;
+    out += ' ';
+    out += value;
+    out += '\n';
+  };
+  const auto kvu = [&](const char* key, std::uint64_t value) {
+    kv(key, std::to_string(value));
+  };
+  const auto kvd = [&](const char* key, double value) {
+    kv(key, format_double(value));
+  };
+
+  out += "scenario " + s.name + "\n\n";
+
+  out += "topology {\n";
+  if (s.explicit_world) {
+    const ExplicitWorld& w = *s.explicit_world;
+    out += "  explicit\n";
+    for (const ExplicitWorld::As& as : w.ases) {
+      kv("as", std::to_string(as.number) + " " + tier_word(as.tier));
+    }
+    for (const ExplicitWorld::Link& link : w.links) {
+      kv(link.peer ? "peer" : "provider",
+         std::to_string(link.a) + " " + std::to_string(link.b));
+    }
+  } else {
+    const topo::GeneratorParams& t = s.topo_params;
+    kvu("seed", t.seed);
+    kvu("tier1", t.tier1_count);
+    kvu("tier2", t.tier2_count);
+    kvu("tier3", t.tier3_count);
+    kvu("stubs", t.stub_count);
+    kvd("stub_multihome_prob", t.stub_multihome_prob);
+    kvu("max_stub_providers", t.max_stub_providers);
+    kvd("tier2_peer_mean", t.tier2_peer_mean);
+    kvd("tier3_peer_mean", t.tier3_peer_mean);
+    kvd("stub_peer_prob", t.stub_peer_prob);
+    kvd("tier3_direct_tier1_prob", t.tier3_direct_tier1_prob);
+    kvd("stub_tier1_frac", t.stub_tier1_frac);
+    kvd("stub_tier2_frac", t.stub_tier2_frac);
+    kvd("provider_popularity_skew", t.provider_popularity_skew);
+  }
+  kvu("max_process_per_as", s.propagation.max_process_per_as);
+  kvu("threads", s.propagation.threads);
+  out += "}\n\n";
+
+  out += "prefixes {\n";
+  if (s.explicit_world) {
+    for (const ExplicitWorld::Origination& o : s.explicit_world->originations) {
+      kv("originate", std::to_string(o.origin) + " " + o.prefix.to_string());
+    }
+  } else {
+    const topo::PrefixAllocParams& a = s.alloc_params;
+    kvu("seed", a.seed);
+    kvd("provider_space_prob", a.provider_space_prob);
+    kvd("count_alpha", a.count_alpha);
+    kvu("max_stub_prefixes", a.max_stub_prefixes);
+    kvu("max_transit_extra", a.max_transit_extra);
+  }
+  out += "}\n\n";
+
+  out += "policy {\n";
+  {
+    const sim::PolicyGenParams& p = s.policy_params;
+    kvu("seed", p.seed);
+    kvd("atypical_neighbor_prob", p.atypical_neighbor_prob);
+    kvd("te_as_prob", p.te_as_prob);
+    kvd("te_prefix_max_rate", p.te_prefix_max_rate);
+    kvd("origin_selective_as_prob", p.origin_selective_as_prob);
+    kvd("withhold_prefix_prob", p.withhold_prefix_prob);
+    kvd("single_announce_prob", p.single_announce_prob);
+    kvd("community_flavor_prob", p.community_flavor_prob);
+    kvd("community_target_prob", p.community_target_prob);
+    kvd("prepend_as_prob", p.prepend_as_prob);
+    kvu("max_prepend", p.max_prepend);
+    kvd("intermediate_selective_prob", p.intermediate_selective_prob);
+    kvd("intermediate_victim_prob", p.intermediate_victim_prob);
+    kvd("splitting_as_prob", p.splitting_as_prob);
+    kvd("aggregation_prob", p.aggregation_prob);
+    kvd("peer_withhold_prob", p.peer_withhold_prob);
+    kvd("peer_withhold_total_prob", p.peer_withhold_total_prob);
+    kvd("tagging_as_prob", p.tagging_as_prob);
+    kvd("publish_prob", p.publish_prob);
+    std::vector<std::uint32_t> force;
+    force.reserve(p.force_tagging.size());
+    for (const util::AsNumber as : p.force_tagging) {
+      force.push_back(as.value());
+    }
+    dump_as_list(out, "force_tagging", force);
+    const rpsl::IrrGenParams& i = s.irr_params;
+    kvu("irr_seed", i.seed);
+    kvd("irr_coverage", i.coverage);
+    kvd("irr_stale_prob", i.stale_prob);
+    kvd("irr_wrong_pref_prob", i.wrong_pref_prob);
+    kvd("irr_missing_pref_prob", i.missing_pref_prob);
+    kvu("irr_fresh_date", i.fresh_date);
+    kvu("irr_stale_date", i.stale_date);
+  }
+  out += "}\n\n";
+
+  out += "vantage {\n";
+  dump_as_list(out, "looking_glass", s.looking_glass);
+  dump_as_list(out, "best_only", s.best_only);
+  dump_as_list(out, "verification", s.verification_ases);
+  kvu("collector_tier2_peers", s.collector_tier2_peers);
+  kvu("collector_tier3_peers", s.collector_tier3_peers);
+  out += "}\n";
+
+  if (!s.overrides.empty()) {
+    out += "\noverride {\n";
+    for (const PolicyOverride& o : s.overrides) {
+      switch (o.kind) {
+        case PolicyOverride::Kind::kPreferNeighbor:
+          kv("prefer", std::to_string(o.as) + " " + std::to_string(o.neighbor) +
+                           " " + std::to_string(o.value));
+          break;
+        case PolicyOverride::Kind::kPreferPrefix:
+          kv("prefer_prefix", std::to_string(o.as) + " " +
+                                  o.prefix->to_string() + " " +
+                                  std::to_string(o.value));
+          break;
+        case PolicyOverride::Kind::kDeny:
+        case PolicyOverride::Kind::kNoExportUpstream: {
+          std::string line = std::to_string(o.as) + " " +
+                             std::to_string(o.neighbor);
+          if (o.prefix) line += " " + o.prefix->to_string();
+          kv(o.kind == PolicyOverride::Kind::kDeny ? "deny"
+                                                   : "no_export_upstream",
+             line);
+          break;
+        }
+        case PolicyOverride::Kind::kPrepend:
+          kv("prepend", std::to_string(o.as) + " " +
+                            std::to_string(o.neighbor) + " " +
+                            std::to_string(o.value));
+          break;
+        case PolicyOverride::Kind::kConditional:
+          kv("conditional", std::to_string(o.as) + " " +
+                                o.prefix->to_string() + " " +
+                                std::to_string(o.neighbor) + " watch " +
+                                std::to_string(o.watch));
+          break;
+        case PolicyOverride::Kind::kTagging:
+          kv("tagging",
+             std::to_string(o.as) + (o.value != 0 ? " on" : " off"));
+          break;
+      }
+    }
+    out += "}\n";
+  }
+
+  if (!events.empty()) {
+    out += "\nevents {\n";
+    for (const SpecEvent& event : events) {
+      switch (event.kind) {
+        case SpecEvent::Kind::kWithdraw:
+          kv("withdraw", std::to_string(event.as_a) + " " +
+                             event.prefix.to_string());
+          break;
+        case SpecEvent::Kind::kAnnounce:
+          kv("announce", std::to_string(event.as_a) + " " +
+                             event.prefix.to_string());
+          break;
+        case SpecEvent::Kind::kFailLink:
+          kv("fail", std::to_string(event.as_a) + " " +
+                         std::to_string(event.as_b));
+          break;
+        case SpecEvent::Kind::kRestoreLink:
+          kv("restore", std::to_string(event.as_a) + " " +
+                            std::to_string(event.as_b));
+          break;
+      }
+    }
+    out += "}\n";
+  }
+
+  if (!checks.empty()) {
+    out += "\nverify {\n";
+    for (const SpecCheck& check : checks) {
+      const auto at_suffix = [&]() -> std::string {
+        return check.at_event == SpecCheck::kAtEnd
+                   ? ""
+                   : " at " + std::to_string(check.at_event);
+      };
+      switch (check.kind) {
+        case SpecCheck::Kind::kConverged:
+          out += "  converged\n";
+          break;
+        case SpecCheck::Kind::kRouteVia:
+          kv("route", std::to_string(check.vantage) + " " +
+                          check.prefix.to_string() + " via " +
+                          std::to_string(check.expect_as) + at_suffix());
+          break;
+        case SpecCheck::Kind::kRouteOrigin:
+          kv("route", std::to_string(check.vantage) + " " +
+                          check.prefix.to_string() + " origin " +
+                          std::to_string(check.expect_as) + at_suffix());
+          break;
+        case SpecCheck::Kind::kRoutePath: {
+          std::string line = std::to_string(check.vantage) + " " +
+                             check.prefix.to_string() + " path";
+          for (const std::uint32_t as : check.expect_path) {
+            line += " " + std::to_string(as);
+          }
+          kv("route", line + at_suffix());
+          break;
+        }
+        case SpecCheck::Kind::kUnreachable:
+          kv("unreachable", std::to_string(check.vantage) + " " +
+                                check.prefix.to_string() + at_suffix());
+          break;
+        case SpecCheck::Kind::kSaPrevalence:
+          kv("sa_prevalence", std::to_string(check.vantage) + " " +
+                                  format_double(check.lo) + " " +
+                                  format_double(check.hi));
+          break;
+        case SpecCheck::Kind::kHomingMultihomed:
+          kv("homing_multihomed", std::to_string(check.vantage) + " " +
+                                      format_double(check.lo) + " " +
+                                      format_double(check.hi));
+          break;
+        case SpecCheck::Kind::kImportTypical:
+          kv("import_typical", std::to_string(check.vantage) + " " +
+                                   format_double(check.lo) + " " +
+                                   format_double(check.hi));
+          break;
+        case SpecCheck::Kind::kInferenceAccuracy:
+          kv("inference_accuracy", format_double(check.lo));
+          break;
+        case SpecCheck::Kind::kDigest:
+          kv("digest",
+             std::string(to_string(check.stage)) + " " + check.digest);
+          break;
+      }
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- utilities --
+
+Stage ScenarioSpec::required_stage() const {
+  Stage deepest = Stage::kSynthesize;
+  const auto bump = [&](Stage stage) {
+    if (static_cast<int>(stage) > static_cast<int>(deepest)) deepest = stage;
+  };
+  for (const SpecCheck& check : checks) {
+    switch (check.kind) {
+      case SpecCheck::Kind::kConverged: bump(Stage::kSimulate); break;
+      case SpecCheck::Kind::kRouteVia:
+      case SpecCheck::Kind::kRouteOrigin:
+      case SpecCheck::Kind::kRoutePath:
+      case SpecCheck::Kind::kUnreachable:
+        bump(Stage::kSynthesize);
+        break;
+      case SpecCheck::Kind::kSaPrevalence:
+      case SpecCheck::Kind::kHomingMultihomed:
+      case SpecCheck::Kind::kImportTypical:
+        bump(Stage::kAnalyze);
+        break;
+      case SpecCheck::Kind::kInferenceAccuracy: bump(Stage::kInfer); break;
+      case SpecCheck::Kind::kDigest: bump(check.stage); break;
+    }
+  }
+  return deepest;
+}
+
+SweepVariant ScenarioSpec::to_variant() const {
+  SweepVariant variant;
+  variant.label = scenario.name;
+  variant.scenario = scenario;
+  return variant;
+}
+
+std::vector<ScenarioSpec> load_spec_dir(const std::filesystem::path& dir) {
+  if (!std::filesystem::is_directory(dir)) {
+    throw std::runtime_error("not a scenario directory: " + dir.string());
+  }
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".scn") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(files.size());
+  for (const auto& file : files) {
+    specs.push_back(ScenarioSpec::parse_file(file));
+  }
+  return specs;
+}
+
+std::vector<SweepVariant> spec_sweep_variants(
+    std::span<const ScenarioSpec> specs) {
+  std::vector<SweepVariant> variants;
+  variants.reserve(specs.size());
+  for (const ScenarioSpec& spec : specs) {
+    variants.push_back(spec.to_variant());
+  }
+  return variants;
+}
+
+}  // namespace bgpolicy::core

@@ -36,6 +36,8 @@ struct IrrGenParams {
   /// value.  Excluded from the staged-experiment cache key for the same
   /// reason.
   std::size_t threads = 1;
+
+  friend bool operator==(const IrrGenParams&, const IrrGenParams&) = default;
 };
 
 /// Renders a whois-style flat-file IRR database for the given topology and

@@ -77,6 +77,9 @@ struct PolicyGenParams {
   /// ASes that must run a tagging scheme regardless of the dice (the
   /// paper's 9 verification vantages).
   std::vector<AsNumber> force_tagging;
+
+  friend bool operator==(const PolicyGenParams&, const PolicyGenParams&) =
+      default;
 };
 
 /// One origin-side selective-announcement decision: `origin` withholds (or

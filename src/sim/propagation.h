@@ -72,6 +72,9 @@ struct PropagationOptions {
   /// a finished pipeline) takes the knob as an explicit argument.  All
   /// stages share one determinism contract (docs/ARCHITECTURE.md).
   std::size_t threads = 1;
+
+  friend bool operator==(const PropagationOptions&, const PropagationOptions&) =
+      default;
 };
 
 /// A set of failed inter-AS sessions (undirected).  Failure injection: no

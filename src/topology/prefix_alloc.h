@@ -51,6 +51,9 @@ struct PrefixAllocParams {
   /// Extra (more-specific) prefixes originated by each transit AS beyond
   /// its block, capped.
   std::uint64_t max_transit_extra = 6;
+
+  friend bool operator==(const PrefixAllocParams&, const PrefixAllocParams&) =
+      default;
 };
 
 /// Allocates prefixes for every AS in `topo`; deterministic in params.seed.

@@ -53,6 +53,9 @@ struct GeneratorParams {
   /// Zipf-ish skew exponent for provider popularity (bigger = more skewed
   /// degrees at the top providers).
   double provider_popularity_skew = 0.6;
+
+  friend bool operator==(const GeneratorParams&, const GeneratorParams&) =
+      default;
 };
 
 struct Topology {

@@ -1,0 +1,354 @@
+// Parser-robustness suite for the .scn scenario spec language
+// (core/scenario_spec.h): round-trip identity (parse -> dump -> parse),
+// rejection tests asserting exact line/column diagnostics, a
+// deterministic random-mutation fuzz pass (the parser must never crash,
+// only throw), and the synthesize-time vantage/override validation.
+// CI runs this binary under ASan/UBSan (the sanitizer job's target list).
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/scenario_spec.h"
+
+namespace bgpolicy::core {
+namespace {
+
+const std::filesystem::path kScenarioDir = BGPOLICY_SCENARIO_DIR;
+
+// A compact spec exercising every block type.
+constexpr const char* kFullSpec = R"(# exercise every block
+scenario full-demo
+base default
+
+topology {
+  explicit
+  as 10 tier1
+  as 20 tier1
+  as 30 tier2
+  as 50 stub
+  peer 10 20
+  provider 10 30
+  provider 30 50
+  provider 20 50
+  threads 1
+}
+
+prefixes {
+  originate 50 10.50.0.0/16
+}
+
+policy {
+  tagging_as_prob 0
+}
+
+vantage {
+  looking_glass 10
+  best_only 20
+}
+
+override {
+  prefer 50 30 90
+  deny 30 10 10.50.0.0/16
+  conditional 50 10.50.0.0/16 20 watch 30
+  tagging 10 on
+}
+
+events {
+  fail 30 50
+  restore 30 50
+}
+
+verify {
+  converged
+  route 10 10.50.0.0/16 via 30 at 0
+  unreachable 10 10.50.0.0/16 at 1
+}
+)";
+
+SourceLoc error_loc(const std::string& text) {
+  try {
+    (void)ScenarioSpec::parse(text);
+  } catch (const SpecError& error) {
+    return error.where();
+  }
+  ADD_FAILURE() << "expected SpecError for:\n" << text;
+  return {};
+}
+
+TEST(ScenarioSpecParse, FullSpecParses) {
+  const ScenarioSpec spec = ScenarioSpec::parse(kFullSpec, "full.scn");
+  EXPECT_EQ(spec.scenario.name, "full-demo");
+  ASSERT_TRUE(spec.scenario.explicit_world.has_value());
+  EXPECT_EQ(spec.scenario.explicit_world->ases.size(), 4u);
+  EXPECT_EQ(spec.scenario.explicit_world->links.size(), 4u);
+  EXPECT_EQ(spec.scenario.explicit_world->originations.size(), 1u);
+  EXPECT_EQ(spec.scenario.overrides.size(), 4u);
+  EXPECT_EQ(spec.events.size(), 2u);
+  EXPECT_EQ(spec.checks.size(), 3u);
+  EXPECT_EQ(spec.scenario.looking_glass, std::vector<std::uint32_t>{10});
+  // Explicit worlds start policy-inert; the block opted one knob back in.
+  EXPECT_EQ(spec.scenario.policy_params.origin_selective_as_prob, 0.0);
+  EXPECT_EQ(spec.scenario.policy_params.tagging_as_prob, 0.0);
+  // Event/check payloads.
+  EXPECT_EQ(spec.events[0].kind, SpecEvent::Kind::kFailLink);
+  EXPECT_EQ(spec.checks[1].kind, SpecCheck::Kind::kRouteVia);
+  EXPECT_EQ(spec.checks[1].at_event, 0u);
+  EXPECT_EQ(spec.checks[2].at_event, 1u);
+  // Diagnostics carry positions.
+  EXPECT_GT(spec.checks[1].loc.line, 0u);
+}
+
+TEST(ScenarioSpecParse, RoundTripIdentity) {
+  const ScenarioSpec spec = ScenarioSpec::parse(kFullSpec);
+  const std::string dumped = spec.dump();
+  const ScenarioSpec again = ScenarioSpec::parse(dumped);
+  EXPECT_EQ(spec, again) << dumped;
+  // And dump is a fixpoint: dump(parse(dump(x))) == dump(x).
+  EXPECT_EQ(dumped, again.dump());
+}
+
+TEST(ScenarioSpecParse, RoundTripWholeCorpus) {
+  const std::vector<ScenarioSpec> corpus = load_spec_dir(kScenarioDir);
+  ASSERT_GE(corpus.size(), 5u) << "scenario corpus shrank below the floor";
+  for (const ScenarioSpec& spec : corpus) {
+    SCOPED_TRACE(spec.source);
+    EXPECT_FALSE(spec.checks.empty())
+        << "corpus contract: every spec has a non-empty verify block";
+    const ScenarioSpec again = ScenarioSpec::parse(spec.dump(), spec.source);
+    EXPECT_EQ(spec, again);
+  }
+}
+
+TEST(ScenarioSpecParse, CorpusVariantsFeedSweep) {
+  const std::vector<ScenarioSpec> corpus = load_spec_dir(kScenarioDir);
+  const std::vector<SweepVariant> variants = spec_sweep_variants(corpus);
+  ASSERT_EQ(variants.size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(variants[i].label, corpus[i].scenario.name);
+    EXPECT_EQ(variants[i].scenario, corpus[i].scenario);
+  }
+}
+
+// ---- rejection: exact line/column diagnostics -------------------------
+
+TEST(ScenarioSpecReject, MissingHeader) {
+  EXPECT_EQ(error_loc("topology {\n}\n"), (SourceLoc{1, 1}));
+}
+
+TEST(ScenarioSpecReject, UnknownBlock) {
+  EXPECT_EQ(error_loc("scenario x\nfoo {\n}\n"), (SourceLoc{2, 1}));
+}
+
+TEST(ScenarioSpecReject, MissingBrace) {
+  // "topology" spans columns 1-8; the missing '{' is reported just past it.
+  EXPECT_EQ(error_loc("scenario x\ntopology\n"), (SourceLoc{2, 9}));
+}
+
+TEST(ScenarioSpecReject, UnknownKey) {
+  EXPECT_EQ(error_loc("scenario x\ntopology {\n  frobnicate 3\n}\n"),
+            (SourceLoc{3, 3}));
+}
+
+TEST(ScenarioSpecReject, MalformedInteger) {
+  // "  tier1 zero": "zero" starts at column 9.
+  EXPECT_EQ(error_loc("scenario x\ntopology {\n  tier1 zero\n}\n"),
+            (SourceLoc{3, 9}));
+}
+
+TEST(ScenarioSpecReject, ProbabilityOutOfRange) {
+  EXPECT_EQ(error_loc("scenario x\npolicy {\n  te_as_prob 1.5\n}\n"),
+            (SourceLoc{3, 14}));
+}
+
+TEST(ScenarioSpecReject, DuplicateScalarKey) {
+  EXPECT_EQ(
+      error_loc("scenario x\ntopology {\n  seed 1\n  seed 2\n}\n"),
+      (SourceLoc{4, 3}));
+}
+
+TEST(ScenarioSpecReject, DuplicateBlock) {
+  EXPECT_EQ(error_loc("scenario x\npolicy {\n}\npolicy {\n}\n"),
+            (SourceLoc{4, 1}));
+}
+
+TEST(ScenarioSpecReject, MalformedPrefix) {
+  EXPECT_EQ(error_loc("scenario x\ntopology {\n  explicit\n  as 5 stub\n}\n"
+                      "prefixes {\n  originate 5 10.0.0.0\n}\n"),
+            (SourceLoc{7, 15}));
+}
+
+TEST(ScenarioSpecReject, GeneratorKnobInExplicitTopology) {
+  EXPECT_EQ(error_loc("scenario x\ntopology {\n  explicit\n  as 5 stub\n"
+                      "  tier1 4\n}\n"),
+            (SourceLoc{5, 3}));
+}
+
+TEST(ScenarioSpecReject, UndeclaredAsInLink) {
+  // "  provider 5 6": 6 is undeclared; its token starts at column 14.
+  EXPECT_EQ(error_loc("scenario x\ntopology {\n  explicit\n  as 5 stub\n"
+                      "  provider 5 6\n}\n"),
+            (SourceLoc{5, 14}));
+}
+
+TEST(ScenarioSpecReject, AtClauseBeyondEventScript) {
+  EXPECT_EQ(error_loc("scenario x\nverify {\n  unreachable 5 10.0.0.0/8 "
+                      "at 3\n}\n"),
+            (SourceLoc{3, 31}));
+}
+
+TEST(ScenarioSpecReject, BadDigest) {
+  EXPECT_EQ(error_loc("scenario x\nverify {\n  digest simulate abc\n}\n"),
+            (SourceLoc{3, 19}));
+}
+
+TEST(ScenarioSpecReject, BaseAfterBlock) {
+  EXPECT_EQ(error_loc("scenario x\npolicy {\n}\nbase small\n"),
+            (SourceLoc{4, 1}));
+}
+
+TEST(ScenarioSpecReject, UnterminatedBlock) {
+  const std::string text = "scenario x\ntopology {\n  seed 1\n";
+  // Parsing sees 4 lines (the trailing newline yields an empty one).
+  EXPECT_EQ(error_loc(text), (SourceLoc{4, 1}));
+}
+
+TEST(ScenarioSpecReject, ErrorCarriesSourceAndMessage) {
+  try {
+    (void)ScenarioSpec::parse("scenario x\nbogus {\n}\n", "lab.scn");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& error) {
+    EXPECT_EQ(error.source(), "lab.scn");
+    EXPECT_EQ(std::string(error.what()).find("lab.scn:2:1: "), 0u);
+    EXPECT_NE(error.message().find("bogus"), std::string::npos);
+  }
+}
+
+// ---- fuzz: deterministic mutations must never crash -------------------
+
+TEST(ScenarioSpecFuzz, MutatedSpecsNeverCrash) {
+  std::vector<std::string> seeds{kFullSpec};
+  for (const auto& entry : std::filesystem::directory_iterator(kScenarioDir)) {
+    if (entry.path().extension() != ".scn") continue;
+    std::string text;
+    {
+      std::ifstream in(entry.path());
+      text.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    seeds.push_back(std::move(text));
+  }
+  ASSERT_GE(seeds.size(), 2u);
+
+  std::mt19937 rng(0xC0FFEE);  // fixed seed: the suite is deterministic
+  std::size_t parsed_ok = 0;
+  std::size_t rejected = 0;
+  for (int round = 0; round < 400; ++round) {
+    std::string text = seeds[rng() % seeds.size()];
+    const int mutations = 1 + static_cast<int>(rng() % 4);
+    for (int m = 0; m < mutations && !text.empty(); ++m) {
+      switch (rng() % 5) {
+        case 0:  // flip a byte
+          text[rng() % text.size()] =
+              static_cast<char>(rng() % 96 + 32);
+          break;
+        case 1:  // truncate
+          text.resize(rng() % text.size());
+          break;
+        case 2:  // delete a span
+          text.erase(rng() % text.size(),
+                     rng() % 16);
+          break;
+        case 3: {  // duplicate a span elsewhere
+          const std::size_t from = rng() % text.size();
+          const std::size_t len =
+              std::min<std::size_t>(rng() % 32, text.size() - from);
+          text.insert(rng() % text.size(), text.substr(from, len));
+          break;
+        }
+        case 4:  // inject a hostile token
+          text.insert(rng() % text.size(),
+                      round % 2 == 0 ? "\n999999999999999999999 {"
+                                     : " 1e309 ");
+          break;
+      }
+    }
+    try {
+      const ScenarioSpec spec = ScenarioSpec::parse(text, "fuzz");
+      ++parsed_ok;
+      // Whatever survives parsing must survive dump -> parse too.
+      (void)ScenarioSpec::parse(spec.dump(), "fuzz-redump");
+    } catch (const SpecError&) {
+      ++rejected;
+    }
+  }
+  // The mutator must actually exercise both paths.
+  EXPECT_GT(rejected, 0u);
+  EXPECT_EQ(parsed_ok + rejected, 400u);
+}
+
+// ---- required_stage ---------------------------------------------------
+
+TEST(ScenarioSpec, RequiredStageTracksDeepestCheck) {
+  const char* base = "scenario x\ntopology {\n  explicit\n  as 5 stub\n}\n";
+  const auto with_verify = [&](const char* verify) {
+    return ScenarioSpec::parse(std::string(base) + "verify {\n" + verify +
+                               "\n}\n");
+  };
+  EXPECT_EQ(with_verify("  unreachable 5 10.0.0.0/8").required_stage(),
+            Stage::kSynthesize);
+  EXPECT_EQ(with_verify("  converged").required_stage(), Stage::kSimulate);
+  EXPECT_EQ(with_verify("  inference_accuracy 50").required_stage(),
+            Stage::kInfer);
+  EXPECT_EQ(with_verify("  sa_prevalence 5 0 100").required_stage(),
+            Stage::kAnalyze);
+  EXPECT_EQ(with_verify(
+                "  digest observe 00112233445566778899aabbccddeeff")
+                .required_stage(),
+            Stage::kObserve);
+}
+
+// ---- synthesize-time vantage/override validation (the silent-miss fix) --
+
+TEST(ScenarioValidation, AbsentLookingGlassAsFailsSynthesize) {
+  Scenario scenario = Scenario::small(42);
+  scenario.looking_glass.push_back(999999);  // nowhere in the topology
+  try {
+    (void)synthesize(scenario);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("looking_glass"), std::string::npos) << what;
+    EXPECT_NE(what.find("999999"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioValidation, AbsentVerificationAsFailsSynthesize) {
+  Scenario scenario = Scenario::small(42);
+  scenario.verification_ases.push_back(424242);
+  EXPECT_THROW((void)synthesize(scenario), std::invalid_argument);
+}
+
+TEST(ScenarioValidation, AbsentOverrideNeighborFailsSynthesize) {
+  Scenario scenario = Scenario::small(42);
+  PolicyOverride o;
+  o.kind = PolicyOverride::Kind::kPreferNeighbor;
+  o.as = 1;
+  o.neighbor = 987654;
+  o.value = 140;
+  scenario.overrides.push_back(o);
+  EXPECT_THROW((void)synthesize(scenario), std::invalid_argument);
+}
+
+TEST(ScenarioValidation, ValidScenarioStillSynthesizes) {
+  Scenario scenario = Scenario::small(42);
+  const GroundTruth truth = synthesize(scenario);
+  EXPECT_TRUE(truth.topo.graph.contains(util::AsNumber(1)));
+}
+
+}  // namespace
+}  // namespace bgpolicy::core

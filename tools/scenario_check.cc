@@ -1,0 +1,153 @@
+// scenario_check: parse + execute the verify block of .scn scenario specs.
+//
+//   scenario_check [options] <file.scn | dir> ...
+//
+//   --threads N   override the scenario's worker-thread knob (the verify
+//                 outcome is identical at any value — determinism contract)
+//   --store DIR   attach an on-disk artifact store (reuses cached stages)
+//   --parse-only  stop after parsing (grammar check, no simulation)
+//   --dump        print each spec's canonical full form and exit
+//
+// Directories expand to every *.scn inside, sorted by filename.  A spec
+// with an empty verify block is a FAILURE: the corpus contract is that
+// every scenario asserts something executable.  Exit code 0 only when
+// every file parses and every assertion passes; failures are reported as
+// "<file>:<line>: FAIL <assertion> — <evidence>".
+//
+// This binary backs the per-file ctest cases CMake registers for
+// scenarios/*.scn and the CI scenario-corpus job.
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/artifact_store.h"
+#include "core/experiment.h"
+#include "core/scenario_spec.h"
+#include "core/spec_verify.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threads N] [--store DIR] [--parse-only] "
+               "[--dump] <file.scn | dir> ...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bgpolicy;
+
+  std::optional<std::size_t> threads;
+  std::optional<std::filesystem::path> store_dir;
+  bool parse_only = false;
+  bool dump = false;
+  std::vector<std::filesystem::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--store" && i + 1 < argc) {
+      store_dir = argv[++i];
+    } else if (arg == "--parse-only") {
+      parse_only = true;
+    } else if (arg == "--dump") {
+      dump = true;
+    } else if (arg == "--help" || arg == "-h" || arg.starts_with("--")) {
+      return usage(argv[0]);
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage(argv[0]);
+
+  // Expand directories; keep explicit file order, sort within a directory.
+  std::vector<std::filesystem::path> files;
+  for (const auto& input : inputs) {
+    if (std::filesystem::is_directory(input)) {
+      std::vector<std::filesystem::path> dir_files;
+      for (const auto& entry : std::filesystem::directory_iterator(input)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".scn") {
+          dir_files.push_back(entry.path());
+        }
+      }
+      std::sort(dir_files.begin(), dir_files.end());
+      files.insert(files.end(), dir_files.begin(), dir_files.end());
+    } else {
+      files.push_back(input);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "scenario_check: no .scn files found\n");
+    return 2;
+  }
+
+  std::optional<core::ArtifactStore> store;
+  if (store_dir) store.emplace(*store_dir);
+
+  std::size_t spec_count = 0;
+  std::size_t check_count = 0;
+  std::size_t failures = 0;
+
+  for (const auto& file : files) {
+    core::ScenarioSpec spec;
+    try {
+      spec = core::ScenarioSpec::parse_file(file);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "%s\n", error.what());
+      ++failures;
+      continue;
+    }
+    ++spec_count;
+    if (dump) {
+      std::fputs(spec.dump().c_str(), stdout);
+      continue;
+    }
+    std::printf("== %s (scenario %s, %zu event(s), %zu check(s))\n",
+                file.string().c_str(), spec.scenario.name.c_str(),
+                spec.events.size(), spec.checks.size());
+    if (parse_only) continue;
+
+    if (spec.checks.empty()) {
+      std::printf("%s:1: FAIL — empty verify block (the corpus contract "
+                  "requires executable assertions)\n",
+                  file.string().c_str());
+      ++failures;
+      continue;
+    }
+
+    if (threads) spec.scenario.propagation.threads = *threads;
+    core::RunOptions options;
+    options.until = spec.required_stage();
+    if (store) options.store = &*store;
+
+    try {
+      core::Experiment experiment(spec.scenario, options);
+      const core::VerifyReport report =
+          core::run_spec_checks(spec, experiment);
+      for (const core::CheckResult& result : report.results) {
+        ++check_count;
+        std::printf("  %s %s:%zu: %s — %s\n",
+                    result.passed ? "PASS" : "FAIL",
+                    file.string().c_str(), result.check.loc.line,
+                    core::describe_check(result.check).c_str(),
+                    result.detail.c_str());
+        if (!result.passed) ++failures;
+      }
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "%s: error: %s\n", file.string().c_str(),
+                   error.what());
+      ++failures;
+    }
+  }
+
+  std::printf("scenario_check: %zu spec(s), %zu check(s), %zu failure(s)\n",
+              spec_count, check_count, failures);
+  return failures == 0 ? 0 : 1;
+}
