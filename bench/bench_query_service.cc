@@ -1,0 +1,344 @@
+// Query-service load generator (ISSUE 8): drives the policy-query daemon
+// with N concurrent connections and reports queries/sec and tail latency —
+// while a refresher publishes snapshot swaps mid-run, so the number being
+// tracked is the *concurrent* serving rate, not an idle-registry best
+// case.
+//
+// Every reply is verified, not just counted: the response must echo the
+// request id, carry the request kind with the response bit, parse as an
+// ok-status payload, and — for every kind whose body excludes the snapshot
+// version — match byte-for-byte the payload `serve::answer()` produces
+// directly against the library-built snapshot.  One dropped, reordered,
+// or corrupted reply fails the bench (exit 1): zero-error serving under
+// swap pressure is the acceptance criterion, wired into the trajectory
+// like the other benches' determinism checks.
+//
+// Flags:
+//   --small           use the `small` scenario (CI-sized)
+//   --smoke           tiny run (8 connections, 50 requests each)
+//   --json            emit a single JSON object on stdout (scripts/bench.sh)
+//   --connections N   concurrent client connections (default 64)
+//   --requests N      requests per connection (default 200)
+//   --threads N       server event-loop threads (default 2; self-host only)
+//   --port P          drive an already-running daemon instead of
+//                     self-hosting (byte-identity checks then apply only
+//                     to structure, not content)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scenario.h"
+#include "serve/client.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "util/text_table.h"
+
+namespace {
+
+using namespace bgpolicy;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// One request the workers rotate through, with the expected ok-payload
+/// when it is content-comparable (empty = structural checks only).
+struct Probe {
+  serve::QueryKind kind;
+  std::vector<std::uint8_t> request;
+  std::vector<std::uint8_t> expected;
+};
+
+struct WorkerResult {
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;      ///< transport drops, malformed responses
+  std::uint64_t mismatches = 0;  ///< reply differs from the library answer
+  std::vector<std::uint32_t> latency_usec;
+};
+
+std::uint32_t percentile(std::vector<std::uint32_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool small = false;
+  bool smoke = false;
+  std::size_t connections = 64;
+  std::size_t requests_per_connection = 200;
+  std::size_t server_threads = 2;
+  int external_port = -1;
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--small") == 0) small = true;
+    else if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--connections") == 0)
+      connections = static_cast<std::size_t>(std::stoul(value()));
+    else if (std::strcmp(argv[i], "--requests") == 0)
+      requests_per_connection = static_cast<std::size_t>(std::stoul(value()));
+    else if (std::strcmp(argv[i], "--threads") == 0)
+      server_threads = static_cast<std::size_t>(std::stoul(value()));
+    else if (std::strcmp(argv[i], "--port") == 0)
+      external_port = std::stoi(value());
+    else {
+      const bool help = std::strcmp(argv[i], "--help") == 0 ||
+                        std::strcmp(argv[i], "-h") == 0;
+      (help ? std::cout : std::cerr)
+          << "usage: bench_query_service [--small] [--smoke] [--json]"
+             " [--connections N] [--requests N] [--threads N] [--port P]\n";
+      return help ? 0 : 2;
+    }
+  }
+  if (smoke) {
+    small = true;
+    connections = std::min<std::size_t>(connections, 8);
+    requests_per_connection = std::min<std::size_t>(requests_per_connection,
+                                                    50);
+  }
+
+  const core::Scenario scenario =
+      small ? core::Scenario::small() : core::Scenario::internet2002();
+  const bool self_hosted = external_port < 0;
+
+  if (!json) {
+    std::cout << "[bench] query service: " << connections
+              << " concurrent connection(s) x " << requests_per_connection
+              << " request(s)"
+              << (self_hosted
+                      ? " against a self-hosted daemon (" +
+                            std::to_string(server_threads) +
+                            " loop thread(s), scenario " + scenario.name +
+                            ", snapshot swaps mid-run)"
+                      : " against 127.0.0.1:" + std::to_string(external_port))
+              << "...\n";
+  }
+
+  // Self-host: build the snapshot once, publish it, and serve.  The
+  // refresher below republishes *copies* of the same content as fast as it
+  // can — every swap is content-identical with a bumped version, which is
+  // exactly the membrane the consistency checks probe.
+  serve::SnapshotRegistry registry;
+  std::unique_ptr<serve::QueryService> service;
+  std::shared_ptr<serve::Snapshot> base;
+  std::uint16_t port = 0;
+  if (self_hosted) {
+    base = serve::build_snapshot(scenario);
+    registry.publish(std::make_shared<serve::Snapshot>(*base));
+    serve::ServiceConfig config;
+    config.threads = server_threads;
+    service = std::make_unique<serve::QueryService>(registry, config);
+    service->start();
+    port = service->port();
+  } else {
+    port = static_cast<std::uint16_t>(external_port);
+  }
+
+  // The probe set: server_info plus one content-checked probe per query
+  // kind, targeting the snapshot's own vantages/prefixes.
+  std::vector<Probe> probes;
+  probes.push_back({serve::QueryKind::kServerInfo,
+                    serve::encode_server_info_request(),
+                    {}});
+  if (self_hosted) {
+    const auto expect = [&](serve::QueryKind kind,
+                            std::vector<std::uint8_t> request) {
+      std::vector<std::uint8_t> expected =
+          serve::answer(kind, request, *base);
+      probes.push_back({kind, std::move(request), std::move(expected)});
+    };
+    for (const core::VantageAnalysis& vantage : base->analyses.vantages) {
+      expect(serve::QueryKind::kSaPrevalence,
+             serve::encode_as_request(vantage.vantage));
+      expect(serve::QueryKind::kCauses,
+             serve::encode_as_request(vantage.vantage));
+      if (vantage.looking_glass) {
+        expect(serve::QueryKind::kPathAvailability,
+               serve::encode_as_request(vantage.vantage));
+      }
+    }
+    const core::PathIndex& paths = base->observations.paths;
+    const std::size_t prefix_step =
+        std::max<std::size_t>(1, paths.path_count() / 8);
+    for (std::size_t i = 0; i < paths.path_count(); i += prefix_step) {
+      expect(serve::QueryKind::kHoming,
+             serve::encode_prefix_request(paths.prefix_at(i)));
+    }
+  }
+
+  // Workers: one blocking client per connection, rotating through the
+  // probe set at per-connection offsets so the kinds interleave.
+  std::vector<WorkerResult> results(connections);
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
+  const auto bench_start = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> workers_done{0};
+  for (std::size_t c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c] {
+      WorkerResult& result = results[c];
+      result.latency_usec.reserve(requests_per_connection);
+      try {
+        // A generous receive timeout: on a small box, 64 runnable worker
+        // threads plus the refresher's snapshot copies can delay any one
+        // reply by seconds without anything being wrong.
+        serve::BlockingClient client(port, std::chrono::milliseconds(60000));
+        for (std::size_t i = 0; i < requests_per_connection; ++i) {
+          const Probe& probe = probes[(c + i) % probes.size()];
+          const auto start = std::chrono::steady_clock::now();
+          const std::optional<serve::Frame> reply = client.call(
+              static_cast<std::uint16_t>(probe.kind), probe.request);
+          const auto usec =
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+          ++result.requests;
+          if (!reply ||
+              reply->kind != (static_cast<std::uint16_t>(probe.kind) |
+                              serve::kResponseBit)) {
+            ++result.errors;
+            continue;
+          }
+          result.latency_usec.push_back(static_cast<std::uint32_t>(usec));
+          const auto view = serve::split_response(reply->payload);
+          if (!view || view->status != serve::QueryStatus::kOk) {
+            ++result.errors;
+            continue;
+          }
+          if (probe.kind == serve::QueryKind::kServerInfo) {
+            if (!serve::decode_server_info(view->body)) ++result.errors;
+          } else if (!probe.expected.empty() &&
+                     reply->payload != probe.expected) {
+            ++result.mismatches;
+          }
+        }
+      } catch (const std::exception& error) {
+        // Connection-level failure: every unsent request is an error.
+        result.errors += requests_per_connection - result.requests;
+        result.requests = requests_per_connection;
+        std::cerr << "worker " << c << ": " << error.what() << "\n";
+      }
+      workers_done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  // Snapshot-swap pressure: republish continuously until the workers
+  // finish (self-hosted only — an external daemon swaps on its own
+  // --refresh timer).
+  std::uint64_t publishes = 0;
+  std::thread refresher;
+  if (self_hosted) {
+    refresher = std::thread([&] {
+      while (workers_done.load(std::memory_order_relaxed) < connections) {
+        const auto copy_start = std::chrono::steady_clock::now();
+        registry.publish(std::make_shared<serve::Snapshot>(*base));
+        const auto copy_cost = std::chrono::steady_clock::now() - copy_start;
+        // Swap pressure, not starvation: a full-scenario snapshot copy can
+        // cost hundreds of milliseconds, and republishing back-to-back
+        // would monopolize a small box's cores and time the workers out.
+        // Sleeping a multiple of the measured copy cost keeps the
+        // refresher's CPU share bounded at any scenario size while still
+        // swapping continuously throughout the run.
+        std::this_thread::sleep_for(
+            std::max<std::chrono::steady_clock::duration>(
+                std::chrono::milliseconds(2), 3 * copy_cost));
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed = seconds_since(bench_start);
+  if (refresher.joinable()) refresher.join();
+  publishes = self_hosted ? registry.published() : 0;
+  serve::EventLoopStats stats;
+  if (service) {
+    service->stop();
+    stats = service->stats();
+  }
+
+  std::uint64_t total_requests = 0;
+  std::uint64_t total_errors = 0;
+  std::uint64_t total_mismatches = 0;
+  std::vector<std::uint32_t> latencies;
+  for (const WorkerResult& result : results) {
+    total_requests += result.requests;
+    total_errors += result.errors;
+    total_mismatches += result.mismatches;
+    latencies.insert(latencies.end(), result.latency_usec.begin(),
+                     result.latency_usec.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double qps =
+      elapsed > 0 ? static_cast<double>(total_requests) / elapsed : 0;
+  const bool ok = total_errors == 0 && total_mismatches == 0 &&
+                  total_requests ==
+                      static_cast<std::uint64_t>(connections) *
+                          requests_per_connection;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (json) {
+    std::cout << "{\"bench\":\"query_service\",\"scenario\":\""
+              << scenario.name << "\",\"hardware_concurrency\":" << hw
+              << ",\"server_threads\":"
+              << (self_hosted ? server_threads : 0)
+              << ",\"connections\":" << connections
+              << ",\"requests\":" << total_requests
+              << ",\"errors\":" << total_errors
+              << ",\"mismatches\":" << total_mismatches
+              << ",\"snapshot_publishes\":" << publishes
+              << ",\"elapsed_seconds\":" << elapsed
+              << ",\"queries_per_sec\":" << qps << ",\"latency_usec\":{"
+              << "\"p50\":" << percentile(latencies, 0.50)
+              << ",\"p90\":" << percentile(latencies, 0.90)
+              << ",\"p99\":" << percentile(latencies, 0.99)
+              << ",\"max\":" << (latencies.empty() ? 0 : latencies.back())
+              << "},\"zero_errors\":" << (ok ? "true" : "false") << "}"
+              << std::endl;
+    return ok ? 0 : 1;
+  }
+
+  std::cout << "== query service · concurrent load under snapshot swaps ==\n"
+            << "scenario " << scenario.name << " · hardware threads: " << hw
+            << "\n\n";
+  util::TextTable table({"metric", "value"});
+  table.add_row({"connections", std::to_string(connections)});
+  table.add_row({"requests", std::to_string(total_requests)});
+  table.add_row({"errors", std::to_string(total_errors)});
+  table.add_row({"mismatched replies", std::to_string(total_mismatches)});
+  table.add_row({"snapshot publishes", std::to_string(publishes)});
+  table.add_row({"elapsed", util::fmt(elapsed, 3) + " s"});
+  table.add_row({"queries/sec", util::fmt(qps, 0)});
+  table.add_row(
+      {"latency p50", std::to_string(percentile(latencies, 0.50)) + " us"});
+  table.add_row(
+      {"latency p90", std::to_string(percentile(latencies, 0.90)) + " us"});
+  table.add_row(
+      {"latency p99", std::to_string(percentile(latencies, 0.99)) + " us"});
+  table.add_row({"latency max",
+                 std::to_string(latencies.empty() ? 0 : latencies.back()) +
+                     " us"});
+  if (service != nullptr) {
+    table.add_row({"server frames out", std::to_string(stats.frames_out)});
+    table.add_row({"server connections", std::to_string(stats.accepted)});
+  }
+  std::cout << table.render("load-generator summary") << "\n"
+            << (ok ? "every reply verified: zero drops, zero corrupt "
+                     "replies under snapshot-swap pressure\n"
+                   : "REPLY VERIFICATION FAILED: dropped or corrupted "
+                     "replies under load\n");
+  return ok ? 0 : 1;
+}

@@ -1,7 +1,10 @@
 #!/usr/bin/env python3
 """Validates a bgpolicy bench-trajectory record (scripts/bench.sh output).
 
-Accepts bgpolicy-bench/v6 (current: sim_scaling carries the flat-core
+Accepts bgpolicy-bench/v7 (current: adds the query_service section — the
+policy-query daemon's concurrent load run with queries/sec, latency
+percentiles, snapshot-publish count, and the zero-error verification
+flag), v6 (sim_scaling carries the flat-core
 before/after — reference_seconds for the seed per-event engine,
 flat_speedup over the threads=1 flat run, a reference_match counter
 cross-check, and per-row events_per_sec), v5 (pipeline_stages rows gain
@@ -73,6 +76,39 @@ def check_artifact_store(path, record):
             f"{name}.results[].artifact must be unique")
 
 
+def check_query_service(path, record):
+    name = "query_service"
+    require(path, isinstance(record, dict), f"{name} must be an object")
+    for key in ("bench", "scenario", "hardware_concurrency",
+                "server_threads", "connections", "requests", "errors",
+                "mismatches", "snapshot_publishes", "elapsed_seconds",
+                "queries_per_sec", "latency_usec"):
+        require(path, key in record, f"{name}.{key} missing")
+    for key in ("connections", "requests", "errors", "mismatches",
+                "snapshot_publishes"):
+        require(path, isinstance(record[key], int),
+                f"{name}.{key} must be an integer")
+    require(path, record["requests"] > 0, f"{name}.requests must be > 0")
+    require(path, record["errors"] == 0,
+            f"{name}.errors must be 0 (dropped or malformed replies)")
+    require(path, record["mismatches"] == 0,
+            f"{name}.mismatches must be 0 (replies differ from the "
+            "library answer)")
+    require(path, isinstance(record["queries_per_sec"], (int, float))
+            and record["queries_per_sec"] > 0,
+            f"{name}.queries_per_sec must be a positive number")
+    require(path, record.get("zero_errors") is True,
+            f"{name}.zero_errors must be true")
+    latency = record["latency_usec"]
+    require(path, isinstance(latency, dict),
+            f"{name}.latency_usec must be an object")
+    for key in ("p50", "p90", "p99", "max"):
+        require(path, isinstance(latency.get(key), (int, float)),
+                f"{name}.latency_usec.{key} must be a number")
+    require(path, latency["p50"] <= latency["p99"] <= latency["max"],
+            f"{name}.latency_usec percentiles must be non-decreasing")
+
+
 def check_file(path):
     with open(path, encoding="utf-8") as handle:
         try:
@@ -83,18 +119,19 @@ def check_file(path):
     require(path,
             schema in ("bgpolicy-bench/v2", "bgpolicy-bench/v3",
                        "bgpolicy-bench/v4", "bgpolicy-bench/v5",
-                       "bgpolicy-bench/v6"),
-            'schema must be "bgpolicy-bench/v2".."bgpolicy-bench/v6"')
+                       "bgpolicy-bench/v6", "bgpolicy-bench/v7"),
+            'schema must be "bgpolicy-bench/v2".."bgpolicy-bench/v7"')
     require(path, "generated_utc" in record, "generated_utc missing")
 
+    flat_core = schema in ("bgpolicy-bench/v6", "bgpolicy-bench/v7")
     sim_keys = ["threads", "seconds", "speedup"]
-    if schema == "bgpolicy-bench/v6":
+    if flat_core:
         sim_keys.append("events_per_sec")
     sim = record.get("sim_scaling")
     check_scaling(path, "sim_scaling", sim, tuple(sim_keys))
     require(path, sim.get("counters_match") is True,
             "sim_scaling.counters_match must be true")
-    if schema == "bgpolicy-bench/v6":
+    if flat_core:
         # The flat-core before/after: the seed per-event engine timed over
         # the same originations, counter-checked against the flat rows.
         for key in ("reference_seconds", "flat_speedup"):
@@ -116,7 +153,8 @@ def check_file(path):
         stage_keys = ["threads", "synthesize_seconds", "simulate_seconds",
                       "observe_seconds", "infer_seconds", "analyze_seconds",
                       "total_seconds", "speedup"]
-        if schema in ("bgpolicy-bench/v5", "bgpolicy-bench/v6"):
+        if schema in ("bgpolicy-bench/v5", "bgpolicy-bench/v6",
+                      "bgpolicy-bench/v7"):
             # The task-graph comparison: one end-to-end run with overlapped
             # stage nodes next to the serial-stage sum, plus the overlap
             # windows and the Simulate chunk count.
@@ -129,10 +167,14 @@ def check_file(path):
                 "pipeline_stages.products_match must be true")
         summary += f", stage rows: {len(stages['results'])}"
     if schema in ("bgpolicy-bench/v4", "bgpolicy-bench/v5",
-                  "bgpolicy-bench/v6"):
+                  "bgpolicy-bench/v6", "bgpolicy-bench/v7"):
         store = record.get("artifact_store")
         check_artifact_store(path, store)
         summary += f", artifact rows: {len(store['results'])}"
+    if schema == "bgpolicy-bench/v7":
+        service = record.get("query_service")
+        check_query_service(path, service)
+        summary += (f", query qps: {service['queries_per_sec']:.0f}")
 
     print(f"{path}: ok ({summary})")
 

@@ -154,6 +154,36 @@ std::uint64_t ArtifactStore::total_bytes() const {
 
 namespace {
 
+std::filesystem::path pin_path_for(const std::filesystem::path& art_path);
+
+}  // namespace
+
+std::vector<ArtifactStore::Entry> ArtifactStore::list() const {
+  std::vector<Entry> entries;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(root_, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->path().extension() != ".art") continue;
+    std::error_code entry_ec;
+    Entry entry;
+    entry.path = it->path();
+    entry.bytes = it->file_size(entry_ec);
+    if (entry_ec) continue;
+    entry.accessed = it->last_write_time(entry_ec);
+    if (entry_ec) continue;
+    std::error_code pin_ec;
+    entry.pinned = std::filesystem::exists(pin_path_for(entry.path), pin_ec);
+    entries.push_back(std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.path.filename() < b.path.filename();
+            });
+  return entries;
+}
+
+namespace {
+
 std::filesystem::path pin_path_for(const std::filesystem::path& art_path) {
   std::filesystem::path pin = art_path;
   pin.replace_extension(".pin");

@@ -75,6 +75,20 @@ class ArtifactStore {
   /// Total bytes of all artifacts currently on disk.
   [[nodiscard]] std::uint64_t total_bytes() const;
 
+  /// One on-disk artifact as seen by a directory scan.  Keys are hashed
+  /// into file names, so entries are addressed by path, not key.
+  struct Entry {
+    std::filesystem::path path;
+    std::uint64_t bytes = 0;
+    bool pinned = false;
+    std::filesystem::file_time_type accessed{};
+  };
+
+  /// Every artifact currently on disk, sorted by file name (stable across
+  /// runs).  Unreadable entries are skipped — the census, like gc(), is
+  /// best-effort over a live directory.
+  [[nodiscard]] std::vector<Entry> list() const;
+
   // ---- pinning: in-progress-run protection for gc() -------------------
   // A pin is a `<digest>.pin` sidecar next to the entry's file.  Runs pin
   // the Simulate chunk entries they are writing (core::Experiment) and

@@ -1055,6 +1055,17 @@ ExperimentView Experiment::view() {
   return make_view(*sim_, *observations_, *inference_);
 }
 
+Experiment::StageArtifacts Experiment::take_artifacts() && {
+  StageArtifacts artifacts;
+  artifacts.truth = std::move(truth_);
+  artifacts.sim = std::move(sim_);
+  artifacts.observations = std::move(observations_);
+  artifacts.inference = std::move(inference_);
+  artifacts.analyses = std::move(analyses_);
+  invalidate(Stage::kSynthesize);
+  return artifacts;
+}
+
 Pipeline Experiment::to_pipeline() {
   run(Stage::kInfer);
   Pipeline p;

@@ -329,6 +329,20 @@ class Experiment {
   /// (runs them if needed); `this` must outlive the view.
   [[nodiscard]] ExperimentView view();
 
+  /// The staged artifacts of an experiment, moved out wholesale for a
+  /// long-lived consumer — the serving layer's snapshot builder
+  /// (serve/snapshot.h) takes a fully-run experiment's products without
+  /// copying multi-hundred-MB tables.  Each slot is set iff its stage had
+  /// materialized; the experiment is left empty (every stage invalidated).
+  struct StageArtifacts {
+    std::optional<GroundTruth> truth;
+    std::optional<SimArtifact> sim;
+    std::optional<Observations> observations;
+    std::optional<InferenceProducts> inference;
+    std::optional<AnalysisSuite> analyses;
+  };
+  [[nodiscard]] StageArtifacts take_artifacts() &&;
+
   /// Assembles the flat compatibility struct from the staged artifacts,
   /// running stages up to Infer if needed.  `to_pipeline` copies;
   /// `into_pipeline` moves the artifacts out and leaves the experiment

@@ -1083,4 +1083,19 @@ core::SimChunk decode_sim_chunk(std::span<const std::uint8_t> bytes) {
                         [](Reader& r) { return get_sim_chunk(r); });
 }
 
+std::optional<ArtifactHeader> peek_artifact_header(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kArtifactHeaderBytes) return std::nullopt;
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  ArtifactHeader header;
+  std::memcpy(&header.version, bytes.data() + 4, sizeof(header.version));
+  if (header.version != kArtifactCodecVersion) return std::nullopt;
+  std::memcpy(&header.kind, bytes.data() + 6, sizeof(header.kind));
+  std::memcpy(&header.payload_bytes, bytes.data() + 8,
+              sizeof(header.payload_bytes));
+  return header;
+}
+
 }  // namespace bgpolicy::io

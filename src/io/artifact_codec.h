@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -47,6 +48,27 @@ enum class ArtifactKind : std::uint16_t {
 };
 
 [[nodiscard]] const char* to_string(ArtifactKind kind);
+
+/// The versioned header leading every encoded artifact, parsed without
+/// touching the payload.
+struct ArtifactHeader {
+  std::uint16_t version = 0;
+  /// Raw kind tag; may name a kind this build does not know.
+  std::uint16_t kind = 0;
+  std::uint64_t payload_bytes = 0;
+};
+
+/// Artifact header size in bytes (magic + version + kind + length +
+/// checksum) — the prefix peek_artifact_header needs.
+inline constexpr std::size_t kArtifactHeaderBytes = 24;
+
+/// Non-throwing header peek for store census tools (tools/store_top):
+/// validates magic and version over just the header prefix of `bytes` and
+/// returns the kind tag and payload length.  The checksum is NOT verified
+/// (that requires the payload; decoders do it).  nullopt on truncated or
+/// foreign bytes.
+[[nodiscard]] std::optional<ArtifactHeader> peek_artifact_header(
+    std::span<const std::uint8_t> bytes);
 
 [[nodiscard]] std::vector<std::uint8_t> encode(const core::GroundTruth& truth);
 [[nodiscard]] std::vector<std::uint8_t> encode(const core::SimArtifact& sim);

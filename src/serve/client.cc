@@ -1,0 +1,121 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bgpolicy::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " +
+                           std::strerror(errno));
+}
+
+void set_socket_timeout(int fd, int option,
+                        std::chrono::milliseconds timeout) {
+  if (timeout.count() <= 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) != 0) {
+    throw_errno("setsockopt(SO_*TIMEO)");
+  }
+}
+
+}  // namespace
+
+BlockingClient::BlockingClient(std::uint16_t port,
+                               std::chrono::milliseconds timeout) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+  set_socket_timeout(fd_, SO_RCVTIMEO, timeout);
+  set_socket_timeout(fd_, SO_SNDTIMEO, timeout);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("connect");
+  }
+}
+
+BlockingClient::~BlockingClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      eof_(other.eof_),
+      next_request_id_(other.next_request_id_),
+      reader_(std::move(other.reader_)) {}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    eof_ = other.eof_;
+    next_request_id_ = other.next_request_id_;
+    reader_ = std::move(other.reader_);
+  }
+  return *this;
+}
+
+void BlockingClient::send_raw(std::span<const std::uint8_t> bytes) {
+  if (fd_ < 0) throw std::runtime_error("client not connected");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<Frame> BlockingClient::receive() {
+  if (fd_ < 0) return std::nullopt;
+  std::uint8_t chunk[16 * 1024];
+  while (true) {
+    if (std::optional<Frame> frame = reader_.next()) return frame;
+    if (reader_.malformed() || eof_) return std::nullopt;
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;  // one more next() pass, then nullopt
+    }
+    reader_.feed({chunk, static_cast<std::size_t>(n)});
+  }
+}
+
+std::optional<Frame> BlockingClient::call(
+    std::uint16_t kind, std::span<const std::uint8_t> payload) {
+  Frame request;
+  request.kind = kind;
+  request.request_id = next_request_id_++;
+  request.payload.assign(payload.begin(), payload.end());
+  send_raw(encode_frame(request));
+  return receive();
+}
+
+}  // namespace bgpolicy::serve

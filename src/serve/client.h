@@ -1,0 +1,52 @@
+// BlockingClient: a minimal synchronous client for the frame protocol,
+// used by the tests and the load generator.  One TCP connection, one
+// outstanding request at a time (call() writes a request frame and blocks
+// until the matching response frame arrives).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "serve/frame.h"
+
+namespace bgpolicy::serve {
+
+class BlockingClient {
+ public:
+  /// Connects to 127.0.0.1:`port`.  Throws std::runtime_error when the
+  /// connection fails.  `timeout` bounds each send/receive syscall
+  /// (SO_SNDTIMEO/SO_RCVTIMEO); zero means block forever.
+  explicit BlockingClient(std::uint16_t port,
+                          std::chrono::milliseconds timeout =
+                              std::chrono::milliseconds(10'000));
+  ~BlockingClient();
+
+  BlockingClient(BlockingClient&& other) noexcept;
+  BlockingClient& operator=(BlockingClient&& other) noexcept;
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  /// Sends one request frame and waits for its response.  Returns nullopt
+  /// when the server closed the connection or the response stream is
+  /// malformed; throws std::runtime_error on socket errors/timeouts.
+  [[nodiscard]] std::optional<Frame> call(
+      std::uint16_t kind, std::span<const std::uint8_t> payload);
+
+  /// Writes raw bytes to the socket as-is — the tests' tool for feeding
+  /// the server garbage and truncated frames.
+  void send_raw(std::span<const std::uint8_t> bytes);
+  /// Reads one frame (or EOF/malformed → nullopt) without sending.
+  [[nodiscard]] std::optional<Frame> receive();
+  /// True once the server has closed its side.
+  [[nodiscard]] bool closed() const { return fd_ < 0 || eof_; }
+
+ private:
+  int fd_ = -1;
+  bool eof_ = false;
+  std::uint64_t next_request_id_ = 1;
+  FrameReader reader_;
+};
+
+}  // namespace bgpolicy::serve

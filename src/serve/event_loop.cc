@@ -1,0 +1,379 @@
+#include "serve/event_loop.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace bgpolicy::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ ListenSocket --
+
+ListenSocket::ListenSocket(std::uint16_t port, int backlog) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("bind");
+  }
+  if (::listen(fd_, backlog) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+ListenSocket::~ListenSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ListenSocket::ListenSocket(ListenSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)) {}
+
+ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+// --------------------------------------------------------------- EventLoop --
+
+struct EventLoop::Connection {
+  int fd = -1;
+  FrameReader reader;
+  std::vector<std::uint8_t> out;
+  std::size_t out_pos = 0;
+  bool read_paused = false;
+  std::uint32_t interest = 0;  ///< epoll events currently registered
+
+  [[nodiscard]] std::size_t pending_out() const {
+    return out.size() - out_pos;
+  }
+};
+
+struct EventLoop::AtomicStats {
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> closed{0};
+  std::atomic<std::uint64_t> frames_in{0};
+  std::atomic<std::uint64_t> frames_out{0};
+  std::atomic<std::uint64_t> malformed_closes{0};
+  std::atomic<std::uint64_t> read_pauses{0};
+  std::atomic<std::uint64_t> accept_pauses{0};
+  std::atomic<std::size_t> connections{0};
+};
+
+EventLoop::EventLoop(int listen_fd, Handler handler, EventLoopConfig config)
+    : listen_fd_(listen_fd),
+      handler_(std::move(handler)),
+      config_(config),
+      stats_(std::make_unique<AtomicStats>()) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    const int saved = errno;
+    ::close(epoll_fd_);
+    errno = saved;
+    throw_errno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    throw_errno("epoll_ctl(wake)");
+  }
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    throw_errno("epoll_ctl(listen)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  for (auto& [fd, connection] : connections_) ::close(fd);
+  connections_.clear();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::stop() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; ignore short writes.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+EventLoopStats EventLoop::stats() const {
+  EventLoopStats out;
+  out.accepted = stats_->accepted.load(std::memory_order_relaxed);
+  out.closed = stats_->closed.load(std::memory_order_relaxed);
+  out.frames_in = stats_->frames_in.load(std::memory_order_relaxed);
+  out.frames_out = stats_->frames_out.load(std::memory_order_relaxed);
+  out.malformed_closes =
+      stats_->malformed_closes.load(std::memory_order_relaxed);
+  out.read_pauses = stats_->read_pauses.load(std::memory_order_relaxed);
+  out.accept_pauses = stats_->accept_pauses.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::size_t EventLoop::connection_count() const {
+  return stats_->connections.load(std::memory_order_relaxed);
+}
+
+void EventLoop::set_accept_enabled(bool enabled) {
+  if (enabled == accept_enabled_) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (enabled) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  } else {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    stats_->accept_pauses.fetch_add(1, std::memory_order_relaxed);
+  }
+  accept_enabled_ = enabled;
+}
+
+void EventLoop::handle_accept() {
+  while (true) {
+    if (connections_.size() >= config_.max_connections) {
+      set_accept_enabled(false);
+      return;
+    }
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EAGAIN: drained (or another loop on the shared fd won the race).
+      // Transient accept errors (ECONNABORTED, EMFILE...) also just end
+      // this round; level-triggered epoll retries on the next wait.
+      return;
+    }
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    connection->interest = EPOLLIN;
+    connections_.emplace(fd, std::move(connection));
+    stats_->accepted.fetch_add(1, std::memory_order_relaxed);
+    stats_->connections.store(connections_.size(),
+                              std::memory_order_relaxed);
+  }
+}
+
+void EventLoop::update_interest(Connection& connection) {
+  std::uint32_t want = 0;
+  if (!connection.read_paused) want |= EPOLLIN;
+  if (connection.pending_out() > 0) want |= EPOLLOUT;
+  if (want == connection.interest) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.fd = connection.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, connection.fd, &ev);
+  connection.interest = want;
+}
+
+bool EventLoop::flush_writes(Connection& connection) {
+  while (connection.out_pos < connection.out.size()) {
+    const ssize_t n =
+        ::write(connection.fd, connection.out.data() + connection.out_pos,
+                connection.out.size() - connection.out_pos);
+    if (n > 0) {
+      connection.out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    return false;  // peer is gone
+  }
+  if (connection.out_pos == connection.out.size()) {
+    connection.out.clear();
+    connection.out_pos = 0;
+  } else if (connection.out_pos > connection.out.size() / 2) {
+    // Keep the buffer from accumulating a long flushed prefix.
+    connection.out.erase(connection.out.begin(),
+                         connection.out.begin() +
+                             static_cast<std::ptrdiff_t>(connection.out_pos));
+    connection.out_pos = 0;
+  }
+  // Backpressure: a client that sends requests faster than it drains
+  // responses stops being read until its buffer shrinks.
+  const bool over = connection.pending_out() > config_.max_write_buffer_bytes;
+  if (over && !connection.read_paused) {
+    connection.read_paused = true;
+    stats_->read_pauses.fetch_add(1, std::memory_order_relaxed);
+  } else if (!over && connection.read_paused &&
+             connection.pending_out() <= config_.max_write_buffer_bytes / 2) {
+    connection.read_paused = false;
+  }
+  update_interest(connection);
+  return true;
+}
+
+void EventLoop::handle_readable(Connection& connection) {
+  std::vector<std::uint8_t> buffer(config_.read_chunk_bytes);
+  bool peer_closed = false;
+  while (!connection.read_paused) {
+    const ssize_t n = ::read(connection.fd, buffer.data(), buffer.size());
+    if (n > 0) {
+      connection.reader.feed(
+          std::span<const std::uint8_t>(buffer.data(),
+                                        static_cast<std::size_t>(n)));
+      while (std::optional<Frame> frame = connection.reader.next()) {
+        stats_->frames_in.fetch_add(1, std::memory_order_relaxed);
+        try {
+          const Frame reply = handler_(*frame);
+          append_frame(connection.out, reply);
+          stats_->frames_out.fetch_add(1, std::memory_order_relaxed);
+        } catch (...) {
+          close_connection(connection.fd);
+          return;
+        }
+      }
+      if (connection.reader.malformed()) {
+        stats_->malformed_closes.fetch_add(1, std::memory_order_relaxed);
+        // Flush what was already answered, then cut the peer off.
+        flush_writes(connection);
+        close_connection(connection.fd);
+        return;
+      }
+      // Apply backpressure between reads, not only per epoll round, so a
+      // pipelining flood cannot outrun the write cap within one burst.
+      if (connection.pending_out() > config_.max_write_buffer_bytes) {
+        if (!flush_writes(connection)) {
+          close_connection(connection.fd);
+          return;
+        }
+      }
+      if (static_cast<std::size_t>(n) < buffer.size()) break;
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    peer_closed = true;  // hard error
+    break;
+  }
+  if (!flush_writes(connection)) {
+    close_connection(connection.fd);
+    return;
+  }
+  if (peer_closed) {
+    // Orderly shutdown: the peer is done sending.  Anything still
+    // unflushed has no reader coming back for it.
+    close_connection(connection.fd);
+  }
+}
+
+void EventLoop::close_connection(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections_.erase(it);
+  stats_->closed.fetch_add(1, std::memory_order_relaxed);
+  stats_->connections.store(connections_.size(), std::memory_order_relaxed);
+  if (!accept_enabled_ && connections_.size() < config_.max_connections) {
+    set_accept_enabled(true);
+  }
+}
+
+void EventLoop::run() {
+  std::vector<epoll_event> events(128);
+  while (!stopping_) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("epoll_wait");
+    }
+    for (int i = 0; i < n && !stopping_; ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t mask = events[i].events;
+      if (fd == wake_fd_) {
+        std::uint64_t drain = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &drain, sizeof(drain));
+        stopping_ = true;
+        break;
+      }
+      if (fd == listen_fd_) {
+        handle_accept();
+        continue;
+      }
+      const auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;  // closed earlier this round
+      Connection& connection = *it->second;
+      if (mask & (EPOLLHUP | EPOLLERR)) {
+        close_connection(fd);
+        continue;
+      }
+      if (mask & EPOLLOUT) {
+        if (!flush_writes(connection)) {
+          close_connection(fd);
+          continue;
+        }
+      }
+      if (mask & EPOLLIN) handle_readable(connection);
+    }
+  }
+  // Drain: close every connection so clients see EOF promptly.
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (const auto& [fd, connection] : connections_) fds.push_back(fd);
+  for (const int fd : fds) close_connection(fd);
+}
+
+}  // namespace bgpolicy::serve

@@ -1,0 +1,133 @@
+// Non-blocking epoll event loop serving the frame protocol on one thread.
+//
+// One `EventLoop` owns one epoll instance with level-triggered readiness
+// and runs a per-connection read/write state machine:
+//
+//   * accept: the (shared, non-blocking) listen socket is drained until
+//     EAGAIN; at `max_connections` the loop drops the listen fd from its
+//     interest set and re-arms it when a slot frees — accept backpressure
+//     instead of unbounded fd growth.
+//   * read: socket bytes feed a FrameReader that buffers partial frames
+//     across reads; each complete frame is handed to the handler and the
+//     response is appended to the connection's write buffer.  A malformed
+//     frame closes the connection (never the process).
+//   * write: buffered responses are flushed until EAGAIN; EPOLLOUT is
+//     armed only while bytes remain.  When a slow reader's unflushed
+//     responses exceed `max_write_buffer_bytes`, the loop stops *reading*
+//     from that connection until the buffer drains — per-connection
+//     backpressure, so one slow client cannot balloon server memory.
+//
+// Several EventLoops (the daemon's --threads) share one listen fd, each
+// on its own thread with its own epoll set and connections; a connection
+// lives its whole life on the loop that accepted it, so no connection
+// state is ever shared between threads.  `stop()` is the only cross-
+// thread entry point (an eventfd wakeup).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "serve/frame.h"
+
+namespace bgpolicy::serve {
+
+/// RAII wrapper for a non-blocking loopback listen socket.  `port` 0
+/// binds an ephemeral port; the resolved port is read back from the
+/// socket.  Throws std::runtime_error on any socket/bind/listen failure.
+class ListenSocket {
+ public:
+  explicit ListenSocket(std::uint16_t port, int backlog = 128);
+  ~ListenSocket();
+
+  ListenSocket(ListenSocket&& other) noexcept;
+  ListenSocket& operator=(ListenSocket&& other) noexcept;
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+struct EventLoopConfig {
+  /// Accept gate: above this many live connections the loop stops
+  /// accepting until one closes.
+  std::size_t max_connections = 1024;
+  /// Per-connection write-buffer cap: above this the loop pauses reads on
+  /// the connection until the client drains its responses.
+  std::size_t max_write_buffer_bytes = 4u << 20;
+  /// Bytes per read() call.
+  std::size_t read_chunk_bytes = 64u << 10;
+};
+
+/// Monotonic counters, readable from other threads while the loop runs.
+struct EventLoopStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  /// Connections closed because their stream was malformed.
+  std::uint64_t malformed_closes = 0;
+  /// Times a connection's reads were paused for write backpressure.
+  std::uint64_t read_pauses = 0;
+  /// Times the accept gate closed at max_connections.
+  std::uint64_t accept_pauses = 0;
+};
+
+class EventLoop {
+ public:
+  /// The request handler: one response frame per request frame.  Runs on
+  /// the loop thread; a throwing handler closes the offending connection.
+  using Handler = std::function<Frame(const Frame&)>;
+
+  /// `listen_fd` is borrowed (shared across loops), not owned.  Throws
+  /// std::runtime_error when epoll/eventfd setup fails.
+  EventLoop(int listen_fd, Handler handler, EventLoopConfig config = {});
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Serves until stop(); closes every connection before returning.
+  void run();
+  /// Signals run() to exit (thread-safe, idempotent).
+  void stop();
+
+  [[nodiscard]] EventLoopStats stats() const;
+  [[nodiscard]] std::size_t connection_count() const;
+
+ private:
+  struct Connection;
+
+  void handle_accept();
+  void handle_readable(Connection& connection);
+  /// Flushes the write buffer and re-computes epoll interest (EPOLLOUT
+  /// while bytes remain, EPOLLIN unless backpressured).  Returns false
+  /// when the connection died mid-write.
+  bool flush_writes(Connection& connection);
+  void update_interest(Connection& connection);
+  void close_connection(int fd);
+  void set_accept_enabled(bool enabled);
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  Handler handler_;
+  EventLoopConfig config_;
+  bool accept_enabled_ = true;
+  bool stopping_ = false;
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+
+  // Counters are written by the loop thread only and read cross-thread
+  // (bench progress, tests), hence the relaxed atomics.
+  struct AtomicStats;
+  std::unique_ptr<AtomicStats> stats_;
+};
+
+}  // namespace bgpolicy::serve

@@ -1,0 +1,154 @@
+#include "serve/frame.h"
+
+#include <cstring>
+
+#include "core/artifact_store.h"
+
+namespace bgpolicy::serve {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'G', 'P', 'Q'};
+constexpr std::uint64_t kChecksumSeed = 0xcbf29ce484222325ULL;
+
+template <typename T>
+void put_le(std::vector<std::uint8_t>& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::uint8_t raw[sizeof(T)];
+  std::memcpy(raw, &value, sizeof(T));
+  out.insert(out.end(), raw, raw + sizeof(T));
+}
+
+template <typename T>
+T get_le(const std::uint8_t* bytes) {
+  T value;
+  std::memcpy(&value, bytes, sizeof(T));
+  return value;
+}
+
+/// Frame checksum over header fields AND payload: the seed folds in kind,
+/// request id, and length before hashing the payload bytes, so a bit flip
+/// anywhere in the frame — not just the payload — fails verification.
+std::uint64_t frame_checksum(std::uint16_t kind, std::uint64_t request_id,
+                             std::uint32_t length,
+                             std::span<const std::uint8_t> payload) {
+  std::uint8_t header[14];
+  std::memcpy(header, &kind, 2);
+  std::memcpy(header + 2, &request_id, 8);
+  std::memcpy(header + 10, &length, 4);
+  const std::uint64_t seed =
+      core::fnv1a64(std::span<const std::uint8_t>(header, sizeof(header)),
+                    kChecksumSeed);
+  return core::fnv1a64(payload, seed);
+}
+
+}  // namespace
+
+void append_frame(std::vector<std::uint8_t>& out, const Frame& frame) {
+  out.reserve(out.size() + kFrameHeaderBytes + frame.payload.size());
+  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  put_le(out, kProtocolVersion);
+  put_le(out, frame.kind);
+  put_le(out, frame.request_id);
+  put_le(out, static_cast<std::uint32_t>(frame.payload.size()));
+  put_le(out, frame_checksum(frame.kind, frame.request_id,
+                             static_cast<std::uint32_t>(frame.payload.size()),
+                             frame.payload));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  append_frame(out, frame);
+  return out;
+}
+
+DecodeResult decode_frame(std::span<const std::uint8_t> bytes) {
+  DecodeResult result;
+  const auto malformed = [&](std::string why) {
+    result.status = DecodeStatus::kMalformed;
+    result.error = std::move(why);
+    return result;
+  };
+
+  if (bytes.empty()) {
+    result.status = DecodeStatus::kNeedMore;
+    return result;
+  }
+  // Reject a wrong magic from the very first bytes: a peer speaking a
+  // different protocol should be cut off before it can stream a "header"
+  // worth of garbage.
+  const std::size_t magic_have = std::min(bytes.size(), sizeof(kMagic));
+  if (std::memcmp(bytes.data(), kMagic, magic_have) != 0) {
+    return malformed("frame: bad magic");
+  }
+  if (bytes.size() < kFrameHeaderBytes) {
+    result.status = DecodeStatus::kNeedMore;
+    return result;
+  }
+
+  const std::uint16_t version = get_le<std::uint16_t>(bytes.data() + 4);
+  if (version != kProtocolVersion) {
+    return malformed("frame: unsupported protocol version " +
+                     std::to_string(version));
+  }
+  const std::uint16_t kind = get_le<std::uint16_t>(bytes.data() + 6);
+  const std::uint64_t request_id = get_le<std::uint64_t>(bytes.data() + 8);
+  const std::uint32_t length = get_le<std::uint32_t>(bytes.data() + 16);
+  if (length > kMaxPayloadBytes) {
+    return malformed("frame: payload length " + std::to_string(length) +
+                     " exceeds cap");
+  }
+  const std::uint64_t checksum = get_le<std::uint64_t>(bytes.data() + 20);
+
+  if (bytes.size() < kFrameHeaderBytes + length) {
+    result.status = DecodeStatus::kNeedMore;
+    return result;
+  }
+  const std::span<const std::uint8_t> payload =
+      bytes.subspan(kFrameHeaderBytes, length);
+  if (frame_checksum(kind, request_id, length, payload) != checksum) {
+    return malformed("frame: checksum mismatch");
+  }
+
+  result.status = DecodeStatus::kFrame;
+  result.frame.kind = kind;
+  result.frame.request_id = request_id;
+  result.frame.payload.assign(payload.begin(), payload.end());
+  result.consumed = kFrameHeaderBytes + length;
+  return result;
+}
+
+void FrameReader::feed(std::span<const std::uint8_t> bytes) {
+  if (malformed_) return;  // the connection is already condemned
+  // Compact once the consumed prefix dominates the buffer, so long-lived
+  // connections never grow the buffer past one partial frame.
+  if (pos_ > 0 && pos_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (malformed_) return std::nullopt;
+  const std::span<const std::uint8_t> pending =
+      std::span<const std::uint8_t>(buffer_).subspan(pos_);
+  if (pending.empty()) return std::nullopt;
+  DecodeResult result = decode_frame(pending);
+  switch (result.status) {
+    case DecodeStatus::kNeedMore:
+      return std::nullopt;
+    case DecodeStatus::kMalformed:
+      malformed_ = true;
+      error_ = std::move(result.error);
+      return std::nullopt;
+    case DecodeStatus::kFrame:
+      pos_ += result.consumed;
+      return std::move(result.frame);
+  }
+  return std::nullopt;
+}
+
+}  // namespace bgpolicy::serve

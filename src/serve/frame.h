@@ -1,0 +1,107 @@
+// The query service's length-prefixed binary wire protocol (serve::Frame).
+//
+// A connection is a byte stream of frames, each carrying one request or
+// one response:
+//
+//   magic "BGPQ" | u16 protocol version | u16 kind | u64 request id
+//   | u32 payload length | u64 FNV-1a checksum | payload...
+//
+// The checksum covers the header's kind/id/length fields as well as the
+// payload, so a bit flip anywhere in a frame fails verification.
+//
+// (28-byte header, little-endian integers — the same checksum/versioning
+// discipline as the artifact codec, io/artifact_codec.h: a decoder rejects
+// foreign bytes, future protocol versions, implausible lengths, and bit
+// corruption *before* interpreting a single payload byte.)
+//
+// Decoding is incremental and never throws: `FrameReader` buffers partial
+// frames across reads and yields complete frames one at a time; any header
+// or checksum defect is kMalformed, which the event loop answers by
+// closing the connection — a hostile or confused peer can cost its own
+// connection, never the process.  Query kinds and payload encodings live
+// in serve/query.h; the full wire format is documented in
+// docs/QUERY_SERVICE.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bgpolicy::serve {
+
+inline constexpr std::uint16_t kProtocolVersion = 1;
+/// Frame header size in bytes (magic + version + kind + id + length +
+/// checksum).
+inline constexpr std::size_t kFrameHeaderBytes = 28;
+/// Upper bound on one frame's payload.  Requests are tiny; responses carry
+/// at most an SA-prefix list or a histogram, far below this.  A length
+/// field above the cap is malformed — the reader never buffers toward an
+/// implausible length, so a hostile length cannot balloon memory.
+inline constexpr std::size_t kMaxPayloadBytes = 8u << 20;
+
+/// One decoded frame: the kind tag (serve::QueryKind for requests; the
+/// same value with kResponseBit set for responses), the client-chosen
+/// request id echoed back in the response, and the payload bytes.
+struct Frame {
+  std::uint16_t kind = 0;
+  std::uint64_t request_id = 0;
+  std::vector<std::uint8_t> payload;
+
+  friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+/// Serializes a frame (header + payload).  `append_frame` writes onto an
+/// existing buffer — the event loop's per-connection write path.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const Frame& frame);
+void append_frame(std::vector<std::uint8_t>& out, const Frame& frame);
+
+enum class DecodeStatus : std::uint8_t {
+  /// The buffer holds a valid prefix of a frame; feed more bytes.
+  kNeedMore = 0,
+  /// One complete frame was decoded (`frame`, `consumed` bytes).
+  kFrame = 1,
+  /// The stream is not a valid frame sequence (`error` names the defect);
+  /// the connection carrying it must be closed.
+  kMalformed = 2,
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kNeedMore;
+  Frame frame;
+  /// Bytes consumed from the front of the input (kFrame only).
+  std::size_t consumed = 0;
+  std::string error;
+};
+
+/// Decodes the first frame of `bytes`.  Pure and non-throwing: truncation
+/// is kNeedMore, any defect is kMalformed.
+[[nodiscard]] DecodeResult decode_frame(std::span<const std::uint8_t> bytes);
+
+/// Incremental frame extractor for one connection's read stream: feed()
+/// appends raw socket bytes, next() yields complete frames until the
+/// buffer holds only a partial frame (nullopt) or a defect was seen
+/// (malformed() latches — the connection is done).  Buffered partials are
+/// bounded by kFrameHeaderBytes + kMaxPayloadBytes.
+class FrameReader {
+ public:
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// The next complete frame, or nullopt when more bytes are needed or the
+  /// stream is malformed (check malformed()).
+  [[nodiscard]] std::optional<Frame> next();
+
+  [[nodiscard]] bool malformed() const { return malformed_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  /// Bytes currently buffered (diagnostics/tests).
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buffer_ (compacted lazily)
+  bool malformed_ = false;
+  std::string error_;
+};
+
+}  // namespace bgpolicy::serve

@@ -1,0 +1,118 @@
+// The query kinds the policy-query service answers, their payload
+// encodings, and the engine that evaluates them against one immutable
+// Snapshot (serve/snapshot.h).
+//
+// Every answer is a *pure function* of (request payload, snapshot
+// artifacts).  The artifacts themselves are byte-identical at any
+// thread count (the repo-wide determinism contract), so a response is
+// byte-identical whether it was computed by the daemon at --threads 16 or
+// by calling `answer()` directly against library-built artifacts — the
+// equivalence the end-to-end tests pin.
+//
+// Response payload shape (after the frame header, serve/frame.h):
+//   u8 status            0 = ok, 1 = error
+//   ok:    kind-specific body (docs/QUERY_SERVICE.md)
+//   error: u32-length-prefixed message
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "asrel/gao_inference.h"
+#include "bgp/prefix.h"
+#include "serve/snapshot.h"
+#include "util/ids.h"
+
+namespace bgpolicy::serve {
+
+enum class QueryKind : std::uint16_t {
+  /// Snapshot identity: version, scenario, digests, corpus sizes.  The
+  /// probe clients use to observe an atomic snapshot swap.
+  kServerInfo = 1,
+  /// SA-prevalence analysis of one vantage AS (paper Table 5): request
+  /// u32 AS; response counters + the SA prefix list.
+  kSaPrevalence = 2,
+  /// Homing of one prefix (paper Table 8 flavor): request prefix; response
+  /// the observed origin ASes with inferred provider counts.
+  kHoming = 3,
+  /// Cause attribution of one vantage's SA prefixes (paper Table 9):
+  /// request u32 AS; response the Case-1/2/3 counters.
+  kCauses = 4,
+  /// Connectivity-vs-reachability for one looking-glass vantage (the
+  /// paper's impact claim): request u32 AS; response availability means +
+  /// histogram.
+  kPathAvailability = 5,
+  /// What-if re-inference: request client-supplied GaoParams; the server
+  /// re-runs Infer against the snapshot's Observations and responds with
+  /// the relationship/tier summary and its digest.
+  kRerunInfer = 6,
+};
+
+/// Set on the kind field of every response frame (request kind | bit).
+inline constexpr std::uint16_t kResponseBit = 0x8000;
+
+[[nodiscard]] const char* to_string(QueryKind kind);
+/// True for exactly the request kinds the engine can answer.
+[[nodiscard]] bool known_kind(std::uint16_t kind);
+
+/// Status byte leading every response payload.
+enum class QueryStatus : std::uint8_t { kOk = 0, kError = 1 };
+
+// ---------------------------------------------------------------- requests --
+// Client-side request payload builders (the daemon decodes these).
+
+[[nodiscard]] std::vector<std::uint8_t> encode_server_info_request();
+/// kSaPrevalence / kCauses / kPathAvailability: one u32 AS number.
+[[nodiscard]] std::vector<std::uint8_t> encode_as_request(util::AsNumber as);
+/// kHoming: u32 network + u8 length.
+[[nodiscard]] std::vector<std::uint8_t> encode_prefix_request(
+    const bgp::Prefix& prefix);
+/// kRerunInfer: the GaoParams knobs (threads excluded — worker counts
+/// never change products, so they are not part of the query identity).
+[[nodiscard]] std::vector<std::uint8_t> encode_infer_request(
+    const asrel::GaoParams& params);
+
+// --------------------------------------------------------------- responses --
+
+/// Decoded kServerInfo response body.
+struct ServerInfo {
+  std::uint64_t version = 0;
+  std::string scenario_name;
+  std::string scenario_key;
+  std::string analyses_digest;
+  std::uint64_t vantage_count = 0;
+  std::uint64_t observed_paths = 0;
+  std::uint64_t inferred_edges = 0;
+};
+
+/// Splits a response payload into (status, body); nullopt when the payload
+/// is empty.  On kError the body is the message string.
+struct ResponseView {
+  QueryStatus status = QueryStatus::kOk;
+  std::span<const std::uint8_t> body;
+};
+[[nodiscard]] std::optional<ResponseView> split_response(
+    std::span<const std::uint8_t> payload);
+
+/// Decodes the error message of a kError response body (empty on defect).
+[[nodiscard]] std::string decode_error(std::span<const std::uint8_t> body);
+
+/// Decodes a kServerInfo ok-body; nullopt on malformed bytes.
+[[nodiscard]] std::optional<ServerInfo> decode_server_info(
+    std::span<const std::uint8_t> body);
+
+// ------------------------------------------------------------------ engine --
+
+/// Evaluates one request against one snapshot and returns the response
+/// payload (status byte + body).  Never throws: request-payload defects
+/// and unknown vantages become kError responses.  Pure — equal (kind,
+/// request, snapshot artifacts) always produce equal bytes, which is the
+/// serving half of the determinism contract.
+[[nodiscard]] std::vector<std::uint8_t> answer(
+    QueryKind kind, std::span<const std::uint8_t> request,
+    const Snapshot& snapshot);
+
+}  // namespace bgpolicy::serve

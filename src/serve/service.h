@@ -1,0 +1,71 @@
+// QueryService: the assembled serving layer — N event-loop threads over
+// one shared listen socket, answering frame requests from the current
+// SnapshotRegistry snapshot.
+//
+// Request handling is snapshot-consistent: the handler loads the registry
+// pointer ONCE per request, so every byte of a response comes from a
+// single snapshot even while a background refresh publishes a new one
+// mid-request.  The `threads` knob only multiplies event loops — answers
+// are pure functions of (request, snapshot), so results are byte-identical
+// at any value (the serving extension of the repo's determinism contract).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "serve/event_loop.h"
+#include "serve/query.h"
+#include "serve/snapshot.h"
+
+namespace bgpolicy::serve {
+
+struct ServiceConfig {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (read it back from
+  /// port() — the hook tests and CI use).
+  std::uint16_t port = 0;
+  /// Event-loop threads sharing the listen socket (0 = hardware
+  /// concurrency).  Each connection lives on the loop that accepted it.
+  std::size_t threads = 1;
+  EventLoopConfig loop;
+};
+
+class QueryService {
+ public:
+  /// `registry` is borrowed and must outlive the service; publish at least
+  /// one snapshot before issuing queries (pre-publish requests get error
+  /// responses, not crashes).
+  QueryService(SnapshotRegistry& registry, ServiceConfig config = {});
+  /// Stops and joins if still running.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Binds the listen socket and launches the loop threads.  Throws
+  /// std::runtime_error when the port cannot be bound.
+  void start();
+  /// Signals every loop and joins the threads (idempotent).
+  void stop();
+
+  /// The bound port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const;
+  [[nodiscard]] bool running() const { return !threads_.empty(); }
+  /// Counters summed across loops; after stop(), the final totals.
+  [[nodiscard]] EventLoopStats stats() const;
+  [[nodiscard]] std::size_t loop_count() const { return loops_.size(); }
+
+ private:
+  [[nodiscard]] Frame handle(const Frame& request) const;
+
+  SnapshotRegistry* registry_;
+  ServiceConfig config_;
+  std::optional<ListenSocket> listen_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::vector<std::thread> threads_;
+  EventLoopStats final_stats_;
+};
+
+}  // namespace bgpolicy::serve

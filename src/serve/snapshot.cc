@@ -1,0 +1,40 @@
+#include "serve/snapshot.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/artifact_store.h"
+
+namespace bgpolicy::serve {
+
+void SnapshotRegistry::publish(std::shared_ptr<Snapshot> snapshot) {
+  if (snapshot == nullptr) {
+    throw std::invalid_argument("SnapshotRegistry: cannot publish null");
+  }
+  snapshot->version = published_.fetch_add(1, std::memory_order_relaxed) + 1;
+  current_.store(std::shared_ptr<const Snapshot>(std::move(snapshot)),
+                 std::memory_order_release);
+}
+
+std::shared_ptr<Snapshot> build_snapshot(const core::Scenario& scenario,
+                                         const core::RunOptions& options) {
+  core::RunOptions run = options;
+  run.until = core::Stage::kAnalyze;
+  core::Experiment experiment(scenario, run);
+  experiment.run();
+
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->scenario_name = scenario.name;
+  snapshot->scenario_key = core::scenario_cache_key(scenario);
+  core::Experiment::StageArtifacts artifacts =
+      std::move(experiment).take_artifacts();
+  snapshot->sim = std::move(*artifacts.sim);
+  snapshot->observations = std::move(*artifacts.observations);
+  snapshot->inference = std::move(*artifacts.inference);
+  snapshot->analyses = std::move(*artifacts.analyses);
+  snapshot->analyses_digest =
+      core::stable_digest_hex(core::canonical_serialize(snapshot->analyses));
+  return snapshot;
+}
+
+}  // namespace bgpolicy::serve

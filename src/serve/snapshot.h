@@ -1,0 +1,79 @@
+// Read-mostly snapshot registry: the immutable artifact bundle the query
+// service answers from, swapped atomically on refresh.
+//
+// A `Snapshot` is the decoded Simulate/Observe/Infer/Analyze artifacts of
+// one experiment run, frozen behind shared_ptr<const>.  `SnapshotRegistry`
+// holds the current snapshot in a std::atomic<std::shared_ptr>: readers
+// (`current()`) are lock-free pointer loads that never block, and a
+// background refresh (`publish()`) swaps in a new snapshot without
+// disturbing them — an in-flight query keeps the shared_ptr it grabbed at
+// dispatch and finishes on the snapshot it started with, while the old
+// snapshot is freed when its last reader drops it.  This is the serving
+// half of the determinism contract: artifacts are byte-identical however
+// they were computed, so every snapshot of one scenario answers every
+// query identically and a mid-run swap is invisible except for the bumped
+// version.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/experiment.h"
+
+namespace bgpolicy::serve {
+
+/// One immutable serving state: everything the query kinds read.
+/// Constructed by build_snapshot (or tests) and never mutated after
+/// publish; `version` is stamped by the registry at publish time.
+struct Snapshot {
+  std::uint64_t version = 0;
+  std::string scenario_name;
+  /// core::scenario_cache_key of the scenario this snapshot serves —
+  /// clients can correlate answers with store contents.
+  std::string scenario_key;
+  core::SimArtifact sim;
+  core::Observations observations;
+  core::InferenceProducts inference;
+  core::AnalysisSuite analyses;
+  /// stable_digest_hex over canonical_serialize(analyses): the identity a
+  /// client (or the swap-consistency test) uses to pin which snapshot a
+  /// response came from.
+  std::string analyses_digest;
+};
+
+class SnapshotRegistry {
+ public:
+  /// Stamps the snapshot with the next version number and makes it the
+  /// current one (atomic pointer swap; concurrent readers keep whichever
+  /// snapshot they already hold).  The snapshot must not be mutated after
+  /// this call.
+  void publish(std::shared_ptr<Snapshot> snapshot);
+
+  /// The current snapshot — a lock-free load; never blocks, never null
+  /// after the first publish.  Callers hold the returned pointer for the
+  /// duration of one query so a concurrent publish cannot pull state out
+  /// from under them.
+  [[nodiscard]] std::shared_ptr<const Snapshot> current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Number of snapshots published so far (0 = none yet).
+  [[nodiscard]] std::uint64_t published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const Snapshot>> current_;
+  std::atomic<std::uint64_t> published_{0};
+};
+
+/// Runs the scenario's experiment through Analyze (honoring
+/// options.threads/store — a populated store makes refresh a pure decode)
+/// and moves the artifacts into a publishable snapshot.  The snapshot's
+/// answers are byte-identical at any options.threads value.
+[[nodiscard]] std::shared_ptr<Snapshot> build_snapshot(
+    const core::Scenario& scenario, const core::RunOptions& options = {});
+
+}  // namespace bgpolicy::serve

@@ -1,0 +1,88 @@
+// Bounds-checked little-endian payload (de)serialization for the query
+// service's frame payloads — the same Writer/Reader discipline as the
+// artifact codec (io/artifact_codec.cc), sized for small wire messages:
+// strings carry a u32 length prefix and every read is range-checked.
+// Reader throws std::invalid_argument on truncated or trailing input; the
+// query engine turns that into an error *response* (the frame itself was
+// well-formed — only transport-level defects cost the connection).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace bgpolicy::serve::wire {
+
+class Writer {
+ public:
+  template <typename T>
+  void put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::uint8_t raw[sizeof(T)];
+    std::memcpy(raw, &value, sizeof(T));
+    out_.insert(out_.end(), raw, raw + sizeof(T));
+  }
+
+  void put_string(std::string_view text) {
+    put(static_cast<std::uint32_t>(text.size()));
+    out_.insert(out_.end(),
+                reinterpret_cast<const std::uint8_t*>(text.data()),
+                reinterpret_cast<const std::uint8_t*>(text.data()) +
+                    text.size());
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return out_; }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  [[nodiscard]] T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > bytes_.size()) {
+      throw std::invalid_argument("payload: truncated");
+    }
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  [[nodiscard]] std::string get_string() {
+    const std::uint32_t size = get<std::uint32_t>();
+    if (pos_ + size > bytes_.size()) {
+      throw std::invalid_argument("payload: truncated string");
+    }
+    std::string text(reinterpret_cast<const char*>(bytes_.data() + pos_),
+                     size);
+    pos_ += size;
+    return text;
+  }
+
+  /// Every request decoder ends with this: trailing bytes mean the client
+  /// and server disagree about the request shape — better a loud error
+  /// than a silently ignored suffix.
+  void expect_end() const {
+    if (pos_ != bytes_.size()) {
+      throw std::invalid_argument("payload: trailing bytes");
+    }
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bgpolicy::serve::wire

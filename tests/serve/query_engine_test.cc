@@ -1,0 +1,183 @@
+// The query engine's determinism contract (ISSUE 8): every query kind's
+// response is a pure function of (request, snapshot artifacts), so
+// snapshots built at different worker-thread counts answer every query
+// with byte-identical payloads — the library half of the acceptance
+// criterion that daemon results match direct library calls at any
+// --threads value.  Also pins the error paths: unknown vantages,
+// unindexed prefixes, and trailing request bytes become kError responses,
+// never throws.
+#include "serve/query.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "serve/snapshot.h"
+#include "util/ids.h"
+
+namespace bgpolicy::serve {
+namespace {
+
+using util::AsNumber;
+
+/// Snapshots of one scenario built at 1 and 3 worker threads (static:
+/// built once for the whole suite).
+const Snapshot& snapshot_t1() {
+  static const std::shared_ptr<Snapshot> snapshot = [] {
+    core::Scenario scenario = core::Scenario::small(7);
+    scenario.propagation.threads = 1;
+    return build_snapshot(scenario);
+  }();
+  return *snapshot;
+}
+
+const Snapshot& snapshot_t3() {
+  static const std::shared_ptr<Snapshot> snapshot = [] {
+    core::Scenario scenario = core::Scenario::small(7);
+    scenario.propagation.threads = 3;
+    return build_snapshot(scenario);
+  }();
+  return *snapshot;
+}
+
+std::vector<std::uint8_t> ok_answer(QueryKind kind,
+                                    const std::vector<std::uint8_t>& request,
+                                    const Snapshot& snapshot) {
+  const std::vector<std::uint8_t> payload = answer(kind, request, snapshot);
+  const auto view = split_response(payload);
+  EXPECT_TRUE(view.has_value());
+  EXPECT_EQ(view->status, QueryStatus::kOk)
+      << to_string(kind) << ": " << decode_error(view->body);
+  return payload;
+}
+
+TEST(QueryEngine, SnapshotsBuiltAtAnyThreadCountAnswerIdentically) {
+  const Snapshot& a = snapshot_t1();
+  const Snapshot& b = snapshot_t3();
+  ASSERT_EQ(a.analyses_digest, b.analyses_digest)
+      << "artifact determinism broken upstream of the query engine";
+
+  // Every kind, across every vantage the analyses cover plus a few
+  // prefixes, byte-compared between the two snapshots.
+  std::size_t compared = 0;
+  for (const core::VantageAnalysis& vantage : a.analyses.vantages) {
+    const std::vector<std::uint8_t> as_request =
+        encode_as_request(vantage.vantage);
+    for (const QueryKind kind :
+         {QueryKind::kSaPrevalence, QueryKind::kCauses}) {
+      EXPECT_EQ(ok_answer(kind, as_request, a), ok_answer(kind, as_request, b))
+          << to_string(kind) << " for AS " << vantage.vantage.value();
+      ++compared;
+    }
+    if (vantage.looking_glass) {
+      EXPECT_EQ(ok_answer(QueryKind::kPathAvailability, as_request, a),
+                ok_answer(QueryKind::kPathAvailability, as_request, b));
+      ++compared;
+    }
+  }
+  const core::PathIndex& paths = a.observations.paths;
+  ASSERT_GT(paths.path_count(), 0u);
+  for (std::size_t i = 0; i < paths.path_count();
+       i += std::max<std::size_t>(1, paths.path_count() / 16)) {
+    const std::vector<std::uint8_t> request =
+        encode_prefix_request(paths.prefix_at(i));
+    EXPECT_EQ(ok_answer(QueryKind::kHoming, request, a),
+              ok_answer(QueryKind::kHoming, request, b));
+    ++compared;
+  }
+  EXPECT_GT(compared, 4u) << "the comparison loop covered almost nothing";
+}
+
+TEST(QueryEngine, ServerInfoReflectsSnapshotIdentity) {
+  const Snapshot& snapshot = snapshot_t1();
+  const std::vector<std::uint8_t> payload =
+      ok_answer(QueryKind::kServerInfo, encode_server_info_request(),
+                snapshot);
+  const auto view = split_response(payload);
+  ASSERT_TRUE(view.has_value());
+  const auto info = decode_server_info(view->body);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->scenario_name, snapshot.scenario_name);
+  EXPECT_EQ(info->scenario_key, snapshot.scenario_key);
+  EXPECT_EQ(info->analyses_digest, snapshot.analyses_digest);
+  EXPECT_EQ(info->vantage_count, snapshot.analyses.vantages.size());
+  EXPECT_EQ(info->observed_paths, snapshot.observations.paths.path_count());
+  EXPECT_GT(info->inferred_edges, 0u);
+}
+
+TEST(QueryEngine, RerunInferMatchesAcrossSnapshotsAndParams) {
+  // What-if re-inference: identical params produce identical bytes on both
+  // snapshots; changed params produce a *different* answer (the query
+  // actually re-runs inference rather than echoing the snapshot).
+  asrel::GaoParams params;
+  const std::vector<std::uint8_t> request = encode_infer_request(params);
+  const std::vector<std::uint8_t> baseline =
+      ok_answer(QueryKind::kRerunInfer, request, snapshot_t1());
+  EXPECT_EQ(baseline,
+            ok_answer(QueryKind::kRerunInfer, request, snapshot_t3()));
+
+  asrel::GaoParams no_peers = params;
+  no_peers.detect_peers = false;
+  EXPECT_NE(baseline,
+            ok_answer(QueryKind::kRerunInfer,
+                      encode_infer_request(no_peers), snapshot_t1()));
+}
+
+TEST(QueryEngine, UnknownVantageIsAnErrorResponseNotAThrow) {
+  const std::vector<std::uint8_t> request =
+      encode_as_request(AsNumber(999'999'999));
+  for (const QueryKind kind :
+       {QueryKind::kSaPrevalence, QueryKind::kCauses,
+        QueryKind::kPathAvailability}) {
+    const std::vector<std::uint8_t> payload =
+        answer(kind, request, snapshot_t1());
+    const auto view = split_response(payload);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->status, QueryStatus::kError) << to_string(kind);
+    EXPECT_FALSE(decode_error(view->body).empty());
+  }
+}
+
+TEST(QueryEngine, UnindexedPrefixIsAnErrorResponse) {
+  const std::vector<std::uint8_t> request =
+      encode_prefix_request(bgp::Prefix(0x0A0A0A00, 31));
+  const auto view =
+      split_response(answer(QueryKind::kHoming, request, snapshot_t1()));
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->status, QueryStatus::kError);
+}
+
+TEST(QueryEngine, MalformedRequestPayloadIsAnErrorResponse) {
+  const Snapshot& snapshot = snapshot_t1();
+  // Trailing bytes, truncated payloads, and payloads for the wrong kind
+  // all land in kError (the engine's no-throw guarantee toward the loop).
+  const std::vector<std::uint8_t> trailing = {1, 2, 3, 4, 5, 6, 7};
+  const std::vector<std::uint8_t> truncated = {1};
+  for (const QueryKind kind :
+       {QueryKind::kServerInfo, QueryKind::kSaPrevalence, QueryKind::kHoming,
+        QueryKind::kCauses, QueryKind::kPathAvailability,
+        QueryKind::kRerunInfer}) {
+    for (const auto* request : {&trailing, &truncated}) {
+      const auto view = split_response(answer(kind, *request, snapshot));
+      ASSERT_TRUE(view.has_value());
+      EXPECT_EQ(view->status, QueryStatus::kError)
+          << to_string(kind) << " with " << request->size()
+          << " request bytes";
+    }
+  }
+}
+
+TEST(QueryEngine, KnownKindCoversExactlyTheDispatchableKinds) {
+  EXPECT_FALSE(known_kind(0));
+  for (std::uint16_t kind = 1; kind <= 6; ++kind) {
+    EXPECT_TRUE(known_kind(kind)) << kind;
+  }
+  EXPECT_FALSE(known_kind(7));
+  EXPECT_FALSE(known_kind(static_cast<std::uint16_t>(1 | kResponseBit)));
+}
+
+}  // namespace
+}  // namespace bgpolicy::serve

@@ -1,0 +1,232 @@
+// policy_queryd: the policy-query service daemon (src/serve).
+//
+// Builds a serving snapshot by running a scenario's experiment through
+// Analyze — against an on-disk artifact store when --store is given, so a
+// warm store makes startup and every refresh a pure decode — publishes it
+// in a SnapshotRegistry, and serves the frame protocol (serve/frame.h,
+// docs/QUERY_SERVICE.md) on 127.0.0.1 with --threads event loops.
+//
+// --refresh N re-builds and re-publishes the snapshot every N seconds on a
+// background thread.  The swap is an atomic pointer store: readers never
+// block and in-flight queries finish on the snapshot they started with.
+// (Scenarios are deterministic, so a refresh republishes identical
+// artifacts with a bumped version — the swap *mechanism* is what stays
+// exercised, and a store shared with a concurrently-running sweep picks up
+// that sweep's artifacts without a restart.)
+//
+// SIGINT/SIGTERM stop the loops, close every connection, and exit 0.
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include "core/artifact_store.h"
+#include "core/scenario.h"
+#include "core/scenario_spec.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "tool_args.h"
+
+namespace {
+
+// Signal flag + eventfd wakeup: the handler only does async-signal-safe
+// work; the main thread sleeps on the eventfd instead of polling.
+volatile std::sig_atomic_t g_stop = 0;
+int g_stop_fd = -1;
+
+void handle_signal(int) {
+  g_stop = 1;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_stop_fd, &one, sizeof(one));
+}
+
+/// NAME[:SEED] -> Scenario for the built-in families (small, internet2002).
+std::optional<bgpolicy::core::Scenario> builtin_scenario(
+    const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
+  std::optional<std::uint64_t> seed;
+  if (colon != std::string::npos) {
+    try {
+      seed = std::stoull(spec.substr(colon + 1));
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  if (name == "small") {
+    return bgpolicy::core::Scenario::small(seed.value_or(42));
+  }
+  if (name == "internet2002") {
+    return bgpolicy::core::Scenario::internet2002(seed.value_or(2002));
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bgpolicy;
+
+  std::string scenario_arg;
+  std::string spec_path;
+  std::string store_dir;
+  std::string port_file;
+  std::uint64_t port = 0;
+  std::uint64_t threads = 1;
+  std::uint64_t build_threads = 0;
+  std::uint64_t refresh_seconds = 0;
+
+  tools::ToolArgs args(
+      "policy_queryd",
+      "policy-query daemon: serves SA-prevalence, homing, causes,\n"
+      "path-availability, and what-if re-inference queries over the frame\n"
+      "protocol (docs/QUERY_SERVICE.md) from an atomic snapshot registry");
+  args.option("--scenario", &scenario_arg, "NAME[:SEED]",
+              "built-in scenario: small or internet2002");
+  args.option("--spec", &spec_path, "FILE.scn",
+              "serve a .scn scenario spec instead of a built-in");
+  args.option("--store", &store_dir, "DIR",
+              "artifact store (warm entries make startup a decode)");
+  args.option_u64("--port", &port, "PORT",
+                  "listen port on 127.0.0.1 (0 = ephemeral, default)");
+  args.option_u64("--threads", &threads, "N",
+                  "event-loop threads (default 1; answers are identical "
+                  "at any value)");
+  args.option_u64("--build-threads", &build_threads, "N",
+                  "worker threads for snapshot builds (0 = scenario's own)");
+  args.option_u64("--refresh", &refresh_seconds, "SECONDS",
+                  "rebuild + republish the snapshot every N seconds "
+                  "(0 = never, default)");
+  args.option("--port-file", &port_file, "FILE",
+              "write the bound port to FILE once listening (for CI)");
+  if (const std::optional<int> code = args.parse(argc, argv)) return *code;
+
+  if (scenario_arg.empty() == spec_path.empty()) {
+    std::fprintf(stderr,
+                 "policy_queryd: exactly one of --scenario or --spec is "
+                 "required\n");
+    return 2;
+  }
+  if (port > 65535) {
+    std::fprintf(stderr, "policy_queryd: --port out of range\n");
+    return 2;
+  }
+
+  try {
+    core::Scenario scenario;
+    if (!scenario_arg.empty()) {
+      std::optional<core::Scenario> built = builtin_scenario(scenario_arg);
+      if (!built) {
+        std::fprintf(stderr, "policy_queryd: unknown scenario '%s'\n",
+                     scenario_arg.c_str());
+        return 2;
+      }
+      scenario = std::move(*built);
+    } else {
+      scenario = core::ScenarioSpec::parse_file(spec_path).scenario;
+    }
+    if (build_threads > 0) {
+      scenario.propagation.threads = static_cast<std::size_t>(build_threads);
+    }
+
+    std::optional<core::ArtifactStore> store;
+    core::RunOptions run_options;
+    if (!store_dir.empty()) {
+      store.emplace(store_dir);
+      run_options.store = &*store;
+    }
+
+    serve::SnapshotRegistry registry;
+    std::printf("policy_queryd: building snapshot for scenario '%s'...\n",
+                scenario.name.c_str());
+    std::fflush(stdout);
+    registry.publish(serve::build_snapshot(scenario, run_options));
+
+    serve::ServiceConfig config;
+    config.port = static_cast<std::uint16_t>(port);
+    config.threads = static_cast<std::size_t>(threads);
+    serve::QueryService service(registry, config);
+    service.start();
+
+    g_stop_fd = ::eventfd(0, EFD_CLOEXEC);
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::printf("policy_queryd: serving scenario '%s' on 127.0.0.1:%u "
+                "(%zu thread(s), refresh %llu s)\n",
+                scenario.name.c_str(), service.port(), service.loop_count(),
+                static_cast<unsigned long long>(refresh_seconds));
+    std::fflush(stdout);
+    if (!port_file.empty()) {
+      // Port file written only after start(): its existence is the CI
+      // signal that the daemon accepts connections.
+      std::FILE* out = std::fopen(port_file.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "policy_queryd: cannot write %s\n",
+                     port_file.c_str());
+        return 1;
+      }
+      std::fprintf(out, "%u\n", service.port());
+      std::fclose(out);
+    }
+
+    // Background refresh: republish a freshly built snapshot on a timer.
+    std::thread refresher;
+    if (refresh_seconds > 0) {
+      refresher = std::thread([&] {
+        while (g_stop == 0) {
+          // Sleep in 200ms slices so shutdown never waits a full period.
+          for (std::uint64_t waited_ms = 0;
+               g_stop == 0 && waited_ms < refresh_seconds * 1000;
+               waited_ms += 200) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(200));
+          }
+          if (g_stop != 0) break;
+          try {
+            registry.publish(serve::build_snapshot(scenario, run_options));
+            std::printf("policy_queryd: published snapshot v%llu\n",
+                        static_cast<unsigned long long>(registry.published()));
+            std::fflush(stdout);
+          } catch (const std::exception& error) {
+            // A failed refresh keeps serving the current snapshot.
+            std::fprintf(stderr, "policy_queryd: refresh failed: %s\n",
+                         error.what());
+          }
+        }
+      });
+    }
+
+    // Block until a signal arrives.
+    std::uint64_t value = 0;
+    while (g_stop == 0) {
+      const ssize_t n = ::read(g_stop_fd, &value, sizeof(value));
+      if (n < 0 && errno != EINTR) break;
+    }
+
+    std::printf("policy_queryd: shutting down\n");
+    std::fflush(stdout);
+    if (refresher.joinable()) refresher.join();
+    service.stop();
+    const serve::EventLoopStats stats = service.stats();
+    std::printf("policy_queryd: served %llu frame(s) over %llu "
+                "connection(s), %llu malformed close(s)\n",
+                static_cast<unsigned long long>(stats.frames_out),
+                static_cast<unsigned long long>(stats.accepted),
+                static_cast<unsigned long long>(stats.malformed_closes));
+    ::close(g_stop_fd);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "policy_queryd: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}

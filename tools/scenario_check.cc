@@ -27,45 +27,34 @@
 #include "core/experiment.h"
 #include "core/scenario_spec.h"
 #include "core/spec_verify.h"
-
-namespace {
-
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--threads N] [--store DIR] [--parse-only] "
-               "[--dump] <file.scn | dir> ...\n",
-               argv0);
-  return 2;
-}
-
-}  // namespace
+#include "tool_args.h"
 
 int main(int argc, char** argv) {
   using namespace bgpolicy;
 
-  std::optional<std::size_t> threads;
-  std::optional<std::filesystem::path> store_dir;
+  std::optional<std::uint64_t> threads;
+  std::optional<std::string> store_dir;
   bool parse_only = false;
   bool dump = false;
-  std::vector<std::filesystem::path> inputs;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--threads" && i + 1 < argc) {
-      threads = static_cast<std::size_t>(std::stoul(argv[++i]));
-    } else if (arg == "--store" && i + 1 < argc) {
-      store_dir = argv[++i];
-    } else if (arg == "--parse-only") {
-      parse_only = true;
-    } else if (arg == "--dump") {
-      dump = true;
-    } else if (arg == "--help" || arg == "-h" || arg.starts_with("--")) {
-      return usage(argv[0]);
-    } else {
-      inputs.emplace_back(arg);
-    }
-  }
-  if (inputs.empty()) return usage(argv[0]);
+  tools::ToolArgs args("scenario_check",
+                       "parse .scn scenario specs and execute their verify "
+                       "blocks (the scenario-corpus runner)");
+  args.positional("FILE.scn|DIR", "spec files; directories expand to every "
+                  "*.scn inside, sorted", 1);
+  args.option_u64("--threads", &threads, "N",
+                  "override the scenario's worker-thread knob (the verify "
+                  "outcome is identical at any value)");
+  args.option("--store", &store_dir, "DIR",
+              "attach an on-disk artifact store (reuses cached stages)");
+  args.flag("--parse-only", &parse_only,
+            "stop after parsing (grammar check, no simulation)");
+  args.flag("--dump", &dump,
+            "print each spec's canonical full form and exit");
+  if (const std::optional<int> code = args.parse(argc, argv)) return *code;
+
+  std::vector<std::filesystem::path> inputs(args.positionals.begin(),
+                                            args.positionals.end());
 
   // Expand directories; keep explicit file order, sort within a directory.
   std::vector<std::filesystem::path> files;

@@ -8,81 +8,43 @@
 // chunk artifacts mid-stage) and entries younger than --min-age-seconds
 // are never evicted; entries are immutable files, so an eviction only ever
 // costs a future recompute.
-//
-// Usage:
-//   store_gc STORE_DIR --max-bytes N [--min-age-seconds S]
-//            [--clear-stale-pins S]
-//
-//   --max-bytes N         target store size; evicts oldest-accessed
-//                         artifacts until total .art bytes <= N
-//   --min-age-seconds S   never evict entries accessed within the last S
-//                         seconds (default 3600 — a generous in-progress
-//                         window on top of pinning)
-//   --clear-stale-pins S  first remove pin markers older than S seconds
-//                         (a killed run leaks its pins; age them out
-//                         before collecting)
-#include <charconv>
 #include <chrono>
 #include <cstdint>
-#include <cstring>
+#include <exception>
 #include <iostream>
 #include <optional>
-#include <string>
 
 #include "core/artifact_store.h"
-
-namespace {
-
-std::optional<std::uint64_t> parse_u64(const char* text) {
-  std::uint64_t value = 0;
-  const char* end = text + std::strlen(text);
-  const auto [ptr, ec] = std::from_chars(text, end, value);
-  if (ec != std::errc() || ptr != end) return std::nullopt;
-  return value;
-}
-
-int usage() {
-  std::cerr << "usage: store_gc STORE_DIR --max-bytes N"
-               " [--min-age-seconds S] [--clear-stale-pins S]\n";
-  return 2;
-}
-
-}  // namespace
+#include "tool_args.h"
 
 int main(int argc, char** argv) {
-  const char* store_dir = nullptr;
+  using namespace bgpolicy;
+
   std::optional<std::uint64_t> max_bytes;
   std::uint64_t min_age_seconds = 3600;
   std::optional<std::uint64_t> clear_stale_pins_seconds;
 
-  for (int i = 1; i < argc; ++i) {
-    const auto flag_value = [&](const char* flag) -> const char* {
-      if (std::strcmp(argv[i], flag) != 0) return nullptr;
-      if (i + 1 >= argc) return nullptr;
-      return argv[++i];
-    };
-    if (const char* value = flag_value("--max-bytes")) {
-      max_bytes = parse_u64(value);
-      if (!max_bytes) return usage();
-    } else if (const char* value = flag_value("--min-age-seconds")) {
-      const auto parsed = parse_u64(value);
-      if (!parsed) return usage();
-      min_age_seconds = *parsed;
-    } else if (const char* value = flag_value("--clear-stale-pins")) {
-      clear_stale_pins_seconds = parse_u64(value);
-      if (!clear_stale_pins_seconds) return usage();
-    } else if (argv[i][0] == '-') {
-      return usage();
-    } else if (store_dir == nullptr) {
-      store_dir = argv[i];
-    } else {
-      return usage();
-    }
+  tools::ToolArgs args("store_gc",
+                       "LRU garbage collection for an artifact store "
+                       "(pin-aware; evicts oldest-accessed first)");
+  args.positional("STORE_DIR", "artifact store directory", 1, 1);
+  args.option_u64("--max-bytes", &max_bytes, "N",
+                  "target store size; evicts until total .art bytes <= N");
+  args.option_u64("--min-age-seconds", &min_age_seconds, "S",
+                  "never evict entries accessed within the last S seconds "
+                  "(default 3600)");
+  args.option_u64("--clear-stale-pins", &clear_stale_pins_seconds, "S",
+                  "first remove pin markers older than S seconds (a killed "
+                  "run leaks its pins)");
+  if (const std::optional<int> code = args.parse(argc, argv)) return *code;
+  if (!max_bytes) {
+    std::cerr << "store_gc: --max-bytes is required\n";
+    args.print_usage(stderr);
+    return 2;
   }
-  if (store_dir == nullptr || !max_bytes) return usage();
 
   try {
-    const bgpolicy::core::ArtifactStore store(store_dir);
+    const core::ArtifactStore store(args.positionals.front());
     if (clear_stale_pins_seconds) {
       const std::size_t cleared = store.clear_stale_pins(
           std::chrono::seconds(*clear_stale_pins_seconds));

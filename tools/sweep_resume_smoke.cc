@@ -5,14 +5,15 @@
 // any violation, so a broken cache key, codec, or store shows up as a red
 // CI step, not a silent full recompute.
 //
-// Usage: sweep_resume_smoke [store-dir]
-// (store-dir defaults to a fresh directory under the system temp path; an
-// existing populated store is fine — the first run then loads too.)
+// (An existing populated store is fine — the first run then loads too.)
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "tool_args.h"
 
 #include "asrel/relationships.h"
 #include "asrel/tier_classify.h"
@@ -69,9 +70,19 @@ void print_ledger(const char* label, const core::SweepReport& report) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  tools::ToolArgs args("sweep_resume_smoke",
+                       "CI smoke test for cross-process sweep resume: runs "
+                       "one sweep twice against a store and asserts the "
+                       "second run executes zero stages");
+  args.positional("STORE_DIR",
+                  "artifact store directory (default: a fresh directory "
+                  "under the system temp path)",
+                  0, 1);
+  if (const std::optional<int> code = args.parse(argc, argv)) return *code;
+
   std::filesystem::path store_dir;
-  if (argc > 1) {
-    store_dir = argv[1];
+  if (!args.positionals.empty()) {
+    store_dir = args.positionals.front();
   } else {
     store_dir = std::filesystem::temp_directory_path() /
                 "bgpolicy-sweep-resume-smoke";
