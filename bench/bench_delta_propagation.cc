@@ -1,0 +1,251 @@
+// Incremental delta propagation vs cold recomputation (ISSUE 9): drives
+// two lockstep churn simulators — one cold (per-prefix full fixpoints,
+// the faithful pre-delta baseline) and one incremental (warm DeltaState
+// per churned prefix + per-world memo) — through identical flip
+// schedules, comparing watched tables after every step.  The number
+// being tracked is the steady-state stepping speedup, so the measured
+// window starts after a warmup phase that fills the warm-state cache and
+// the per-world memo (first-touch converges are a one-time cost the
+// steady state never pays again).
+//
+// Equivalence is the acceptance criterion, not an afterthought: one
+// diverging watched row across the whole run (warmup included) fails the
+// bench (exit 1).  The same contract is golden-tested at multiple thread
+// counts in tests/sim/delta_equivalence_test.cc; this bench is the
+// at-scale trajectory hook.
+//
+// A second section replays the scenario-spec verify corpus
+// (scenarios/*.scn) end to end — the Timeline evaluator answers `at <k>`
+// route assertions from delta-synced cached states (core/spec_verify.cc),
+// so a corpus replay with zero failing checks exercises the edge-delta
+// path against real fail/restore/withdraw/announce scripts.
+//
+// Flags:
+//   --small       use the `small` scenario (CI-sized)
+//   --smoke       tiny run (small scenario, 10 warmup + 5 measured steps)
+//   --json        emit a single JSON object on stdout (scripts/bench.sh)
+//   --warmup N    untimed lockstep steps before measuring (default 250;
+//                 120 with --small)
+//   --steps N     measured lockstep steps (default 25; 60 with --small)
+//   --specs DIR   spec corpus directory (default "scenarios"; pass the
+//                 absolute path when not running from the repo root)
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "core/scenario_spec.h"
+#include "core/spec_verify.h"
+#include "sim/churn.h"
+#include "util/text_table.h"
+
+namespace {
+
+using namespace bgpolicy;
+using util::AsNumber;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool small = false;
+  std::size_t warmup = 0;
+  std::size_t steps = 0;
+  bool warmup_set = false;
+  bool steps_set = false;
+  std::string spec_dir = "scenarios";
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--small") == 0) small = true;
+    else if (std::strcmp(argv[i], "--smoke") == 0) {
+      small = true;
+      if (!warmup_set) warmup = 10;
+      if (!steps_set) steps = 5;
+      warmup_set = steps_set = true;
+    } else if (std::strcmp(argv[i], "--warmup") == 0) {
+      warmup = static_cast<std::size_t>(std::stoul(value()));
+      warmup_set = true;
+    } else if (std::strcmp(argv[i], "--steps") == 0) {
+      steps = static_cast<std::size_t>(std::stoul(value()));
+      steps_set = true;
+    } else if (std::strcmp(argv[i], "--specs") == 0) {
+      spec_dir = value();
+    } else {
+      const bool help = std::strcmp(argv[i], "--help") == 0 ||
+                        std::strcmp(argv[i], "-h") == 0;
+      (help ? std::cout : std::cerr)
+          << "usage: bench_delta_propagation [--small] [--smoke] [--json]"
+             " [--warmup N] [--steps N] [--specs DIR]\n";
+      return help ? 0 : 2;
+    }
+  }
+  // The small scenario's steps are microseconds, so the CI-sized run
+  // needs a longer window than internet2002 for the ratio to be signal
+  // rather than timer noise (and more warmup for the memo to fill).
+  if (!warmup_set) warmup = small ? 120 : 250;
+  if (!steps_set) steps = small ? 60 : 25;
+
+  const core::Scenario scenario =
+      small ? core::Scenario::small() : core::Scenario::internet2002();
+  if (!json) {
+    std::cout << "[bench] delta propagation: lockstep cold vs incremental "
+                 "churn on "
+              << scenario.name << " (" << warmup << " warmup + " << steps
+              << " measured steps, threads=1), then spec-corpus replay...\n";
+  }
+
+  const core::GroundTruth truth = core::synthesize(scenario);
+  const auto ases = truth.topo.graph.ases();
+  const std::vector<AsNumber> watch = {ases[0], ases[ases.size() / 2],
+                                       ases[ases.size() - 1]};
+  const auto make = [&](bool incremental) {
+    sim::ChurnParams params;
+    params.seed = 4242;
+    params.incremental = incremental;
+    params.propagation.threads = 1;
+    return std::make_unique<sim::ChurnSimulator>(
+        truth.topo.graph, truth.gen.policies, truth.originations,
+        truth.gen.truth, watch, params);
+  };
+  auto cold = make(false);
+  auto incremental = make(true);
+  cold->run_initial();
+  incremental->run_initial();
+
+  // Lockstep: identical seeds mean identical flip schedules, so after
+  // every step the two watched tables must match row for row.
+  bool match = true;
+  const auto check = [&] {
+    for (const AsNumber as : watch) {
+      if (cold->watched(as) != incremental->watched(as)) match = false;
+    }
+  };
+  for (std::size_t i = 0; i < warmup; ++i) {
+    cold->step();
+    incremental->step();
+    check();
+  }
+  double cold_seconds = 0;
+  double incremental_seconds = 0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const auto t0 = Clock::now();
+    cold->step();
+    const auto t1 = Clock::now();
+    incremental->step();
+    cold_seconds += std::chrono::duration<double>(t1 - t0).count();
+    incremental_seconds += seconds_since(t1);
+    check();
+  }
+  const double speedup =
+      incremental_seconds > 0 ? cold_seconds / incremental_seconds : 0;
+
+  // Spec-corpus replay: every verify block must pass, exercising the
+  // Timeline's delta-synced cached states against real event scripts.
+  std::size_t spec_count = 0;
+  std::size_t check_count = 0;
+  std::size_t failure_count = 0;
+  const auto spec_start = Clock::now();
+  std::vector<core::ScenarioSpec> specs;
+  try {
+    specs = core::load_spec_dir(spec_dir);
+  } catch (const std::exception& error) {
+    std::cerr << "spec corpus: " << error.what() << "\n";
+    return 2;
+  }
+  for (core::ScenarioSpec& spec : specs) {
+    core::Experiment experiment(spec.scenario);
+    const core::VerifyReport report = core::run_spec_checks(spec, experiment);
+    ++spec_count;
+    check_count += report.results.size();
+    failure_count += report.failure_count();
+    if (!json && !report.all_passed()) {
+      for (const core::CheckResult& result : report.results) {
+        if (!result.passed) {
+          std::cerr << report.source << ": FAIL "
+                    << core::describe_check(result.check) << " — "
+                    << result.detail << "\n";
+        }
+      }
+    }
+  }
+  const double spec_seconds = seconds_since(spec_start);
+
+  const bool ok = match && failure_count == 0;
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (json) {
+    std::cout << "{\"bench\":\"delta_propagation\",\"scenario\":\""
+              << scenario.name << "\",\"hardware_concurrency\":" << hw
+              << ",\"churn\":{\"warmup_steps\":" << warmup
+              << ",\"measured_steps\":" << steps
+              << ",\"cold_seconds\":" << cold_seconds
+              << ",\"incremental_seconds\":" << incremental_seconds
+              << ",\"cold_steps_per_sec\":"
+              << (cold_seconds > 0 ? static_cast<double>(steps) / cold_seconds
+                                   : 0)
+              << ",\"incremental_steps_per_sec\":"
+              << (incremental_seconds > 0
+                      ? static_cast<double>(steps) / incremental_seconds
+                      : 0)
+              << ",\"warm_states\":" << incremental->warm_state_count()
+              << ",\"memo_hits\":" << incremental->memo_hits()
+              << "},\"spec_replay\":{\"specs\":" << spec_count
+              << ",\"checks\":" << check_count
+              << ",\"failures\":" << failure_count
+              << ",\"seconds\":" << spec_seconds
+              << "},\"delta_match\":" << (match ? "true" : "false")
+              << ",\"delta_speedup\":" << speedup << "}" << std::endl;
+    return ok ? 0 : 1;
+  }
+
+  std::cout << "== delta propagation · warm-start churn vs cold fixpoints "
+               "==\n"
+            << "scenario " << scenario.name << " · hardware threads: " << hw
+            << "\n\n";
+  util::TextTable table({"metric", "value"});
+  table.add_row({"warmup steps", std::to_string(warmup)});
+  table.add_row({"measured steps", std::to_string(steps)});
+  table.add_row({"cold", util::fmt(cold_seconds, 3) + " s"});
+  table.add_row({"incremental", util::fmt(incremental_seconds, 3) + " s"});
+  table.add_row(
+      {"cold steps/sec",
+       util::fmt(cold_seconds > 0
+                     ? static_cast<double>(steps) / cold_seconds
+                     : 0,
+                 2)});
+  table.add_row(
+      {"incremental steps/sec",
+       util::fmt(incremental_seconds > 0
+                     ? static_cast<double>(steps) / incremental_seconds
+                     : 0,
+                 2)});
+  table.add_row({"speedup", util::fmt(speedup, 2) + "x"});
+  table.add_row(
+      {"warm states", std::to_string(incremental->warm_state_count())});
+  table.add_row({"memo hits", std::to_string(incremental->memo_hits())});
+  table.add_row({"watched tables match", match ? "yes" : "NO"});
+  std::cout << table.render("churn stepping (threads=1)") << "\n";
+  util::TextTable spec_table({"metric", "value"});
+  spec_table.add_row({"specs", std::to_string(spec_count)});
+  spec_table.add_row({"checks", std::to_string(check_count)});
+  spec_table.add_row({"failures", std::to_string(failure_count)});
+  spec_table.add_row({"elapsed", util::fmt(spec_seconds, 3) + " s"});
+  std::cout << spec_table.render("spec-corpus replay") << "\n"
+            << (ok ? "incremental stepping is byte-equivalent to cold "
+                     "recomputation across the whole run\n"
+                   : "DELTA EQUIVALENCE FAILED: incremental and cold "
+                     "results diverged\n");
+  return ok ? 0 : 1;
+}

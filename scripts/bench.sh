@@ -20,16 +20,18 @@ fi
 cmake --build "$build_dir" -j \
   --target bench_sim_scaling --target bench_inference_scaling \
   --target bench_pipeline_stages --target bench_artifact_store \
-  --target bench_query_service >&2
+  --target bench_query_service --target bench_delta_propagation >&2
 
 # Each bench exits non-zero when its cross-thread determinism (or codec
-# roundtrip / reply verification) check fails; set -e turns that into a
-# failed trajectory run.
+# roundtrip / reply verification / delta-vs-cold equivalence) check fails;
+# set -e turns that into a failed trajectory run.
 sim_json=$("$build_dir/bench_sim_scaling" --json "$@")
 inference_json=$("$build_dir/bench_inference_scaling" --json "$@")
 stages_json=$("$build_dir/bench_pipeline_stages" --json "$@")
 artifact_json=$("$build_dir/bench_artifact_store" --json "$@")
 query_json=$("$build_dir/bench_query_service" --json "$@")
+delta_json=$("$build_dir/bench_delta_propagation" --json \
+  --specs "$repo_root/scenarios" "$@")
 
-printf '{"schema":"bgpolicy-bench/v7","generated_utc":"%s","sim_scaling":%s,"inference_scaling":%s,"pipeline_stages":%s,"artifact_store":%s,"query_service":%s}\n' \
-  "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$sim_json" "$inference_json" "$stages_json" "$artifact_json" "$query_json"
+printf '{"schema":"bgpolicy-bench/v8","generated_utc":"%s","sim_scaling":%s,"inference_scaling":%s,"pipeline_stages":%s,"artifact_store":%s,"query_service":%s,"delta_propagation":%s}\n' \
+  "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$sim_json" "$inference_json" "$stages_json" "$artifact_json" "$query_json" "$delta_json"

@@ -1,7 +1,10 @@
 #!/usr/bin/env python3
 """Validates a bgpolicy bench-trajectory record (scripts/bench.sh output).
 
-Accepts bgpolicy-bench/v7 (current: adds the query_service section — the
+Accepts bgpolicy-bench/v8 (current: adds the delta_propagation section —
+lockstep incremental-vs-cold churn stepping with the byte-equivalence
+flag `delta_match`, the steady-state `delta_speedup`, and the
+spec-corpus replay counters), v7 (adds the query_service section — the
 policy-query daemon's concurrent load run with queries/sec, latency
 percentiles, snapshot-publish count, and the zero-error verification
 flag), v6 (sim_scaling carries the flat-core
@@ -109,6 +112,39 @@ def check_query_service(path, record):
             f"{name}.latency_usec percentiles must be non-decreasing")
 
 
+def check_delta_propagation(path, record):
+    name = "delta_propagation"
+    require(path, isinstance(record, dict), f"{name} must be an object")
+    for key in ("bench", "scenario", "hardware_concurrency", "churn",
+                "spec_replay", "delta_match", "delta_speedup"):
+        require(path, key in record, f"{name}.{key} missing")
+    require(path, record["delta_match"] is True,
+            f"{name}.delta_match must be true (incremental stepping must "
+            "be byte-equivalent to cold recomputation)")
+    require(path, isinstance(record["delta_speedup"], (int, float))
+            and record["delta_speedup"] > 1,
+            f"{name}.delta_speedup must be a number > 1")
+    churn = record["churn"]
+    require(path, isinstance(churn, dict), f"{name}.churn must be an object")
+    for key in ("warmup_steps", "measured_steps", "cold_seconds",
+                "incremental_seconds", "cold_steps_per_sec",
+                "incremental_steps_per_sec", "warm_states", "memo_hits"):
+        require(path, isinstance(churn.get(key), (int, float)),
+                f"{name}.churn.{key} must be a number")
+    require(path, churn["measured_steps"] > 0,
+            f"{name}.churn.measured_steps must be > 0")
+    replay = record["spec_replay"]
+    require(path, isinstance(replay, dict),
+            f"{name}.spec_replay must be an object")
+    for key in ("specs", "checks", "failures"):
+        require(path, isinstance(replay.get(key), int),
+                f"{name}.spec_replay.{key} must be an integer")
+    require(path, replay["specs"] > 0,
+            f"{name}.spec_replay.specs must be > 0")
+    require(path, replay["failures"] == 0,
+            f"{name}.spec_replay.failures must be 0")
+
+
 def check_file(path):
     with open(path, encoding="utf-8") as handle:
         try:
@@ -119,11 +155,13 @@ def check_file(path):
     require(path,
             schema in ("bgpolicy-bench/v2", "bgpolicy-bench/v3",
                        "bgpolicy-bench/v4", "bgpolicy-bench/v5",
-                       "bgpolicy-bench/v6", "bgpolicy-bench/v7"),
-            'schema must be "bgpolicy-bench/v2".."bgpolicy-bench/v7"')
+                       "bgpolicy-bench/v6", "bgpolicy-bench/v7",
+                       "bgpolicy-bench/v8"),
+            'schema must be "bgpolicy-bench/v2".."bgpolicy-bench/v8"')
     require(path, "generated_utc" in record, "generated_utc missing")
 
-    flat_core = schema in ("bgpolicy-bench/v6", "bgpolicy-bench/v7")
+    flat_core = schema in ("bgpolicy-bench/v6", "bgpolicy-bench/v7",
+                           "bgpolicy-bench/v8")
     sim_keys = ["threads", "seconds", "speedup"]
     if flat_core:
         sim_keys.append("events_per_sec")
@@ -154,7 +192,7 @@ def check_file(path):
                       "observe_seconds", "infer_seconds", "analyze_seconds",
                       "total_seconds", "speedup"]
         if schema in ("bgpolicy-bench/v5", "bgpolicy-bench/v6",
-                      "bgpolicy-bench/v7"):
+                      "bgpolicy-bench/v7", "bgpolicy-bench/v8"):
             # The task-graph comparison: one end-to-end run with overlapped
             # stage nodes next to the serial-stage sum, plus the overlap
             # windows and the Simulate chunk count.
@@ -167,14 +205,19 @@ def check_file(path):
                 "pipeline_stages.products_match must be true")
         summary += f", stage rows: {len(stages['results'])}"
     if schema in ("bgpolicy-bench/v4", "bgpolicy-bench/v5",
-                  "bgpolicy-bench/v6", "bgpolicy-bench/v7"):
+                  "bgpolicy-bench/v6", "bgpolicy-bench/v7",
+                  "bgpolicy-bench/v8"):
         store = record.get("artifact_store")
         check_artifact_store(path, store)
         summary += f", artifact rows: {len(store['results'])}"
-    if schema == "bgpolicy-bench/v7":
+    if schema in ("bgpolicy-bench/v7", "bgpolicy-bench/v8"):
         service = record.get("query_service")
         check_query_service(path, service)
         summary += (f", query qps: {service['queries_per_sec']:.0f}")
+    if schema == "bgpolicy-bench/v8":
+        delta = record.get("delta_propagation")
+        check_delta_propagation(path, delta)
+        summary += (f", delta speedup: {delta['delta_speedup']:.1f}x")
 
     print(f"{path}: ok ({summary})")
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <utility>
@@ -10,6 +11,7 @@
 #include "core/analysis_suite.h"
 #include "core/artifact_store.h"
 #include "io/artifact_codec.h"
+#include "sim/delta_engine.h"
 #include "sim/propagation.h"
 
 namespace bgpolicy::core {
@@ -42,15 +44,20 @@ std::string path_to_string(std::span<const std::uint32_t> path) {
 
 /// Steps the spec's event script, exposing the world (failed edges +
 /// active originations) after the first k events.
+///
+/// Converged per-origination states are cached across `advance_to` calls:
+/// the first query of an origination cold-converges a warm
+/// `sim::DeltaState`; later timeline points re-sync it by applying only
+/// the edge-set delta between the state's failure world and the current
+/// one (sim/delta_engine.h) instead of re-running the full fixpoint.  A
+/// withdraw drops the cached state; a re-announce cold-converges afresh.
 class Timeline {
  public:
   Timeline(const ScenarioSpec& spec, const GroundTruth& truth)
       : spec_(spec),
-        engine_(truth.topo.graph, truth.gen.policies),
-        options_(spec.scenario.propagation),
-        active_(truth.originations) {
-    engine_.set_failures(&failed_);
-  }
+        context_(truth.topo.graph, truth.gen.policies),
+        engine_(context_, spec.scenario.propagation),
+        active_(truth.originations) {}
 
   /// Advances to the world after `k` events; `k` must be non-decreasing
   /// across calls (the evaluator sorts checks by timeline point).
@@ -70,10 +77,9 @@ class Timeline {
     std::vector<bgp::Route> candidates;
     for (const sim::Origination& origination : active_) {
       if (origination.prefix != prefix) continue;
-      const sim::PrefixRouting routing =
-          engine_.propagate(origination, options_);
-      if (const bgp::Route* route = routing.best_at(util::AsNumber(vantage))) {
-        candidates.push_back(*route);
+      const sim::DeltaState& state = state_for(origination);
+      if (auto route = engine_.route_at(state, util::AsNumber(vantage))) {
+        candidates.push_back(std::move(*route));
       }
     }
     if (candidates.empty()) return std::nullopt;
@@ -82,14 +88,40 @@ class Timeline {
   }
 
  private:
+  // (network << 8 | length, origin) — the cache key of one origination.
+  using StateKey = std::pair<std::uint64_t, std::uint32_t>;
+
+  static StateKey key_of(const sim::Origination& o) {
+    return {(static_cast<std::uint64_t>(o.prefix.network()) << 8) |
+                o.prefix.length(),
+            o.origin.value()};
+  }
+
+  /// The cached converged state of `origination`, re-synced to the current
+  /// failure world via the edge-set delta.
+  const sim::DeltaState& state_for(const sim::Origination& origination) {
+    auto& slot = states_[key_of(origination)];
+    if (slot == nullptr) {
+      slot = std::make_unique<sim::DeltaState>();
+      engine_.converge(origination, &failed_, *slot, ws_);
+    } else {
+      const sim::Perturbation delta =
+          sim::Perturbation::edge_delta(slot->failed(), failed_);
+      if (!delta.empty()) (void)engine_.apply(*slot, delta, ws_);
+    }
+    return *slot;
+  }
+
   void apply(const SpecEvent& event) {
     switch (event.kind) {
-      case SpecEvent::Kind::kWithdraw:
-        std::erase_if(active_, [&](const sim::Origination& o) {
-          return o.prefix == event.prefix &&
-                 o.origin == util::AsNumber(event.as_a);
+      case SpecEvent::Kind::kWithdraw: {
+        const sim::Origination o{event.prefix, util::AsNumber(event.as_a)};
+        std::erase_if(active_, [&](const sim::Origination& a) {
+          return a.prefix == o.prefix && a.origin == o.origin;
         });
+        states_.erase(key_of(o));
         break;
+      }
       case SpecEvent::Kind::kAnnounce: {
         const sim::Origination o{event.prefix, util::AsNumber(event.as_a)};
         if (std::find(active_.begin(), active_.end(), o) == active_.end()) {
@@ -108,10 +140,12 @@ class Timeline {
   }
 
   const ScenarioSpec& spec_;
-  sim::PropagationEngine engine_;
+  sim::FlatSimContext context_;
+  sim::DeltaEngine engine_;
   sim::FailedEdges failed_;
-  sim::PropagationOptions options_;
   std::vector<sim::Origination> active_;
+  std::map<StateKey, std::unique_ptr<sim::DeltaState>> states_;
+  sim::DeltaWorkspace ws_;
   std::size_t applied_ = 0;
 };
 

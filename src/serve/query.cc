@@ -7,9 +7,11 @@
 
 #include "asrel/relationships.h"
 #include "asrel/tier_classify.h"
+#include "bgp/decision.h"
 #include "core/artifact_store.h"
 #include "core/path_availability.h"
 #include "serve/wire.h"
+#include "sim/delta_engine.h"
 
 namespace bgpolicy::serve {
 
@@ -204,6 +206,140 @@ std::vector<std::uint8_t> answer_rerun_infer(
   return ok_response(std::move(body));
 }
 
+std::vector<std::uint8_t> answer_what_if_failure(
+    std::span<const std::uint8_t> request, const Snapshot& snapshot) {
+  wire::Reader r(request);
+  const AsNumber vantage(r.get<std::uint32_t>());
+  const std::uint16_t edge_count = r.get<std::uint16_t>();
+  std::vector<std::pair<AsNumber, AsNumber>> edges;
+  edges.reserve(edge_count);
+  for (std::uint16_t i = 0; i < edge_count; ++i) {
+    const AsNumber a(r.get<std::uint32_t>());
+    const AsNumber b(r.get<std::uint32_t>());
+    edges.emplace_back(a, b);
+  }
+  const std::uint16_t prefix_count = r.get<std::uint16_t>();
+  std::vector<bgp::Prefix> filter;
+  filter.reserve(prefix_count);
+  for (std::uint16_t i = 0; i < prefix_count; ++i) {
+    const std::uint32_t network = r.get<std::uint32_t>();
+    const std::uint8_t length = r.get<std::uint8_t>();
+    if (length > 32) return error_response("prefix length exceeds 32");
+    filter.emplace_back(network, length);
+  }
+  r.expect_end();
+
+  if (snapshot.what_if == nullptr) {
+    return error_response("snapshot has no what-if substrate");
+  }
+  if (edges.empty()) {
+    return error_response("what_if_failure requires at least one edge");
+  }
+  const core::GroundTruth& truth = snapshot.what_if->truth();
+  const topo::AsGraph& graph = truth.topo.graph;
+  if (!graph.contains(vantage)) {
+    return error_response("AS " + util::to_string(vantage) +
+                          " not in ground-truth graph");
+  }
+  for (const auto& [a, b] : edges) {
+    if (!graph.contains(a) || !graph.contains(b)) {
+      return error_response("edge endpoint AS " +
+                            util::to_string(graph.contains(a) ? b : a) +
+                            " not in ground-truth graph");
+    }
+  }
+
+  const auto selected = [&](const bgp::Prefix& prefix) {
+    return filter.empty() ||
+           std::find(filter.begin(), filter.end(), prefix) != filter.end();
+  };
+  // Distinct target prefixes in origination order — the deterministic
+  // response order (MOAS prefixes appear once, candidates merged below).
+  std::vector<bgp::Prefix> targets;
+  for (const sim::Origination& o : truth.originations) {
+    if (!selected(o.prefix)) continue;
+    if (std::find(targets.begin(), targets.end(), o.prefix) == targets.end()) {
+      targets.push_back(o.prefix);
+    }
+  }
+  if (targets.empty()) {
+    return error_response("no matching origination in snapshot");
+  }
+
+  sim::Perturbation perturbation;
+  perturbation.fail_edges = edges;
+  const sim::DeltaEngine& engine = snapshot.what_if->engine();
+  sim::DeltaWorkspace ws;
+  sim::DeltaState branch;
+
+  const auto summarize = [](const std::optional<bgp::Route>& route) {
+    WhatIfRouteState s;
+    if (route.has_value()) {
+      s.reachable = true;
+      s.via = route->next_hop_as().value_or(route->learned_from).value();
+      s.origin = route->origin_as().value();
+      s.path_length = static_cast<std::uint32_t>(route->path.length());
+    }
+    return s;
+  };
+
+  std::uint64_t wave_events = 0;
+  std::uint32_t reachable_before = 0;
+  std::uint32_t reachable_after = 0;
+  wire::Writer body;
+  body.put(vantage.value());
+  body.put(static_cast<std::uint32_t>(edges.size()));
+  body.put(static_cast<std::uint32_t>(targets.size()));
+  for (const bgp::Prefix& prefix : targets) {
+    // MOAS: every active origination of the prefix contributes one
+    // candidate per world; decision-process tie-break across them (the
+    // same merge core/spec_verify.cc's Timeline does).
+    std::vector<bgp::Route> before_cands;
+    std::vector<bgp::Route> after_cands;
+    for (std::size_t i = 0; i < truth.originations.size(); ++i) {
+      if (truth.originations[i].prefix != prefix) continue;
+      const std::shared_ptr<const sim::DeltaState> base =
+          snapshot.what_if->base_state(i);
+      if (auto route = engine.route_at(*base, vantage)) {
+        before_cands.push_back(std::move(*route));
+      }
+      // Branch a private deep copy and fail the sessions incrementally;
+      // the shared base stays pristine for the next query.
+      branch.assign_from(*base);
+      wave_events += engine.apply(branch, perturbation, ws).events;
+      if (auto route = engine.route_at(branch, vantage)) {
+        after_cands.push_back(std::move(*route));
+      }
+    }
+    const auto pick = [](std::vector<bgp::Route>& cands)
+        -> std::optional<bgp::Route> {
+      if (cands.empty()) return std::nullopt;
+      const auto winner = bgp::select_best(cands);
+      return cands[winner.value_or(0)];
+    };
+    const std::optional<bgp::Route> before = pick(before_cands);
+    const std::optional<bgp::Route> after = pick(after_cands);
+    if (before.has_value()) ++reachable_before;
+    if (after.has_value()) ++reachable_after;
+    const WhatIfRouteState before_state = summarize(before);
+    const WhatIfRouteState after_state = summarize(after);
+    body.put(prefix.network());
+    body.put(prefix.length());
+    for (const WhatIfRouteState& s : {before_state, after_state}) {
+      body.put(static_cast<std::uint8_t>(s.reachable ? 1 : 0));
+      body.put(s.via);
+      body.put(s.origin);
+      body.put(s.path_length);
+    }
+    body.put(static_cast<std::uint8_t>(before != after ? 1 : 0));
+  }
+
+  body.put(wave_events);
+  body.put(reachable_before);
+  body.put(reachable_after);
+  return ok_response(std::move(body));
+}
+
 }  // namespace
 
 const char* to_string(QueryKind kind) {
@@ -220,13 +356,15 @@ const char* to_string(QueryKind kind) {
       return "path_availability";
     case QueryKind::kRerunInfer:
       return "rerun_infer";
+    case QueryKind::kWhatIfFailure:
+      return "what_if_failure";
   }
   return "unknown";
 }
 
 bool known_kind(std::uint16_t kind) {
   return kind >= static_cast<std::uint16_t>(QueryKind::kServerInfo) &&
-         kind <= static_cast<std::uint16_t>(QueryKind::kRerunInfer);
+         kind <= static_cast<std::uint16_t>(QueryKind::kWhatIfFailure);
 }
 
 std::vector<std::uint8_t> encode_server_info_request() { return {}; }
@@ -253,6 +391,25 @@ std::vector<std::uint8_t> encode_infer_request(
   w.put(static_cast<std::uint8_t>(params.detect_clique ? 1 : 0));
   w.put(params.clique_degree_fraction);
   w.put(params.peer_candidate_min_share);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_what_if_request(
+    util::AsNumber vantage,
+    std::span<const std::pair<util::AsNumber, util::AsNumber>> edges,
+    std::span<const bgp::Prefix> prefixes) {
+  wire::Writer w;
+  w.put(vantage.value());
+  w.put(static_cast<std::uint16_t>(edges.size()));
+  for (const auto& [a, b] : edges) {
+    w.put(a.value());
+    w.put(b.value());
+  }
+  w.put(static_cast<std::uint16_t>(prefixes.size()));
+  for (const bgp::Prefix& prefix : prefixes) {
+    w.put(prefix.network());
+    w.put(prefix.length());
+  }
   return w.take();
 }
 
@@ -301,6 +458,40 @@ std::optional<ServerInfo> decode_server_info(
   }
 }
 
+std::optional<WhatIfResult> decode_what_if(
+    std::span<const std::uint8_t> body) {
+  try {
+    wire::Reader r(body);
+    WhatIfResult result;
+    result.vantage = r.get<std::uint32_t>();
+    result.edge_count = r.get<std::uint32_t>();
+    const std::uint32_t entry_count = r.get<std::uint32_t>();
+    result.entries.reserve(entry_count);
+    for (std::uint32_t i = 0; i < entry_count; ++i) {
+      WhatIfEntry entry;
+      const std::uint32_t network = r.get<std::uint32_t>();
+      const std::uint8_t length = r.get<std::uint8_t>();
+      if (length > 32) return std::nullopt;
+      entry.prefix = bgp::Prefix(network, length);
+      for (WhatIfRouteState* side : {&entry.before, &entry.after}) {
+        side->reachable = r.get<std::uint8_t>() != 0;
+        side->via = r.get<std::uint32_t>();
+        side->origin = r.get<std::uint32_t>();
+        side->path_length = r.get<std::uint32_t>();
+      }
+      entry.changed = r.get<std::uint8_t>() != 0;
+      result.entries.push_back(entry);
+    }
+    result.wave_events = r.get<std::uint64_t>();
+    result.reachable_before = r.get<std::uint32_t>();
+    result.reachable_after = r.get<std::uint32_t>();
+    r.expect_end();
+    return result;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
 std::vector<std::uint8_t> answer(QueryKind kind,
                                  std::span<const std::uint8_t> request,
                                  const Snapshot& snapshot) {
@@ -321,6 +512,8 @@ std::vector<std::uint8_t> answer(QueryKind kind,
         return answer_path_availability(request, snapshot);
       case QueryKind::kRerunInfer:
         return answer_rerun_infer(request, snapshot);
+      case QueryKind::kWhatIfFailure:
+        return answer_what_if_failure(request, snapshot);
     }
     return error_response("unknown query kind");
   } catch (const std::exception& error) {

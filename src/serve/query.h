@@ -19,6 +19,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "asrel/gao_inference.h"
@@ -49,6 +50,12 @@ enum class QueryKind : std::uint16_t {
   /// re-runs Infer against the snapshot's Observations and responds with
   /// the relationship/tier summary and its digest.
   kRerunInfer = 6,
+  /// What-if session failure: request a vantage AS, hypothetical failed
+  /// edges, and optional prefix filter; the server branches warm delta
+  /// states off the snapshot's converged ground-truth routing
+  /// (serve/what_if.h), applies the failures incrementally, and responds
+  /// with the vantage's before/after route per prefix.
+  kWhatIfFailure = 7,
 };
 
 /// Set on the kind field of every response frame (request kind | bit).
@@ -74,6 +81,13 @@ enum class QueryStatus : std::uint8_t { kOk = 0, kError = 1 };
 /// never change products, so they are not part of the query identity).
 [[nodiscard]] std::vector<std::uint8_t> encode_infer_request(
     const asrel::GaoParams& params);
+/// kWhatIfFailure: u32 vantage, u16 edge count + (u32, u32) per failed
+/// session, u16 prefix count + (u32 network, u8 length) per prefix.  An
+/// empty prefix list means "every originated prefix".
+[[nodiscard]] std::vector<std::uint8_t> encode_what_if_request(
+    util::AsNumber vantage,
+    std::span<const std::pair<util::AsNumber, util::AsNumber>> edges,
+    std::span<const bgp::Prefix> prefixes = {});
 
 // --------------------------------------------------------------- responses --
 
@@ -102,6 +116,41 @@ struct ResponseView {
 
 /// Decodes a kServerInfo ok-body; nullopt on malformed bytes.
 [[nodiscard]] std::optional<ServerInfo> decode_server_info(
+    std::span<const std::uint8_t> body);
+
+/// One side (before or after) of a what-if entry.
+struct WhatIfRouteState {
+  bool reachable = false;
+  std::uint32_t via = 0;          // next-hop AS (origin itself when local)
+  std::uint32_t origin = 0;       // originating AS
+  std::uint32_t path_length = 0;  // AS-path length (prepends included)
+  friend bool operator==(const WhatIfRouteState&,
+                         const WhatIfRouteState&) = default;
+};
+
+/// Before/after route of the vantage for one prefix.
+struct WhatIfEntry {
+  bgp::Prefix prefix;
+  WhatIfRouteState before;
+  WhatIfRouteState after;
+  /// True when the full route changed (not just the summarized fields).
+  bool changed = false;
+};
+
+/// Decoded kWhatIfFailure ok-body.
+struct WhatIfResult {
+  std::uint32_t vantage = 0;
+  std::uint32_t edge_count = 0;
+  std::vector<WhatIfEntry> entries;
+  /// Total delta-wave process events spent answering (an effort measure:
+  /// how much of the network the hypothetical failures actually touched).
+  std::uint64_t wave_events = 0;
+  std::uint32_t reachable_before = 0;
+  std::uint32_t reachable_after = 0;
+};
+
+/// Decodes a kWhatIfFailure ok-body; nullopt on malformed bytes.
+[[nodiscard]] std::optional<WhatIfResult> decode_what_if(
     std::span<const std::uint8_t> body);
 
 // ------------------------------------------------------------------ engine --

@@ -22,6 +22,10 @@ std::shared_ptr<Snapshot> build_snapshot(const core::Scenario& scenario,
   run.until = core::Stage::kAnalyze;
   core::Experiment experiment(scenario, run);
   experiment.run();
+  // Force ground-truth materialization before stealing the artifacts: on a
+  // store hit the run above decodes later stages without ever synthesizing,
+  // but what-if queries need the truth substrate.
+  (void)experiment.truth();
 
   auto snapshot = std::make_shared<Snapshot>();
   snapshot->scenario_name = scenario.name;
@@ -34,6 +38,10 @@ std::shared_ptr<Snapshot> build_snapshot(const core::Scenario& scenario,
   snapshot->analyses = std::move(*artifacts.analyses);
   snapshot->analyses_digest =
       core::stable_digest_hex(core::canonical_serialize(snapshot->analyses));
+  snapshot->truth = std::make_shared<const core::GroundTruth>(
+      std::move(*artifacts.truth));
+  snapshot->what_if =
+      std::make_shared<WhatIfBase>(snapshot->truth, scenario.propagation);
   return snapshot;
 }
 

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "core/experiment.h"
+#include "serve/what_if.h"
 
 namespace bgpolicy::serve {
 
@@ -41,6 +42,15 @@ struct Snapshot {
   /// client (or the swap-consistency test) uses to pin which snapshot a
   /// response came from.
   std::string analyses_digest;
+  /// The scenario's ground truth (graph + policies + originations) — the
+  /// substrate what-if queries simulate against.  Behind shared_ptr so
+  /// Snapshot stays copyable (the refreshers copy-swap snapshots).
+  std::shared_ptr<const core::GroundTruth> truth;
+  /// Warm what-if substrate over `truth` (kWhatIfFailure); its internal
+  /// base-state cache mutates under a lock but answers stay pure functions
+  /// of (request, snapshot) — see serve/what_if.h.  Null in test snapshots
+  /// that never exercise what-if queries.
+  std::shared_ptr<WhatIfBase> what_if;
 };
 
 class SnapshotRegistry {

@@ -1,0 +1,64 @@
+// The warm substrate `what_if_failure` queries branch from.
+//
+// A what-if query asks "if these sessions failed, what would this AS's
+// route to these prefixes become?"  Answering it cold would pay a full
+// per-prefix fixpoint per query.  Instead the snapshot carries one
+// `WhatIfBase`: the scenario's ground truth (graph + policies +
+// originations), a shared `FlatSimContext`, and a lazily filled write-once
+// cache of converged healthy-world `DeltaState`s — one per origination.
+// Each query deep-copies the base state of every origination it touches
+// (DeltaState::assign_from), applies the hypothetical failures as a dirty
+// frontier (sim/delta_engine.h), and reads the branched route, leaving the
+// shared base untouched.
+//
+// Thread safety: base states are computed *outside* the cache lock and
+// installed insert-if-absent, so a slow converge never blocks other
+// queries; two racing queries may both converge the same origination and
+// one result is discarded — harmless, because converge is deterministic
+// and the cached value is identical either way.  Responses therefore stay
+// a pure function of (request, snapshot), the service's determinism
+// contract.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/experiment.h"
+#include "sim/delta_engine.h"
+#include "sim/flat_engine.h"
+
+namespace bgpolicy::serve {
+
+class WhatIfBase {
+ public:
+  /// `truth` must be non-null; the options' thread knob is irrelevant here
+  /// (each query's waves run on the serving thread).
+  WhatIfBase(std::shared_ptr<const core::GroundTruth> truth,
+             sim::PropagationOptions options);
+
+  [[nodiscard]] const core::GroundTruth& truth() const { return *truth_; }
+  [[nodiscard]] const sim::DeltaEngine& engine() const { return engine_; }
+
+  /// The converged healthy-world state of origination #`index` (an index
+  /// into truth().originations).  First call converges and caches;
+  /// later calls return the cached state.  Thread-safe; the returned
+  /// state is shared and must not be mutated — branch with assign_from.
+  [[nodiscard]] std::shared_ptr<const sim::DeltaState> base_state(
+      std::size_t index) const;
+
+  /// Number of base states converged so far (diagnostics/tests).
+  [[nodiscard]] std::size_t converged_count() const;
+
+ private:
+  std::shared_ptr<const core::GroundTruth> truth_;
+  sim::FlatSimContext context_;
+  sim::DeltaEngine engine_;
+  mutable std::mutex mutex_;
+  /// One slot per origination; null until first demanded.  Write-once
+  /// under mutex_, value deterministic (see header comment).
+  mutable std::vector<std::shared_ptr<const sim::DeltaState>> cache_;
+};
+
+}  // namespace bgpolicy::serve

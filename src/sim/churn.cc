@@ -1,6 +1,8 @@
 #include "sim/churn.h"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "util/ensure.h"
 
@@ -11,22 +13,50 @@ ChurnSimulator::ChurnSimulator(const topo::AsGraph& graph, PolicySet policies,
                                GroundTruth truth, std::vector<AsNumber> watch,
                                ChurnParams params)
     : graph_(&graph),
-      policies_(std::move(policies)),
+      policies_(std::make_unique<PolicySet>(std::move(policies))),
       originations_(std::move(originations)),
       truth_(std::move(truth)),
       watch_(std::move(watch)),
       rng_(params.seed),
-      params_(params) {
+      params_(params),
+      context_(std::make_unique<FlatSimContext>(graph, *policies_)),
+      delta_(std::make_unique<DeltaEngine>(*context_, params.propagation)) {
   for (const auto& origination : originations_) {
     by_prefix_.emplace(origination.prefix, origination);
   }
   for (std::size_t i = 0; i < truth_.origin_units.size(); ++i) {
     if (!truth_.origin_units[i].via_community) toggleable_.push_back(i);
   }
+  for (const std::size_t i : toggleable_) {
+    auto& bits = units_of_[truth_.origin_units[i].prefix];
+    util::ensure(bits.size() < 64,
+                 "churn: too many toggleable units for one prefix");
+    bits.push_back(i);
+  }
   for (const AsNumber as : watch_) watched_[as];
 }
 
-void ChurnSimulator::repropagate(std::span<const bgp::Prefix> prefixes) {
+std::uint64_t ChurnSimulator::world_of(const bgp::Prefix& prefix) const {
+  const auto it = units_of_.find(prefix);
+  if (it == units_of_.end()) return 0;
+  std::uint64_t world = 0;
+  for (std::size_t b = 0; b < it->second.size(); ++b) {
+    if (truth_.origin_units[it->second[b]].withheld) world |= 1ull << b;
+  }
+  return world;
+}
+
+std::vector<std::optional<bgp::Route>> ChurnSimulator::watch_rows(
+    const DeltaState& state) const {
+  std::vector<std::optional<bgp::Route>> rows;
+  rows.reserve(watch_.size());
+  for (const AsNumber as : watch_) rows.push_back(delta_->route_at(state, as));
+  return rows;
+}
+
+void ChurnSimulator::repropagate(
+    std::span<const bgp::Prefix> prefixes,
+    const std::unordered_map<bgp::Prefix, Perturbation>* perturbations) {
   // util::shard_and_merge computes the fixpoints on the executor and applies
   // watched-table updates sequentially in `prefixes` order — deterministic
   // for every thread count (propagation.h "Concurrency model").  The
@@ -43,28 +73,123 @@ void ChurnSimulator::repropagate(std::span<const bgp::Prefix> prefixes) {
     }
     executor = owned_executor_.get();
   }
-  // Fresh context per call (step() just mutated policies_); the scratch pool
-  // keeps warmed propagation workspaces across steps.
-  const FlatSimContext context(*graph_, policies_);
+  util::ThreadPool* pool = executor == nullptr ? nullptr : executor->pool();
+
+  const auto apply_watch = [&](std::size_t i,
+                               std::span<const std::optional<bgp::Route>>
+                                   rows) {
+    for (std::size_t w = 0; w < watch_.size(); ++w) {
+      auto& table = watched_.at(watch_[w]);
+      if (!rows[w].has_value()) {
+        table.erase(prefixes[i]);
+      } else {
+        table.insert_or_assign(prefixes[i], *rows[w]);
+      }
+    }
+  };
+
+  if (params_.incremental && perturbations != nullptr) {
+    // Memo probes and warm-state lookup/creation happen here on the
+    // calling thread (no shared map is touched inside the parallel
+    // region); each worker then owns exactly one prefix's state for the
+    // duration of its task.  The perturbation is derived from the world
+    // drift between the state's baked flags and the current flags, not
+    // from this step's flip list: a memo hit leaves the state unsynced on
+    // purpose, so the next miss replays every toggled pair at once.
+    struct Job {
+      const Origination* origination;
+      DeltaState* state;         // untouched on a memo hit
+      Perturbation perturbation;  // world diff; empty + fresh = converge
+      std::uint64_t world = 0;
+      bool fresh = false;
+      const std::vector<std::optional<bgp::Route>>* cached = nullptr;
+    };
+    std::vector<Job> jobs;
+    jobs.reserve(prefixes.size());
+    for (const bgp::Prefix& prefix : prefixes) {
+      const auto it = by_prefix_.find(prefix);
+      util::ensure(it != by_prefix_.end(), "churn: unknown prefix");
+      Job job;
+      job.origination = &it->second;
+      job.world = world_of(prefix);
+      const auto& worlds = memo_[prefix];
+      if (const auto hit = worlds.find(job.world); hit != worlds.end()) {
+        ++memo_hits_;
+        job.cached = &hit->second;
+        job.state = nullptr;
+        jobs.push_back(std::move(job));
+        continue;
+      }
+      auto& slot = warm_[prefix];
+      job.fresh = slot == nullptr;
+      if (job.fresh) {
+        // Cold-converges against the already-mutated policies, baking the
+        // current world in.
+        slot = std::make_unique<DeltaState>();
+      } else {
+        const std::uint64_t baked = state_world_.at(prefix);
+        const auto& bits = units_of_.at(prefix);
+        for (std::size_t b = 0; b < bits.size(); ++b) {
+          if (((baked ^ job.world) >> b) & 1) {
+            const SelectiveUnit& unit = truth_.origin_units[bits[b]];
+            job.perturbation.export_changed.emplace_back(unit.origin,
+                                                         unit.provider);
+          }
+        }
+      }
+      state_world_[prefix] = job.world;
+      job.state = slot.get();
+      jobs.push_back(std::move(job));
+    }
+    util::shard_and_merge(
+        pool, jobs.size(),
+        [&](std::size_t i) {
+          const Job& job = jobs[i];
+          if (job.cached != nullptr) return *job.cached;
+          const auto lease = workspaces_->acquire();
+          if (job.fresh) {
+            delta_->converge(*job.origination, nullptr, *job.state, *lease);
+          } else {
+            (void)delta_->apply(*job.state, job.perturbation, *lease);
+          }
+          return watch_rows(*job.state);
+        },
+        [&](std::size_t i, const std::vector<std::optional<bgp::Route>>& rows) {
+          if (jobs[i].cached == nullptr) {
+            memo_[prefixes[i]][jobs[i].world] = rows;
+          }
+          apply_watch(i, rows);
+        });
+    return;
+  }
+
+  // The cold path: non-incremental mode is the faithful pre-delta baseline
+  // (what bench_delta_propagation measures against), so it rebuilds the
+  // context from the mutated policies on every call exactly like the old
+  // simulator did.  Incremental mode reuses the shared patched context;
+  // its run_initial lands here too (perturbations == nullptr).
+  std::optional<FlatSimContext> fresh;
+  if (!params_.incremental) fresh.emplace(*graph_, *policies_);
+  const FlatSimContext& context = fresh ? *fresh : *context_;
   util::shard_and_merge(
-      executor == nullptr ? nullptr : executor->pool(), prefixes.size(),
+      pool, prefixes.size(),
       [&](std::size_t i) {
         const auto it = by_prefix_.find(prefixes[i]);
         util::ensure(it != by_prefix_.end(), "churn: unknown prefix");
         const auto lease = scratches_->acquire();
-        return compute_prefix_flat(context, it->second, nullptr,
-                                   params_.propagation, *lease);
-      },
-      [&](std::size_t i, const PrefixRouting& state) {
+        const PrefixRouting state = compute_prefix_flat(
+            context, it->second, nullptr, params_.propagation, *lease);
+        std::vector<std::optional<bgp::Route>> rows;
+        rows.reserve(watch_.size());
         for (const AsNumber as : watch_) {
-          auto& table = watched_.at(as);
           const bgp::Route* best = state.best_at(as);
-          if (best == nullptr) {
-            table.erase(prefixes[i]);
-          } else {
-            table.insert_or_assign(prefixes[i], *best);
-          }
+          rows.push_back(best == nullptr ? std::nullopt
+                                         : std::optional<bgp::Route>(*best));
         }
+        return rows;
+      },
+      [&](std::size_t i, const std::vector<std::optional<bgp::Route>>& rows) {
+        apply_watch(i, rows);
       });
 }
 
@@ -76,12 +201,16 @@ void ChurnSimulator::run_initial() {
   for (const auto& origination : originations_) {
     all.push_back(origination.prefix);
   }
-  repropagate(all);
+  // Always the cold path: warm states are created lazily for the churned
+  // population only, so memory scales with what actually flips.
+  repropagate(all, nullptr);
 }
 
 std::vector<bgp::Prefix> ChurnSimulator::step() {
   util::ensure_state(initialized_, "churn: step before run_initial");
   std::unordered_set<bgp::Prefix> changed;
+  std::unordered_map<bgp::Prefix, Perturbation> perturbations;
+  std::vector<AsNumber> dirty_origins;
   if (!toggleable_.empty()) {
     const auto flips = std::max<std::size_t>(
         1, static_cast<std::size_t>(params_.flip_fraction *
@@ -89,7 +218,7 @@ std::vector<bgp::Prefix> ChurnSimulator::step() {
     for (std::size_t f = 0; f < flips; ++f) {
       SelectiveUnit& unit =
           truth_.origin_units[toggleable_[rng_.index(toggleable_.size())]];
-      AsPolicy& policy = policies_.at_mut(unit.origin);
+      AsPolicy& policy = policies_->at_mut(unit.origin);
       if (unit.withheld) {
         policy.export_.remove_prefix_rules(unit.provider, unit.prefix);
         unit.withheld = false;
@@ -101,10 +230,19 @@ std::vector<bgp::Prefix> ChurnSimulator::step() {
         unit.withheld = true;
       }
       changed.insert(unit.prefix);
+      // Exactly what changed: the origin's export toward this provider.
+      // The delta engine re-seeds the provider plus every AS routing
+      // across that pair — not the whole prefix fixpoint.
+      perturbations[unit.prefix].export_changed.emplace_back(unit.origin,
+                                                             unit.provider);
+      dirty_origins.push_back(unit.origin);
     }
   }
+  // Patch the shared context in place (satellite of the delta-engine work:
+  // the CSR view never changes, so rebuilding it per step was pure waste).
+  context_->refresh_policies(dirty_origins);
   std::vector<bgp::Prefix> out(changed.begin(), changed.end());
-  repropagate(out);
+  repropagate(out, &perturbations);
   return out;
 }
 

@@ -5,6 +5,14 @@
 // the affected prefixes, and keeps per-step best-route state for a small
 // set of watched provider ASes — exactly what the paper's daily RouteViews
 // snapshots of March 2002 provided for AS1.
+//
+// Re-propagation is incremental by default: the simulator keeps one warm
+// `DeltaState` per churned prefix and replays only the dirty frontier of
+// each flip (the toggled (origin, provider) export pair) instead of the
+// full fixpoint — see sim/delta_engine.h.  `ChurnParams::incremental =
+// false` restores cold per-prefix recomputation; both modes produce
+// identical watched tables (golden-tested in
+// tests/sim/delta_equivalence_test.cc).
 #pragma once
 
 #include <cstdint>
@@ -16,6 +24,7 @@
 
 #include "bgp/prefix.h"
 #include "bgp/route.h"
+#include "sim/delta_engine.h"
 #include "sim/flat_engine.h"
 #include "sim/policy_gen.h"
 #include "sim/propagation.h"
@@ -28,6 +37,10 @@ struct ChurnParams {
   std::uint64_t seed = 777;
   /// Fraction of toggleable units flipped per step.
   double flip_fraction = 0.015;
+  /// Warm-start delta propagation per step (the default).  false = cold
+  /// per-prefix recomputation — kept as the executable reference the
+  /// equivalence tests and the delta bench diff against.
+  bool incremental = true;
   /// Propagation options for the initial run and per-step re-propagation;
   /// `propagation.threads` shards prefixes across workers with results
   /// applied in deterministic order (see propagation.h "Concurrency model").
@@ -64,15 +77,44 @@ class ChurnSimulator {
   [[nodiscard]] std::size_t origination_count() const {
     return originations_.size();
   }
+  /// Warm delta states currently held (incremental mode; 0 when cold).
+  [[nodiscard]] std::size_t warm_state_count() const { return warm_.size(); }
+  /// Re-propagations answered from the per-world memo without any fixpoint
+  /// work (incremental mode; see the memo note in the private section).
+  [[nodiscard]] std::size_t memo_hits() const { return memo_hits_; }
+  /// The warm delta state of one prefix, nullptr when none is held —
+  /// bench/test introspection (e.g. counting order-sensitive states).
+  [[nodiscard]] const DeltaState* warm_state(const bgp::Prefix& prefix) const {
+    const auto it = warm_.find(prefix);
+    return it == warm_.end() ? nullptr : it->second.get();
+  }
 
  private:
   /// Re-propagates the given prefixes (sharded across
   /// params.propagation.threads workers) and applies the watched-table
-  /// updates sequentially in `prefixes` order.
-  void repropagate(std::span<const bgp::Prefix> prefixes);
+  /// updates sequentially in `prefixes` order.  `perturbations` must be
+  /// non-null for churn steps and null for the initial run; in incremental
+  /// mode each prefix is answered from the per-world memo when possible,
+  /// otherwise its warm state is delta-synced to the current world (a
+  /// prefix without a warm state is cold-converged against the
+  /// already-mutated policies).
+  void repropagate(
+      std::span<const bgp::Prefix> prefixes,
+      const std::unordered_map<bgp::Prefix, Perturbation>* perturbations);
+
+  /// The withheld-flag world a prefix's policies currently encode (bit b =
+  /// units_of_[prefix][b]'s withheld flag).
+  [[nodiscard]] std::uint64_t world_of(const bgp::Prefix& prefix) const;
+
+  /// Watched-table rows for one recomputed prefix (one slot per watch_ AS).
+  [[nodiscard]] std::vector<std::optional<bgp::Route>> watch_rows(
+      const DeltaState& state) const;
 
   const topo::AsGraph* graph_;
-  PolicySet policies_;
+  /// Behind a unique_ptr: context_ and the warm states point into it, and
+  /// the simulator must stay movable (parallel_determinism_test returns
+  /// one from a lambda).
+  std::unique_ptr<PolicySet> policies_;
   std::vector<Origination> originations_;
   std::unordered_map<bgp::Prefix, Origination> by_prefix_;
   GroundTruth truth_;
@@ -89,12 +131,40 @@ class ChurnSimulator {
   /// reused across steps.
   const util::Executor* executor_ = nullptr;
   std::unique_ptr<util::Executor> owned_executor_;
-  /// Warmed propagation scratches reused across steps.  The flat context is
-  /// rebuilt per repropagate() call because step() mutates policies_.
-  /// Behind a unique_ptr so the simulator stays movable (the pool holds a
-  /// mutex).
+  /// Built once in the ctor (the graph never changes); per step only the
+  /// flipped origins' policy pointers are refreshed in place.
+  std::unique_ptr<FlatSimContext> context_;
+  std::unique_ptr<DeltaEngine> delta_;
+  /// One warm converged state per churned prefix, created on first touch
+  /// (memory scales with the churned population, not the origination
+  /// count) and delta-stepped on every later flip.
+  std::unordered_map<bgp::Prefix, std::unique_ptr<DeltaState>> warm_;
+  /// A prefix's toggleable unit indices (into truth_.origin_units), the
+  /// bit order of its world masks.
+  std::unordered_map<bgp::Prefix, std::vector<std::size_t>> units_of_;
+  /// The withheld-flag world each warm state is currently converged under.
+  std::unordered_map<bgp::Prefix, std::uint64_t> state_world_;
+  /// Memoized watched-table rows per (prefix, world).  A prefix's routing
+  /// depends only on its own units' withheld flags (other prefixes' export
+  /// rules never match it), so a revisited world's rows are provably
+  /// identical to recomputation: the fixpoint is unique for
+  /// order-insensitive prefixes, and order-sensitive states replay the
+  /// exact cold trajectory, which is a function of the world alone.  Churn
+  /// flips the same few units per prefix back and forth, so steady-state
+  /// stepping is mostly memo hits with no propagation at all; the warm
+  /// state is only re-synced (one delta wave across every flag that
+  /// drifted) when an unseen world appears.
+  std::unordered_map<bgp::Prefix,
+                     std::unordered_map<std::uint64_t,
+                                        std::vector<std::optional<bgp::Route>>>>
+      memo_;
+  std::size_t memo_hits_ = 0;
+  /// Warmed propagation scratches reused across steps (cold path).
   std::unique_ptr<FlatScratchPool> scratches_ =
       std::make_unique<FlatScratchPool>();
+  /// Per-worker delta workspaces (incremental path).
+  std::unique_ptr<DeltaWorkspacePool> workspaces_ =
+      std::make_unique<DeltaWorkspacePool>();
   bool initialized_ = false;
 };
 

@@ -1,0 +1,284 @@
+// Incremental delta propagation: warm-start fixpoints for churn stepping,
+// event timelines, and what-if queries.
+//
+// A cold `compute_prefix_flat` pays the full fixpoint even when one export
+// rule flipped or one session failed.  `DeltaEngine` instead keeps the
+// converged `FlatRoutingState` of an origination alive (`DeltaState`) and,
+// given a perturbation, seeds the event queue with only the *dirty
+// frontier* — the ASes whose best route can possibly change first:
+//
+//   * both endpoints of every failed/restored session (their candidate
+//     sets gained or lost an edge);
+//   * the `advertise_to` target of every conditional advertisement
+//     watching a failed/restored session (the backup announcement toggles
+//     with the watched session's health);
+//   * the neighbor of every changed (sender, neighbor) export pair, plus
+//     the ASes whose current best path crosses that pair as consecutive
+//     hops (their route was built from the now-changed export);
+//   * for a coarse "anything about X's policy changed", X itself, X's
+//     neighbors, and every AS whose best path contains X;
+//   * every AS whose current best path crosses a failed session as
+//     consecutive hops — found by walking the interned `PathTable` parent
+//     chains once per distinct path node (memoized per wave), so the scan
+//     is O(live path nodes), not O(ASes x path length).
+//
+// Then the *standard* event loop (`run_flat_fixpoint` — the same code the
+// cold entry point runs) replays until quiescent.  Seeding is a superset
+// heuristic: processing an AS whose inputs did not change re-selects the
+// same route and propagates nothing, so extra seeds cost one event each,
+// never correctness.  An AS whose route must change is either seeded
+// directly (its in-edges changed or its current path is stale) or hears
+// about it transitively from a seeded AS — exactly how BGP itself
+// converges after a localized change.
+//
+// Determinism: when every AS prefers customer-learned routes (the
+// Gao-Rexford condition) the per-origination fixpoint is *unique*, so the
+// warm replay provably lands on state value-identical to a cold
+// recomputation under the same failure set.  The synthesized policies,
+// however, deliberately include atypical assignments (the paper's Fig. 2
+// deviations) that violate that condition, and such instances can admit
+// several stable fixpoints (RFC 4264 "wedgies") — a warm start may then
+// legitimately converge to a different one than a cold run, with no local
+// signal: the wedgie pivot may be exercised only in the *cold* trajectory
+// while every warm selection looks typical.  The engine therefore decides
+// order-sensitivity *statically*, per origination, at converge time:
+//
+//   1. BFS the origin's uphill cone — the closure over provider edges.
+//      By valley-free export these are exactly the ASes that can ever
+//      hold a customer-learned route for the prefix (a customer exports
+//      to its provider only what it learned from its own customers).
+//   2. For every provider X of a cone member c, compare c's effective
+//      import preference at X (neighbor override or customer base)
+//      against every neighbor of X that can offer the prefix as a
+//      non-customer candidate: any provider of X, or a peer of X that is
+//      itself in the cone.  If any such rival ranks >= c, a non-customer
+//      route can beat an available customer route at X.
+//   3. A traffic-engineering `prefix_override` at such an X pins all
+//      senders to one preference, so any rival can win on tie-break;
+//      it flags whenever X has both a cone customer and a possible
+//      non-customer offerer.
+//
+// If no clause fires, the Gao-Rexford preference condition holds at every
+// AS *for this prefix's reachable candidates* (peer-vs-provider and
+// intra-band ordering are unconstrained by the safety theorem, and route
+// filtering/failures only remove candidates), so the fixpoint is unique
+// and the frontier replay is provably cold-identical.  Otherwise the
+// state is marked order-sensitive and every wave replays the *exact cold
+// trajectory* in place (reset + origin seed + full event loop, reusing
+// the state's arena and interned tables), which is cold-identical by
+// construction.  As defense in depth the engine also watches
+// `FixpointStats::inversion_selections` (an exercised atypical
+// preference); a wave that trips it is discarded and redone exactly, and
+// the mark is sticky.  Equivalence is golden-tested route-for-route and
+// digest-compared at several thread counts
+// (tests/sim/delta_equivalence_test.cc); only the trajectory counters
+// (`process_events`, the non-convergence flag's wave scope) differ from a
+// cold run, which is why equivalence is defined over the best-route map.
+//
+// Concurrency: a DeltaEngine is immutable and shareable; each DeltaState
+// is owned by exactly one caller at a time (the churn simulator shards
+// states across workers, each with a leased DeltaWorkspace).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/flat_engine.h"
+#include "sim/propagation.h"
+
+namespace bgpolicy::sim {
+
+/// A batch of world changes applied between two converged states.
+/// Origination announce/withdraw is structural, not a Perturbation: a
+/// withdrawn origination's DeltaState is dropped, an announced one is
+/// cold-converged on first use (see the Timeline in core/spec_verify.cc).
+struct Perturbation {
+  /// Sessions that went down (no route crosses them; conditional
+  /// advertisements watching them become active).
+  std::vector<std::pair<AsNumber, AsNumber>> fail_edges;
+  /// Sessions that came back up.
+  std::vector<std::pair<AsNumber, AsNumber>> restore_edges;
+  /// Export policy of `first` toward the specific neighbor `second`
+  /// changed (the selective-announcement toggle): invalidates exactly the
+  /// routes crossing that adjacency.
+  std::vector<std::pair<AsNumber, AsNumber>> export_changed;
+  /// Coarse: anything about this AS's policy may have changed (import
+  /// preferences, community handling, export rules toward anyone).
+  std::vector<AsNumber> policy_changed;
+
+  [[nodiscard]] bool empty() const {
+    return fail_edges.empty() && restore_edges.empty() &&
+           export_changed.empty() && policy_changed.empty();
+  }
+
+  /// The edge-set delta turning the world `from` into `to`: fail every
+  /// edge in `to` missing from `from`, restore the reverse.  How a cached
+  /// state whose failure set drifted from the current world is re-synced
+  /// without replaying an event log.
+  [[nodiscard]] static Perturbation edge_delta(const FailedEdges& from,
+                                               const FailedEdges& to);
+};
+
+/// What one incremental wave did: the seeded dirty frontier, every AS the
+/// replay actually processed (a superset of the ASes whose route changed —
+/// the containment the unit tests pin), and the loop stats.
+struct DeltaWave {
+  std::vector<topo::GraphView::Id> frontier;  // seeds, in seeding order
+  std::vector<topo::GraphView::Id> touched;   // processed >= once, id order
+  std::size_t events = 0;
+  bool converged = true;
+  /// True when the wave replayed the exact cold trajectory (the state is
+  /// order-sensitive, or the frontier replay tripped the inversion
+  /// trigger and was redone).  `events` then counts the exact replay.
+  bool exact = false;
+};
+
+/// One origination's persistent converged routing state plus the failure
+/// set it converged under.  Create empty, then DeltaEngine::converge.
+class DeltaState {
+ public:
+  DeltaState() = default;
+  DeltaState(const DeltaState&) = delete;
+  DeltaState& operator=(const DeltaState&) = delete;
+
+  [[nodiscard]] const Origination& origination() const { return origination_; }
+  [[nodiscard]] const FailedEdges& failed() const { return failed_; }
+  [[nodiscard]] bool initialized() const { return initialized_; }
+  /// False once any wave (or the initial converge) tripped the per-AS cap.
+  [[nodiscard]] bool converged() const { return converged_; }
+  /// Cumulative process events across the initial converge and every wave.
+  [[nodiscard]] std::size_t process_events() const { return process_events_; }
+  /// True when the static oracle found an atypical preference reachable
+  /// for this prefix, or any trajectory exercised one (see the
+  /// determinism note in the header comment): waves on such a state
+  /// always replay the exact cold trajectory.
+  [[nodiscard]] bool order_sensitive() const { return order_sensitive_; }
+
+  /// Deep copy: the clone owns all of its storage (interned tables
+  /// included) and can be perturbed independently — how what-if queries
+  /// branch off a shared base state without touching it.
+  void assign_from(const DeltaState& other);
+
+ private:
+  friend class DeltaEngine;
+
+  Origination origination_{};
+  FailedEdges failed_;
+  FlatRoutingState state_;
+  bool initialized_ = false;
+  bool converged_ = true;
+  bool order_sensitive_ = false;  // sticky across waves
+  std::size_t process_events_ = 0;
+};
+
+/// Per-caller scratch for converge/apply: candidate columns plus the
+/// memoized dirty-path walk marks.  Reusable across states and waves; one
+/// workspace per concurrent caller.
+class DeltaWorkspace {
+ public:
+  DeltaWorkspace() = default;
+
+ private:
+  friend class DeltaEngine;
+
+  CandidateColumns cands_;
+  /// Per path-table node: (epoch << 1) | dirty.  Stale epochs read as
+  /// unvisited, so no per-wave clearing of the whole array.
+  std::vector<std::uint64_t> mark_;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint32_t> chain_;  // parent-chain walk scratch
+  std::vector<topo::GraphView::Id> cone_;  // static-oracle BFS scratch
+  std::vector<char> in_cone_;
+};
+
+/// A mutex-guarded free list of DeltaWorkspace instances, mirroring
+/// FlatScratchPool: parallel churn stepping leases one per worker.
+class DeltaWorkspacePool {
+ public:
+  class Lease {
+   public:
+    Lease(DeltaWorkspacePool* pool, std::unique_ptr<DeltaWorkspace> ws)
+        : pool_(pool), ws_(std::move(ws)) {}
+    ~Lease() {
+      if (ws_ != nullptr) pool_->release(std::move(ws_));
+    }
+    Lease(Lease&&) = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+
+    [[nodiscard]] DeltaWorkspace& operator*() const { return *ws_; }
+
+   private:
+    DeltaWorkspacePool* pool_;
+    std::unique_ptr<DeltaWorkspace> ws_;
+  };
+
+  [[nodiscard]] Lease acquire();
+
+ private:
+  void release(std::unique_ptr<DeltaWorkspace> ws);
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<DeltaWorkspace>> free_;
+};
+
+class DeltaEngine {
+ public:
+  /// The context must outlive the engine.  `options.threads` is not used
+  /// here — each state's waves are sequential; callers shard *states*
+  /// across workers (churn.cc) exactly like cold per-prefix fixpoints.
+  DeltaEngine(const FlatSimContext& context, PropagationOptions options)
+      : context_(&context), options_(options) {}
+
+  [[nodiscard]] const FlatSimContext& context() const { return *context_; }
+  [[nodiscard]] const PropagationOptions& options() const { return options_; }
+
+  /// Cold-converges `state` for `origination` under `failed` (copied into
+  /// the state; nullptr = healthy).  Runs the exact cold seed program into
+  /// a warm state, so materialize() afterwards equals compute_prefix_flat.
+  void converge(const Origination& origination, const FailedEdges* failed,
+                DeltaState& state, DeltaWorkspace& ws) const;
+
+  /// Applies a perturbation to a converged state: folds the edge changes
+  /// into the state's failure set, seeds the dirty frontier, and replays
+  /// the standard event loop to quiescence.  Order-sensitive states (and
+  /// waves that trip the inversion trigger) replay the exact cold
+  /// trajectory instead — see the determinism note.  The caller has
+  /// already applied any policy changes to the owning PolicySet (and
+  /// refreshed the shared context via FlatSimContext::refresh_policies).
+  DeltaWave apply(DeltaState& state, const Perturbation& perturbation,
+                  DeltaWorkspace& ws) const;
+
+  /// Full value-typed routing of the state's world.  The best map equals a
+  /// cold compute_prefix_flat under state.failed(); converged /
+  /// process_events reflect the state's incremental history (see the
+  /// determinism note in the header comment).
+  [[nodiscard]] PrefixRouting materialize(const DeltaState& state) const;
+
+  /// Best route of one AS without materializing the whole table.
+  [[nodiscard]] std::optional<bgp::Route> route_at(const DeltaState& state,
+                                                   AsNumber as) const;
+
+ private:
+  /// In-place cold-trajectory replay under the state's current inputs:
+  /// reset (arena and interned-table capacity kept) + origin seed + full
+  /// event loop.  Cold-identical by construction.
+  FixpointStats exact_replay(DeltaState& state, DeltaWorkspace& ws) const;
+
+  /// The static wedgie oracle of the determinism note: true when an
+  /// atypical preference (or a TE prefix pin) could let a non-customer
+  /// candidate beat a customer candidate somewhere in the origin's uphill
+  /// cone for this prefix.  False proves the fixpoint unique.
+  [[nodiscard]] bool static_order_sensitive(const Origination& origination,
+                                            DeltaWorkspace& ws) const;
+
+  const FlatSimContext* context_;
+  PropagationOptions options_;
+};
+
+}  // namespace bgpolicy::sim

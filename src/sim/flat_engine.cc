@@ -196,6 +196,21 @@ std::uint32_t CommunityTable::add(std::uint32_t set, bgp::Community community) {
   return result;
 }
 
+void CommunityTable::assign_from(const CommunityTable& other) {
+  // arena_ stays this table's own arena — the owning state reset it just
+  // before this call; member storage is copied, never aliased.
+  size_ = other.size_;
+  next_same_hash_ = other.next_same_hash_;
+  memo_ = other.memo_;
+  by_content_ = other.by_content_;
+  data_.assign(other.data_.size(), nullptr);
+  for (std::size_t id = 1; id < other.data_.size(); ++id) {
+    bgp::Community* storage = arena_->allocate<bgp::Community>(size_[id]);
+    std::copy_n(other.data_[id], size_[id], storage);
+    data_[id] = storage;
+  }
+}
+
 // ------------------------------------------------------------ FlatSimContext
 
 FlatSimContext::FlatSimContext(const topo::AsGraph& graph,
@@ -208,123 +223,197 @@ FlatSimContext::FlatSimContext(const topo::AsGraph& graph,
   }
 }
 
-// --------------------------------------------------------------- FlatScratch
-
-void FlatScratch::reset(std::size_t n) {
-  note_peak();
-  arena_.reset();
-  paths_.clear();
-  comms_.clear();
-  has_best_.assign(n, 0);
-  best_rel_.assign(n, 0);
-  best_path_.assign(n, 0);
-  best_learned_.assign(n, 0);
-  best_lp_.assign(n, 0);
-  best_router_.assign(n, 0);
-  best_comms_.assign(n, 0);
-  in_queue_.assign(n, 0);
-  processed_.assign(n, 0);
-  queue_.assign(n + 1, 0);
-  q_head_ = 0;
-  q_tail_ = 0;
+const AsPolicy* FlatSimContext::policy_if_present(
+    topo::GraphView::Id id) const {
+  if (const AsPolicy* p = policy_[id]) return p;
+  const auto it = policies_->by_as.find(view_.as_of(id));
+  return it == policies_->by_as.end() ? nullptr : &it->second;
 }
 
+void FlatSimContext::refresh_policies(std::span<const AsNumber> changed) {
+  for (const AsNumber as : changed) {
+    const topo::GraphView::Id id = view_.id_of(as);
+    if (id == topo::GraphView::kInvalidId) continue;
+    const auto it = policies_->by_as.find(as);
+    policy_[id] = it == policies_->by_as.end() ? nullptr : &it->second;
+  }
+}
+
+// ----------------------------------------------------------- FlatRoutingState
+
+void FlatRoutingState::reset(std::size_t n) {
+  arena.reset();
+  paths.clear();
+  comms.clear();
+  has_best.assign(n, 0);
+  best_rel.assign(n, 0);
+  best_path.assign(n, 0);
+  best_learned.assign(n, 0);
+  best_lp.assign(n, 0);
+  best_router.assign(n, 0);
+  best_comms.assign(n, 0);
+  in_queue.assign(n, 0);
+  processed.assign(n, 0);
+  queue.assign(n + 1, 0);
+  q_head = 0;
+  q_tail = 0;
+}
+
+void FlatRoutingState::begin_wave() {
+  std::fill(processed.begin(), processed.end(), 0);
+}
+
+void FlatRoutingState::assign_from(const FlatRoutingState& other) {
+  arena.reset();
+  paths = other.paths;
+  comms.assign_from(other.comms);
+  has_best = other.has_best;
+  best_rel = other.best_rel;
+  best_path = other.best_path;
+  best_learned = other.best_learned;
+  best_lp = other.best_lp;
+  best_router = other.best_router;
+  best_comms = other.best_comms;
+  in_queue = other.in_queue;
+  processed = other.processed;
+  queue = other.queue;
+  q_head = other.q_head;
+  q_tail = other.q_tail;
+}
+
+std::size_t FlatRoutingState::bytes() const {
+  return has_best.capacity() + best_rel.capacity() + in_queue.capacity() +
+         sizeof(std::uint32_t) *
+             (best_path.capacity() + best_learned.capacity() +
+              best_lp.capacity() + best_router.capacity() +
+              best_comms.capacity() + processed.capacity() +
+              queue.capacity()) +
+         arena.bytes_reserved() + paths.bytes() + comms.bytes();
+}
+
+// ----------------------------------------------------------- CandidateColumns
+
+void CandidateColumns::clear() {
+  lp.clear();
+  plen.clear();
+  origin.clear();
+  nh.clear();
+  med.clear();
+  ebgp.clear();
+  igp.clear();
+  router.clear();
+  path.clear();
+  comms.clear();
+  sender.clear();
+  rel.clear();
+}
+
+std::size_t CandidateColumns::bytes() const {
+  return origin.capacity() + ebgp.capacity() + rel.capacity() +
+         sizeof(std::uint32_t) *
+             (lp.capacity() + plen.capacity() + nh.capacity() +
+              med.capacity() + igp.capacity() + router.capacity() +
+              path.capacity() + comms.capacity() + sender.capacity());
+}
+
+// --------------------------------------------------------------- FlatScratch
+
 void FlatScratch::note_peak() {
-  const std::size_t vectors =
-      has_best_.capacity() + best_rel_.capacity() + in_queue_.capacity() +
-      cand_origin_.capacity() + cand_ebgp_.capacity() + cand_rel_.capacity() +
-      sizeof(std::uint32_t) *
-          (best_path_.capacity() + best_learned_.capacity() +
-           best_lp_.capacity() + best_router_.capacity() +
-           best_comms_.capacity() + processed_.capacity() +
-           queue_.capacity() + cand_lp_.capacity() + cand_plen_.capacity() +
-           cand_nh_.capacity() + cand_med_.capacity() + cand_igp_.capacity() +
-           cand_router_.capacity() + cand_path_.capacity() +
-           cand_comms_.capacity() + cand_sender_.capacity());
-  const std::size_t total =
-      vectors + arena_.bytes_reserved() + paths_.bytes() + comms_.bytes();
+  const std::size_t total = state_.bytes() + cands_.bytes();
   if (total > peak_bytes_) peak_bytes_ = total;
 }
 
 // --------------------------------------------------------- the flat fixpoint
 
-PrefixRouting compute_prefix_flat(const FlatSimContext& context,
-                                  const Origination& origination,
-                                  const FailedEdges* failed,
-                                  const PropagationOptions& options,
-                                  FlatScratch& s) {
-  using Id = topo::GraphView::Id;
+void seed_origin(const FlatSimContext& context, const Origination& origination,
+                 FlatRoutingState& s) {
   const topo::GraphView& view = context.view();
-  const Id origin_id = view.id_of(origination.origin);
-  util::ensure(origin_id != topo::GraphView::kInvalidId,
-               "propagation: origin AS not in graph");
-
-  const std::size_t n = view.size();
-  s.reset(n);
-  const std::size_t q_cap = n + 1;
-
-  const auto enqueue = [&](Id id) {
-    if (s.in_queue_[id] != 0) return;
-    s.in_queue_[id] = 1;
-    s.queue_[s.q_tail_] = id;
-    s.q_tail_ = (s.q_tail_ + 1) % q_cap;
-  };
+  const topo::GraphView::Id origin_id = view.id_of(origination.origin);
 
   // The origin installs its self route (kSelfLocalPref, empty path).
-  s.has_best_[origin_id] = 1;
-  s.best_path_[origin_id] = PathTable::kEmptyPath;
-  s.best_learned_[origin_id] = origin_id;
-  s.best_lp_[origin_id] = kSelfLocalPref;
-  s.best_router_[origin_id] = origination.origin.value();
-  s.best_comms_[origin_id] = CommunityTable::kEmptySet;
+  s.has_best[origin_id] = 1;
+  s.best_path[origin_id] = PathTable::kEmptyPath;
+  s.best_learned[origin_id] = origin_id;
+  s.best_lp[origin_id] = kSelfLocalPref;
+  s.best_router[origin_id] = origination.origin.value();
+  s.best_comms[origin_id] = CommunityTable::kEmptySet;
 
   for (std::uint32_t slot = view.arcs_begin(origin_id);
        slot < view.arcs_end(origin_id); ++slot) {
-    enqueue(view.arc_to(slot));
+    s.enqueue(view.arc_to(slot));
   }
+}
+
+FixpointStats run_flat_fixpoint(const FlatSimContext& context,
+                                const Origination& origination,
+                                const FailedEdges* failed,
+                                const PropagationOptions& options,
+                                FlatRoutingState& s, CandidateColumns& c,
+                                bool filtered_enqueue) {
+  using Id = topo::GraphView::Id;
+  const topo::GraphView& view = context.view();
+  const Id origin_id = view.id_of(origination.origin);
 
   const bool check_failures = failed != nullptr && !failed->empty();
-  std::size_t process_events = 0;
-  bool converged = true;
+  FixpointStats stats;
 
-  while (s.q_head_ != s.q_tail_) {
-    const Id current = s.queue_[s.q_head_];
-    s.q_head_ = (s.q_head_ + 1) % q_cap;
-    s.in_queue_[current] = 0;
+  // Sound pruning test for filtered_enqueue (see the header note): can
+  // `current`'s new best possibly change neighbor `m`'s selection?  The
+  // optimistic offer uses the exact import preference and a path one hop
+  // longer than the sender's best; among flat candidates origin/med/
+  // ebgp/igp are constants, so the decision process reduces to the total
+  // order (local-pref desc, path length asc, router id asc).
+  const auto offer_can_matter = [&](Id current, Id m, RelKind receiver_rel,
+                                    RelKind sender_rel) {
+    if (s.best_learned[m] == current) return true;  // dependent: re-pull
+    if (s.has_best[current] == 0) return false;     // withdraw, no dependent
+    const AsNumber current_as = view.as_of(current);
+    const AsNumber m_as = view.as_of(m);
+    if (check_failures && failed->is_failed(current_as, m_as)) return false;
+    const std::uint32_t sender_path = s.best_path[current];
+    if (sender_path != PathTable::kEmptyPath &&
+        static_cast<RelKind>(s.best_rel[current]) != RelKind::kCustomer &&
+        receiver_rel != RelKind::kCustomer) {
+      return false;  // Gao-Rexford gate: nothing is offered on this arc
+    }
+    if (s.has_best[m] == 0) return true;
+    const std::uint32_t lp =
+        context.policy(m).import.preference(current_as, sender_rel,
+                                            origination.prefix);
+    if (lp != s.best_lp[m]) return lp > s.best_lp[m];
+    const std::uint32_t plen = s.paths.length(sender_path) + 1;
+    const std::uint32_t best_plen = s.paths.length(s.best_path[m]);
+    if (plen != best_plen) return plen < best_plen;
+    return current_as.value() < s.best_router[m];
+  };
+
+  while (s.q_head != s.q_tail) {
+    const Id current = s.queue[s.q_head];
+    s.q_head = (s.q_head + 1) % s.queue.size();
+    s.in_queue[current] = 0;
 
     // The origin's self route always wins (kSelfLocalPref dominates);
     // skipping it keeps the withdraw logic below simple.
     if (current == origin_id) continue;
 
-    if (s.processed_[current] >= options.max_process_per_as) {
-      converged = false;
+    if (s.processed[current] >= options.max_process_per_as) {
+      stats.converged = false;
       continue;
     }
-    ++s.processed_[current];
-    ++process_events;
+    ++s.processed[current];
+    ++stats.events;
 
     const AsNumber receiver_as = view.as_of(current);
     const AsPolicy* receiver_policy = nullptr;  // fetched on first candidate
 
     // Pull candidates from every neighbor's current best into the SoA
-    // scratch columns — the flat mirror of route_as_received.
-    s.cand_lp_.clear();
-    s.cand_plen_.clear();
-    s.cand_origin_.clear();
-    s.cand_nh_.clear();
-    s.cand_med_.clear();
-    s.cand_ebgp_.clear();
-    s.cand_igp_.clear();
-    s.cand_router_.clear();
-    s.cand_path_.clear();
-    s.cand_comms_.clear();
-    s.cand_sender_.clear();
-    s.cand_rel_.clear();
+    // columns — the flat mirror of route_as_received.
+    c.clear();
 
     for (std::uint32_t slot = view.arcs_begin(current);
          slot < view.arcs_end(current); ++slot) {
       const Id sender = view.arc_to(slot);
-      if (s.has_best_[sender] == 0) continue;
+      if (s.has_best[sender] == 0) continue;
       // One CSR read yields both perspectives of the adjacency.
       const RelKind sender_rel = view.arc_rel(slot);  // sender, to receiver
       const RelKind receiver_rel = topo::invert(sender_rel);
@@ -334,14 +423,14 @@ PrefixRouting compute_prefix_flat(const FlatSimContext& context,
         continue;  // session down
       }
 
-      const std::uint32_t sender_path = s.best_path_[sender];
+      const std::uint32_t sender_path = s.best_path[sender];
       const bool self_originated = sender_path == PathTable::kEmptyPath;
 
       // Gao-Rexford relationship rules: self-originated and
       // customer-learned routes go to everyone; peer- and provider-learned
       // routes go to customers only.
       if (!self_originated) {
-        const auto learned_rel = static_cast<RelKind>(s.best_rel_[sender]);
+        const auto learned_rel = static_cast<RelKind>(s.best_rel[sender]);
         if (learned_rel != RelKind::kCustomer &&
             receiver_rel != RelKind::kCustomer) {
           continue;
@@ -371,14 +460,14 @@ PrefixRouting compute_prefix_flat(const FlatSimContext& context,
       }
 
       // Community instructions attached upstream and addressed to sender.
-      const std::uint32_t sender_comms = s.best_comms_[sender];
+      const std::uint32_t sender_comms = s.best_comms[sender];
       const auto sender_asn = static_cast<std::uint16_t>(sender_as.value());
       if (sender_comms != CommunityTable::kEmptySet) {
-        if (s.comms_.contains(sender_comms, bgp::kNoExport)) continue;
+        if (s.comms.contains(sender_comms, bgp::kNoExport)) continue;
         if (receiver_rel == RelKind::kProvider &&
-            s.comms_.contains(sender_comms,
-                              bgp::Community(sender_asn,
-                                             kNoExportUpstreamValue))) {
+            s.comms.contains(sender_comms,
+                             bgp::Community(sender_asn,
+                                            kNoExportUpstreamValue))) {
           continue;
         }
         bool no_export_to = false;
@@ -386,8 +475,8 @@ PrefixRouting compute_prefix_flat(const FlatSimContext& context,
              ++t) {
           if (sender_policy.no_export_targets[t] != receiver_as) continue;
           const auto value = static_cast<std::uint16_t>(kNoExportToBase + t);
-          if (s.comms_.contains(sender_comms,
-                                bgp::Community(sender_asn, value))) {
+          if (s.comms.contains(sender_comms,
+                               bgp::Community(sender_asn, value))) {
             no_export_to = true;
             break;
           }
@@ -397,7 +486,7 @@ PrefixRouting compute_prefix_flat(const FlatSimContext& context,
 
       // Configured export rules (selective announcement & friends).
       const AsNumber route_origin =
-          self_originated ? sender_as : s.paths_.origin(sender_path);
+          self_originated ? sender_as : s.paths.origin(sender_path);
       const ExportRule* rule = sender_policy.export_.match(
           receiver_as, origination.prefix, route_origin);
 
@@ -411,7 +500,7 @@ PrefixRouting compute_prefix_flat(const FlatSimContext& context,
             extra_prepends = rule->prepend_times;
             break;
           case ExportAction::kTagNoExportUpstream:
-            wire_comms = s.comms_.add(
+            wire_comms = s.comms.add(
                 wire_comms,
                 bgp::Community(static_cast<std::uint16_t>(receiver_as.value()),
                                kNoExportUpstreamValue));
@@ -427,7 +516,7 @@ PrefixRouting compute_prefix_flat(const FlatSimContext& context,
               if (receiver_policy->no_export_targets[t] != rule->target) {
                 continue;
               }
-              wire_comms = s.comms_.add(
+              wire_comms = s.comms.add(
                   wire_comms,
                   bgp::Community(
                       static_cast<std::uint16_t>(receiver_as.value()),
@@ -442,11 +531,11 @@ PrefixRouting compute_prefix_flat(const FlatSimContext& context,
       // The wire path: sender prepends itself (possibly extra times).
       std::uint32_t wire_path = sender_path;
       for (std::size_t k = 0; k < 1 + extra_prepends; ++k) {
-        wire_path = s.paths_.prepend(wire_path, sender_as);
+        wire_path = s.paths.prepend(wire_path, sender_as);
       }
 
       // Receiver-side: AS-path loop check.
-      if (s.paths_.contains(wire_path, receiver_as)) continue;
+      if (s.paths.contains(wire_path, receiver_as)) continue;
 
       // Receiver import policy: local preference + relationship tagging.
       if (receiver_policy == nullptr) {
@@ -455,55 +544,61 @@ PrefixRouting compute_prefix_flat(const FlatSimContext& context,
       const std::uint32_t lp = receiver_policy->import.preference(
           sender_as, sender_rel, origination.prefix);
       if (receiver_policy->community.enabled) {
-        wire_comms = s.comms_.add(
+        wire_comms = s.comms.add(
             wire_comms,
             receiver_policy->community.tag(receiver_as, sender_as,
                                            sender_rel));
       }
 
-      s.cand_lp_.push_back(lp);
-      s.cand_plen_.push_back(s.paths_.length(wire_path));
-      s.cand_origin_.push_back(
-          static_cast<std::uint8_t>(bgp::Origin::kIgp));
-      s.cand_nh_.push_back(sender_as.value());  // wire path front == sender
-      s.cand_med_.push_back(0);
-      s.cand_ebgp_.push_back(1);
-      s.cand_igp_.push_back(0);
-      s.cand_router_.push_back(sender_as.value());
-      s.cand_path_.push_back(wire_path);
-      s.cand_comms_.push_back(wire_comms);
-      s.cand_sender_.push_back(sender);
-      s.cand_rel_.push_back(static_cast<std::uint8_t>(sender_rel));
+      c.lp.push_back(lp);
+      c.plen.push_back(s.paths.length(wire_path));
+      c.origin.push_back(static_cast<std::uint8_t>(bgp::Origin::kIgp));
+      c.nh.push_back(sender_as.value());  // wire path front == sender
+      c.med.push_back(0);
+      c.ebgp.push_back(1);
+      c.igp.push_back(0);
+      c.router.push_back(sender_as.value());
+      c.path.push_back(wire_path);
+      c.comms.push_back(wire_comms);
+      c.sender.push_back(sender);
+      c.rel.push_back(static_cast<std::uint8_t>(sender_rel));
     }
 
-    const bgp::RouteColumns columns{
-        s.cand_lp_,  s.cand_plen_, s.cand_origin_, s.cand_nh_,
-        s.cand_med_, s.cand_ebgp_, s.cand_igp_,    s.cand_router_};
+    const bgp::RouteColumns columns{c.lp,  c.plen, c.origin, c.nh,
+                                    c.med, c.ebgp, c.igp,    c.router};
     const auto best_index = bgp::select_best(columns);
 
     bool changed = false;
     if (!best_index) {
-      if (s.has_best_[current] != 0) {
-        s.has_best_[current] = 0;
+      if (s.has_best[current] != 0) {
+        s.has_best[current] = 0;
         changed = true;
       }
     } else {
       const std::size_t w = *best_index;
+      if (static_cast<RelKind>(c.rel[w]) != RelKind::kCustomer) {
+        for (const std::uint8_t r : c.rel) {
+          if (static_cast<RelKind>(r) == RelKind::kCustomer) {
+            ++stats.inversion_selections;
+            break;
+          }
+        }
+      }
       // Interned path/community ids make id equality value equality, so
       // this is exactly the seed's Route value comparison.
-      if (s.has_best_[current] == 0 ||
-          s.best_path_[current] != s.cand_path_[w] ||
-          s.best_lp_[current] != s.cand_lp_[w] ||
-          s.best_learned_[current] != s.cand_sender_[w] ||
-          s.best_router_[current] != s.cand_router_[w] ||
-          s.best_comms_[current] != s.cand_comms_[w]) {
-        s.has_best_[current] = 1;
-        s.best_path_[current] = s.cand_path_[w];
-        s.best_lp_[current] = s.cand_lp_[w];
-        s.best_learned_[current] = s.cand_sender_[w];
-        s.best_router_[current] = s.cand_router_[w];
-        s.best_comms_[current] = s.cand_comms_[w];
-        s.best_rel_[current] = s.cand_rel_[w];
+      if (s.has_best[current] == 0 ||
+          s.best_path[current] != c.path[w] ||
+          s.best_lp[current] != c.lp[w] ||
+          s.best_learned[current] != c.sender[w] ||
+          s.best_router[current] != c.router[w] ||
+          s.best_comms[current] != c.comms[w]) {
+        s.has_best[current] = 1;
+        s.best_path[current] = c.path[w];
+        s.best_lp[current] = c.lp[w];
+        s.best_learned[current] = c.sender[w];
+        s.best_router[current] = c.router[w];
+        s.best_comms[current] = c.comms[w];
+        s.best_rel[current] = c.rel[w];
         changed = true;
       }
     }
@@ -511,28 +606,85 @@ PrefixRouting compute_prefix_flat(const FlatSimContext& context,
     if (changed) {
       for (std::uint32_t slot = view.arcs_begin(current);
            slot < view.arcs_end(current); ++slot) {
-        enqueue(view.arc_to(slot));
+        const Id m = view.arc_to(slot);
+        if (filtered_enqueue) {
+          if (s.in_queue[m] != 0 || m == origin_id) continue;
+          const RelKind receiver_rel = view.arc_rel(slot);  // m, from current
+          if (!offer_can_matter(current, m, receiver_rel,
+                                topo::invert(receiver_rel))) {
+            continue;
+          }
+        }
+        s.enqueue(m);
       }
     }
   }
 
-  // Materialize the public value-typed result.
+  return stats;
+}
+
+PrefixRouting materialize_routing(const FlatSimContext& context,
+                                  const Origination& origination,
+                                  const FlatRoutingState& s, bool converged,
+                                  std::size_t process_events) {
+  using Id = topo::GraphView::Id;
+  const topo::GraphView& view = context.view();
   PrefixRouting out;
   out.origination = origination;
   out.converged = converged;
   out.process_events = process_events;
-  for (std::size_t id = 0; id < n; ++id) {
-    if (s.has_best_[id] == 0) continue;
+  for (std::size_t id = 0; id < s.size(); ++id) {
+    if (s.has_best[id] == 0) continue;
     bgp::Route route;
     route.prefix = origination.prefix;
-    route.path = s.paths_.materialize(s.best_path_[id]);
-    route.learned_from = view.as_of(static_cast<Id>(s.best_learned_[id]));
-    route.local_pref = s.best_lp_[id];
-    route.router_id = s.best_router_[id];
-    const auto comms = s.comms_.members(s.best_comms_[id]);
+    route.path = s.paths.materialize(s.best_path[id]);
+    route.learned_from = view.as_of(static_cast<Id>(s.best_learned[id]));
+    route.local_pref = s.best_lp[id];
+    route.router_id = s.best_router[id];
+    const auto comms = s.comms.members(s.best_comms[id]);
     route.communities.assign(comms.begin(), comms.end());
     out.best.emplace(view.as_of(static_cast<Id>(id)), std::move(route));
   }
+  return out;
+}
+
+std::optional<bgp::Route> flat_route_at(const FlatSimContext& context,
+                                        const Origination& origination,
+                                        const FlatRoutingState& s,
+                                        AsNumber as) {
+  using Id = topo::GraphView::Id;
+  const topo::GraphView& view = context.view();
+  const Id id = view.id_of(as);
+  if (id == topo::GraphView::kInvalidId || s.has_best[id] == 0) {
+    return std::nullopt;
+  }
+  bgp::Route route;
+  route.prefix = origination.prefix;
+  route.path = s.paths.materialize(s.best_path[id]);
+  route.learned_from = view.as_of(static_cast<Id>(s.best_learned[id]));
+  route.local_pref = s.best_lp[id];
+  route.router_id = s.best_router[id];
+  const auto comms = s.comms.members(s.best_comms[id]);
+  route.communities.assign(comms.begin(), comms.end());
+  return route;
+}
+
+PrefixRouting compute_prefix_flat(const FlatSimContext& context,
+                                  const Origination& origination,
+                                  const FailedEdges* failed,
+                                  const PropagationOptions& options,
+                                  FlatScratch& s) {
+  const topo::GraphView& view = context.view();
+  util::ensure(view.id_of(origination.origin) != topo::GraphView::kInvalidId,
+               "propagation: origin AS not in graph");
+
+  s.note_peak();
+  s.state_.reset(view.size());
+  seed_origin(context, origination, s.state_);
+  const FixpointStats stats = run_flat_fixpoint(
+      context, origination, failed, options, s.state_, s.cands_);
+  PrefixRouting out = materialize_routing(context, origination, s.state_,
+                                          stats.converged, stats.events);
   s.note_peak();
   return out;
 }

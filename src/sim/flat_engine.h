@@ -27,9 +27,14 @@
 //     exist until the converged state is materialized into the public
 //     value-typed `PrefixRouting` at the very end.
 //
-// `FlatScratch` owns every per-propagation structure and is reset (not
-// freed) between prefixes, so a warmed scratch runs a whole fixpoint
-// without touching the global allocator.  One scratch serves one
+// The per-propagation state is split so it can outlive one fixpoint:
+// `FlatRoutingState` is the warm half (interning tables + SoA best columns
+// + the event queue) that `sim::DeltaEngine` keeps converged across
+// perturbations, and `run_flat_fixpoint` is the event loop both the cold
+// entry point and the delta engine replay.  `FlatScratch` bundles a
+// routing state with candidate columns for the classic cold call and is
+// reset (not freed) between prefixes, so a warmed scratch runs a whole
+// fixpoint without touching the global allocator.  One scratch serves one
 // propagation at a time; parallel callers lease per-worker scratches from
 // a `FlatScratchPool`.
 #pragma once
@@ -37,6 +42,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -77,7 +83,7 @@ class FlatMap64 {
 
 /// Hash-consed AS paths with parent-pointer prepend.  Id 0 is the empty
 /// path; every other id names an interned (front AS, parent) node.  Only
-/// valid between `clear()` calls of the owning scratch.
+/// valid between `clear()` calls of the owning state.
 class PathTable {
  public:
   static constexpr std::uint32_t kEmptyPath = 0;
@@ -96,6 +102,10 @@ class PathTable {
   /// Front (next-hop) AS; `path` must not be empty.
   [[nodiscard]] AsNumber front(std::uint32_t path) const {
     return AsNumber(front_[path]);
+  }
+  /// Parent node (the path without its front hop); kEmptyPath-terminated.
+  [[nodiscard]] std::uint32_t parent(std::uint32_t path) const {
+    return parent_[path];
   }
   /// Origin (rightmost) AS; `path` must not be empty.
   [[nodiscard]] AsNumber origin(std::uint32_t path) const {
@@ -125,7 +135,7 @@ class PathTable {
 
 /// Community sets interned by content with Route::add_community semantics
 /// (sorted, deduplicated).  Id 0 is the empty set.  Member arrays live in
-/// the owning scratch's arena; `add` results are memoized per (set,
+/// the owning state's arena; `add` results are memoized per (set,
 /// community) so repeated tagging along a propagation wave is one probe.
 class CommunityTable {
  public:
@@ -146,6 +156,12 @@ class CommunityTable {
       std::uint32_t set) const {
     return {data_[set], size_[set]};
   }
+
+  /// Deep copy preserving every interned id: member storage is
+  /// re-allocated from this table's own arena (the caller has already
+  /// reset it), never aliased from `other` — what makes a warm
+  /// `FlatRoutingState` clonable.
+  void assign_from(const CommunityTable& other);
 
   [[nodiscard]] std::size_t bytes() const {
     return (data_.capacity() * sizeof(const bgp::Community*)) +
@@ -168,9 +184,9 @@ class CommunityTable {
 
 /// Everything `compute_prefix_flat` needs that depends only on the
 /// (graph, policies) pair: the dense-id CSR view and per-id policy
-/// pointers.  Build once per scenario (or per policy mutation) and share
-/// across any number of concurrent propagations — strictly read-only.
-/// Both references must outlive the context.
+/// pointers.  Build once per scenario and share across any number of
+/// concurrent propagations — read-only while any propagation is in
+/// flight.  Both references must outlive the context.
 class FlatSimContext {
  public:
   FlatSimContext(const topo::AsGraph& graph, const PolicySet& policies);
@@ -186,18 +202,177 @@ class FlatSimContext {
     return p != nullptr ? *p : policies_->at(view_.as_of(id));
   }
 
+  /// Non-throwing policy probe (the delta engine's frontier seeding asks
+  /// about ASes that may have no policy at all).
+  [[nodiscard]] const AsPolicy* policy_if_present(
+      topo::GraphView::Id id) const;
+
+  /// Re-resolves the policy pointers of `changed` ASes against the owning
+  /// PolicySet after it mutated in place (new `by_as` entries, removed
+  /// ones, or rules edited behind an existing pointer).  Cheap — O(changed)
+  /// — so per-step churn patches the shared context instead of rebuilding
+  /// the CSR view.  Must not run concurrently with any propagation using
+  /// this context (same contract as mutating the PolicySet itself).
+  void refresh_policies(std::span<const AsNumber> changed);
+
  private:
   topo::GraphView view_;
   std::vector<const AsPolicy*> policy_;
   const PolicySet* policies_;
 };
 
-/// The reusable per-propagation workspace: interning tables, SoA routing
-/// state, the event queue, candidate columns, and the arena.  Reset (never
-/// freed) between prefixes.  Not thread-safe; one propagation at a time.
+/// The warm half of a propagation: interning tables, SoA best-route
+/// columns, and the fixpoint event queue, all indexed by dense AS id.
+/// `compute_prefix_flat` resets one per prefix; `sim::DeltaEngine` keeps
+/// one converged per origination and re-seeds only the dirty frontier.
+/// Members are engine internals — mutate only through the propagation
+/// entry points below (the delta engine is the one other writer).
+/// Non-copyable because community member storage lives in the arena; use
+/// `assign_from` for an explicit deep copy.
+struct FlatRoutingState {
+  FlatRoutingState() : comms(arena) {}
+  FlatRoutingState(const FlatRoutingState&) = delete;
+  FlatRoutingState& operator=(const FlatRoutingState&) = delete;
+
+  util::MonotonicArena arena;
+  PathTable paths;
+  CommunityTable comms;
+
+  // Routing state, indexed by dense AS id.
+  std::vector<std::uint8_t> has_best;
+  std::vector<std::uint8_t> best_rel;  // RelKind: learned_from as seen by
+                                       // the owning AS; valid when the
+                                       // best route is not self-originated
+  std::vector<std::uint32_t> best_path;
+  std::vector<std::uint32_t> best_learned;  // dense id of learned_from
+  std::vector<std::uint32_t> best_lp;
+  std::vector<std::uint32_t> best_router;
+  std::vector<std::uint32_t> best_comms;
+
+  // Fixpoint bookkeeping.  The queue is a ring of capacity n + 1; it is
+  // empty (head == tail) whenever no fixpoint is mid-flight.
+  std::vector<std::uint8_t> in_queue;
+  std::vector<std::uint32_t> processed;
+  std::vector<std::uint32_t> queue;
+  std::size_t q_head = 0;
+  std::size_t q_tail = 0;
+
+  /// Number of dense ids this state covers (0 before the first reset).
+  [[nodiscard]] std::size_t size() const { return has_best.size(); }
+
+  /// Clears everything for a cold start over `n` dense ids (keeps
+  /// capacity; the arena keeps its blocks).
+  void reset(std::size_t n);
+
+  /// Prepares a converged state for another fixpoint wave: zeroes the
+  /// per-AS processed counters (the non-convergence cap is per wave).  The
+  /// queue must be empty.
+  void begin_wave();
+
+  /// Enqueues `id` if not already queued.
+  void enqueue(topo::GraphView::Id id) {
+    if (in_queue[id] != 0) return;
+    in_queue[id] = 1;
+    queue[q_tail] = id;
+    q_tail = (q_tail + 1) % queue.size();
+  }
+
+  [[nodiscard]] bool queue_empty() const { return q_head == q_tail; }
+
+  /// Deep copy: every interned id and best column is preserved, all
+  /// storage (including arena-backed community members) is owned by this
+  /// state.  `other` must not be mid-fixpoint.
+  void assign_from(const FlatRoutingState& other);
+
+  [[nodiscard]] std::size_t bytes() const;
+};
+
+/// Reusable decision-process candidate columns (one set per concurrent
+/// fixpoint runner).
+struct CandidateColumns {
+  std::vector<std::uint32_t> lp;
+  std::vector<std::uint32_t> plen;
+  std::vector<std::uint8_t> origin;
+  std::vector<std::uint32_t> nh;
+  std::vector<std::uint32_t> med;
+  std::vector<std::uint8_t> ebgp;
+  std::vector<std::uint32_t> igp;
+  std::vector<std::uint32_t> router;
+  std::vector<std::uint32_t> path;
+  std::vector<std::uint32_t> comms;
+  std::vector<std::uint32_t> sender;  // dense id
+  std::vector<std::uint8_t> rel;      // RelKind: sender as seen by receiver
+
+  void clear();
+  [[nodiscard]] std::size_t bytes() const;
+};
+
+/// Outcome of one drained event queue.
+struct FixpointStats {
+  std::size_t events = 0;
+  bool converged = true;
+  /// Selections where a non-customer-learned route won while a
+  /// customer-learned candidate was on the table.  Under typical
+  /// (band-separated) preferences this never happens; a non-zero count
+  /// means an atypical assignment was exercised, i.e. the instance may
+  /// admit more than one stable fixpoint (an RFC 4264 "wedgie") and a
+  /// warm-started replay is not guaranteed to land on the same one as a
+  /// cold run.  `sim::DeltaEngine` uses this as its exact-replay trigger.
+  std::size_t inversion_selections = 0;
+};
+
+/// Installs the origin's self route (kSelfLocalPref, empty path) and
+/// enqueues its neighbors — the cold seed program.  `state` must be
+/// freshly reset and the origin present in the view.
+void seed_origin(const FlatSimContext& context, const Origination& origination,
+                 FlatRoutingState& state);
+
+/// Drains the event queue until quiescent — the one fixpoint loop shared
+/// by `compute_prefix_flat` (cold seed) and `sim::DeltaEngine` (dirty
+/// frontier seed).  The caller has already seeded the queue; per-AS
+/// processed counters count against `options.max_process_per_as` for this
+/// wave only (zero them via reset/begin_wave first).
+///
+/// `filtered_enqueue` prunes the change fan-out: instead of enqueueing
+/// every neighbor of a changed AS, each arc is tested with a sound
+/// optimistic bound (exact import preference, path one hop longer than
+/// the sender's, prepends/denies/loops ignored) against the neighbor's
+/// stored best, and the neighbor is enqueued only when the sender's offer
+/// could win the decision process, the neighbor's best was learned from
+/// the sender, or the neighbor holds no route.  A pruned offer can never
+/// be missed later: any worsening of a neighbor's best happens inside a
+/// full pull that rescans all of its arcs.  Pruning changes the
+/// processing ORDER, so it is only safe when the fixpoint is unique —
+/// `sim::DeltaEngine` enables it for frontier waves on prefixes its
+/// static wedgie oracle proved order-insensitive; the cold entry points
+/// keep the unfiltered trajectory.
+[[nodiscard]] FixpointStats run_flat_fixpoint(const FlatSimContext& context,
+                                              const Origination& origination,
+                                              const FailedEdges* failed,
+                                              const PropagationOptions& options,
+                                              FlatRoutingState& state,
+                                              CandidateColumns& cands,
+                                              bool filtered_enqueue = false);
+
+/// Materializes the public value-typed result from a converged state.
+[[nodiscard]] PrefixRouting materialize_routing(const FlatSimContext& context,
+                                                const Origination& origination,
+                                                const FlatRoutingState& state,
+                                                bool converged,
+                                                std::size_t process_events);
+
+/// Best route of one AS from a converged state without materializing the
+/// whole table; nullopt when the AS is unknown or holds no route.
+[[nodiscard]] std::optional<bgp::Route> flat_route_at(
+    const FlatSimContext& context, const Origination& origination,
+    const FlatRoutingState& state, AsNumber as);
+
+/// The reusable cold-propagation workspace: one routing state + candidate
+/// columns, reset (never freed) between prefixes.  Not thread-safe; one
+/// propagation at a time.
 class FlatScratch {
  public:
-  FlatScratch() : comms_(arena_) {}
+  FlatScratch() = default;
 
   /// High-water mark of scratch memory across this scratch's lifetime.
   [[nodiscard]] std::size_t peak_bytes() const { return peak_bytes_; }
@@ -209,46 +384,10 @@ class FlatScratch {
                                            const PropagationOptions& options,
                                            FlatScratch& scratch);
 
-  void reset(std::size_t n);
   void note_peak();
 
-  util::MonotonicArena arena_;
-  PathTable paths_;
-  CommunityTable comms_;
-
-  // Routing state, indexed by dense AS id.
-  std::vector<std::uint8_t> has_best_;
-  std::vector<std::uint8_t> best_rel_;  // RelKind: learned_from as seen by
-                                        // the owning AS; valid when the
-                                        // best route is not self-originated
-  std::vector<std::uint32_t> best_path_;
-  std::vector<std::uint32_t> best_learned_;  // dense id of learned_from
-  std::vector<std::uint32_t> best_lp_;
-  std::vector<std::uint32_t> best_router_;
-  std::vector<std::uint32_t> best_comms_;
-
-  // Fixpoint bookkeeping.
-  std::vector<std::uint8_t> in_queue_;
-  std::vector<std::uint32_t> processed_;
-  std::vector<std::uint32_t> queue_;  // ring buffer, capacity n + 1
-  std::size_t q_head_ = 0;
-  std::size_t q_tail_ = 0;
-
-  // Decision-process candidate columns (reused per event).
-  std::vector<std::uint32_t> cand_lp_;
-  std::vector<std::uint32_t> cand_plen_;
-  std::vector<std::uint8_t> cand_origin_;
-  std::vector<std::uint32_t> cand_nh_;
-  std::vector<std::uint32_t> cand_med_;
-  std::vector<std::uint8_t> cand_ebgp_;
-  std::vector<std::uint32_t> cand_igp_;
-  std::vector<std::uint32_t> cand_router_;
-  std::vector<std::uint32_t> cand_path_;
-  std::vector<std::uint32_t> cand_comms_;
-  std::vector<std::uint32_t> cand_sender_;  // dense id
-  std::vector<std::uint8_t> cand_rel_;      // RelKind: sender as seen by
-                                            // the receiving AS
-
+  FlatRoutingState state_;
+  CandidateColumns cands_;
   std::size_t peak_bytes_ = 0;
 };
 

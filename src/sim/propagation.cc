@@ -22,6 +22,18 @@ bool FailedEdges::is_failed(AsNumber a, AsNumber b) const {
   return edges_.contains(key(a, b));
 }
 
+std::vector<std::pair<AsNumber, AsNumber>> FailedEdges::edges() const {
+  std::vector<std::uint64_t> keys(edges_.begin(), edges_.end());
+  std::sort(keys.begin(), keys.end());
+  std::vector<std::pair<AsNumber, AsNumber>> out;
+  out.reserve(keys.size());
+  for (const std::uint64_t k : keys) {
+    out.emplace_back(AsNumber(static_cast<std::uint32_t>(k >> 32)),
+                     AsNumber(static_cast<std::uint32_t>(k)));
+  }
+  return out;
+}
+
 PropagationEngine::PropagationEngine(const topo::AsGraph& graph,
                                      const PolicySet& policies)
     : graph_(&graph), policies_(&policies) {}

@@ -40,6 +40,7 @@
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "bgp/route.h"
@@ -87,6 +88,10 @@ class FailedEdges {
   [[nodiscard]] bool is_failed(AsNumber a, AsNumber b) const;
   [[nodiscard]] bool empty() const { return edges_.empty(); }
   [[nodiscard]] std::size_t size() const { return edges_.size(); }
+  /// The failed pairs in canonical form (smaller AS first), sorted — the
+  /// order-free representation `sim::Perturbation::edge_delta` diffs to
+  /// sync a warm delta state to the current world.
+  [[nodiscard]] std::vector<std::pair<AsNumber, AsNumber>> edges() const;
 
  private:
   static std::uint64_t key(AsNumber a, AsNumber b);

@@ -10,12 +10,18 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "bgp/decision.h"
+#include "bgp/prefix.h"
+#include "bgp/route.h"
 #include "core/scenario.h"
 #include "serve/snapshot.h"
+#include "sim/propagation.h"
 #include "util/ids.h"
 
 namespace bgpolicy::serve {
@@ -159,7 +165,7 @@ TEST(QueryEngine, MalformedRequestPayloadIsAnErrorResponse) {
   for (const QueryKind kind :
        {QueryKind::kServerInfo, QueryKind::kSaPrevalence, QueryKind::kHoming,
         QueryKind::kCauses, QueryKind::kPathAvailability,
-        QueryKind::kRerunInfer}) {
+        QueryKind::kRerunInfer, QueryKind::kWhatIfFailure}) {
     for (const auto* request : {&trailing, &truncated}) {
       const auto view = split_response(answer(kind, *request, snapshot));
       ASSERT_TRUE(view.has_value());
@@ -172,11 +178,150 @@ TEST(QueryEngine, MalformedRequestPayloadIsAnErrorResponse) {
 
 TEST(QueryEngine, KnownKindCoversExactlyTheDispatchableKinds) {
   EXPECT_FALSE(known_kind(0));
-  for (std::uint16_t kind = 1; kind <= 6; ++kind) {
+  for (std::uint16_t kind = 1; kind <= 7; ++kind) {
     EXPECT_TRUE(known_kind(kind)) << kind;
   }
-  EXPECT_FALSE(known_kind(7));
+  EXPECT_FALSE(known_kind(8));
   EXPECT_FALSE(known_kind(static_cast<std::uint16_t>(1 | kResponseBit)));
+}
+
+// ------------------------------------------------------- what-if failure --
+
+/// A deterministic (vantage, failed edge, prefix) probe: the first
+/// origination's prefix, the session between its origin and that origin's
+/// first neighbor, observed from the first analysis vantage.
+struct WhatIfProbe {
+  AsNumber vantage;
+  std::pair<AsNumber, AsNumber> edge;
+  bgp::Prefix prefix;
+};
+
+WhatIfProbe make_probe(const Snapshot& snapshot) {
+  const core::GroundTruth& truth = *snapshot.truth;
+  const sim::Origination& origination = truth.originations.front();
+  const auto& neighbors = truth.topo.graph.neighbors(origination.origin);
+  WhatIfProbe probe{snapshot.analyses.vantages.front().vantage,
+                    {origination.origin, neighbors.front().as},
+                    origination.prefix};
+  return probe;
+}
+
+TEST(QueryEngine, WhatIfFailureIsDeterministicAcrossSnapshots) {
+  const Snapshot& a = snapshot_t1();
+  const Snapshot& b = snapshot_t3();
+  ASSERT_NE(a.what_if, nullptr);
+  ASSERT_NE(b.what_if, nullptr);
+  const WhatIfProbe probe = make_probe(a);
+  const std::vector<std::pair<AsNumber, AsNumber>> edges = {probe.edge};
+
+  // All originated prefixes (empty filter): both snapshots, byte-equal.
+  const std::vector<std::uint8_t> request =
+      encode_what_if_request(probe.vantage, edges);
+  const std::vector<std::uint8_t> payload_a =
+      ok_answer(QueryKind::kWhatIfFailure, request, a);
+  EXPECT_EQ(payload_a, ok_answer(QueryKind::kWhatIfFailure, request, b));
+  // Asking twice must not drift (the base-state cache warms on the first
+  // call; branches must never leak back into it).
+  EXPECT_EQ(payload_a, ok_answer(QueryKind::kWhatIfFailure, request, a));
+
+  const auto view = split_response(payload_a);
+  ASSERT_TRUE(view.has_value());
+  const auto result = decode_what_if(view->body);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->vantage, probe.vantage.value());
+  EXPECT_EQ(result->edge_count, 1u);
+  EXPECT_FALSE(result->entries.empty());
+  EXPECT_LE(result->reachable_after, result->entries.size());
+}
+
+TEST(QueryEngine, WhatIfFailureMatchesColdRecomputation) {
+  const Snapshot& snapshot = snapshot_t1();
+  ASSERT_NE(snapshot.what_if, nullptr);
+  const core::GroundTruth& truth = *snapshot.truth;
+  const WhatIfProbe probe = make_probe(snapshot);
+  const std::vector<std::pair<AsNumber, AsNumber>> edges = {probe.edge};
+  const std::vector<bgp::Prefix> filter = {probe.prefix};
+
+  const std::vector<std::uint8_t> payload =
+      ok_answer(QueryKind::kWhatIfFailure,
+                encode_what_if_request(probe.vantage, edges, filter), snapshot);
+  const auto view = split_response(payload);
+  ASSERT_TRUE(view.has_value());
+  const auto result = decode_what_if(view->body);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->entries.size(), 1u);
+  const WhatIfEntry& entry = result->entries.front();
+  EXPECT_EQ(entry.prefix, probe.prefix);
+
+  // Cold ground truth of both worlds, MOAS-merged the same way.
+  const auto cold_best = [&](const sim::FailedEdges* failed)
+      -> std::optional<bgp::Route> {
+    std::vector<bgp::Route> candidates;
+    for (const sim::Origination& o : truth.originations) {
+      if (o.prefix != probe.prefix) continue;
+      const sim::PrefixRouting routing = sim::compute_prefix(
+          truth.topo.graph, truth.gen.policies, o, failed);
+      if (const bgp::Route* route = routing.best_at(probe.vantage)) {
+        candidates.push_back(*route);
+      }
+    }
+    if (candidates.empty()) return std::nullopt;
+    return candidates[bgp::select_best(candidates).value_or(0)];
+  };
+  sim::FailedEdges failed;
+  failed.fail(probe.edge.first, probe.edge.second);
+  const std::optional<bgp::Route> before = cold_best(nullptr);
+  const std::optional<bgp::Route> after = cold_best(&failed);
+
+  EXPECT_EQ(entry.before.reachable, before.has_value());
+  EXPECT_EQ(entry.after.reachable, after.has_value());
+  if (before.has_value()) {
+    EXPECT_EQ(entry.before.via,
+              before->next_hop_as().value_or(before->learned_from).value());
+    EXPECT_EQ(entry.before.origin, before->origin_as().value());
+    EXPECT_EQ(entry.before.path_length, before->path.length());
+  }
+  if (after.has_value()) {
+    EXPECT_EQ(entry.after.via,
+              after->next_hop_as().value_or(after->learned_from).value());
+    EXPECT_EQ(entry.after.origin, after->origin_as().value());
+    EXPECT_EQ(entry.after.path_length, after->path.length());
+  }
+  EXPECT_EQ(entry.changed, before != after);
+}
+
+TEST(QueryEngine, WhatIfFailureErrorPaths) {
+  const Snapshot& snapshot = snapshot_t1();
+  const WhatIfProbe probe = make_probe(snapshot);
+  const std::vector<std::pair<AsNumber, AsNumber>> edges = {probe.edge};
+
+  const auto expect_error = [&](const std::vector<std::uint8_t>& request) {
+    // Keep the payload alive: ResponseView::body is a span into it.
+    const std::vector<std::uint8_t> payload =
+        answer(QueryKind::kWhatIfFailure, request, snapshot);
+    const auto view = split_response(payload);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->status, QueryStatus::kError);
+    EXPECT_FALSE(decode_error(view->body).empty());
+  };
+  // No edges.
+  expect_error(encode_what_if_request(probe.vantage, {}));
+  // Unknown vantage / unknown edge endpoint.
+  expect_error(encode_what_if_request(AsNumber(999'999'999), edges));
+  const std::vector<std::pair<AsNumber, AsNumber>> bogus_edge = {
+      {probe.vantage, AsNumber(999'999'999)}};
+  expect_error(encode_what_if_request(probe.vantage, bogus_edge));
+  // Prefix filter matching no origination.
+  const std::vector<bgp::Prefix> bogus_prefix = {bgp::Prefix(0x0A0A0A00, 30)};
+  expect_error(encode_what_if_request(probe.vantage, edges, bogus_prefix));
+  // Snapshot without a substrate (a hand-built test snapshot).
+  Snapshot bare;
+  const std::vector<std::uint8_t> bare_payload = answer(
+      QueryKind::kWhatIfFailure, encode_what_if_request(probe.vantage, edges),
+      bare);
+  const auto view = split_response(bare_payload);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->status, QueryStatus::kError);
 }
 
 }  // namespace
